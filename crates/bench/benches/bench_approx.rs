@@ -1,0 +1,33 @@
+//! Criterion benchmark backing Figure 6 and the Section 5.3 design choice:
+//! cost of a single support-score query under each method as the clique
+//! count grows (DP is quadratic, the approximations are linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus::approx::{max_k_with_method, ApproxMethod};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("support_score_query");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for count in [32usize, 256, 1024] {
+        let probs: Vec<f64> = (0..count).map(|_| rng.gen_range(0.05..0.95)).collect();
+        for method in [
+            ApproxMethod::DynamicProgramming,
+            ApproxMethod::Poisson,
+            ApproxMethod::TranslatedPoisson,
+            ApproxMethod::Binomial,
+            ApproxMethod::Clt,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), count),
+                &probs,
+                |b, probs| b.iter(|| max_k_with_method(method, 0.9, probs, 0.3)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

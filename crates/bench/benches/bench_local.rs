@@ -1,0 +1,48 @@
+//! Criterion benchmark backing Figure 4: the local nucleus decomposition
+//! with exact DP scoring versus the hybrid approximation (AP), plus the
+//! peeling-update ablation (DP re-scoring vs approximate re-scoring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nd_datasets::{PaperDataset, Scale};
+use nucleus::{LocalConfig, LocalNucleusDecomposition, SupportStructure};
+
+fn bench_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_decomposition");
+    group.sample_size(10);
+    for dataset in [PaperDataset::Krogan, PaperDataset::Dblp, PaperDataset::Flickr] {
+        let graph = dataset.generate(Scale::Tiny, 42);
+        let support = SupportStructure::build(&graph);
+        for theta in [0.1, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("DP/{}", dataset.name()), theta),
+                &theta,
+                |b, &theta| {
+                    b.iter(|| {
+                        LocalNucleusDecomposition::with_support(
+                            support.clone(),
+                            &LocalConfig::exact(theta),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("AP/{}", dataset.name()), theta),
+                &theta,
+                |b, &theta| {
+                    b.iter(|| {
+                        LocalNucleusDecomposition::with_support(
+                            support.clone(),
+                            &LocalConfig::approximate(theta),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local);
+criterion_main!(benches);

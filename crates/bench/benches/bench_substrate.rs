@@ -1,0 +1,34 @@
+//! Criterion benchmark of the graph substrate: triangle enumeration,
+//! 4-clique enumeration, support-structure construction and possible-world
+//! sampling — the preprocessing shared by every decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nd_datasets::{PaperDataset, Scale};
+use nucleus::SupportStructure;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::{FourCliqueEnumerator, TriangleIndex, WorldSampler};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    let graph = PaperDataset::Flickr.generate(Scale::Tiny, 42);
+    group.bench_function("triangle_index/flickr", |b| {
+        b.iter(|| TriangleIndex::build(&graph))
+    });
+    group.bench_function("four_cliques/flickr", |b| {
+        b.iter(|| FourCliqueEnumerator::new(&graph).len())
+    });
+    group.bench_function("support_structure/flickr", |b| {
+        b.iter(|| SupportStructure::build(&graph))
+    });
+    group.bench_function("sample_100_worlds/flickr", |b| {
+        let sampler = WorldSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| sampler.sample_many(&mut rng, 100))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Experiment runner reproducing every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id> [--scale tiny|small|medium] [--seed N]
+//!
+//! ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all
+//! ```
+
+use nd_bench::runner::ExperimentContext;
+use nd_bench::{ablation, fig4, fig5, fig6, fig7, fig8, table1, table2, table3};
+use nd_datasets::{PaperDataset, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let id = args[0].clone();
+    let scale = parse_flag(&args, "--scale")
+        .map(|s| match s.as_str() {
+            "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
+            "medium" => Scale::Medium,
+            other => {
+                eprintln!("unknown scale '{other}', using small");
+                Scale::Small
+            }
+        })
+        .unwrap_or(Scale::Small);
+    let seed = parse_flag(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let ctx = ExperimentContext::new(scale, seed);
+
+    println!("# experiment: {id}  scale: {scale:?}  seed: {seed}\n");
+    let start = std::time::Instant::now();
+    match id.as_str() {
+        "table1" => run_table1(&ctx),
+        "fig4" => run_fig4(&ctx),
+        "fig5" => run_fig5(&ctx),
+        "table2" => run_table2(&ctx),
+        "fig6" => run_fig6(&ctx),
+        "table3" => run_table3(&ctx),
+        "fig7" => run_fig7(&ctx),
+        "fig8" => run_fig8(&ctx),
+        "ablation" => run_ablation(&ctx),
+        "all" => {
+            run_table1(&ctx);
+            run_fig4(&ctx);
+            run_fig5(&ctx);
+            run_table2(&ctx);
+            run_fig6(&ctx);
+            run_table3(&ctx);
+            run_fig7(&ctx);
+            run_fig8(&ctx);
+            run_ablation(&ctx);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            print_usage();
+            std::process::exit(1);
+        }
+    }
+    println!("\n# total wall-clock: {:.1}s", start.elapsed().as_secs_f64());
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments <id> [--scale tiny|small|medium] [--seed N]\n\
+         ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all"
+    );
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn report_shape(violations: &[String]) {
+    if violations.is_empty() {
+        println!("shape check: OK (matches the paper's qualitative claims)");
+    } else {
+        println!("shape check: {} deviation(s):", violations.len());
+        for v in violations {
+            println!("  - {v}");
+        }
+    }
+}
+
+fn run_table1(ctx: &ExperimentContext) {
+    println!("{}", table1::run(ctx).format());
+}
+
+fn run_fig4(ctx: &ExperimentContext) {
+    let fig = fig4::run(ctx, &PaperDataset::all());
+    println!("{}", fig.format());
+    report_shape(&fig.check_shape());
+    println!();
+}
+
+fn run_fig5(ctx: &ExperimentContext) {
+    let fig = fig5::run(ctx, &PaperDataset::all(), 2, 200);
+    println!("{}", fig.format());
+    report_shape(&fig.check_shape());
+    println!();
+}
+
+fn run_table2(ctx: &ExperimentContext) {
+    let t = table2::run(ctx, &PaperDataset::all());
+    println!("{}", t.format());
+    report_shape(&t.check_shape());
+    println!();
+}
+
+fn run_fig6(ctx: &ExperimentContext) {
+    let fig = fig6::run(ctx, fig6::SAMPLES);
+    println!("{}", fig.format());
+    report_shape(&fig.check_shape());
+    println!();
+}
+
+fn run_table3(ctx: &ExperimentContext) {
+    let t = table3::run(
+        ctx,
+        &[PaperDataset::Dblp, PaperDataset::Pokec, PaperDataset::Biomine],
+    );
+    println!("{}", t.format());
+    report_shape(&t.check_shape());
+    println!();
+}
+
+fn run_fig7(ctx: &ExperimentContext) {
+    let fig = fig7::run(ctx, PaperDataset::Flickr);
+    println!("{}", fig.format());
+    report_shape(&fig.check_shape());
+    println!();
+}
+
+fn run_fig8(ctx: &ExperimentContext) {
+    let fig = fig8::run(
+        ctx,
+        &[PaperDataset::Krogan, PaperDataset::Flickr, PaperDataset::Dblp],
+        3,
+        200,
+    );
+    println!("{}", fig.format());
+    report_shape(&fig.check_shape());
+    println!();
+}
+
+fn run_ablation(ctx: &ExperimentContext) {
+    let samples = ablation::run_sample_ablation(ctx, &[50, 150, 500, 1500, 5000]);
+    println!("{}", samples.format());
+    println!();
+    let cost = ablation::run_scoring_cost(ctx, &[16, 64, 256, 1024], 200);
+    println!("{}", ablation::format_scoring_cost(&cost));
+}

@@ -1,0 +1,37 @@
+//! # nd-bench — experiment harness for the nucleus-decomposition paper
+//!
+//! Every table and figure of the paper's evaluation (Section 7) has a
+//! module here that regenerates it on the synthetic datasets of
+//! [`nd_datasets`]:
+//!
+//! | module | paper artifact | what it reports |
+//! |--------|----------------|-----------------|
+//! | [`table1`] | Table 1 | dataset statistics |
+//! | [`fig4`] | Figure 4 | running time of local decomposition, DP vs AP, per θ |
+//! | [`fig5`] | Figure 5 | running time of fully-global (FG) vs weakly-global (WG) |
+//! | [`table2`] | Table 2 | accuracy of AP scores vs DP scores |
+//! | [`fig6`] | Figure 6 | relative error of each approximation under its conditions |
+//! | [`table3`] | Table 3 | cohesiveness of nucleus vs truss vs core (PD, PCC) |
+//! | [`fig7`] | Figure 7 | PD/PCC/edges/#nuclei of ℓ-(k,θ)-nuclei as k varies |
+//! | [`fig8`] | Figure 8 | PD/PCC of g- vs w- vs ℓ-nuclei |
+//! | [`ablation`] | (extra) | Monte-Carlo sample count vs estimation error; per-method scoring cost |
+//!
+//! Run them through the `experiments` binary:
+//!
+//! ```text
+//! cargo run -p nd-bench --release --bin experiments -- all --scale small
+//! cargo run -p nd-bench --release --bin experiments -- fig4 --scale tiny
+//! ```
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use runner::{ExperimentContext, Timing};

@@ -1,0 +1,138 @@
+//! Shared infrastructure for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+use nd_datasets::{PaperDataset, Scale};
+use ugraph::UncertainGraph;
+
+/// Execution context shared by all experiments: dataset scale and seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentContext {
+    /// Dataset scale (tiny for smoke runs, small for the recorded results,
+    /// medium for longer benchmarking sessions).
+    pub scale: Scale,
+    /// Seed used for dataset generation and Monte-Carlo sampling.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Creates a context.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        ExperimentContext { scale, seed }
+    }
+
+    /// Generates a dataset under this context.
+    pub fn dataset(&self, dataset: PaperDataset) -> UncertainGraph {
+        dataset.generate(self.scale, self.seed)
+    }
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext::new(Scale::Small, 42)
+    }
+}
+
+/// Wall-clock measurement of a closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Elapsed wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl Timing {
+    /// Runs `f` once and measures it, returning the result and the timing.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Timing) {
+        let start = Instant::now();
+        let out = f();
+        (
+            out,
+            Timing {
+                elapsed: start.elapsed(),
+            },
+        )
+    }
+
+    /// Elapsed seconds as a float.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for Timing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.seconds())
+    }
+}
+
+/// Formats a simple aligned table: a header row followed by data rows.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_generates_datasets() {
+        let ctx = ExperimentContext::new(Scale::Tiny, 7);
+        let g = ctx.dataset(PaperDataset::Krogan);
+        assert!(g.num_edges() > 0);
+        // Same context, same dataset.
+        let g2 = ctx.dataset(PaperDataset::Krogan);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn timing_measures_elapsed_time() {
+        let (value, t) = Timing::measure(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(t.seconds() >= 0.009);
+        assert!(t.to_string().ends_with('s'));
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let text = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1".to_string()],
+                vec!["long-name".to_string(), "23456".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].contains("long-name"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Table-1-style dataset statistics.
+
+use ugraph::metrics::GraphStatistics;
+use ugraph::UncertainGraph;
+
+use crate::registry::PaperDataset;
+
+/// One row of Table 1: dataset statistics of a (synthetic) uncertain graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average edge probability.
+    pub average_probability: f64,
+    /// Number of triangles.
+    pub num_triangles: usize,
+}
+
+impl Table1Row {
+    /// Formats the row in the layout of Table 1.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<14} {:>9} {:>10} {:>7} {:>6.2} {:>12}",
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.average_probability,
+            self.num_triangles
+        )
+    }
+}
+
+/// Computes the Table 1 row for a generated dataset.
+pub fn table1_row(dataset: PaperDataset, graph: &UncertainGraph) -> Table1Row {
+    let stats = GraphStatistics::compute(graph);
+    Table1Row {
+        name: dataset.name(),
+        num_vertices: stats.num_vertices,
+        num_edges: stats.num_edges,
+        max_degree: stats.max_degree,
+        average_probability: stats.average_probability,
+        num_triangles: stats.num_triangles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scale;
+
+    #[test]
+    fn row_matches_graph_statistics() {
+        let g = PaperDataset::Krogan.generate(Scale::Tiny, 4);
+        let row = table1_row(PaperDataset::Krogan, &g);
+        assert_eq!(row.name, "krogan");
+        assert_eq!(row.num_vertices, g.num_vertices());
+        assert_eq!(row.num_edges, g.num_edges());
+        assert_eq!(row.num_triangles, g.count_triangles());
+        assert!(row.average_probability > 0.0 && row.average_probability <= 1.0);
+    }
+
+    #[test]
+    fn format_contains_all_fields() {
+        let g = PaperDataset::Dblp.generate(Scale::Tiny, 4);
+        let row = table1_row(PaperDataset::Dblp, &g);
+        let text = row.format();
+        assert!(text.contains("dblp"));
+        assert!(text.contains(&row.num_vertices.to_string()));
+        assert!(text.contains(&row.num_triangles.to_string()));
+    }
+}

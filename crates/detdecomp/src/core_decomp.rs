@@ -1,0 +1,266 @@
+//! Deterministic k-core decomposition.
+//!
+//! The classic Batagelj–Zaveršnik bucket-based peeling algorithm: vertices
+//! are processed in non-decreasing order of their *current* degree; when a
+//! vertex is removed its core number is the current peeling level, and the
+//! degrees of its unprocessed neighbours decrease by one.  Runs in
+//! `O(|V| + |E|)`.
+
+use ugraph::{ConnectedComponents, EdgeSubgraph, UncertainGraph, VertexId};
+
+/// Result of a k-core decomposition: the core number of every vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    core_numbers: Vec<u32>,
+}
+
+impl CoreDecomposition {
+    /// Runs the decomposition on the structure of `graph` (probabilities
+    /// are ignored).
+    pub fn compute(graph: &UncertainGraph) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return CoreDecomposition {
+                core_numbers: Vec::new(),
+            };
+        }
+        let mut degree: Vec<usize> = (0..n as VertexId).map(|v| graph.degree(v)).collect();
+        let max_degree = *degree.iter().max().unwrap_or(&0);
+
+        // Bucket sort vertices by degree.
+        let mut bins = vec![0usize; max_degree + 2];
+        for &d in &degree {
+            bins[d] += 1;
+        }
+        let mut start = 0usize;
+        for bin in bins.iter_mut() {
+            let count = *bin;
+            *bin = start;
+            start += count;
+        }
+        // pos[v] is the position of v in vert; vert is sorted by degree.
+        let mut pos = vec![0usize; n];
+        let mut vert = vec![0 as VertexId; n];
+        {
+            let mut next = bins.clone();
+            for v in 0..n {
+                let d = degree[v];
+                pos[v] = next[d];
+                vert[pos[v]] = v as VertexId;
+                next[d] += 1;
+            }
+        }
+
+        let mut core_numbers = vec![0u32; n];
+        for i in 0..n {
+            let v = vert[i];
+            core_numbers[v as usize] = degree[v as usize] as u32;
+            for &u in graph.neighbors(v) {
+                let du = degree[u as usize];
+                if du > degree[v as usize] {
+                    // Move u to the front of its bucket and decrement.
+                    let pu = pos[u as usize];
+                    let pw = bins[du];
+                    let w = vert[pw];
+                    if u != w {
+                        vert.swap(pu, pw);
+                        pos[u as usize] = pw;
+                        pos[w as usize] = pu;
+                    }
+                    bins[du] += 1;
+                    degree[u as usize] -= 1;
+                }
+            }
+        }
+        CoreDecomposition { core_numbers }
+    }
+
+    /// Core number of vertex `v`.
+    pub fn core_number(&self, v: VertexId) -> u32 {
+        self.core_numbers[v as usize]
+    }
+
+    /// Core numbers of all vertices, indexed by vertex id.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core_numbers
+    }
+
+    /// Largest core number in the graph (the degeneracy); `0` for an empty
+    /// graph.
+    pub fn max_core(&self) -> u32 {
+        self.core_numbers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Vertices whose core number is at least `k`.
+    pub fn vertices_in_k_core(&self, k: u32) -> Vec<VertexId> {
+        self.core_numbers
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| (c >= k).then_some(v as VertexId))
+            .collect()
+    }
+}
+
+/// Extracts the maximal connected k-core subgraphs of `graph` for the
+/// given `k`, as materialized subgraphs with original-vertex mappings.
+pub fn k_core_subgraphs(graph: &UncertainGraph, k: u32) -> Vec<EdgeSubgraph> {
+    let decomp = CoreDecomposition::compute(graph);
+    let members = decomp.vertices_in_k_core(k);
+    if members.is_empty() {
+        return Vec::new();
+    }
+    let in_core: Vec<bool> = (0..graph.num_vertices() as VertexId)
+        .map(|v| decomp.core_number(v) >= k)
+        .collect();
+    let components = ConnectedComponents::over_vertices(graph, |v| in_core[v as usize]);
+    components
+        .vertex_sets()
+        .into_iter()
+        .filter(|set| !set.is_empty())
+        .map(|set| EdgeSubgraph::induced_by_vertices(graph, &set))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    /// Brute-force core number: iteratively remove vertices of degree < k
+    /// and check membership for each k.
+    fn naive_core_numbers(graph: &UncertainGraph) -> Vec<u32> {
+        let n = graph.num_vertices();
+        let mut core = vec![0u32; n];
+        for k in 1..=graph.max_degree() as u32 {
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n as VertexId {
+                    if alive[v as usize] {
+                        let deg = graph
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&u| alive[u as usize])
+                            .count();
+                        if (deg as u32) < k {
+                            alive[v as usize] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UncertainGraph::empty(0);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.max_core(), 0);
+        assert!(d.core_numbers().is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let g = UncertainGraph::empty(3);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.core_numbers(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn complete_graph_core_numbers() {
+        let g = complete(5);
+        let d = CoreDecomposition::compute(&g);
+        assert!(d.core_numbers().iter().all(|&c| c == 4));
+        assert_eq!(d.max_core(), 4);
+    }
+
+    #[test]
+    fn path_graph_core_numbers() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4u32 {
+            b.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let g = b.build();
+        let d = CoreDecomposition::compute(&g);
+        assert!(d.core_numbers().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        // K4 on {0,1,2,3} plus path 3-4-5.
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let g = b.build();
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.core_number(0), 3);
+        assert_eq!(d.core_number(3), 3);
+        assert_eq!(d.core_number(4), 1);
+        assert_eq!(d.core_number(5), 1);
+        assert_eq!(d.vertices_in_k_core(3), vec![0, 1, 2, 3]);
+        assert_eq!(d.vertices_in_k_core(1).len(), 6);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let edges = ugraph::generators::gnm_edges(40, 150, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            40,
+            &ugraph::generators::ProbabilityModel::Constant(1.0),
+            &mut rng,
+        );
+        let fast = CoreDecomposition::compute(&g);
+        let naive = naive_core_numbers(&g);
+        assert_eq!(fast.core_numbers(), naive.as_slice());
+    }
+
+    #[test]
+    fn k_core_subgraph_extraction() {
+        // Two disjoint K4s connected by a path through a low-degree vertex.
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        for &(u, v) in &[(5, 6), (5, 7), (5, 8), (6, 7), (6, 8), (7, 8)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        b.add_edge(3, 4, 1.0).unwrap();
+        b.add_edge(4, 5, 1.0).unwrap();
+        let g = b.build();
+
+        let cores3 = k_core_subgraphs(&g, 3);
+        assert_eq!(cores3.len(), 2);
+        for c in &cores3 {
+            assert_eq!(c.num_vertices(), 4);
+            assert_eq!(c.num_edges(), 6);
+        }
+        let cores1 = k_core_subgraphs(&g, 1);
+        assert_eq!(cores1.len(), 1);
+        assert_eq!(cores1[0].num_vertices(), 9);
+        assert!(k_core_subgraphs(&g, 4).is_empty());
+    }
+}

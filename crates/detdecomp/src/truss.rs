@@ -1,0 +1,274 @@
+//! Deterministic k-truss decomposition.
+//!
+//! The *support* of an edge is the number of triangles containing it.  A
+//! k-truss is a maximal subgraph in which every edge has support ≥ k
+//! (support convention, matching `k-(2,3)`-nucleus).  The decomposition
+//! assigns every edge its *truss number*: the largest `k` such that the
+//! edge belongs to a k-truss.
+//!
+//! The algorithm is the classic support-peeling: repeatedly remove an edge
+//! of minimum current support; its truss number is that support; removing
+//! it destroys the triangles through it, which decrements the support of
+//! the surviving edges of those triangles (never below the current level).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ugraph::{ConnectedComponents, EdgeId, EdgeSubgraph, UncertainGraph};
+
+/// Result of a k-truss decomposition: the truss number of every edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrussDecomposition {
+    truss_numbers: Vec<u32>,
+}
+
+impl TrussDecomposition {
+    /// Runs the decomposition on the structure of `graph`.
+    pub fn compute(graph: &UncertainGraph) -> Self {
+        let m = graph.num_edges();
+        let mut support = vec![0u32; m];
+        for (e, edge) in graph.edges().iter().enumerate() {
+            support[e] = graph.common_neighbors(edge.u, edge.v).len() as u32;
+        }
+
+        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> = (0..m)
+            .map(|e| Reverse((support[e], e as EdgeId)))
+            .collect();
+        let mut removed = vec![false; m];
+        let mut truss = vec![0u32; m];
+
+        while let Some(Reverse((s, e))) = heap.pop() {
+            let ei = e as usize;
+            if removed[ei] || s != support[ei] {
+                continue; // stale heap entry
+            }
+            removed[ei] = true;
+            truss[ei] = s;
+            let edge = graph.edge(e);
+            let (u, v) = (edge.u, edge.v);
+            for w in graph.common_neighbors(u, v) {
+                let euw = graph.edge_id(u, w).expect("triangle edge exists");
+                let evw = graph.edge_id(v, w).expect("triangle edge exists");
+                if removed[euw as usize] || removed[evw as usize] {
+                    continue; // this triangle is already gone
+                }
+                for f in [euw, evw] {
+                    let fi = f as usize;
+                    if support[fi] > s {
+                        support[fi] -= 1;
+                        heap.push(Reverse((support[fi], f)));
+                    }
+                }
+            }
+        }
+        TrussDecomposition {
+            truss_numbers: truss,
+        }
+    }
+
+    /// Truss number of edge `e`.
+    pub fn truss_number(&self, e: EdgeId) -> u32 {
+        self.truss_numbers[e as usize]
+    }
+
+    /// Truss numbers of all edges, indexed by edge id.
+    pub fn truss_numbers(&self) -> &[u32] {
+        &self.truss_numbers
+    }
+
+    /// Largest truss number in the graph; `0` when triangle-free or empty.
+    pub fn max_truss(&self) -> u32 {
+        self.truss_numbers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Edges whose truss number is at least `k`.
+    pub fn edges_in_k_truss(&self, k: u32) -> Vec<EdgeId> {
+        self.truss_numbers
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &t)| (t >= k).then_some(e as EdgeId))
+            .collect()
+    }
+}
+
+/// Extracts the maximal connected k-truss subgraphs of `graph` for the
+/// given `k` (edges with truss number ≥ k, grouped by connectivity).
+pub fn k_truss_subgraphs(graph: &UncertainGraph, k: u32) -> Vec<EdgeSubgraph> {
+    let decomp = TrussDecomposition::compute(graph);
+    let edges = decomp.edges_in_k_truss(k);
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    // Group the qualifying edges by the connectivity of their endpoints
+    // within the qualifying edge set.
+    let mut in_truss = vec![false; graph.num_vertices()];
+    for &e in &edges {
+        let edge = graph.edge(e);
+        in_truss[edge.u as usize] = true;
+        in_truss[edge.v as usize] = true;
+    }
+    // Build a filtered adjacency restricted to qualifying edges by
+    // materializing the edge-induced subgraph once, then splitting it into
+    // components.
+    let sub = EdgeSubgraph::induced_by_edges(graph, &edges);
+    let components = ConnectedComponents::new(sub.graph());
+    components
+        .vertex_sets()
+        .into_iter()
+        .filter(|set| set.len() > 1)
+        .map(|set| {
+            let original: Vec<_> = set.iter().map(|&v| sub.original_vertex(v)).collect();
+            // Keep only qualifying edges among those vertices.
+            let comp_edges: Vec<EdgeId> = edges
+                .iter()
+                .copied()
+                .filter(|&e| {
+                    let edge = graph.edge(e);
+                    original.contains(&edge.u) && original.contains(&edge.v)
+                })
+                .collect();
+            EdgeSubgraph::induced_by_edges(graph, &comp_edges)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    /// Brute-force truss numbers by repeated subgraph filtering.
+    fn naive_truss_numbers(graph: &UncertainGraph) -> Vec<u32> {
+        let m = graph.num_edges();
+        let mut truss = vec![0u32; m];
+        let max_possible = graph.max_degree() as u32;
+        for k in 1..=max_possible {
+            let mut alive: Vec<bool> = vec![true; m];
+            loop {
+                let mut changed = false;
+                for e in 0..m {
+                    if !alive[e] {
+                        continue;
+                    }
+                    let edge = graph.edge(e as EdgeId);
+                    let sup = graph
+                        .common_neighbors(edge.u, edge.v)
+                        .iter()
+                        .filter(|&&w| {
+                            let euw = graph.edge_id(edge.u, w).unwrap();
+                            let evw = graph.edge_id(edge.v, w).unwrap();
+                            alive[euw as usize] && alive[evw as usize]
+                        })
+                        .count() as u32;
+                    if sup < k {
+                        alive[e] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for e in 0..m {
+                if alive[e] {
+                    truss[e] = k;
+                }
+            }
+        }
+        truss
+    }
+
+    #[test]
+    fn complete_graph_truss() {
+        // In K5 every edge is in 3 triangles.
+        let g = complete(5);
+        let d = TrussDecomposition::compute(&g);
+        assert!(d.truss_numbers().iter().all(|&t| t == 3));
+        assert_eq!(d.max_truss(), 3);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_zero_truss() {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let g = b.build();
+        let d = TrussDecomposition::compute(&g);
+        assert!(d.truss_numbers().iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UncertainGraph::empty(4);
+        let d = TrussDecomposition::compute(&g);
+        assert_eq!(d.max_truss(), 0);
+        assert!(d.truss_numbers().is_empty());
+    }
+
+    #[test]
+    fn clique_with_pendant_triangle() {
+        // K4 {0,1,2,3} plus triangle {3,4,5}.
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let g = b.build();
+        let d = TrussDecomposition::compute(&g);
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            assert_eq!(d.truss_number(g.edge_id(u, v).unwrap()), 2, "edge ({u},{v})");
+        }
+        for &(u, v) in &[(3, 4), (4, 5), (3, 5)] {
+            assert_eq!(d.truss_number(g.edge_id(u, v).unwrap()), 1, "edge ({u},{v})");
+        }
+        assert_eq!(d.edges_in_k_truss(2).len(), 6);
+        assert_eq!(d.edges_in_k_truss(1).len(), 9);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let edges = ugraph::generators::gnm_edges(30, 120, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            30,
+            &ugraph::generators::ProbabilityModel::Constant(1.0),
+            &mut rng,
+        );
+        let fast = TrussDecomposition::compute(&g);
+        let naive = naive_truss_numbers(&g);
+        assert_eq!(fast.truss_numbers(), naive.as_slice());
+    }
+
+    #[test]
+    fn k_truss_subgraph_extraction() {
+        // Two disjoint K4s and a bridge.
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        for &(u, v) in &[(4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        b.add_edge(3, 4, 1.0).unwrap();
+        let g = b.build();
+        let trusses = k_truss_subgraphs(&g, 2);
+        assert_eq!(trusses.len(), 2);
+        for t in &trusses {
+            assert_eq!(t.num_vertices(), 4);
+            assert_eq!(t.num_edges(), 6);
+        }
+        assert!(k_truss_subgraphs(&g, 3).is_empty());
+    }
+}

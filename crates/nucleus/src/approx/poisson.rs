@@ -1,0 +1,175 @@
+//! Poisson approximation of the triangle-support distribution
+//! (Section 5.3, Equations 8–10).
+//!
+//! Setting `λ = μ = Σ Pr(E_i)`, the Poisson distribution approximates ζ
+//! with total-variation error at most `2 Σ Pr(E_i)²` (Le Cam's theorem,
+//! Equation 9) — reliable when the `Pr(E_i)` and the clique count are
+//! small.  Tail probabilities are evaluated with the incremental
+//! recurrence of Equation 10, giving an `O(c)` score computation.
+
+/// `Pr[Π_λ = k]` for a Poisson variable with parameter `lambda`.
+///
+/// Computed in log-space to avoid overflow of `k!` for large `k`.
+pub fn pmf(lambda: f64, k: usize) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let k_f = k as f64;
+    let log_p = -lambda + k_f * lambda.ln() - ln_factorial(k);
+    log_p.exp()
+}
+
+/// `Pr[Π_λ ≥ k]` for a Poisson variable with parameter `lambda`.
+pub fn tail(lambda: f64, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    // 1 − Σ_{j<k} pmf(j), accumulated incrementally.
+    let mut cdf = 0.0;
+    let mut p = pmf(lambda, 0);
+    for j in 0..k {
+        if j > 0 {
+            p = p * lambda / j as f64;
+        }
+        cdf += p;
+    }
+    (1.0 - cdf).clamp(0.0, 1.0)
+}
+
+/// The largest `k ≤ max_support` such that
+/// `triangle_prob · Pr[Π_λ ≥ k] ≥ theta`, using the incremental
+/// recurrence of Equation 10.  Returns 0 when even `k = 0` fails.
+pub fn max_k(triangle_prob: f64, lambda: f64, max_support: usize, theta: f64) -> u32 {
+    if triangle_prob < theta {
+        return 0;
+    }
+    let mut best = 0u32;
+    let mut cdf = 0.0f64; // Pr[Π < k]
+    let mut p = pmf(lambda, 0);
+    for k in 0..=max_support {
+        let tail_k = (1.0 - cdf).clamp(0.0, 1.0);
+        if triangle_prob * tail_k >= theta {
+            best = k as u32;
+        } else {
+            break;
+        }
+        // Advance cdf to Pr[Π < k+1] by adding pmf(k).
+        if k > 0 {
+            p = p * lambda / k as f64;
+        }
+        cdf += p;
+    }
+    best
+}
+
+/// Natural log of `k!` via the log-gamma function (Lanczos approximation).
+pub(crate) fn ln_factorial(k: usize) -> f64 {
+    ln_gamma(k as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_matches_direct_formula_for_small_k() {
+        let lambda = 2.5f64;
+        for k in 0..10usize {
+            let direct = (-lambda as f64).exp() * lambda.powi(k as i32)
+                / (1..=k).product::<usize>().max(1) as f64;
+            assert!((pmf(lambda, k) - direct).abs() < 1e-10, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_lambda() {
+        assert_eq!(pmf(0.0, 0), 1.0);
+        assert_eq!(pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn tail_monotone_and_bounded() {
+        let lambda = 4.0;
+        let mut last = 1.0;
+        for k in 0..20 {
+            let t = tail(lambda, k);
+            assert!(t <= last + 1e-12);
+            assert!((0.0..=1.0).contains(&t));
+            last = t;
+        }
+        assert_eq!(tail(lambda, 0), 1.0);
+    }
+
+    #[test]
+    fn tail_complements_cdf() {
+        let lambda = 3.0;
+        for k in 1..15usize {
+            let cdf: f64 = (0..k).map(|j| pmf(lambda, j)).sum();
+            assert!((tail(lambda, k) - (1.0 - cdf)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_k_consistent_with_tail_scan() {
+        let lambda = 2.0;
+        let tri = 0.8;
+        let theta = 0.3;
+        let max_support = 12;
+        let expected = (0..=max_support)
+            .filter(|&k| tri * tail(lambda, k) >= theta)
+            .max()
+            .unwrap_or(0) as u32;
+        assert_eq!(max_k(tri, lambda, max_support, theta), expected);
+    }
+
+    #[test]
+    fn max_k_zero_cases() {
+        assert_eq!(max_k(0.1, 5.0, 10, 0.2), 0);
+        assert_eq!(max_k(1.0, 0.0, 10, 0.5), 0);
+    }
+
+    #[test]
+    fn ln_factorial_values() {
+        assert!((ln_factorial(0) - 0.0).abs() < 1e-9);
+        assert!((ln_factorial(1) - 0.0).abs() < 1e-9);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-9);
+        assert!((ln_factorial(20) - 2.432_902_008_176_64e18f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_lambda_does_not_overflow() {
+        let t = tail(500.0, 450);
+        assert!(t > 0.9 && t <= 1.0);
+        let t2 = tail(500.0, 600);
+        assert!(t2 < 0.01);
+    }
+}

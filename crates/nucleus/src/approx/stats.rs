@@ -1,0 +1,99 @@
+//! Moment helpers shared by the statistical approximations.
+
+/// Mean `μ = Σ Pr(E_i)` of the support variable ζ.
+pub fn mean(completion_probs: &[f64]) -> f64 {
+    completion_probs.iter().sum()
+}
+
+/// Variance `σ² = Σ Pr(E_i)·(1 − Pr(E_i))` of ζ.
+pub fn variance(completion_probs: &[f64]) -> f64 {
+    completion_probs.iter().map(|p| p * (1.0 - p)).sum()
+}
+
+/// `Σ Pr(E_i)²` — the quantity appearing in Le Cam's bound and in the
+/// hybrid-selection condition (3).
+pub fn sum_of_squares(completion_probs: &[f64]) -> f64 {
+    completion_probs.iter().map(|p| p * p).sum()
+}
+
+/// Le Cam's bound on the total-variation error of the Poisson
+/// approximation (Equation 9): `2 Σ Pr(E_i)² = 2(μ − σ²)`.
+pub fn le_cam_bound(completion_probs: &[f64]) -> f64 {
+    2.0 * sum_of_squares(completion_probs)
+}
+
+/// Ratio of the variance of ζ to the variance of a Binomial distribution
+/// with `n = c` and `n·p = μ` — the quantity of the hybrid-selection
+/// condition (4).  Returns 1 when both variances are zero, and 0 when only
+/// the Binomial variance is zero.
+pub fn binomial_variance_ratio(completion_probs: &[f64]) -> f64 {
+    let n = completion_probs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mu = mean(completion_probs);
+    let p = mu / n as f64;
+    let binom_var = n as f64 * p * (1.0 - p);
+    let var = variance(completion_probs);
+    if binom_var <= f64::EPSILON {
+        if var <= f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        var / binom_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn moments_of_identical_probs() {
+        let probs = vec![0.3; 10];
+        assert_close(mean(&probs), 3.0);
+        assert_close(variance(&probs), 10.0 * 0.3 * 0.7);
+        assert_close(sum_of_squares(&probs), 10.0 * 0.09);
+        assert_close(le_cam_bound(&probs), 2.0 * 0.9);
+        // Identical probabilities: ζ is exactly Binomial, ratio is 1.
+        assert_close(binomial_variance_ratio(&probs), 1.0);
+    }
+
+    #[test]
+    fn moments_of_empty_set() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(binomial_variance_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn variance_ratio_below_one_for_heterogeneous_probs() {
+        // Heterogeneous probabilities have smaller variance than the
+        // matching Binomial (variance is concave in p).
+        let probs = [0.1, 0.9, 0.1, 0.9];
+        let ratio = binomial_variance_ratio(&probs);
+        assert!(ratio < 1.0);
+        assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn variance_ratio_degenerate_cases() {
+        // All certain events: both variances are 0.
+        assert_close(binomial_variance_ratio(&[1.0, 1.0]), 1.0);
+        // Mix of certain and impossible-ish events: Binomial variance > 0.
+        let ratio = binomial_variance_ratio(&[1.0, 1e-12]);
+        assert!(ratio < 1.0);
+    }
+
+    #[test]
+    fn le_cam_identity() {
+        let probs = [0.2, 0.4, 0.6];
+        assert_close(le_cam_bound(&probs), 2.0 * (mean(&probs) - variance(&probs)));
+    }
+}

@@ -1,0 +1,252 @@
+//! Configuration types for the probabilistic nucleus decompositions.
+
+use crate::error::{NucleusError, Result};
+
+/// Hyperparameters of the hybrid approximation framework (Section 5.3).
+///
+/// The conditions, checked in order for every triangle support query
+/// (where `c` is the number of 4-cliques containing the triangle and
+/// `Pr(E_i)` are the completion probabilities):
+///
+/// 1. `c ≥ a` → Lyapunov CLT (normal) approximation,
+/// 2. `c < b` and all `Pr(E_i) < c_max` → Poisson approximation,
+/// 3. `Σ Pr(E_i)² > 1` → Translated Poisson approximation,
+/// 4. variance ratio ≥ `d` → Binomial approximation,
+/// 5. otherwise → exact dynamic programming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxThresholds {
+    /// Clique-count threshold `A` above which CLT is used.
+    pub a: usize,
+    /// Clique-count threshold `B` below which Poisson may be used.
+    pub b: usize,
+    /// Probability threshold `C` below which Poisson may be used.
+    pub c_max: f64,
+    /// Variance-ratio threshold `D` above which Binomial may be used.
+    pub d: f64,
+}
+
+impl Default for ApproxThresholds {
+    /// The values identified in the paper: `A = 200`, `B = 100`,
+    /// `C = 0.25`, `D = 0.9`.
+    fn default() -> Self {
+        ApproxThresholds {
+            a: 200,
+            b: 100,
+            c_max: 0.25,
+            d: 0.9,
+        }
+    }
+}
+
+/// How the per-triangle support scores `κ` are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ScoreMethod {
+    /// Exact dynamic programming for every triangle (the `DP` algorithm of
+    /// the paper).
+    #[default]
+    DynamicProgramming,
+    /// The hybrid statistical approximation framework (the `AP` algorithm
+    /// of the paper), falling back to dynamic programming when no
+    /// approximation condition holds.
+    Hybrid(ApproxThresholds),
+}
+
+/// Configuration of the local nucleus decomposition (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalConfig {
+    /// Probability threshold θ of Definition 5.
+    pub theta: f64,
+    /// How support scores are computed.
+    pub method: ScoreMethod,
+}
+
+impl LocalConfig {
+    /// Exact DP configuration with the given threshold.
+    pub fn exact(theta: f64) -> Self {
+        LocalConfig {
+            theta,
+            method: ScoreMethod::DynamicProgramming,
+        }
+    }
+
+    /// Hybrid approximation configuration with the paper's default
+    /// hyperparameters.
+    pub fn approximate(theta: f64) -> Self {
+        LocalConfig {
+            theta,
+            method: ScoreMethod::Hybrid(ApproxThresholds::default()),
+        }
+    }
+
+    /// Validates the threshold.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.theta > 0.0 && self.theta <= 1.0) || self.theta.is_nan() {
+            return Err(NucleusError::InvalidThreshold {
+                name: "theta",
+                value: self.theta,
+            });
+        }
+        if let ScoreMethod::Hybrid(t) = self.method {
+            if !(t.c_max > 0.0 && t.c_max <= 1.0) {
+                return Err(NucleusError::InvalidThreshold {
+                    name: "approx.c_max",
+                    value: t.c_max,
+                });
+            }
+            if !(t.d > 0.0 && t.d <= 1.0) {
+                return Err(NucleusError::InvalidThreshold {
+                    name: "approx.d",
+                    value: t.d,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig::exact(0.1)
+    }
+}
+
+/// Monte-Carlo sampling configuration for the global and weakly-global
+/// algorithms (Algorithms 2 and 3).
+///
+/// By Hoeffding's inequality (Lemma 4), `n ≥ ⌈ln(2/δ) / (2ε²)⌉` samples
+/// give an estimate within `ε` of the true probability with confidence
+/// `1 − δ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Additive error bound ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Optional explicit sample-count override (the paper uses `n = 200`
+    /// for ε = δ = 0.1).
+    pub num_samples_override: Option<usize>,
+    /// RNG seed for reproducible sampling.
+    pub seed: u64,
+}
+
+impl SamplingConfig {
+    /// Creates a configuration with the given error bound and confidence.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        SamplingConfig {
+            epsilon,
+            delta,
+            num_samples_override: None,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Overrides the Hoeffding-derived number of samples.
+    pub fn with_num_samples(mut self, n: usize) -> Self {
+        self.num_samples_override = Some(n);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of possible worlds to sample (Lemma 4), or the override.
+    pub fn num_samples(&self) -> usize {
+        if let Some(n) = self.num_samples_override {
+            return n;
+        }
+        crate::sampling::hoeffding_sample_size(self.epsilon, self.delta)
+    }
+
+    /// Validates ε and δ.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon <= 1.0) || self.epsilon.is_nan() {
+            return Err(NucleusError::InvalidThreshold {
+                name: "epsilon",
+                value: self.epsilon,
+            });
+        }
+        if !(self.delta > 0.0 && self.delta <= 1.0) || self.delta.is_nan() {
+            return Err(NucleusError::InvalidThreshold {
+                name: "delta",
+                value: self.delta,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SamplingConfig {
+    /// ε = 0.1, δ = 0.1 as in the paper's experiments.
+    fn default() -> Self {
+        SamplingConfig::new(0.1, 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let t = ApproxThresholds::default();
+        assert_eq!(t.a, 200);
+        assert_eq!(t.b, 100);
+        assert_eq!(t.c_max, 0.25);
+        assert_eq!(t.d, 0.9);
+    }
+
+    #[test]
+    fn local_config_constructors() {
+        let e = LocalConfig::exact(0.3);
+        assert_eq!(e.theta, 0.3);
+        assert_eq!(e.method, ScoreMethod::DynamicProgramming);
+        let a = LocalConfig::approximate(0.3);
+        assert!(matches!(a.method, ScoreMethod::Hybrid(_)));
+        assert!(e.validate().is_ok());
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn local_config_validation() {
+        assert!(LocalConfig::exact(0.0).validate().is_err());
+        assert!(LocalConfig::exact(1.1).validate().is_err());
+        assert!(LocalConfig::exact(f64::NAN).validate().is_err());
+        let mut cfg = LocalConfig::approximate(0.5);
+        if let ScoreMethod::Hybrid(ref mut t) = cfg.method {
+            t.c_max = 0.0;
+        }
+        assert!(cfg.validate().is_err());
+        let mut cfg = LocalConfig::approximate(0.5);
+        if let ScoreMethod::Hybrid(ref mut t) = cfg.method {
+            t.d = 2.0;
+        }
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_config_sample_count() {
+        let cfg = SamplingConfig::new(0.1, 0.1);
+        // ln(20)/(2*0.01) = 149.8 → 150.
+        assert_eq!(cfg.num_samples(), 150);
+        let cfg = cfg.with_num_samples(200);
+        assert_eq!(cfg.num_samples(), 200);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_config_validation() {
+        assert!(SamplingConfig::new(0.0, 0.1).validate().is_err());
+        assert!(SamplingConfig::new(0.1, 0.0).validate().is_err());
+        assert!(SamplingConfig::new(0.1, 1.5).validate().is_err());
+        assert!(SamplingConfig::new(0.2, 0.05).validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_seed_is_configurable() {
+        let cfg = SamplingConfig::default().with_seed(7);
+        assert_eq!(cfg.seed, 7);
+    }
+}

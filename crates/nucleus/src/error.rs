@@ -1,0 +1,90 @@
+//! Error type for the probabilistic nucleus decomposition.
+
+use std::fmt;
+
+/// Errors produced by the decomposition algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NucleusError {
+    /// A threshold parameter was outside its valid range.
+    InvalidThreshold {
+        /// Name of the parameter (`theta`, `epsilon`, `delta`, …).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The requested operation needs an exhaustive enumeration of possible
+    /// worlds, but the graph has too many edges.
+    GraphTooLargeForExact {
+        /// Number of edges of the offending graph.
+        num_edges: usize,
+        /// Maximum number of edges supported.
+        max_edges: usize,
+    },
+    /// A referenced triangle does not exist in the graph.
+    UnknownTriangle {
+        /// The vertices of the missing triangle.
+        vertices: [u32; 3],
+    },
+    /// Propagated graph error.
+    Graph(ugraph::GraphError),
+}
+
+impl fmt::Display for NucleusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NucleusError::InvalidThreshold { name, value } => {
+                write!(f, "invalid value {value} for parameter '{name}'")
+            }
+            NucleusError::GraphTooLargeForExact {
+                num_edges,
+                max_edges,
+            } => write!(
+                f,
+                "exact possible-world enumeration supports at most {max_edges} edges, got {num_edges}"
+            ),
+            NucleusError::UnknownTriangle { vertices } => write!(
+                f,
+                "triangle ({}, {}, {}) does not exist in the graph",
+                vertices[0], vertices[1], vertices[2]
+            ),
+            NucleusError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NucleusError {}
+
+impl From<ugraph::GraphError> for NucleusError {
+    fn from(e: ugraph::GraphError) -> Self {
+        NucleusError::Graph(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NucleusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NucleusError::InvalidThreshold {
+            name: "theta",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("theta"));
+
+        let e = NucleusError::GraphTooLargeForExact {
+            num_edges: 100,
+            max_edges: 24,
+        };
+        assert!(e.to_string().contains("100"));
+
+        let e = NucleusError::UnknownTriangle { vertices: [1, 2, 3] };
+        assert!(e.to_string().contains("(1, 2, 3)"));
+
+        let g: NucleusError = ugraph::GraphError::SelfLoop { vertex: 4 }.into();
+        assert!(g.to_string().contains("graph error"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Exact oracles by exhaustive possible-world enumeration.
+//!
+//! These functions compute the probabilities of Definition 4 *exactly* by
+//! enumerating all `2^m` possible worlds, and are therefore usable only
+//! for tiny graphs (at most [`ugraph::possible_world::MAX_EXHAUSTIVE_EDGES`]
+//! edges).  They serve as ground truth for the Monte-Carlo estimators of
+//! Algorithms 2 and 3, and make the hardness reductions of Section 4
+//! executable on small instances.
+
+use ugraph::possible_world::{enumerate_all_worlds, MAX_EXHAUSTIVE_EDGES};
+use ugraph::{ConnectedComponents, Triangle, UncertainGraph};
+
+use crate::error::{NucleusError, Result};
+
+fn check_size(graph: &UncertainGraph) -> Result<()> {
+    if graph.num_edges() > MAX_EXHAUSTIVE_EDGES {
+        return Err(NucleusError::GraphTooLargeForExact {
+            num_edges: graph.num_edges(),
+            max_edges: MAX_EXHAUSTIVE_EDGES,
+        });
+    }
+    Ok(())
+}
+
+fn check_triangle(graph: &UncertainGraph, triangle: &Triangle) -> Result<()> {
+    let [a, b, c] = triangle.vertices();
+    if graph.has_edge(a, b) && graph.has_edge(b, c) && graph.has_edge(a, c) {
+        Ok(())
+    } else {
+        Err(NucleusError::UnknownTriangle {
+            vertices: triangle.vertices(),
+        })
+    }
+}
+
+/// Exact `Pr(X_{𝒢,△,ℓ} ≥ k)`: the probability that `△` exists and is
+/// contained in at least `k` 4-cliques of the sampled world.
+pub fn exact_local_tail(graph: &UncertainGraph, triangle: &Triangle, k: u32) -> Result<f64> {
+    check_size(graph)?;
+    check_triangle(graph, triangle)?;
+    let [a, b, c] = triangle.vertices();
+    let mut total = 0.0;
+    for world in enumerate_all_worlds(graph) {
+        if !world.contains_triangle(graph, a, b, c) {
+            continue;
+        }
+        let det = world.materialize(graph);
+        let support = det.common_neighbors3(a, b, c).len() as u32;
+        if support >= k {
+            total += world.probability(graph);
+        }
+    }
+    Ok(total)
+}
+
+/// Exact `Pr(X_{𝒢,△,g} ≥ k)`: the probability that `△` exists and the
+/// sampled world itself is a deterministic k-nucleus (Definition 4, μ = g).
+///
+/// Worlds are judged with [`detdecomp::is_k_nucleus_lenient`]: every
+/// triangle of the world needs 4-clique support ≥ k and all triangles must
+/// be 4-clique-connected, while stray edges outside every 4-clique are
+/// ignored — the interpretation under which the paper's worked example
+/// (Figure 2, `Pr = 0.06 + 0.21 = 0.27`) comes out exactly.
+pub fn exact_global_tail(graph: &UncertainGraph, triangle: &Triangle, k: u32) -> Result<f64> {
+    check_size(graph)?;
+    check_triangle(graph, triangle)?;
+    let [a, b, c] = triangle.vertices();
+    let mut total = 0.0;
+    for world in enumerate_all_worlds(graph) {
+        if !world.contains_triangle(graph, a, b, c) {
+            continue;
+        }
+        let det = world.materialize(graph);
+        if detdecomp::is_k_nucleus_lenient(&det, k) {
+            total += world.probability(graph);
+        }
+    }
+    Ok(total)
+}
+
+/// Exact `Pr(X_{𝒢,△,w} ≥ k)`: the probability that `△` exists and the
+/// sampled world contains a deterministic k-nucleus containing `△`
+/// (Definition 4, μ = w).
+pub fn exact_weakly_global_tail(
+    graph: &UncertainGraph,
+    triangle: &Triangle,
+    k: u32,
+) -> Result<f64> {
+    check_size(graph)?;
+    check_triangle(graph, triangle)?;
+    let [a, b, c] = triangle.vertices();
+    let mut total = 0.0;
+    for world in enumerate_all_worlds(graph) {
+        if !world.contains_triangle(graph, a, b, c) {
+            continue;
+        }
+        let det = world.materialize(graph);
+        if triangle_in_k_nucleus(&det, triangle, k) {
+            total += world.probability(graph);
+        }
+    }
+    Ok(total)
+}
+
+/// `true` when `graph` (deterministic structure) contains a k-(3,4)-nucleus
+/// that includes `triangle`: some 4-clique through the triangle has all
+/// four of its triangles with deterministic nucleusness ≥ k.
+pub fn triangle_in_k_nucleus(graph: &UncertainGraph, triangle: &Triangle, k: u32) -> bool {
+    let decomp = detdecomp::NucleusDecomposition::compute(graph);
+    let Some(id) = decomp.triangle_index().id_of(triangle) else {
+        return false;
+    };
+    if decomp.nucleusness(id) < k {
+        return false;
+    }
+    // Nucleusness ≥ k guarantees membership in a k-nucleus whenever the
+    // triangle has at least one qualifying clique; verify explicitly so
+    // that the k = 0 corner case (triangle in no 4-clique) is handled.
+    decomp
+        .k_nuclei(graph, k)
+        .iter()
+        .any(|n| n.contains_triangle(triangle))
+}
+
+/// Exact network reliability (Definition 6): the probability that a
+/// sampled world is connected over *all* vertices of the graph.
+pub fn network_reliability(graph: &UncertainGraph) -> Result<f64> {
+    check_size(graph)?;
+    if graph.num_vertices() == 0 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for world in enumerate_all_worlds(graph) {
+        let det = world.materialize(graph);
+        if ConnectedComponents::new(&det).is_connected() {
+            total += world.probability(graph);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn k4(p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, p).unwrap();
+        }
+        b.build()
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn local_tail_matches_dp_on_k4() {
+        let g = k4(0.7);
+        let t = Triangle::new(0, 1, 2);
+        // DP: Pr(△)·Pr[ζ ≥ k] with one completion event of prob 0.7³.
+        let tri_prob = 0.7f64.powi(3);
+        let e = 0.7f64.powi(3);
+        assert_close(exact_local_tail(&g, &t, 0).unwrap(), tri_prob);
+        assert_close(exact_local_tail(&g, &t, 1).unwrap(), tri_prob * e);
+        assert_close(exact_local_tail(&g, &t, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn local_tail_matches_dp_on_random_graph() {
+        use crate::config::LocalConfig;
+        use crate::local::LocalNucleusDecomposition;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let edges = ugraph::generators::gnm_edges(8, 16, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            8,
+            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &mut rng,
+        );
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.3)).unwrap();
+        for (id, tri) in local.triangle_index().iter() {
+            let probs = local.support().completion_probs(id);
+            let tri_prob = local.support().triangle_prob(id);
+            for k in 0..=probs.len() as u32 {
+                let dp = crate::local::dp::local_tail_probability(tri_prob, &probs, k as usize);
+                let exact = exact_local_tail(&g, &tri, k).unwrap();
+                assert!(
+                    (dp - exact).abs() < 1e-9,
+                    "triangle {tri} k={k}: dp {dp} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_tail_on_paper_figure3a() {
+        // Figure 3a: K4 on {1,2,3,5} with five certain edges and edge
+        // (2,5) = 0.5.  The only world that is a 1-nucleus keeps all
+        // edges, so Pr(X ≥ 1) = 0.5 for every triangle.
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(1, 5, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        b.add_edge(3, 5, 1.0).unwrap();
+        b.add_edge(2, 5, 0.5).unwrap();
+        let g = b.build();
+        let t = Triangle::new(1, 3, 5);
+        assert_close(exact_global_tail(&g, &t, 1).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn global_tail_on_paper_figure2a() {
+        // The ℓ-(1,0.42)-nucleus of Figure 2a is NOT a g-(1,0.42)-nucleus:
+        // for triangle (1,3,5), Pr(X_g ≥ 1) = 0.06 + 0.21 = 0.27.
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        b.add_edge(1, 5, 1.0).unwrap();
+        b.add_edge(3, 5, 1.0).unwrap();
+        b.add_edge(2, 5, 0.5).unwrap();
+        b.add_edge(1, 4, 0.6).unwrap();
+        b.add_edge(2, 4, 0.7).unwrap();
+        b.add_edge(3, 4, 1.0).unwrap();
+        let g = b.build();
+        let t = Triangle::new(1, 3, 5);
+        assert_close(exact_global_tail(&g, &t, 1).unwrap(), 0.27);
+    }
+
+    #[test]
+    fn weakly_global_on_paper_figure2a() {
+        // The same subgraph IS a w-(1, 0.42)-nucleus: the 4-cliques
+        // containing each triangle are 1-nuclei appearing with probability
+        // at least 0.42.
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        b.add_edge(1, 5, 1.0).unwrap();
+        b.add_edge(3, 5, 1.0).unwrap();
+        b.add_edge(2, 5, 0.5).unwrap();
+        b.add_edge(1, 4, 0.6).unwrap();
+        b.add_edge(2, 4, 0.7).unwrap();
+        b.add_edge(3, 4, 1.0).unwrap();
+        let g = b.build();
+        for tri in [
+            Triangle::new(1, 3, 5),
+            Triangle::new(1, 2, 3),
+            Triangle::new(1, 2, 4),
+        ] {
+            let p = exact_weakly_global_tail(&g, &tri, 1).unwrap();
+            assert!(p >= 0.42, "triangle {tri}: {p}");
+        }
+    }
+
+    #[test]
+    fn weakly_global_example2_figure3c() {
+        // Figure 3c / Example 2: K5 with all edges 0.6 is an
+        // ℓ-(2, 0.01)-nucleus but not a w-(2, 0.01)-nucleus:
+        // Pr(X_w ≥ 2) = 0.6^10 ≈ 0.006 < 0.01.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v, 0.6).unwrap();
+            }
+        }
+        let g = b.build();
+        let t = Triangle::new(0, 1, 2);
+        let p = exact_weakly_global_tail(&g, &t, 2).unwrap();
+        assert_close(p, 0.6f64.powi(10));
+        assert!(p < 0.01);
+    }
+
+    #[test]
+    fn ordering_of_the_three_semantics() {
+        // For every triangle and every k: g ≤ w ≤ ℓ.
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let edges = ugraph::generators::gnm_edges(7, 14, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            7,
+            &ugraph::generators::ProbabilityModel::Uniform { low: 0.3, high: 1.0 },
+            &mut rng,
+        );
+        let triangles = ugraph::triangles::enumerate_triangles(&g);
+        for tri in triangles {
+            for k in 1..3u32 {
+                let l = exact_local_tail(&g, &tri, k).unwrap();
+                let w = exact_weakly_global_tail(&g, &tri, k).unwrap();
+                let gg = exact_global_tail(&g, &tri, k).unwrap();
+                assert!(gg <= w + 1e-12, "triangle {tri} k={k}: g {gg} > w {w}");
+                assert!(w <= l + 1e-12, "triangle {tri} k={k}: w {w} > l {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_of_simple_graphs() {
+        // Single edge: reliability = p.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.7).unwrap();
+        let g = b.build();
+        assert_close(network_reliability(&g).unwrap(), 0.7);
+
+        // Triangle with p everywhere: connected iff at least 2 edges
+        // present: 3p²(1−p) + p³.
+        let g = k4(1.0);
+        assert_close(network_reliability(&g).unwrap(), 1.0);
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(u, v, 0.5).unwrap();
+        }
+        let tri = b.build();
+        assert_close(network_reliability(&tri).unwrap(), 3.0 * 0.25 * 0.5 + 0.125);
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        let g = k4(0.5);
+        let missing = Triangle::new(0, 1, 7);
+        assert!(matches!(
+            exact_local_tail(&g, &missing, 1),
+            Err(NucleusError::UnknownTriangle { .. })
+        ));
+        // Too many edges for exhaustive enumeration.
+        let mut b = GraphBuilder::new();
+        for i in 0..30u32 {
+            b.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let big = b.build();
+        assert!(matches!(
+            network_reliability(&big),
+            Err(NucleusError::GraphTooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn triangle_in_k_nucleus_checks() {
+        let g = k4(1.0);
+        let t = Triangle::new(0, 1, 2);
+        assert!(triangle_in_k_nucleus(&g, &t, 1));
+        assert!(!triangle_in_k_nucleus(&g, &t, 2));
+        assert!(!triangle_in_k_nucleus(&g, &Triangle::new(0, 1, 9), 1));
+        // Plain triangle: no 4-clique, so not even in a 0-nucleus.
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let tri_graph = b.build();
+        assert!(!triangle_in_k_nucleus(&tri_graph, &t, 0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Executable versions of the hardness reductions of Section 4.
+//!
+//! The paper proves that g-NuDecomp is #P-hard (reduction from network
+//! reliability, Lemma 2 / Theorem 4.1) and that w-NuDecomp is NP-hard
+//! (reduction from k-clique, Theorem 4.2).  The reductions themselves are
+//! constructive, so this module builds the reduction *gadgets* and the
+//! test-suite verifies their defining properties on small instances with
+//! the exhaustive oracles of [`crate::exact`].  This does not reprove the
+//! theorems; it demonstrates that the constructions behave as claimed.
+
+use ugraph::{GraphBuilder, Triangle, UncertainGraph, VertexId};
+
+/// The gadget of Lemma 2: given a probabilistic graph `G` and one of its
+/// vertices `v`, add two fresh vertices `u`, `w` and the certain edges
+/// `(u,v)`, `(u,w)`, `(v,w)`.  The resulting graph `F` and the certain
+/// triangle `(u, v, w)` satisfy
+/// `Pr(X_{F,△,g} ≥ 0) = reliability(G)` — where, as in the proof, a
+/// "0-nucleus" world is simply a connected world.
+pub fn reliability_gadget(graph: &UncertainGraph, v: VertexId) -> (UncertainGraph, Triangle) {
+    assert!(
+        (v as usize) < graph.num_vertices(),
+        "anchor vertex {v} out of bounds"
+    );
+    let u = graph.num_vertices() as VertexId;
+    let w = u + 1;
+    let mut b = GraphBuilder::with_vertices(graph.num_vertices() + 2);
+    for e in graph.edges() {
+        b.add_edge(e.u, e.v, e.p).expect("existing edges are valid");
+    }
+    b.add_edge(u, v, 1.0).expect("gadget edge");
+    b.add_edge(u, w, 1.0).expect("gadget edge");
+    b.add_edge(v, w, 1.0).expect("gadget edge");
+    (b.build(), Triangle::new(u, v, w))
+}
+
+/// The probability that a sampled world of `graph` is connected *and*
+/// contains `triangle` — the quantity `Pr(X_{F,△,g} ≥ 0)` in the proof of
+/// Lemma 2, where a 0-nucleus world is interpreted as a connected world.
+/// Exhaustive; requires a small graph.
+pub fn connected_world_probability(
+    graph: &UncertainGraph,
+    triangle: &Triangle,
+) -> crate::error::Result<f64> {
+    use ugraph::possible_world::enumerate_all_worlds;
+    if graph.num_edges() > ugraph::possible_world::MAX_EXHAUSTIVE_EDGES {
+        return Err(crate::error::NucleusError::GraphTooLargeForExact {
+            num_edges: graph.num_edges(),
+            max_edges: ugraph::possible_world::MAX_EXHAUSTIVE_EDGES,
+        });
+    }
+    let [a, b, c] = triangle.vertices();
+    let mut total = 0.0;
+    for world in enumerate_all_worlds(graph) {
+        if !world.contains_triangle(graph, a, b, c) {
+            continue;
+        }
+        let det = world.materialize(graph);
+        if ugraph::connectivity::is_connected(&det) {
+            total += world.probability(graph);
+        }
+    }
+    Ok(total)
+}
+
+/// The gadget of Theorem 4.2: given a *deterministic* graph (as an edge
+/// list over `num_vertices` vertices) and the clique parameter `k`, build
+/// the probabilistic graph in which every edge has probability
+/// `p = 1 / 2^(2m+1)` (with `m` edges) and the threshold
+/// `θ = p^((k+3)(k+2)/2)`.  A w-(k,θ)-nucleus exists in the gadget if and
+/// only if the original graph contains a (k+3)-clique.
+pub fn clique_gadget(
+    edges: &[(VertexId, VertexId)],
+    num_vertices: usize,
+    k: u32,
+) -> (UncertainGraph, f64) {
+    let m = edges.len() as f64;
+    let p = 1.0 / 2f64.powf(2.0 * m + 1.0);
+    // Guard against underflow for graphs larger than the gadget is meant
+    // for (the construction is only exercised on tiny instances).
+    let p = p.max(f64::MIN_POSITIVE.cbrt());
+    let mut b = GraphBuilder::with_vertices(num_vertices);
+    for &(u, v) in edges {
+        b.add_edge(u, v, p).expect("valid deterministic edge");
+    }
+    let clique_edges = ((k as f64 + 3.0) * (k as f64 + 2.0)) / 2.0;
+    let theta = p.powf(clique_edges);
+    (b.build(), theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_weakly_global_tail, network_reliability};
+    use ugraph::EdgeSubgraph;
+
+    fn small_probabilistic_graph() -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        b.add_edge(0, 3, 0.4).unwrap();
+        b.add_edge(0, 2, 0.3).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn gadget_adds_a_certain_triangle() {
+        let g = small_probabilistic_graph();
+        let (f, tri) = reliability_gadget(&g, 2);
+        assert_eq!(f.num_vertices(), g.num_vertices() + 2);
+        assert_eq!(f.num_edges(), g.num_edges() + 3);
+        let [a, b, c] = tri.vertices();
+        assert_eq!(f.triangle_probability(a, b, c).unwrap(), 1.0);
+        assert!(tri.contains(2));
+    }
+
+    #[test]
+    fn lemma2_reliability_equals_connected_world_probability() {
+        // The defining property of the reduction: the probability that a
+        // world of F is connected (and contains the gadget triangle, which
+        // is always present) equals the reliability of G.
+        let g = small_probabilistic_graph();
+        for anchor in [0u32, 1, 3] {
+            let (f, tri) = reliability_gadget(&g, anchor);
+            let lhs = connected_world_probability(&f, &tri).unwrap();
+            let rhs = network_reliability(&g).unwrap();
+            assert!(
+                (lhs - rhs).abs() < 1e-10,
+                "anchor {anchor}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma2_decision_version_threshold() {
+        // Binary-search style usage: the decision "is reliability ≥ θ?"
+        // matches "is Pr(X ≥ 0) ≥ θ?" for any θ.
+        let g = small_probabilistic_graph();
+        let (f, tri) = reliability_gadget(&g, 0);
+        let reliability = network_reliability(&g).unwrap();
+        let p = connected_world_probability(&f, &tri).unwrap();
+        for theta in [0.05, 0.2, reliability, 0.8, 0.99] {
+            assert_eq!(p >= theta, reliability >= theta, "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn clique_gadget_parameters() {
+        let edges = [(0u32, 1u32), (1, 2), (0, 2), (2, 3)];
+        let (g, theta) = clique_gadget(&edges, 4, 1);
+        assert_eq!(g.num_edges(), 4);
+        let p = g.edge_probability(0, 1).unwrap();
+        assert!((p - 1.0 / 2f64.powi(9)).abs() < 1e-15);
+        // θ = p^((k+3)(k+2)/2) = p^6 for k = 1.
+        assert!((theta - p.powi(6)).abs() < 1e-300 || (theta / p.powi(6) - 1.0).abs() < 1e-9);
+        assert!(theta > 0.0);
+    }
+
+    #[test]
+    fn clique_gadget_positive_direction() {
+        // G contains a K4 (= (k+3)-clique for k = 1): the gadget restricted
+        // to that clique achieves Pr(X_w ≥ 1) = θ for each of its
+        // triangles, so a w-(1,θ)-nucleus exists.
+        let edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)];
+        let (g, theta) = clique_gadget(&edges, 5, 1);
+        let clique_sub = EdgeSubgraph::induced_by_vertices(&g, &[0, 1, 2, 3]);
+        let h = clique_sub.graph();
+        for tri in ugraph::triangles::enumerate_triangles(h) {
+            let p = exact_weakly_global_tail(h, &tri, 1).unwrap();
+            assert!(
+                p >= theta * (1.0 - 1e-9),
+                "triangle {tri}: {p:e} < theta {theta:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_gadget_negative_direction() {
+        // G is K4 minus an edge (no 4-clique): no triangle of the gadget
+        // reaches the threshold, for the whole graph taken as H.
+        let edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3)];
+        let (g, theta) = clique_gadget(&edges, 4, 1);
+        for tri in ugraph::triangles::enumerate_triangles(&g) {
+            let p = exact_weakly_global_tail(&g, &tri, 1).unwrap();
+            assert!(p < theta, "triangle {tri}: {p:e} >= theta {theta:e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gadget_rejects_bad_anchor() {
+        let g = small_probabilistic_graph();
+        let _ = reliability_gadget(&g, 99);
+    }
+
+    #[test]
+    fn connected_world_probability_rejects_large_graphs() {
+        let mut b = GraphBuilder::new();
+        for i in 0..30u32 {
+            b.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let g = b.build();
+        let tri = Triangle::new(0, 1, 2);
+        assert!(connected_world_probability(&g, &tri).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # nucleus — probabilistic nucleus decomposition
+//!
+//! Reproduction of the algorithms of *"Nucleus Decomposition in
+//! Probabilistic Graphs: Hardness and Algorithms"* (Esfahani, Srinivasan,
+//! Thomo, Wu — ICDE 2022): the local, global and weakly-global
+//! k-(3,4)-nucleus decompositions of a probabilistic graph.
+//!
+//! ## The three semantics
+//!
+//! For a probabilistic subgraph `H`, a triangle `△` of `H`, threshold
+//! `θ ∈ (0, 1]` and integer `k ≥ 0` (Definitions 4 and 5):
+//!
+//! * **local** (`ℓ`): `Pr[△ exists and is contained in ≥ k 4-cliques of
+//!   the sampled world] ≥ θ` for every triangle of `H` — computable in
+//!   polynomial time ([`local`]).
+//! * **global** (`g`): the sampled world must itself be a deterministic
+//!   k-nucleus containing `△` — #P-hard, approximated by Monte-Carlo
+//!   sampling over pruned candidates ([`global`]).
+//! * **weakly-global** (`w`): the sampled world must contain a
+//!   deterministic k-nucleus containing `△` — NP-hard, approximated the
+//!   same way ([`weakly_global`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nucleus::{LocalConfig, LocalNucleusDecomposition};
+//! use ugraph::GraphBuilder;
+//!
+//! // A probabilistic 5-clique.
+//! let mut b = GraphBuilder::new();
+//! for u in 0..5u32 {
+//!     for v in (u + 1)..5u32 {
+//!         b.add_edge(u, v, 0.8).unwrap();
+//!     }
+//! }
+//! let graph = b.build();
+//!
+//! let decomp = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.1)).unwrap();
+//! assert_eq!(decomp.max_score(), 2);
+//! let nuclei = decomp.k_nuclei(&graph, 2);
+//! assert_eq!(nuclei.len(), 1);
+//! assert_eq!(nuclei[0].num_vertices(), 5);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`support`] | 5.1 | per-triangle 4-clique completion probabilities |
+//! | [`local`] | 5.1–5.2 | exact DP and the peeling algorithm (Algorithm 1) |
+//! | [`approx`] | 5.3 | Poisson / Translated-Poisson / Binomial / CLT approximations and the hybrid selector |
+//! | [`global`] | 6 | Algorithm 2 (Monte-Carlo g-(k,θ)-nuclei) |
+//! | [`weakly_global`] | 6 | Algorithm 3 (Monte-Carlo w-(k,θ)-nuclei) |
+//! | [`sampling`] | 6, Lemma 4 | Hoeffding sample sizes, world sampling |
+//! | [`exact`] | 3–4 | exhaustive possible-world oracles (ground truth for tests) |
+//! | [`hardness`] | 4 | executable reduction gadgets (reliability → g, k-clique → w) |
+
+pub mod approx;
+pub mod config;
+pub mod error;
+pub mod exact;
+pub mod global;
+pub mod hardness;
+pub mod local;
+pub mod sampling;
+pub mod support;
+pub mod weakly_global;
+
+pub use approx::ApproxMethod;
+pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod};
+pub use error::{NucleusError, Result};
+pub use global::{global_nuclei, GlobalConfig, GlobalNucleus};
+pub use local::LocalNucleusDecomposition;
+pub use support::SupportStructure;
+pub use weakly_global::{weakly_global_nuclei, WeaklyGlobalNucleus};

@@ -1,0 +1,205 @@
+//! Extraction of maximal ℓ-(k,θ)-nuclei from per-triangle scores.
+//!
+//! Once the peeling has assigned every triangle its ℓ-nucleusness ν(△),
+//! the ℓ-(k,θ)-nuclei for a given `k` are built exactly as in the
+//! deterministic case: take every 4-clique whose four triangles all have
+//! ν ≥ k, group those cliques by shared-triangle connectivity, and each
+//! group's union of edges is one maximal nucleus (it is a union of
+//! 4-cliques and its triangles are s-connected by construction, matching
+//! the preconditions of Definition 5).
+
+use detdecomp::NucleusSubgraph;
+use ugraph::{EdgeId, EdgeSubgraph, FourClique, Triangle, UncertainGraph, UnionFind};
+
+use crate::support::SupportStructure;
+
+/// Extracts the maximal ℓ-(k,θ)-nuclei for `k ≥ 1` given the per-triangle
+/// scores produced by the peeling.
+pub fn extract_k_nuclei(
+    graph: &UncertainGraph,
+    support: &SupportStructure,
+    scores: &[u32],
+    k: u32,
+) -> Vec<NucleusSubgraph> {
+    let qualifying: Vec<u32> = (0..support.num_cliques() as u32)
+        .filter(|&c| {
+            support
+                .clique(c)
+                .triangles
+                .iter()
+                .all(|&t| scores[t as usize] >= k)
+        })
+        .collect();
+    if qualifying.is_empty() {
+        return Vec::new();
+    }
+
+    let mut uf = UnionFind::new(support.num_triangles());
+    for &c in &qualifying {
+        let tris = support.clique(c).triangles;
+        for w in tris.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for &c in &qualifying {
+        let root = uf.find(support.clique(c).triangles[0]);
+        groups.entry(root).or_default().push(c);
+    }
+
+    let mut nuclei: Vec<NucleusSubgraph> = groups
+        .into_values()
+        .map(|clique_ids| build_nucleus(graph, support, &clique_ids, k))
+        .collect();
+    nuclei.sort_by_key(|n| n.cliques.first().copied());
+    nuclei
+}
+
+/// The union of all ℓ-(k,θ)-nuclei as a single edge-id set — the candidate
+/// space `C` of Algorithm 2.
+pub fn k_nuclei_union_edges(
+    graph: &UncertainGraph,
+    support: &SupportStructure,
+    scores: &[u32],
+    k: u32,
+) -> Vec<EdgeId> {
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for c in 0..support.num_cliques() as u32 {
+        let record = support.clique(c);
+        if record.triangles.iter().all(|&t| scores[t as usize] >= k) {
+            for (u, v) in record.clique.edges() {
+                edges.push(graph.edge_id(u, v).expect("clique edge exists"));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn build_nucleus(
+    graph: &UncertainGraph,
+    support: &SupportStructure,
+    clique_ids: &[u32],
+    k: u32,
+) -> NucleusSubgraph {
+    let mut triangles: Vec<Triangle> = Vec::new();
+    let mut cliques: Vec<FourClique> = Vec::with_capacity(clique_ids.len());
+    let mut edge_ids: Vec<EdgeId> = Vec::new();
+    for &c in clique_ids {
+        let record = support.clique(c);
+        cliques.push(record.clique);
+        for t in record.clique.triangles() {
+            triangles.push(t);
+        }
+        for (u, v) in record.clique.edges() {
+            edge_ids.push(graph.edge_id(u, v).expect("clique edge exists"));
+        }
+    }
+    triangles.sort_unstable();
+    triangles.dedup();
+    cliques.sort_unstable();
+    edge_ids.sort_unstable();
+    edge_ids.dedup();
+    NucleusSubgraph {
+        k,
+        subgraph: EdgeSubgraph::induced_by_edges(graph, &edge_ids),
+        triangles,
+        cliques,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LocalConfig;
+    use crate::local::LocalNucleusDecomposition;
+    use ugraph::GraphBuilder;
+
+    fn two_k5s_with_bridge(p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 5u32] {
+            for i in 0..5u32 {
+                for j in (i + 1)..5u32 {
+                    b.add_edge(base + i, base + j, p).unwrap();
+                }
+            }
+        }
+        b.add_edge(4, 5, p).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn extracts_two_separate_nuclei() {
+        let g = two_k5s_with_bridge(0.9);
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.1)).unwrap();
+        assert_eq!(local.max_score(), 2);
+        let nuclei = local.k_nuclei(&g, 2);
+        assert_eq!(nuclei.len(), 2);
+        for n in &nuclei {
+            assert_eq!(n.num_vertices(), 5);
+            assert_eq!(n.num_edges(), 10);
+            assert_eq!(n.cliques.len(), 5);
+            assert_eq!(n.triangles.len(), 10);
+            assert_eq!(n.k, 2);
+        }
+    }
+
+    #[test]
+    fn union_edges_covers_all_nuclei() {
+        let g = two_k5s_with_bridge(0.9);
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.1)).unwrap();
+        let union = local.k_nuclei_union_edges(&g, 2);
+        // Both K5s contribute 10 edges each; the bridge edge is not part of
+        // any qualifying clique.
+        assert_eq!(union.len(), 20);
+        let bridge = g.edge_id(4, 5).unwrap();
+        assert!(!union.contains(&bridge));
+        assert!(local.k_nuclei_union_edges(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn no_nuclei_above_max_score() {
+        let g = two_k5s_with_bridge(0.5);
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.2)).unwrap();
+        let kmax = local.max_score();
+        assert!(local.k_nuclei(&g, kmax + 1).is_empty());
+        if kmax >= 1 {
+            assert!(!local.k_nuclei(&g, kmax).is_empty());
+        }
+    }
+
+    #[test]
+    fn nuclei_triangles_all_meet_threshold() {
+        let g = two_k5s_with_bridge(0.8);
+        let theta = 0.3;
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
+        for k in 1..=local.max_score() {
+            for nucleus in local.k_nuclei(&g, k) {
+                for tri in &nucleus.triangles {
+                    let score = local.score_of(tri).unwrap();
+                    assert!(score >= k, "triangle {tri} has score {score} < {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_nuclei_hierarchy() {
+        // Higher-k nuclei must be contained (edge-wise) in the union of
+        // lower-k nuclei.
+        let g = two_k5s_with_bridge(0.95);
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.05)).unwrap();
+        let mut previous: Option<Vec<EdgeId>> = None;
+        for k in (1..=local.max_score()).rev() {
+            let union = local.k_nuclei_union_edges(&g, k);
+            if let Some(higher) = previous {
+                for e in &higher {
+                    assert!(union.contains(e), "edge {e} of (k+1)-nucleus missing at k");
+                }
+            }
+            previous = Some(union);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Monte-Carlo sampling utilities for the global and weakly-global
+//! algorithms.
+//!
+//! Lemma 4 of the paper (a special case of Hoeffding's inequality) gives
+//! the number of independent possible-world samples needed to estimate a
+//! probability within additive error ε with confidence 1 − δ:
+//! `n ≥ ⌈ln(2/δ) / (2ε²)⌉`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::{PossibleWorld, UncertainGraph, WorldSampler};
+
+/// The Hoeffding sample size `⌈ln(2/δ) / (2ε²)⌉` (Lemma 4).
+pub fn hoeffding_sample_size(epsilon: f64, delta: f64) -> usize {
+    ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// Samples `n` possible worlds of `graph` with a deterministic seed.
+pub fn sample_worlds(graph: &UncertainGraph, n: usize, seed: u64) -> Vec<PossibleWorld> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    WorldSampler::new(graph).sample_many(&mut rng, n)
+}
+
+/// Estimates `Pr[predicate(world)]` over `n` sampled worlds of `graph`.
+pub fn estimate_probability<F>(graph: &UncertainGraph, n: usize, seed: u64, mut predicate: F) -> f64
+where
+    F: FnMut(&PossibleWorld) -> bool,
+{
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sampler = WorldSampler::new(graph);
+    let mut hits = 0usize;
+    for _ in 0..n {
+        if predicate(&sampler.sample(&mut rng)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    #[test]
+    fn hoeffding_sample_sizes() {
+        // ln(20)/(2·0.01) ≈ 149.8 → 150 (the paper rounds to 200).
+        assert_eq!(hoeffding_sample_size(0.1, 0.1), 150);
+        assert_eq!(hoeffding_sample_size(0.05, 0.1), 600);
+        assert!(hoeffding_sample_size(0.01, 0.01) >= 26_000);
+        // Larger tolerance needs fewer samples.
+        assert!(hoeffding_sample_size(0.2, 0.1) < hoeffding_sample_size(0.1, 0.1));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        let g = b.build();
+        let a = sample_worlds(&g, 50, 9);
+        let b2 = sample_worlds(&g, 50, 9);
+        assert_eq!(a, b2);
+        let c = sample_worlds(&g, 50, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn estimate_probability_of_edge_presence() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.25).unwrap();
+        let g = b.build();
+        let est = estimate_probability(&g, 20_000, 3, |w| w.contains_edge(0));
+        assert!((est - 0.25).abs() < 0.02, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_probability_zero_samples() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.9).unwrap();
+        let g = b.build();
+        assert_eq!(estimate_probability(&g, 0, 1, |_| true), 0.0);
+    }
+
+    #[test]
+    fn estimate_within_hoeffding_bound() {
+        // With n from Lemma 4 at ε = δ = 0.1, the estimate of a fixed
+        // event's probability should be within 0.1 with high probability.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.7).unwrap();
+        b.add_edge(1, 2, 0.7).unwrap();
+        let g = b.build();
+        let n = hoeffding_sample_size(0.1, 0.1);
+        // Event: both edges exist (true probability 0.49).
+        let est = estimate_probability(&g, n, 42, |w| w.contains_edge(0) && w.contains_edge(1));
+        assert!((est - 0.49).abs() <= 0.1, "estimate {est}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-triangle 4-clique support structure.
+//!
+//! Section 5.1 of the paper expresses the probabilistic support of a
+//! triangle `△ = (u, v, w)` through the independent Bernoulli variables
+//! `E_i`: for every common neighbour `z_i` of the triangle's vertices,
+//! `E_i = 1` when the three edges `(u, z_i)`, `(v, z_i)`, `(w, z_i)` all
+//! exist, which happens with probability
+//! `Pr(E_i) = p(u, z_i) · p(v, z_i) · p(w, z_i)`.  The `E_i` of one
+//! triangle are mutually independent because the edge sets are disjoint.
+//!
+//! [`SupportStructure`] precomputes, for every triangle, the list of
+//! 4-cliques containing it together with the corresponding `Pr(E_i)`, plus
+//! the triangle's own existence probability `Pr(△)` — everything the DP,
+//! the statistical approximations and the peeling loop need.
+
+use ugraph::{FourClique, FourCliqueEnumerator, Triangle, TriangleId, TriangleIndex, UncertainGraph};
+
+/// One 4-clique, expressed through the dense ids of its four triangles and
+/// the completion probability `Pr(E_i)` associated with each of them.
+#[derive(Debug, Clone)]
+pub struct CliqueRecord {
+    /// The 4-clique in original vertex ids.
+    pub clique: FourClique,
+    /// Dense ids of the clique's four triangles (aligned with
+    /// [`FourClique::triangles`]).
+    pub triangles: [TriangleId; 4],
+    /// `completion_probs[i]` is `Pr(E)` for `triangles[i]`: the probability
+    /// that the three edges connecting the remaining vertex to that
+    /// triangle all exist.
+    pub completion_probs: [f64; 4],
+}
+
+impl CliqueRecord {
+    /// Position of triangle `t` inside this clique (0..4).
+    pub fn slot_of(&self, t: TriangleId) -> Option<usize> {
+        self.triangles.iter().position(|&x| x == t)
+    }
+
+    /// `Pr(E_i)` for triangle `t`, or `None` when `t` is not a triangle of
+    /// this clique.
+    pub fn completion_prob(&self, t: TriangleId) -> Option<f64> {
+        self.slot_of(t).map(|i| self.completion_probs[i])
+    }
+}
+
+/// The support structure of a probabilistic graph: triangles, 4-cliques,
+/// and the per-triangle completion probabilities.
+#[derive(Debug, Clone)]
+pub struct SupportStructure {
+    index: TriangleIndex,
+    triangle_probs: Vec<f64>,
+    cliques: Vec<CliqueRecord>,
+    cliques_of: Vec<Vec<u32>>,
+}
+
+impl SupportStructure {
+    /// Builds the support structure of `graph`.
+    pub fn build(graph: &UncertainGraph) -> Self {
+        let index = TriangleIndex::build(graph);
+        let triangle_probs: Vec<f64> = index
+            .triangles()
+            .iter()
+            .map(|t| t.probability(graph).expect("indexed triangle exists"))
+            .collect();
+
+        let raw_cliques = FourCliqueEnumerator::new(graph).into_cliques();
+        let mut cliques = Vec::with_capacity(raw_cliques.len());
+        let mut cliques_of: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
+
+        for clique in raw_cliques {
+            let tris = clique.triangles();
+            let mut triangle_ids = [0 as TriangleId; 4];
+            let mut completion_probs = [0.0f64; 4];
+            let vertices = clique.vertices();
+            for (slot, tri) in tris.iter().enumerate() {
+                let id = index.id_of(tri).expect("triangle of clique is indexed");
+                triangle_ids[slot] = id;
+                // The completing vertex is the one vertex of the clique not
+                // in the triangle.
+                let z = vertices
+                    .iter()
+                    .copied()
+                    .find(|v| !tri.contains(*v))
+                    .expect("clique has exactly one vertex outside each triangle");
+                let [a, b, c] = tri.vertices();
+                let p = graph.edge_probability(a, z).expect("clique edge")
+                    * graph.edge_probability(b, z).expect("clique edge")
+                    * graph.edge_probability(c, z).expect("clique edge");
+                completion_probs[slot] = p;
+            }
+            let record_id = cliques.len() as u32;
+            for &t in &triangle_ids {
+                cliques_of[t as usize].push(record_id);
+            }
+            cliques.push(CliqueRecord {
+                clique,
+                triangles: triangle_ids,
+                completion_probs,
+            });
+        }
+
+        SupportStructure {
+            index,
+            triangle_probs,
+            cliques,
+            cliques_of,
+        }
+    }
+
+    /// The triangle index the structure is expressed over.
+    pub fn triangle_index(&self) -> &TriangleIndex {
+        &self.index
+    }
+
+    /// Number of triangles.
+    pub fn num_triangles(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of 4-cliques.
+    pub fn num_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// The triangle with dense id `t`.
+    pub fn triangle(&self, t: TriangleId) -> Triangle {
+        self.index.triangle(t)
+    }
+
+    /// Existence probability `Pr(△)` of triangle `t`.
+    pub fn triangle_prob(&self, t: TriangleId) -> f64 {
+        self.triangle_probs[t as usize]
+    }
+
+    /// The clique record with index `c`.
+    pub fn clique(&self, c: u32) -> &CliqueRecord {
+        &self.cliques[c as usize]
+    }
+
+    /// All clique records.
+    pub fn cliques(&self) -> &[CliqueRecord] {
+        &self.cliques
+    }
+
+    /// Indices of the cliques containing triangle `t` (the deterministic
+    /// support of `t` is the length of this slice).
+    pub fn cliques_of(&self, t: TriangleId) -> &[u32] {
+        &self.cliques_of[t as usize]
+    }
+
+    /// Deterministic support `c_△` of triangle `t` (number of 4-cliques
+    /// containing it).
+    pub fn support(&self, t: TriangleId) -> usize {
+        self.cliques_of[t as usize].len()
+    }
+
+    /// The completion probabilities `Pr(E_i)` of triangle `t` over the
+    /// cliques accepted by `filter` (which receives the clique index).
+    pub fn completion_probs_filtered<F>(&self, t: TriangleId, mut filter: F) -> Vec<f64>
+    where
+        F: FnMut(u32) -> bool,
+    {
+        self.cliques_of[t as usize]
+            .iter()
+            .copied()
+            .filter(|&c| filter(c))
+            .map(|c| {
+                self.cliques[c as usize]
+                    .completion_prob(t)
+                    .expect("clique listed for t contains t")
+            })
+            .collect()
+    }
+
+    /// The completion probabilities `Pr(E_i)` of triangle `t` over all its
+    /// cliques.
+    pub fn completion_probs(&self, t: TriangleId) -> Vec<f64> {
+        self.completion_probs_filtered(t, |_| true)
+    }
+
+    /// The triangles that share a 4-clique with `t` (its peeling
+    /// neighbours), without duplicates.
+    pub fn neighbor_triangles(&self, t: TriangleId) -> Vec<TriangleId> {
+        let mut out = Vec::new();
+        for &c in &self.cliques_of[t as usize] {
+            for &other in &self.cliques[c as usize].triangles {
+                if other != t {
+                    out.push(other);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn k4(p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, p).unwrap();
+        }
+        b.build()
+    }
+
+    fn k5(p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn k4_support_structure() {
+        let g = k4(0.5);
+        let s = SupportStructure::build(&g);
+        assert_eq!(s.num_triangles(), 4);
+        assert_eq!(s.num_cliques(), 1);
+        for t in 0..4u32 {
+            assert_eq!(s.support(t), 1);
+            assert!((s.triangle_prob(t) - 0.125).abs() < 1e-12);
+            let probs = s.completion_probs(t);
+            assert_eq!(probs.len(), 1);
+            assert!((probs[0] - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k5_support_counts() {
+        let g = k5(0.9);
+        let s = SupportStructure::build(&g);
+        assert_eq!(s.num_triangles(), 10);
+        assert_eq!(s.num_cliques(), 5);
+        for t in 0..10u32 {
+            // In K5, each triangle is in 2 of the 5 4-cliques.
+            assert_eq!(s.support(t), 2);
+            assert_eq!(s.completion_probs(t).len(), 2);
+            // Each neighbour list: triangles sharing a clique with t.
+            // Each of the two cliques contributes 3 other triangles, and
+            // the two sets are disjoint (they share only t).
+            assert_eq!(s.neighbor_triangles(t).len(), 6);
+        }
+    }
+
+    #[test]
+    fn completion_probability_values() {
+        // K4 with distinct edge probabilities; verify Pr(E_i) of triangle
+        // (0,1,2) with completing vertex 3 is p03*p13*p23.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.8).unwrap();
+        b.add_edge(1, 2, 0.7).unwrap();
+        b.add_edge(0, 3, 0.6).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(2, 3, 0.4).unwrap();
+        let g = b.build();
+        let s = SupportStructure::build(&g);
+        let t = s
+            .triangle_index()
+            .id_of(&Triangle::new(0, 1, 2))
+            .unwrap();
+        let probs = s.completion_probs(t);
+        assert_eq!(probs.len(), 1);
+        assert!((probs[0] - 0.6 * 0.5 * 0.4).abs() < 1e-12);
+        assert!((s.triangle_prob(t) - 0.9 * 0.8 * 0.7).abs() < 1e-12);
+
+        // For the triangle (0,1,3) the completing vertex is 2.
+        let t2 = s
+            .triangle_index()
+            .id_of(&Triangle::new(0, 1, 3))
+            .unwrap();
+        let probs2 = s.completion_probs(t2);
+        assert!((probs2[0] - 0.8 * 0.7 * 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_record_slots() {
+        let g = k4(0.5);
+        let s = SupportStructure::build(&g);
+        let record = s.clique(0);
+        for &t in &record.triangles {
+            assert!(record.slot_of(t).is_some());
+            assert!(record.completion_prob(t).is_some());
+        }
+        assert_eq!(record.slot_of(99), None);
+        assert_eq!(record.completion_prob(99), None);
+    }
+
+    #[test]
+    fn filtered_completion_probs() {
+        let g = k5(0.5);
+        let s = SupportStructure::build(&g);
+        let t = 0u32;
+        let all = s.completion_probs(t);
+        assert_eq!(all.len(), 2);
+        let first_clique = s.cliques_of(t)[0];
+        let filtered = s.completion_probs_filtered(t, |c| c != first_clique);
+        assert_eq!(filtered.len(), 1);
+        let none = s.completion_probs_filtered(t, |_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn triangle_without_cliques() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        let g = b.build();
+        let s = SupportStructure::build(&g);
+        assert_eq!(s.num_triangles(), 1);
+        assert_eq!(s.num_cliques(), 0);
+        assert_eq!(s.support(0), 0);
+        assert!(s.completion_probs(0).is_empty());
+        assert!(s.neighbor_triangles(0).is_empty());
+        assert_eq!(s.triangle(0), Triangle::new(0, 1, 2));
+    }
+}

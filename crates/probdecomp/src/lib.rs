@@ -1,0 +1,24 @@
+//! # probdecomp — baseline probabilistic decompositions
+//!
+//! Re-implementations of the two probabilistic dense-subgraph baselines
+//! the paper compares against in Section 7.4:
+//!
+//! * **(k,η)-core** (Bonchi, Gullo, Kaltenbrunner, Volkovich, KDD 2014):
+//!   a maximal subgraph in which every vertex has at least `k` neighbours
+//!   with probability at least `η`.  See [`prob_core`].
+//! * **local (k,γ)-truss** (Huang, Lu, Lakshmanan, SIGMOD 2016): a maximal
+//!   subgraph in which every edge is contained in at least `k` triangles
+//!   with probability at least `γ`.  See [`prob_truss`].
+//!
+//! Both follow the same pattern as the probabilistic nucleus of the
+//! `nucleus` crate one or two levels down the clique hierarchy: a
+//! Poisson-binomial tail bound per element (vertex / edge) computed by
+//! dynamic programming, combined with support peeling.
+
+pub mod poisson_binomial;
+pub mod prob_core;
+pub mod prob_truss;
+
+pub use poisson_binomial::{poisson_binomial_pmf, poisson_binomial_tail, threshold_score};
+pub use prob_core::{eta_core_subgraphs, EtaCoreDecomposition};
+pub use prob_truss::{gamma_truss_subgraphs, GammaTrussDecomposition};

@@ -1,0 +1,167 @@
+//! Poisson-binomial distribution utilities.
+//!
+//! Let `E_1, …, E_n` be independent Bernoulli variables with success
+//! probabilities `p_1, …, p_n` and `ζ = Σ E_i`.  Both baseline
+//! decompositions need the maximum `k` such that `Pr[ζ ≥ k] ≥ θ`:
+//! for the (k,η)-core `E_i` are incident edges of a vertex, for the
+//! (k,γ)-truss they are the wedge pairs closing a triangle over an edge.
+//!
+//! The probability mass function is computed with the standard `O(n·k)`
+//! dynamic program (iterative convolution), the same recurrence the paper
+//! uses for the nucleus case (Equation 7).
+
+/// Probability mass function of the Poisson-binomial distribution with
+/// the given success probabilities.  Entry `k` of the result is
+/// `Pr[ζ = k]`, for `k = 0..=n`.
+pub fn poisson_binomial_pmf(probs: &[f64]) -> Vec<f64> {
+    let n = probs.len();
+    let mut pmf = vec![0.0f64; n + 1];
+    pmf[0] = 1.0;
+    for (j, &p) in probs.iter().enumerate() {
+        // Process counts downwards so each E_j is used once.
+        for k in (0..=j + 1).rev() {
+            let stay = if k <= j { pmf[k] * (1.0 - p) } else { 0.0 };
+            let up = if k > 0 { pmf[k - 1] * p } else { 0.0 };
+            pmf[k] = stay + up;
+        }
+    }
+    pmf
+}
+
+/// Tail probabilities of the Poisson-binomial distribution.  Entry `k` of
+/// the result is `Pr[ζ ≥ k]`, for `k = 0..=n` (entry 0 is always 1).
+pub fn poisson_binomial_tail(probs: &[f64]) -> Vec<f64> {
+    let pmf = poisson_binomial_pmf(probs);
+    let mut tail = vec![0.0f64; pmf.len()];
+    let mut acc = 0.0;
+    for k in (0..pmf.len()).rev() {
+        acc += pmf[k];
+        tail[k] = acc.min(1.0);
+    }
+    tail
+}
+
+/// The largest `k` such that `scale · Pr[ζ ≥ k] ≥ threshold`, or `None`
+/// when even `k = 0` fails (i.e. `scale < threshold`).
+///
+/// `scale` is the probability of the conditioning element itself — the
+/// edge for the truss case, `1.0` for the core case — matching
+/// Proposition 5.1 of the paper where the tail is multiplied by `Pr(△)`.
+pub fn threshold_score(probs: &[f64], scale: f64, threshold: f64) -> Option<u32> {
+    let tail = poisson_binomial_tail(probs);
+    let mut best: Option<u32> = None;
+    for (k, &t) in tail.iter().enumerate() {
+        if scale * t >= threshold {
+            best = Some(k as u32);
+        } else {
+            break; // tails are non-increasing in k
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pmf_of_empty_set() {
+        let pmf = poisson_binomial_pmf(&[]);
+        assert_eq!(pmf, vec![1.0]);
+    }
+
+    #[test]
+    fn pmf_single_bernoulli() {
+        let pmf = poisson_binomial_pmf(&[0.3]);
+        assert_close(pmf[0], 0.7);
+        assert_close(pmf[1], 0.3);
+    }
+
+    #[test]
+    fn pmf_matches_binomial_for_identical_probs() {
+        let p = 0.4;
+        let n = 6;
+        let probs = vec![p; n];
+        let pmf = poisson_binomial_pmf(&probs);
+        for k in 0..=n {
+            let binom = binomial(n, k) as f64 * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+            assert_close(pmf[k], binom);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let probs = [0.1, 0.9, 0.5, 0.33, 0.77];
+        let pmf = poisson_binomial_pmf(&probs);
+        assert_close(pmf.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn pmf_matches_exhaustive_enumeration() {
+        let probs = [0.2, 0.5, 0.8, 0.3];
+        let pmf = poisson_binomial_pmf(&probs);
+        // Enumerate all 2^4 outcomes.
+        let mut expected = vec![0.0f64; 5];
+        for mask in 0u32..16 {
+            let mut p = 1.0;
+            let mut count = 0usize;
+            for (i, &pi) in probs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    p *= pi;
+                    count += 1;
+                } else {
+                    p *= 1.0 - pi;
+                }
+            }
+            expected[count] += p;
+        }
+        for k in 0..5 {
+            assert_close(pmf[k], expected[k]);
+        }
+    }
+
+    #[test]
+    fn tail_is_monotone_and_starts_at_one() {
+        let probs = [0.3, 0.6, 0.2, 0.9];
+        let tail = poisson_binomial_tail(&probs);
+        assert_close(tail[0], 1.0);
+        for w in tail.windows(2) {
+            assert!(w[0] >= w[1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn threshold_score_basic() {
+        // Two certain events: Pr[ζ ≥ 2] = 1.
+        assert_eq!(threshold_score(&[1.0, 1.0], 1.0, 0.9), Some(2));
+        // Pr[ζ ≥ 1] for p = 0.5, 0.5 is 0.75.
+        assert_eq!(threshold_score(&[0.5, 0.5], 1.0, 0.75), Some(1));
+        assert_eq!(threshold_score(&[0.5, 0.5], 1.0, 0.76), Some(0));
+        // Scale below the threshold: nothing qualifies.
+        assert_eq!(threshold_score(&[0.5], 0.1, 0.2), None);
+        // Empty probability set with qualifying scale gives k = 0.
+        assert_eq!(threshold_score(&[], 1.0, 0.5), Some(0));
+    }
+
+    #[test]
+    fn threshold_score_respects_scale() {
+        // Pr[ζ ≥ 1] = 0.96 for two 0.8s; with scale 0.5 the product is 0.48.
+        assert_eq!(threshold_score(&[0.8, 0.8], 0.5, 0.5), Some(0));
+        assert_eq!(threshold_score(&[0.8, 0.8], 0.5, 0.45), Some(1));
+    }
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+}

@@ -1,0 +1,299 @@
+//! Probabilistic (k,η)-core decomposition (Bonchi et al., KDD 2014).
+//!
+//! The η-degree of a vertex `v` in a probabilistic graph is the largest
+//! `k` such that `Pr[deg(v) ≥ k] ≥ η`, where the degree is taken over
+//! sampled possible worlds.  A (k,η)-core is a maximal subgraph in which
+//! every vertex has η-degree ≥ k *within the subgraph*; the η-core number
+//! of a vertex is the largest `k` for which it belongs to a (k,η)-core.
+//!
+//! The decomposition peels vertices in non-decreasing order of their
+//! current η-degree, recomputing the η-degree of the neighbours of a
+//! peeled vertex over their still-alive incident edges — the probabilistic
+//! analogue of the Batagelj–Zaveršnik algorithm.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ugraph::{ConnectedComponents, EdgeSubgraph, UncertainGraph, VertexId};
+
+use crate::poisson_binomial::threshold_score;
+
+/// Result of the probabilistic (k,η)-core decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EtaCoreDecomposition {
+    eta_core_numbers: Vec<u32>,
+}
+
+impl EtaCoreDecomposition {
+    /// Runs the decomposition with probability threshold `eta`.
+    pub fn compute(graph: &UncertainGraph, eta: f64) -> Self {
+        let n = graph.num_vertices();
+        let mut alive = vec![true; n];
+        let mut score = vec![0u32; n];
+
+        let eta_degree = |graph: &UncertainGraph, v: VertexId, alive: &[bool]| -> u32 {
+            let probs: Vec<f64> = graph
+                .neighbor_entries(v)
+                .filter(|(w, _, _)| alive[*w as usize])
+                .map(|(_, p, _)| p)
+                .collect();
+            threshold_score(&probs, 1.0, eta).unwrap_or(0)
+        };
+
+        for v in 0..n as VertexId {
+            score[v as usize] = eta_degree(graph, v, &alive);
+        }
+
+        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n)
+            .map(|v| Reverse((score[v], v as VertexId)))
+            .collect();
+        let mut core = vec![0u32; n];
+        let mut level = 0u32;
+
+        while let Some(Reverse((s, v))) = heap.pop() {
+            let vi = v as usize;
+            if !alive[vi] || s != score[vi] {
+                continue;
+            }
+            alive[vi] = false;
+            level = level.max(s);
+            core[vi] = level;
+            for &u in graph.neighbors(v) {
+                let ui = u as usize;
+                if !alive[ui] {
+                    continue;
+                }
+                let new_score = eta_degree(graph, u, &alive);
+                // Scores never rise above the current peeling level when
+                // they are already below it.
+                let new_score = new_score.max(level.min(score[ui]));
+                if new_score < score[ui] {
+                    score[ui] = new_score;
+                    heap.push(Reverse((new_score, u)));
+                }
+            }
+        }
+        EtaCoreDecomposition {
+            eta_core_numbers: core,
+        }
+    }
+
+    /// η-core number of vertex `v`.
+    pub fn core_number(&self, v: VertexId) -> u32 {
+        self.eta_core_numbers[v as usize]
+    }
+
+    /// η-core numbers of all vertices.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.eta_core_numbers
+    }
+
+    /// Largest η-core number in the graph.
+    pub fn max_core(&self) -> u32 {
+        self.eta_core_numbers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Vertices whose η-core number is at least `k`.
+    pub fn vertices_in_core(&self, k: u32) -> Vec<VertexId> {
+        self.eta_core_numbers
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| (c >= k).then_some(v as VertexId))
+            .collect()
+    }
+}
+
+/// Extracts the maximal connected (k,η)-core subgraphs of `graph`.
+pub fn eta_core_subgraphs(graph: &UncertainGraph, k: u32, eta: f64) -> Vec<EdgeSubgraph> {
+    let decomp = EtaCoreDecomposition::compute(graph, eta);
+    let members = decomp.vertices_in_core(k);
+    if members.is_empty() {
+        return Vec::new();
+    }
+    let in_core: Vec<bool> = (0..graph.num_vertices() as VertexId)
+        .map(|v| decomp.core_number(v) >= k)
+        .collect();
+    let components = ConnectedComponents::over_vertices(graph, |v| in_core[v as usize]);
+    components
+        .vertex_sets()
+        .into_iter()
+        .filter(|set| set.len() > 1)
+        .map(|set| EdgeSubgraph::induced_by_vertices(graph, &set))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detcore_helpers::*;
+    use ugraph::GraphBuilder;
+
+    /// Helpers shared with the deterministic sanity checks.
+    mod detcore_helpers {
+        use ugraph::{GraphBuilder, UncertainGraph};
+
+        pub fn complete(n: u32, p: f64) -> UncertainGraph {
+            let mut b = GraphBuilder::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    b.add_edge(u, v, p).unwrap();
+                }
+            }
+            b.build()
+        }
+    }
+
+    #[test]
+    fn certain_graph_matches_deterministic_core() {
+        // With all probabilities 1 and any eta ≤ 1, the η-core equals the
+        // deterministic core.
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let edges = ugraph::generators::gnm_edges(40, 160, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            40,
+            &ugraph::generators::ProbabilityModel::Constant(1.0),
+            &mut rng,
+        );
+        let prob = EtaCoreDecomposition::compute(&g, 0.7);
+        let det = detdecomp_core(&g);
+        assert_eq!(prob.core_numbers(), det.as_slice());
+    }
+
+    /// Deterministic core numbers via the naive iterative algorithm, to
+    /// avoid a dev-dependency cycle on `detdecomp`.
+    fn detdecomp_core(graph: &UncertainGraph) -> Vec<u32> {
+        let n = graph.num_vertices();
+        let mut core = vec![0u32; n];
+        for k in 1..=graph.max_degree() as u32 {
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n as VertexId {
+                    if alive[v as usize] {
+                        let deg = graph
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&u| alive[u as usize])
+                            .count() as u32;
+                        if deg < k {
+                            alive[v as usize] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+        }
+        core
+    }
+
+    use ugraph::UncertainGraph;
+
+    #[test]
+    fn eta_degree_drops_with_threshold() {
+        // A star with 4 leaves, each edge p = 0.5.  Pr[deg >= 2] = 0.6875,
+        // Pr[deg >= 3] = 0.3125.
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=4u32 {
+            b.add_edge(0, leaf, 0.5).unwrap();
+        }
+        let g = b.build();
+        let lenient = EtaCoreDecomposition::compute(&g, 0.3);
+        let strict = EtaCoreDecomposition::compute(&g, 0.7);
+        assert!(lenient.core_number(0) >= strict.core_number(0));
+        // Leaves can have at most η-degree 1 (p = 0.5 < 0.7 means 0 for strict).
+        assert_eq!(strict.core_number(1), 0);
+    }
+
+    #[test]
+    fn clique_with_low_probabilities_has_smaller_core() {
+        let high = EtaCoreDecomposition::compute(&complete(6, 0.95), 0.5);
+        let low = EtaCoreDecomposition::compute(&complete(6, 0.3), 0.5);
+        assert!(high.max_core() > low.max_core());
+        assert_eq!(high.core_numbers().len(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UncertainGraph::empty(3);
+        let d = EtaCoreDecomposition::compute(&g, 0.5);
+        assert_eq!(d.core_numbers(), &[0, 0, 0]);
+        assert_eq!(d.max_core(), 0);
+        assert!(eta_core_subgraphs(&g, 1, 0.5).is_empty());
+    }
+
+    #[test]
+    fn core_numbers_monotone_in_eta() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let edges = ugraph::generators::gnm_edges(30, 120, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            30,
+            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &mut rng,
+        );
+        let loose = EtaCoreDecomposition::compute(&g, 0.1);
+        let tight = EtaCoreDecomposition::compute(&g, 0.9);
+        for v in 0..30u32 {
+            assert!(
+                loose.core_number(v) >= tight.core_number(v),
+                "vertex {v}: eta=0.1 gives {} < eta=0.9 gives {}",
+                loose.core_number(v),
+                tight.core_number(v)
+            );
+        }
+    }
+
+    #[test]
+    fn eta_core_never_exceeds_deterministic_core() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let edges = ugraph::generators::gnm_edges(30, 110, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            30,
+            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &mut rng,
+        );
+        let prob = EtaCoreDecomposition::compute(&g, 0.4);
+        let det = detdecomp_core(&g);
+        for v in 0..30usize {
+            assert!(prob.core_numbers()[v] <= det[v]);
+        }
+    }
+
+    #[test]
+    fn subgraph_extraction_on_two_cliques() {
+        // Two disjoint K5s with high probabilities, plus a weak pendant
+        // vertex attached to each clique.
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 5u32] {
+            for i in 0..5u32 {
+                for j in (i + 1)..5u32 {
+                    b.add_edge(base + i, base + j, 0.9).unwrap();
+                }
+            }
+        }
+        b.add_edge(4, 10, 0.1).unwrap();
+        b.add_edge(9, 11, 0.1).unwrap();
+        let g = b.build();
+        let decomp = EtaCoreDecomposition::compute(&g, 0.5);
+        let k = decomp.max_core();
+        assert!(k >= 3);
+        let cores = eta_core_subgraphs(&g, k, 0.5);
+        assert_eq!(cores.len(), 2);
+        for c in &cores {
+            assert_eq!(c.num_vertices(), 5);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Probabilistic local (k,γ)-truss decomposition (Huang, Lu, Lakshmanan,
+//! SIGMOD 2016).
+//!
+//! For an edge `e = (u, v)`, let `X_e` be the number of triangles through
+//! `e` in a sampled possible world.  A triangle through `e` and a common
+//! neighbour `w` exists when the three edges `(u,v)`, `(u,w)`, `(v,w)` all
+//! exist, so `Pr[X_e ≥ k] = p(u,v) · Pr[ζ ≥ k]` where `ζ` is the
+//! Poisson-binomial sum of the independent wedge events
+//! `p(u,w)·p(v,w)` over the common neighbours `w`.
+//!
+//! The γ-support of `e` is the largest `k` with `Pr[X_e ≥ k] ≥ γ`; the
+//! local (k,γ)-truss is a maximal subgraph in which every edge has
+//! γ-support ≥ k, and the probabilistic truss number of `e` is the largest
+//! such `k`.  The decomposition peels edges of minimum γ-support and
+//! recomputes the support of edges that shared a triangle with the peeled
+//! edge, mirroring Algorithm 1 of the nucleus paper one level down.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ugraph::{ConnectedComponents, EdgeId, EdgeSubgraph, UncertainGraph};
+
+use crate::poisson_binomial::threshold_score;
+
+/// Result of the probabilistic local (k,γ)-truss decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GammaTrussDecomposition {
+    truss_numbers: Vec<u32>,
+}
+
+impl GammaTrussDecomposition {
+    /// Runs the decomposition with probability threshold `gamma`.
+    pub fn compute(graph: &UncertainGraph, gamma: f64) -> Self {
+        let m = graph.num_edges();
+        let mut alive = vec![true; m];
+        let mut score = vec![0u32; m];
+
+        let gamma_support = |graph: &UncertainGraph, e: EdgeId, alive: &[bool]| -> u32 {
+            let edge = graph.edge(e);
+            let (u, v) = (edge.u, edge.v);
+            let mut wedge_probs = Vec::new();
+            for w in graph.common_neighbors(u, v) {
+                let euw = graph.edge_id(u, w).expect("edge exists");
+                let evw = graph.edge_id(v, w).expect("edge exists");
+                if alive[euw as usize] && alive[evw as usize] {
+                    wedge_probs.push(graph.edge(euw).p * graph.edge(evw).p);
+                }
+            }
+            threshold_score(&wedge_probs, edge.p, gamma).unwrap_or(0)
+        };
+
+        for e in 0..m {
+            score[e] = gamma_support(graph, e as EdgeId, &alive);
+        }
+
+        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> = (0..m)
+            .map(|e| Reverse((score[e], e as EdgeId)))
+            .collect();
+        let mut truss = vec![0u32; m];
+        let mut level = 0u32;
+
+        while let Some(Reverse((s, e))) = heap.pop() {
+            let ei = e as usize;
+            if !alive[ei] || s != score[ei] {
+                continue;
+            }
+            alive[ei] = false;
+            level = level.max(s);
+            truss[ei] = level;
+            let edge = graph.edge(e);
+            let (u, v) = (edge.u, edge.v);
+            for w in graph.common_neighbors(u, v) {
+                let euw = graph.edge_id(u, w).expect("edge exists");
+                let evw = graph.edge_id(v, w).expect("edge exists");
+                if !alive[euw as usize] || !alive[evw as usize] {
+                    continue;
+                }
+                for f in [euw, evw] {
+                    let fi = f as usize;
+                    if score[fi] > level {
+                        let new_score = gamma_support(graph, f, &alive).max(level);
+                        if new_score < score[fi] {
+                            score[fi] = new_score;
+                            heap.push(Reverse((new_score, f)));
+                        }
+                    }
+                }
+            }
+        }
+        GammaTrussDecomposition {
+            truss_numbers: truss,
+        }
+    }
+
+    /// Probabilistic truss number of edge `e`.
+    pub fn truss_number(&self, e: EdgeId) -> u32 {
+        self.truss_numbers[e as usize]
+    }
+
+    /// Probabilistic truss numbers of all edges.
+    pub fn truss_numbers(&self) -> &[u32] {
+        &self.truss_numbers
+    }
+
+    /// Largest probabilistic truss number in the graph.
+    pub fn max_truss(&self) -> u32 {
+        self.truss_numbers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Edges whose probabilistic truss number is at least `k`.
+    pub fn edges_in_truss(&self, k: u32) -> Vec<EdgeId> {
+        self.truss_numbers
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &t)| (t >= k).then_some(e as EdgeId))
+            .collect()
+    }
+}
+
+/// Extracts the maximal connected (k,γ)-truss subgraphs of `graph`.
+pub fn gamma_truss_subgraphs(graph: &UncertainGraph, k: u32, gamma: f64) -> Vec<EdgeSubgraph> {
+    let decomp = GammaTrussDecomposition::compute(graph, gamma);
+    let edges = decomp.edges_in_truss(k);
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let sub = EdgeSubgraph::induced_by_edges(graph, &edges);
+    let components = ConnectedComponents::new(sub.graph());
+    components
+        .vertex_sets()
+        .into_iter()
+        .filter(|set| set.len() > 2)
+        .map(|set| {
+            let original: Vec<_> = set.iter().map(|&v| sub.original_vertex(v)).collect();
+            let comp_edges: Vec<EdgeId> = edges
+                .iter()
+                .copied()
+                .filter(|&e| {
+                    let edge = graph.edge(e);
+                    original.contains(&edge.u) && original.contains(&edge.v)
+                })
+                .collect();
+            EdgeSubgraph::induced_by_edges(graph, &comp_edges)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    /// Deterministic truss numbers via naive iterative filtering (support
+    /// convention), for the all-probability-one sanity check.
+    fn naive_det_truss(graph: &UncertainGraph) -> Vec<u32> {
+        let m = graph.num_edges();
+        let mut truss = vec![0u32; m];
+        for k in 1..=graph.max_degree() as u32 {
+            let mut alive = vec![true; m];
+            loop {
+                let mut changed = false;
+                for e in 0..m {
+                    if !alive[e] {
+                        continue;
+                    }
+                    let edge = graph.edge(e as EdgeId);
+                    let sup = graph
+                        .common_neighbors(edge.u, edge.v)
+                        .iter()
+                        .filter(|&&w| {
+                            alive[graph.edge_id(edge.u, w).unwrap() as usize]
+                                && alive[graph.edge_id(edge.v, w).unwrap() as usize]
+                        })
+                        .count() as u32;
+                    if sup < k {
+                        alive[e] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for e in 0..m {
+                if alive[e] {
+                    truss[e] = k;
+                }
+            }
+        }
+        truss
+    }
+
+    #[test]
+    fn certain_graph_matches_deterministic_truss() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        let edges = ugraph::generators::gnm_edges(25, 100, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            25,
+            &ugraph::generators::ProbabilityModel::Constant(1.0),
+            &mut rng,
+        );
+        let prob = GammaTrussDecomposition::compute(&g, 0.6);
+        let det = naive_det_truss(&g);
+        assert_eq!(prob.truss_numbers(), det.as_slice());
+    }
+
+    #[test]
+    fn empty_and_triangle_free_graphs() {
+        let g = UncertainGraph::empty(4);
+        let d = GammaTrussDecomposition::compute(&g, 0.5);
+        assert_eq!(d.max_truss(), 0);
+
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        let path = b.build();
+        let d = GammaTrussDecomposition::compute(&path, 0.5);
+        assert!(d.truss_numbers().iter().all(|&t| t == 0));
+        assert!(gamma_truss_subgraphs(&path, 1, 0.5).is_empty());
+    }
+
+    #[test]
+    fn gamma_truss_number_decreases_with_gamma() {
+        let g = complete(6, 0.7);
+        let loose = GammaTrussDecomposition::compute(&g, 0.05);
+        let tight = GammaTrussDecomposition::compute(&g, 0.9);
+        for e in 0..g.num_edges() {
+            assert!(loose.truss_number(e as EdgeId) >= tight.truss_number(e as EdgeId));
+        }
+    }
+
+    #[test]
+    fn gamma_truss_never_exceeds_deterministic_truss() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(43);
+        let edges = ugraph::generators::gnm_edges(20, 90, &mut rng);
+        let g = ugraph::generators::assign_probabilities(
+            &edges,
+            20,
+            &ugraph::generators::ProbabilityModel::Uniform { low: 0.3, high: 1.0 },
+            &mut rng,
+        );
+        let prob = GammaTrussDecomposition::compute(&g, 0.3);
+        let det = naive_det_truss(&g);
+        for e in 0..g.num_edges() {
+            assert!(prob.truss_numbers()[e] <= det[e]);
+        }
+    }
+
+    #[test]
+    fn single_triangle_support() {
+        // One triangle with p = 0.8 everywhere.
+        // Pr[X_e >= 1] = 0.8 * 0.64 = 0.512.
+        let g = complete(3, 0.8);
+        let d1 = GammaTrussDecomposition::compute(&g, 0.5);
+        assert!(d1.truss_numbers().iter().all(|&t| t == 1));
+        let d2 = GammaTrussDecomposition::compute(&g, 0.6);
+        assert!(d2.truss_numbers().iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn subgraph_extraction_keeps_dense_component() {
+        // A K5 with strong probabilities plus a weak triangle attached.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v, 0.95).unwrap();
+            }
+        }
+        b.add_edge(4, 5, 0.2).unwrap();
+        b.add_edge(4, 6, 0.2).unwrap();
+        b.add_edge(5, 6, 0.2).unwrap();
+        let g = b.build();
+        let decomp = GammaTrussDecomposition::compute(&g, 0.5);
+        let k = decomp.max_truss();
+        assert!(k >= 2);
+        let trusses = gamma_truss_subgraphs(&g, k, 0.5);
+        assert_eq!(trusses.len(), 1);
+        assert_eq!(trusses[0].num_vertices(), 5);
+        assert_eq!(trusses[0].num_edges(), 10);
+    }
+
+    #[test]
+    fn max_truss_and_edge_listing() {
+        let g = complete(5, 0.9);
+        let d = GammaTrussDecomposition::compute(&g, 0.3);
+        assert!(d.max_truss() >= 2);
+        assert_eq!(d.edges_in_truss(0).len(), 10);
+        assert!(d.edges_in_truss(d.max_truss() + 1).is_empty());
+    }
+}

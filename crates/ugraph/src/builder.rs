@@ -1,0 +1,258 @@
+//! Incremental construction of [`UncertainGraph`]s.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::{Edge, EdgeId, UncertainGraph, VertexId};
+use crate::Result;
+
+/// Builds an [`UncertainGraph`] from a stream of probabilistic edges.
+///
+/// The builder
+/// * rejects self-loops and probabilities outside `(0, 1]`,
+/// * de-duplicates parallel edges (the *last* probability supplied wins,
+///   mirroring how dataset loaders typically treat repeated lines), and
+/// * produces a graph whose adjacency lists are sorted and whose canonical
+///   edge table is ordered lexicographically by `(min(u,v), max(u,v))`.
+///
+/// # Example
+///
+/// ```
+/// use ugraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(2, 0, 0.4).unwrap();
+/// b.add_edge(0, 2, 0.8).unwrap(); // duplicate: overrides the 0.4
+/// b.add_edge(1, 2, 1.0).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_probability(0, 2), Some(0.8));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: HashMap<(VertexId, VertexId), f64>,
+    max_vertex: Option<VertexId>,
+    /// When set, the built graph has at least this many vertices even if
+    /// the trailing ones are isolated.
+    min_num_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder that will produce a graph with at least `n`
+    /// vertices (vertices `0..n` exist even when isolated).
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder {
+            min_num_vertices: n,
+            ..GraphBuilder::default()
+        }
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds (or overrides) the undirected edge `{u, v}` with probability `p`.
+    ///
+    /// Returns an error for self-loops and for probabilities outside
+    /// `(0, 1]`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if !(p > 0.0 && p <= 1.0) || p.is_nan() {
+            return Err(GraphError::InvalidProbability {
+                edge: (u, v),
+                probability: p,
+            });
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.insert(key, p);
+        let m = u.max(v);
+        self.max_vertex = Some(self.max_vertex.map_or(m, |cur| cur.max(m)));
+        Ok(())
+    }
+
+    /// Adds a deterministic edge (probability `1.0`).
+    pub fn add_certain_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.add_edge(u, v, 1.0)
+    }
+
+    /// Adds every edge of an iterator, stopping at the first error.
+    pub fn extend_edges<I>(&mut self, iter: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId, f64)>,
+    {
+        for (u, v, p) in iter {
+            self.add_edge(u, v, p)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the builder into a CSR [`UncertainGraph`].
+    pub fn build(self) -> UncertainGraph {
+        let n = self
+            .max_vertex
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
+            .max(self.min_num_vertices);
+
+        // Canonical edge table sorted by (u, v).
+        let mut edge_list: Vec<Edge> = self
+            .edges
+            .into_iter()
+            .map(|((u, v), p)| Edge { u, v, p })
+            .collect();
+        edge_list.sort_unstable_by_key(|e| (e.u, e.v));
+
+        // Degree counting pass.
+        let mut degrees = vec![0usize; n];
+        for e in &edge_list {
+            degrees[e.u as usize] += 1;
+            degrees[e.v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degrees {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+
+        let total = offsets[n];
+        let mut neighbors = vec![0 as VertexId; total];
+        let mut neighbor_probs = vec![0.0f64; total];
+        let mut neighbor_edges = vec![0 as EdgeId; total];
+        let mut cursor = offsets[..n].to_vec();
+
+        for (idx, e) in edge_list.iter().enumerate() {
+            let eid = idx as EdgeId;
+            let cu = cursor[e.u as usize];
+            neighbors[cu] = e.v;
+            neighbor_probs[cu] = e.p;
+            neighbor_edges[cu] = eid;
+            cursor[e.u as usize] += 1;
+
+            let cv = cursor[e.v as usize];
+            neighbors[cv] = e.u;
+            neighbor_probs[cv] = e.p;
+            neighbor_edges[cv] = eid;
+            cursor[e.v as usize] += 1;
+        }
+
+        // Each adjacency run must be sorted by neighbour id for binary
+        // search and merge-intersection.  Because the canonical edge list
+        // is processed in (u, v) order, the "forward" half (u -> v) is
+        // already sorted, but the "backward" half (v -> u) interleaves, so
+        // sort each run explicitly.
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let mut entries: Vec<(VertexId, f64, EdgeId)> = range
+                .clone()
+                .map(|i| (neighbors[i], neighbor_probs[i], neighbor_edges[i]))
+                .collect();
+            entries.sort_unstable_by_key(|&(w, _, _)| w);
+            for (slot, (w, p, eid)) in range.zip(entries) {
+                neighbors[slot] = w;
+                neighbor_probs[slot] = p;
+                neighbor_edges[slot] = eid;
+            }
+        }
+
+        UncertainGraph::from_csr(offsets, neighbors, neighbor_probs, neighbor_edges, edge_list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let err = b.add_edge(3, 3, 0.5).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { vertex: 3 }));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut b = GraphBuilder::new();
+        assert!(b.add_edge(0, 1, 0.0).is_err());
+        assert!(b.add_edge(0, 1, -0.2).is_err());
+        assert!(b.add_edge(0, 1, 1.2).is_err());
+        assert!(b.add_edge(0, 1, f64::NAN).is_err());
+        assert!(b.add_edge(0, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn duplicate_edge_keeps_last_probability() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.3).unwrap();
+        b.add_edge(1, 0, 0.9).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_probability(0, 1), Some(0.9));
+    }
+
+    #[test]
+    fn with_vertices_keeps_isolated_vertices() {
+        let mut b = GraphBuilder::with_vertices(10);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([
+            (5, 1, 0.5),
+            (5, 4, 0.5),
+            (5, 0, 0.5),
+            (5, 3, 0.5),
+            (5, 2, 0.5),
+        ])
+        .unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbors(5), &[0, 1, 2, 3, 4]);
+        for w in 0..5u32 {
+            assert_eq!(g.neighbors(w), &[5]);
+        }
+    }
+
+    #[test]
+    fn certain_edge_has_probability_one() {
+        let mut b = GraphBuilder::new();
+        b.add_certain_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_probability(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_consistent() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(2, 3, 0.1), (0, 1, 0.2), (1, 2, 0.3)]).unwrap();
+        let g = b.build();
+        let mut seen = vec![false; g.num_edges()];
+        for v in g.vertices() {
+            for (w, p, eid) in g.neighbor_entries(v) {
+                let e = g.edge(eid);
+                assert_eq!((e.u, e.v), (v.min(w), v.max(w)));
+                assert_eq!(e.p, p);
+                seen[eid as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

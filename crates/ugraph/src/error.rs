@@ -1,0 +1,131 @@
+//! Error type shared by all graph-construction and I/O operations.
+
+use std::fmt;
+
+/// Errors produced while building, loading, or manipulating an
+/// [`UncertainGraph`](crate::UncertainGraph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge probability was outside the half-open interval `(0, 1]`.
+    InvalidProbability {
+        /// Endpoints of the offending edge.
+        edge: (u32, u32),
+        /// The probability that was rejected.
+        probability: f64,
+    },
+    /// A self-loop `(v, v)` was supplied where simple graphs are required.
+    SelfLoop {
+        /// The vertex of the self-loop.
+        vertex: u32,
+    },
+    /// A vertex identifier referenced a vertex that does not exist.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge `(u, v)` that was expected to exist is absent.
+    MissingEdge {
+        /// Endpoints of the missing edge.
+        edge: (u32, u32),
+    },
+    /// A textual edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Wrapper around I/O failures while reading or writing edge lists.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidProbability { edge, probability } => write!(
+                f,
+                "edge ({}, {}) has invalid probability {probability}; expected p in (0, 1]",
+                edge.0, edge.1
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} is out of bounds for a graph with {num_vertices} vertices"
+            ),
+            GraphError::MissingEdge { edge } => {
+                write!(f, "edge ({}, {}) does not exist", edge.0, edge.1)
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_probability() {
+        let err = GraphError::InvalidProbability {
+            edge: (1, 2),
+            probability: 1.5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("(1, 2)"));
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let err = GraphError::SelfLoop { vertex: 7 };
+        assert!(err.to_string().contains("7"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = GraphError::VertexOutOfBounds {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("10") && text.contains("5"));
+    }
+
+    #[test]
+    fn display_missing_edge_and_parse() {
+        assert!(GraphError::MissingEdge { edge: (3, 4) }
+            .to_string()
+            .contains("(3, 4)"));
+        let parse = GraphError::Parse {
+            line: 12,
+            message: "bad token".to_string(),
+        };
+        assert!(parse.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Random probabilistic-graph generators.
+//!
+//! The generators produce the *structure* (edge set) and a
+//! [`ProbabilityModel`] assigns existence probabilities, mirroring how the
+//! paper's datasets were produced: some datasets carry intrinsic
+//! probabilities (Jaccard similarity, exponential of collaboration counts,
+//! experimental confidence), others were assigned probabilities uniformly
+//! at random in `(0, 1]`.
+//!
+//! All generators are deterministic given the supplied RNG, which the
+//! dataset emulation layer seeds explicitly for reproducibility.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{UncertainGraph, VertexId};
+
+/// How edge-existence probabilities are assigned to a generated structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbabilityModel {
+    /// Every edge has the same probability.
+    Constant(f64),
+    /// Probabilities are uniform in `[low, high]` (clamped to `(0, 1]`).
+    Uniform {
+        /// Lower bound (exclusive of zero after clamping).
+        low: f64,
+        /// Upper bound.
+        high: f64,
+    },
+    /// `p = 1 − exp(−c / scale)` where `c ≥ 1` is a geometric
+    /// "collaboration count" — the model used for the DBLP dataset, where
+    /// the probability is an exponential function of the number of joint
+    /// publications.
+    ExponentialCollaboration {
+        /// Mean of the geometric collaboration count.
+        mean_collaborations: f64,
+        /// Scale of the exponential conversion.
+        scale: f64,
+    },
+    /// Mixture of a "high-confidence" and a "low-confidence" uniform range,
+    /// as in protein-interaction datasets where experimentally confirmed
+    /// interactions have much higher probability than predicted ones.
+    Confidence {
+        /// Fraction of edges drawn from the high range.
+        high_fraction: f64,
+        /// High-confidence range `(low, high)`.
+        high_range: (f64, f64),
+        /// Low-confidence range `(low, high)`.
+        low_range: (f64, f64),
+    },
+    /// Average of `k` uniform draws — a cheap bell-shaped distribution on
+    /// `(0, 1)` emulating Jaccard-similarity-derived probabilities that
+    /// concentrate around their mean (used for the flickr dataset).
+    JaccardLike {
+        /// Number of averaged uniforms (larger means more concentrated).
+        smoothing: u32,
+        /// Multiplicative scale applied after averaging.
+        scale: f64,
+    },
+}
+
+impl ProbabilityModel {
+    /// Samples one edge probability.  The result is always in `(0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let p = match self {
+            ProbabilityModel::Constant(p) => *p,
+            ProbabilityModel::Uniform { low, high } => rng.gen_range(*low..=*high),
+            ProbabilityModel::ExponentialCollaboration {
+                mean_collaborations,
+                scale,
+            } => {
+                // Geometric count with the given mean (at least 1).
+                let q = 1.0 / mean_collaborations.max(1.0);
+                let mut c = 1u32;
+                while rng.gen::<f64>() > q && c < 1000 {
+                    c += 1;
+                }
+                1.0 - (-(c as f64) / scale).exp()
+            }
+            ProbabilityModel::Confidence {
+                high_fraction,
+                high_range,
+                low_range,
+            } => {
+                if rng.gen::<f64>() < *high_fraction {
+                    rng.gen_range(high_range.0..=high_range.1)
+                } else {
+                    rng.gen_range(low_range.0..=low_range.1)
+                }
+            }
+            ProbabilityModel::JaccardLike { smoothing, scale } => {
+                let k = (*smoothing).max(1);
+                let avg: f64 = (0..k).map(|_| rng.gen::<f64>()).sum::<f64>() / k as f64;
+                avg * scale
+            }
+        };
+        p.clamp(1e-6, 1.0)
+    }
+}
+
+/// Assigns probabilities from `model` to every structural edge in `edges`
+/// and builds the graph.  `num_vertices` lets callers preserve isolated
+/// vertices.
+pub fn assign_probabilities<R: Rng + ?Sized>(
+    edges: &[(VertexId, VertexId)],
+    num_vertices: usize,
+    model: &ProbabilityModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    let mut b = GraphBuilder::with_vertices(num_vertices);
+    for &(u, v) in edges {
+        if u == v {
+            continue;
+        }
+        let p = model.sample(rng);
+        b.add_edge(u, v, p).expect("generator edges are valid");
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges drawn uniformly at random.
+pub fn gnm_edges<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<(VertexId, VertexId)> {
+    let max_edges = n * (n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut set = std::collections::HashSet::with_capacity(m);
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if set.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n−1)/2` pairs is an edge with
+/// probability `edge_density`.  Quadratic; intended for small graphs.
+pub fn gnp_edges<R: Rng + ?Sized>(
+    n: usize,
+    edge_density: f64,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    let mut out = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen::<f64>() < edge_density {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` vertices and attaches every new vertex to `attach`
+/// existing vertices chosen proportionally to degree.  Produces the
+/// heavy-tailed degree distributions of social networks (pokec,
+/// ljournal-like structures).
+pub fn barabasi_albert_edges<R: Rng + ?Sized>(
+    n: usize,
+    attach: usize,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    let attach = attach.max(1);
+    let seed = (attach + 1).min(n);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Repeated-endpoint list for preferential selection.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    for u in 0..seed as VertexId {
+        for v in (u + 1)..seed as VertexId {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in seed..n {
+        let new = new as VertexId;
+        let mut targets = std::collections::HashSet::new();
+        let mut guard = 0;
+        while targets.len() < attach.min(new as usize) && guard < 50 * attach {
+            guard += 1;
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..new)
+            } else {
+                *endpoints.choose(rng).expect("non-empty")
+            };
+            if t != new {
+                targets.insert(t);
+            }
+        }
+        // Sort the chosen targets so the preferential-endpoint list is
+        // extended in a deterministic order (HashSet iteration order would
+        // otherwise make later degree-proportional draws nondeterministic).
+        let mut targets: Vec<VertexId> = targets.into_iter().collect();
+        targets.sort_unstable();
+        for &t in &targets {
+            edges.push((new.min(t), new.max(t)));
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    edges
+}
+
+/// Planted clique communities: a sparse Erdős–Rényi background plus
+/// `num_communities` vertex subsets of size in `community_size`, each
+/// turned into a clique.  Consecutive communities overlap in
+/// `overlap` vertices, which creates the nested dense regions that nucleus
+/// decomposition is designed to reveal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedCliqueConfig {
+    /// Total number of vertices.
+    pub num_vertices: usize,
+    /// Number of random background edges.
+    pub background_edges: usize,
+    /// Number of planted communities.
+    pub num_communities: usize,
+    /// Inclusive range of community sizes.
+    pub community_size: (usize, usize),
+    /// Number of vertices shared between consecutive communities.
+    pub overlap: usize,
+}
+
+/// Generates the structural edges of a planted-clique-community graph.
+pub fn planted_clique_edges<R: Rng + ?Sized>(
+    config: &PlantedCliqueConfig,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    let n = config.num_vertices;
+    let mut edges = gnm_edges(n, config.background_edges, rng);
+    let mut previous: Vec<VertexId> = Vec::new();
+    for _ in 0..config.num_communities {
+        let size = rng.gen_range(config.community_size.0..=config.community_size.1);
+        let mut members: Vec<VertexId> = Vec::with_capacity(size);
+        // Carry over `overlap` members from the previous community.
+        let carried = config.overlap.min(previous.len());
+        members.extend(previous.iter().take(carried).copied());
+        while members.len() < size.min(n) {
+            let v = rng.gen_range(0..n) as VertexId;
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (a, b) = (members[i].min(members[j]), members[i].max(members[j]));
+                edges.push((a, b));
+            }
+        }
+        previous = members;
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Watts–Strogatz small-world structure: a ring lattice where each vertex
+/// connects to its `k` nearest neighbours, with each edge rewired with
+/// probability `beta`.  Produces the high-clustering, short-path structure
+/// typical of collaboration networks.
+pub fn watts_strogatz_edges<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    let mut set = std::collections::HashSet::new();
+    if n < 2 {
+        return Vec::new();
+    }
+    let half = (k / 2).max(1);
+    for u in 0..n {
+        for d in 1..=half {
+            let v = (u + d) % n;
+            if u == v {
+                continue;
+            }
+            let mut a = u as VertexId;
+            let mut b = v as VertexId;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint uniformly.
+                let mut guard = 0;
+                loop {
+                    guard += 1;
+                    let w = rng.gen_range(0..n) as VertexId;
+                    if w != a && !set.contains(&(a.min(w), a.max(w))) {
+                        b = w;
+                        break;
+                    }
+                    if guard > 100 {
+                        break;
+                    }
+                }
+            }
+            if a != b {
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                set.insert((a, b));
+            }
+        }
+    }
+    let mut edges: Vec<_> = set.into_iter().collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Complete graph `K_n` with a single probability for every edge.
+pub fn complete_graph(n: usize, p: f64) -> UncertainGraph {
+    let mut b = GraphBuilder::with_vertices(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v, p).expect("valid edge");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn probability_models_stay_in_range() {
+        let models = [
+            ProbabilityModel::Constant(0.5),
+            ProbabilityModel::Uniform { low: 0.0, high: 1.0 },
+            ProbabilityModel::ExponentialCollaboration {
+                mean_collaborations: 2.0,
+                scale: 2.0,
+            },
+            ProbabilityModel::Confidence {
+                high_fraction: 0.3,
+                high_range: (0.8, 1.0),
+                low_range: (0.05, 0.3),
+            },
+            ProbabilityModel::JaccardLike {
+                smoothing: 3,
+                scale: 0.5,
+            },
+        ];
+        let mut r = rng(1);
+        for model in &models {
+            for _ in 0..500 {
+                let p = model.sample(&mut r);
+                assert!(p > 0.0 && p <= 1.0, "{model:?} produced {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let mut r = rng(2);
+        let m = ProbabilityModel::Constant(0.37);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 0.37);
+        }
+    }
+
+    #[test]
+    fn gnm_produces_requested_edges() {
+        let mut r = rng(3);
+        let edges = gnm_edges(50, 200, &mut r);
+        assert_eq!(edges.len(), 200);
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 200);
+        for &(u, v) in &edges {
+            assert!(u < v);
+            assert!((v as usize) < 50);
+        }
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let mut r = rng(4);
+        let edges = gnm_edges(5, 1000, &mut r);
+        assert_eq!(edges.len(), 10);
+    }
+
+    #[test]
+    fn gnp_density_roughly_matches() {
+        let mut r = rng(5);
+        let edges = gnp_edges(100, 0.1, &mut r);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0);
+        assert!((edges.len() as f64 - expected).abs() < expected * 0.4);
+    }
+
+    #[test]
+    fn barabasi_albert_every_late_vertex_has_degree_at_least_attach() {
+        let mut r = rng(6);
+        let edges = barabasi_albert_edges(200, 3, &mut r);
+        let g = assign_probabilities(&edges, 200, &ProbabilityModel::Constant(1.0), &mut r);
+        for v in 10..200u32 {
+            assert!(g.degree(v) >= 3, "vertex {v} has degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn planted_cliques_contain_four_cliques() {
+        let mut r = rng(7);
+        let cfg = PlantedCliqueConfig {
+            num_vertices: 60,
+            background_edges: 50,
+            num_communities: 4,
+            community_size: (5, 7),
+            overlap: 2,
+        };
+        let edges = planted_clique_edges(&cfg, &mut r);
+        let g = assign_probabilities(&edges, 60, &ProbabilityModel::Constant(0.9), &mut r);
+        assert!(crate::cliques::count_four_cliques(&g) >= 4 * 5);
+    }
+
+    #[test]
+    fn watts_strogatz_has_expected_scale_of_edges() {
+        let mut r = rng(8);
+        let edges = watts_strogatz_edges(100, 6, 0.1, &mut r);
+        // Ring lattice with k=6 has ~3n edges; rewiring keeps the count similar.
+        assert!(edges.len() > 250 && edges.len() <= 300, "{}", edges.len());
+        for &(u, v) in &edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete_graph(6, 0.4);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert!((g.average_probability() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = PlantedCliqueConfig {
+            num_vertices: 40,
+            background_edges: 30,
+            num_communities: 3,
+            community_size: (4, 6),
+            overlap: 1,
+        };
+        let e1 = planted_clique_edges(&cfg, &mut rng(99));
+        let e2 = planted_clique_edges(&cfg, &mut rng(99));
+        assert_eq!(e1, e2);
+        let g1 = assign_probabilities(&e1, 40, &ProbabilityModel::Uniform { low: 0.1, high: 1.0 }, &mut rng(5));
+        let g2 = assign_probabilities(&e2, 40, &ProbabilityModel::Uniform { low: 0.1, high: 1.0 }, &mut rng(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn assign_probabilities_skips_self_loops() {
+        let mut r = rng(11);
+        let edges = vec![(0, 1), (1, 1), (1, 2)];
+        let g = assign_probabilities(&edges, 3, &ProbabilityModel::Constant(0.5), &mut r);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

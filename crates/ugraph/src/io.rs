@@ -1,0 +1,179 @@
+//! Edge-list I/O for probabilistic graphs.
+//!
+//! The on-disk format is the one used by most uncertain-graph datasets
+//! (including those referenced by the paper): one edge per line,
+//! whitespace separated, `u v p` where `p` is the existence probability.
+//! Lines starting with `#` or `%` are comments.  A two-column `u v` line is
+//! accepted and treated as a deterministic edge (`p = 1.0`).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::UncertainGraph;
+use crate::Result;
+
+/// Reads a probabilistic edge list from any reader.
+///
+/// # Example
+///
+/// ```
+/// let text = "# comment\n0 1 0.5\n1 2 0.75\n2 3\n";
+/// let g = ugraph::io::read_edge_list(text.as_bytes()).unwrap();
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.edge_probability(2, 3), Some(1.0));
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<UncertainGraph> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_field(parts.next(), line_no, "source vertex")?;
+        let v = parse_field(parts.next(), line_no, "target vertex")?;
+        let p = match parts.next() {
+            Some(tok) => tok.parse::<f64>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid probability '{tok}'"),
+            })?,
+            None => 1.0,
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "expected at most three columns (u v p)".to_string(),
+            });
+        }
+        builder.add_edge(u, v, p)?;
+    }
+    Ok(builder.build())
+}
+
+fn parse_field(token: Option<&str>, line: usize, what: &str) -> Result<u32> {
+    let tok = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<u32>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} '{tok}'"),
+    })
+}
+
+/// Reads a probabilistic edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<UncertainGraph> {
+    let file = File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes a graph as a probabilistic edge list (`u v p` per line).
+pub fn write_edge_list<W: Write>(graph: &UncertainGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# probabilistic edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.edges() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.p)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph as a probabilistic edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn read_basic_edge_list() {
+        let text = "0 1 0.5\n1 2 0.25\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_probability(1, 2), Some(0.25));
+    }
+
+    #[test]
+    fn read_skips_comments_and_blank_lines() {
+        let text = "# header\n\n% more\n0 1 0.5\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn read_two_column_lines_default_to_certain_edges() {
+        let text = "0 1\n1 2 0.3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_probability(0, 1), Some(1.0));
+        assert_eq!(g.edge_probability(1, 2), Some(0.3));
+    }
+
+    #[test]
+    fn read_rejects_bad_lines() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b 0.5\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 0.5 9\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 1.5\n".as_bytes()).is_err());
+        assert!(read_edge_list("3 3 0.5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let err = read_edge_list("0 1 0.5\nbroken\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.125).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(2, 3, 0.75).unwrap();
+        let g = b.build();
+        let dir = std::env::temp_dir();
+        let path = dir.join("ugraph_io_round_trip_test.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list_file("/nonexistent/definitely/missing.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # ugraph — probabilistic (uncertain) graph substrate
+//!
+//! This crate provides the graph infrastructure that the probabilistic
+//! nucleus decomposition of Esfahani et al. (ICDE 2022) is built on:
+//!
+//! * [`UncertainGraph`] — a compact CSR representation of an undirected
+//!   graph in which every edge carries an independent existence
+//!   probability `p ∈ (0, 1]`.
+//! * [`GraphBuilder`] — incremental construction with de-duplication.
+//! * [`PossibleWorld`] — deterministic instantiations of an uncertain graph
+//!   obtained by flipping a biased coin per edge, together with their
+//!   existence probability (Equation 1 of the paper).
+//! * Triangle and 4-clique enumeration ([`triangles`], [`cliques`]) — the
+//!   `r = 3`, `s = 4` higher-order structures used by the (3,4)-nucleus.
+//! * Connectivity utilities ([`connectivity`]) — union-find and BFS
+//!   components, used by every decomposition to report maximal connected
+//!   subgraphs.
+//! * Quality metrics ([`metrics`]) — probabilistic density (PD) and
+//!   probabilistic clustering coefficient (PCC) from Section 7.4.
+//! * Random generators ([`generators`]) and edge-list I/O ([`io`]).
+//!
+//! The crate is deliberately free of any decomposition logic; it is the
+//! substrate shared by `detdecomp`, `probdecomp` and `nucleus`.
+
+pub mod builder;
+pub mod cliques;
+pub mod connectivity;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod possible_world;
+pub mod subgraph;
+pub mod triangles;
+
+pub use builder::GraphBuilder;
+pub use cliques::{FourClique, FourCliqueEnumerator};
+pub use connectivity::{ConnectedComponents, UnionFind};
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, UncertainGraph, VertexId};
+pub use possible_world::{PossibleWorld, WorldSampler};
+pub use subgraph::EdgeSubgraph;
+pub use triangles::{Triangle, TriangleId, TriangleIndex};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,212 @@
+//! Quality metrics for probabilistic subgraphs.
+//!
+//! Section 7.4 of the paper evaluates decompositions with two metrics:
+//!
+//! * **Probabilistic density** (PD, Equation 19): the sum of edge
+//!   probabilities divided by the number of vertex pairs —
+//!   `PD(G) = Σ_e p_e / (|V|·(|V|−1)/2)`.
+//! * **Probabilistic clustering coefficient** (PCC, Equation 20):
+//!   `PCC(G) = 3·Σ_{△uvw} p(u,v)p(v,w)p(u,w) / Σ_{(u,v),(u,w),v≠w} p(u,v)p(u,w)`,
+//!   i.e. three times the expected number of triangles over the expected
+//!   number of open wedges.
+//!
+//! Both are defined on the *probabilistic* graph; possible worlds are not
+//! sampled.
+
+use crate::graph::UncertainGraph;
+use crate::triangles::enumerate_triangles;
+
+/// Probabilistic density (Equation 19).  Returns `0.0` for graphs with
+/// fewer than two vertices.
+pub fn probabilistic_density(graph: &UncertainGraph) -> f64 {
+    let n = graph.num_vertices();
+    if n < 2 {
+        return 0.0;
+    }
+    let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+    graph.expected_num_edges() / pairs
+}
+
+/// Probabilistic clustering coefficient (Equation 20).  Returns `0.0` when
+/// the graph has no wedges (no vertex with degree ≥ 2).
+pub fn probabilistic_clustering_coefficient(graph: &UncertainGraph) -> f64 {
+    // Numerator: 3 * expected number of triangles.
+    let mut closed = 0.0f64;
+    for t in enumerate_triangles(graph) {
+        let [a, b, c] = t.vertices();
+        // All three edges exist because t is a triangle of the graph.
+        closed += graph.triangle_probability(a, b, c).unwrap_or(0.0);
+    }
+
+    // Denominator: expected number of wedges centred at each vertex u:
+    // Σ_{v<w, v,w ∈ N(u)} p(u,v)·p(u,w)
+    //   = ( (Σ p)^2 − Σ p^2 ) / 2  per centre u.
+    let mut wedges = 0.0f64;
+    for u in graph.vertices() {
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for (_, p, _) in graph.neighbor_entries(u) {
+            sum += p;
+            sum_sq += p * p;
+        }
+        wedges += (sum * sum - sum_sq) / 2.0;
+    }
+
+    if wedges <= 0.0 {
+        0.0
+    } else {
+        3.0 * closed / wedges
+    }
+}
+
+/// Expected degree of each vertex (sum of incident edge probabilities).
+pub fn expected_degrees(graph: &UncertainGraph) -> Vec<f64> {
+    graph
+        .vertices()
+        .map(|v| graph.neighbor_entries(v).map(|(_, p, _)| p).sum())
+        .collect()
+}
+
+/// Summary statistics of a probabilistic graph, mirroring the columns of
+/// Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStatistics {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average edge probability.
+    pub average_probability: f64,
+    /// Number of triangles (ignoring probabilities).
+    pub num_triangles: usize,
+}
+
+impl GraphStatistics {
+    /// Computes the statistics of `graph`.
+    pub fn compute(graph: &UncertainGraph) -> Self {
+        GraphStatistics {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            max_degree: graph.max_degree(),
+            average_probability: graph.average_probability(),
+            num_triangles: graph.count_triangles(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStatistics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} dmax={} p_avg={:.2} |triangles|={}",
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.average_probability,
+            self.num_triangles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle(p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, p).unwrap();
+        b.add_edge(1, 2, p).unwrap();
+        b.add_edge(0, 2, p).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn density_of_certain_triangle_is_one() {
+        let g = triangle(1.0);
+        assert!((probabilistic_density(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_scales_with_probability() {
+        let g = triangle(0.5);
+        assert!((probabilistic_density(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_tiny_graphs_is_zero() {
+        assert_eq!(probabilistic_density(&UncertainGraph::empty(0)), 0.0);
+        assert_eq!(probabilistic_density(&UncertainGraph::empty(1)), 0.0);
+    }
+
+    #[test]
+    fn pcc_of_certain_triangle_is_one() {
+        let g = triangle(1.0);
+        assert!((probabilistic_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_of_star_is_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.9).unwrap();
+        b.add_edge(0, 3, 0.9).unwrap();
+        let g = b.build();
+        assert_eq!(probabilistic_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn pcc_of_triangle_with_uniform_probability() {
+        // numerator = 3·p^3, denominator = 3 wedges · p^2 → PCC = p.
+        let g = triangle(0.4);
+        assert!((probabilistic_clustering_coefficient(&g) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_no_wedges_returns_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(probabilistic_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn pcc_matches_manual_computation_on_paw_graph() {
+        // Triangle 0-1-2 plus pendant edge 2-3.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.6).unwrap();
+        b.add_edge(0, 2, 0.7).unwrap();
+        b.add_edge(2, 3, 0.8).unwrap();
+        let g = b.build();
+        let closed = 0.5 * 0.6 * 0.7;
+        // Wedges: centre 0: 0.5*0.7; centre 1: 0.5*0.6;
+        // centre 2: 0.6*0.7 + 0.6*0.8 + 0.7*0.8; centre 3: none.
+        let wedges = 0.5 * 0.7 + 0.5 * 0.6 + (0.6 * 0.7 + 0.6 * 0.8 + 0.7 * 0.8);
+        let expected = 3.0 * closed / wedges;
+        assert!((probabilistic_clustering_coefficient(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_degrees_sum_to_twice_expected_edges() {
+        let g = triangle(0.25);
+        let degs = expected_degrees(&g);
+        let total: f64 = degs.iter().sum();
+        assert!((total - 2.0 * g.expected_num_edges()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistics_match_graph_queries() {
+        let g = triangle(0.5);
+        let stats = GraphStatistics::compute(&g);
+        assert_eq!(stats.num_vertices, 3);
+        assert_eq!(stats.num_edges, 3);
+        assert_eq!(stats.max_degree, 2);
+        assert_eq!(stats.num_triangles, 1);
+        assert!((stats.average_probability - 0.5).abs() < 1e-12);
+        let text = stats.to_string();
+        assert!(text.contains("|V|=3"));
+    }
+}

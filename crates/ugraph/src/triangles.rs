@@ -1,0 +1,301 @@
+//! Triangle enumeration and indexing.
+//!
+//! Triangles are the `r = 3` cliques of the (3,4)-nucleus.  The peeling
+//! algorithms need to address triangles by dense integer ids and to look a
+//! triangle up by its vertex set; [`TriangleIndex`] provides both.
+
+use std::collections::HashMap;
+
+use crate::graph::{UncertainGraph, VertexId};
+
+/// Dense identifier of a triangle inside a [`TriangleIndex`].
+pub type TriangleId = u32;
+
+/// A triangle, stored with its vertices sorted increasingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triangle {
+    vertices: [VertexId; 3],
+}
+
+impl Triangle {
+    /// Creates a triangle from three distinct vertices (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vertices are not pairwise distinct.
+    pub fn new(a: VertexId, b: VertexId, c: VertexId) -> Self {
+        assert!(a != b && b != c && a != c, "triangle vertices must be distinct");
+        let mut vertices = [a, b, c];
+        vertices.sort_unstable();
+        Triangle { vertices }
+    }
+
+    /// The sorted vertex triple.
+    pub fn vertices(&self) -> [VertexId; 3] {
+        self.vertices
+    }
+
+    /// `true` when `v` is a vertex of this triangle.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// The three edges of the triangle as canonical `(u, v)` pairs with
+    /// `u < v`.
+    pub fn edges(&self) -> [(VertexId, VertexId); 3] {
+        let [a, b, c] = self.vertices;
+        [(a, b), (a, c), (b, c)]
+    }
+
+    /// Probability that the triangle exists in a sampled possible world of
+    /// `graph` (product of its edge probabilities).
+    ///
+    /// Returns `None` when one of the edges is missing from `graph`.
+    pub fn probability(&self, graph: &UncertainGraph) -> Option<f64> {
+        let [a, b, c] = self.vertices;
+        graph.triangle_probability(a, b, c).ok()
+    }
+}
+
+impl std::fmt::Display for Triangle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c] = self.vertices;
+        write!(f, "({a}, {b}, {c})")
+    }
+}
+
+/// Enumerates every triangle of `graph` exactly once.
+///
+/// The enumeration uses the standard edge-iterator technique: for each
+/// canonical edge `(u, v)` with `u < v`, the common neighbours `w > v`
+/// complete a triangle `(u, v, w)`.  Each triangle is therefore reported
+/// from its lexicographically smallest edge only.
+pub fn enumerate_triangles(graph: &UncertainGraph) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for e in graph.edges() {
+        let (u, v) = (e.u, e.v);
+        for w in graph.common_neighbors(u, v) {
+            if w > v {
+                out.push(Triangle::new(u, v, w));
+            }
+        }
+    }
+    out
+}
+
+/// Dense id ↔ triangle index over all triangles of a graph.
+///
+/// # Example
+///
+/// ```
+/// use ugraph::{GraphBuilder, TriangleIndex, Triangle};
+///
+/// let mut b = GraphBuilder::new();
+/// for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+///     b.add_edge(u, v, 1.0).unwrap();
+/// }
+/// let g = b.build();
+/// let idx = TriangleIndex::build(&g);
+/// assert_eq!(idx.len(), 4); // K4 has 4 triangles
+/// let t = Triangle::new(0, 1, 2);
+/// let id = idx.id_of(&t).unwrap();
+/// assert_eq!(idx.triangle(id), t);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TriangleIndex {
+    triangles: Vec<Triangle>,
+    ids: HashMap<Triangle, TriangleId>,
+}
+
+impl TriangleIndex {
+    /// Enumerates the triangles of `graph` and builds the index.
+    pub fn build(graph: &UncertainGraph) -> Self {
+        let mut triangles = enumerate_triangles(graph);
+        triangles.sort_unstable();
+        let ids = triangles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i as TriangleId))
+            .collect();
+        TriangleIndex { triangles, ids }
+    }
+
+    /// Builds an index over an explicit set of triangles (used for
+    /// subgraph-restricted decompositions).
+    pub fn from_triangles(mut triangles: Vec<Triangle>) -> Self {
+        triangles.sort_unstable();
+        triangles.dedup();
+        let ids = triangles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i as TriangleId))
+            .collect();
+        TriangleIndex { triangles, ids }
+    }
+
+    /// Number of indexed triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// `true` when the graph has no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// The triangle with dense id `id`.
+    pub fn triangle(&self, id: TriangleId) -> Triangle {
+        self.triangles[id as usize]
+    }
+
+    /// Dense id of `t`, or `None` when `t` is not indexed.
+    pub fn id_of(&self, t: &Triangle) -> Option<TriangleId> {
+        self.ids.get(t).copied()
+    }
+
+    /// Dense id of the triangle `(a, b, c)`, or `None` when absent.
+    pub fn id_of_vertices(&self, a: VertexId, b: VertexId, c: VertexId) -> Option<TriangleId> {
+        self.id_of(&Triangle::new(a, b, c))
+    }
+
+    /// Iterator over `(id, triangle)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TriangleId, Triangle)> + '_ {
+        self.triangles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TriangleId, *t))
+    }
+
+    /// All triangles in id order.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+}
+
+/// Counts triangles per vertex; entry `v` is the number of triangles
+/// containing `v`.  Useful for clustering-coefficient style statistics.
+pub fn triangle_counts_per_vertex(graph: &UncertainGraph) -> Vec<usize> {
+    let mut counts = vec![0usize; graph.num_vertices()];
+    for t in enumerate_triangles(graph) {
+        for v in t.vertices() {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn k4() -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, 0.5).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn triangle_requires_distinct_vertices() {
+        let _ = Triangle::new(1, 1, 2);
+    }
+
+    #[test]
+    fn triangle_normalizes_order() {
+        let t = Triangle::new(5, 2, 9);
+        assert_eq!(t.vertices(), [2, 5, 9]);
+        assert!(t.contains(5));
+        assert!(!t.contains(3));
+        assert_eq!(t.edges(), [(2, 5), (2, 9), (5, 9)]);
+        assert_eq!(t.to_string(), "(2, 5, 9)");
+    }
+
+    #[test]
+    fn enumerate_k4_triangles() {
+        let g = k4();
+        let ts = enumerate_triangles(&g);
+        assert_eq!(ts.len(), 4);
+        let expected = [
+            Triangle::new(0, 1, 2),
+            Triangle::new(0, 1, 3),
+            Triangle::new(0, 2, 3),
+            Triangle::new(1, 2, 3),
+        ];
+        for t in expected {
+            assert!(ts.contains(&t));
+        }
+    }
+
+    #[test]
+    fn enumerate_no_duplicates_on_dense_graph() {
+        // K6: 20 triangles.
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                b.add_edge(u, v, 0.9).unwrap();
+            }
+        }
+        let g = b.build();
+        let mut ts = enumerate_triangles(&g);
+        let before = ts.len();
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(before, ts.len());
+        assert_eq!(before, 20);
+    }
+
+    #[test]
+    fn triangle_probability_matches_edges() {
+        let g = k4();
+        let t = Triangle::new(0, 1, 2);
+        assert!((t.probability(&g).unwrap() - 0.125).abs() < 1e-12);
+        let missing = Triangle::new(0, 1, 5);
+        assert_eq!(missing.probability(&g), None);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let g = k4();
+        let idx = TriangleIndex::build(&g);
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+        for (id, t) in idx.iter() {
+            assert_eq!(idx.id_of(&t), Some(id));
+            assert_eq!(idx.triangle(id), t);
+        }
+        assert_eq!(idx.id_of_vertices(2, 1, 0), idx.id_of(&Triangle::new(0, 1, 2)));
+        assert_eq!(idx.id_of(&Triangle::new(0, 1, 4)), None);
+    }
+
+    #[test]
+    fn index_from_explicit_triangles_dedups() {
+        let ts = vec![
+            Triangle::new(0, 1, 2),
+            Triangle::new(2, 1, 0),
+            Triangle::new(1, 2, 3),
+        ];
+        let idx = TriangleIndex::from_triangles(ts);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn per_vertex_triangle_counts() {
+        let g = k4();
+        let counts = triangle_counts_per_vertex(&g);
+        assert_eq!(counts, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(u, v, 1.0).unwrap();
+        }
+        let g = b.build();
+        assert!(enumerate_triangles(&g).is_empty());
+        assert!(TriangleIndex::build(&g).is_empty());
+    }
+}

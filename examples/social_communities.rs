@@ -1,0 +1,74 @@
+//! Community detection in a social network: compare the probabilistic
+//! nucleus against the probabilistic truss and core baselines — the
+//! Table 3 scenario of the paper — on a pokec-like graph.
+//!
+//! Run with: `cargo run --release --example social_communities`
+
+use prob_nucleus_repro::nd_datasets::{PaperDataset, Scale};
+use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition};
+use prob_nucleus_repro::probdecomp::{
+    eta_core_subgraphs, gamma_truss_subgraphs, EtaCoreDecomposition, GammaTrussDecomposition,
+};
+use prob_nucleus_repro::ugraph::metrics::{
+    probabilistic_clustering_coefficient, probabilistic_density,
+};
+use prob_nucleus_repro::ugraph::UncertainGraph;
+
+fn describe(name: &str, k: u32, subgraphs: &[&UncertainGraph]) {
+    if subgraphs.is_empty() {
+        println!("{name:>8}: no subgraphs found");
+        return;
+    }
+    let n = subgraphs.len() as f64;
+    let pd = subgraphs.iter().map(|g| probabilistic_density(g)).sum::<f64>() / n;
+    let pcc = subgraphs
+        .iter()
+        .map(|g| probabilistic_clustering_coefficient(g))
+        .sum::<f64>()
+        / n;
+    let avg_v = subgraphs.iter().map(|g| g.num_vertices() as f64).sum::<f64>() / n;
+    println!(
+        "{name:>8}: k_max = {k:>2}  {} component(s), avg {avg_v:.1} vertices, PD = {pd:.3}, PCC = {pcc:.3}",
+        subgraphs.len()
+    );
+}
+
+fn main() {
+    let graph = PaperDataset::Pokec.generate(Scale::Tiny, 11);
+    let theta = 0.3;
+    println!(
+        "pokec-like social network: {} users, {} links (theta = {theta})\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Probabilistic nucleus (this paper).
+    let local = LocalNucleusDecomposition::compute(&graph, &LocalConfig::approximate(theta))
+        .expect("valid configuration");
+    let kn = local.max_score();
+    let nuclei = local.k_nuclei(&graph, kn.max(1));
+    let nucleus_graphs: Vec<&UncertainGraph> =
+        nuclei.iter().map(|n| n.subgraph.graph()).collect();
+    describe("nucleus", kn, &nucleus_graphs);
+
+    // Probabilistic (k,gamma)-truss (Huang et al. 2016).
+    let truss = GammaTrussDecomposition::compute(&graph, theta);
+    let kt = truss.max_truss();
+    let trusses = gamma_truss_subgraphs(&graph, kt.max(1), theta);
+    let truss_graphs: Vec<&UncertainGraph> = trusses.iter().map(|t| t.graph()).collect();
+    describe("truss", kt, &truss_graphs);
+
+    // Probabilistic (k,eta)-core (Bonchi et al. 2014).
+    let core = EtaCoreDecomposition::compute(&graph, theta);
+    let kc = core.max_core();
+    let cores = eta_core_subgraphs(&graph, kc.max(1), theta);
+    let core_graphs: Vec<&UncertainGraph> = cores.iter().map(|c| c.graph()).collect();
+    describe("core", kc, &core_graphs);
+
+    println!(
+        "\nThe nucleus communities are the smallest and densest — the paper's\n\
+         headline observation (Table 3): higher-order structure (triangles in\n\
+         4-cliques) isolates the strongly-connected groups that degree- and\n\
+         triangle-based notions blur together."
+    );
+}

@@ -1,0 +1,36 @@
+//! # prob-nucleus-repro
+//!
+//! Umbrella crate of the reproduction of *"Nucleus Decomposition in
+//! Probabilistic Graphs: Hardness and Algorithms"* (Esfahani, Srinivasan,
+//! Thomo, Wu — ICDE 2022).  It re-exports the workspace crates so that the
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`ugraph`] — probabilistic graph substrate (representation, cliques,
+//!   possible worlds, metrics, generators, I/O),
+//! * [`detdecomp`] — deterministic k-core / k-truss / (3,4)-nucleus
+//!   decompositions,
+//! * [`probdecomp`] — probabilistic (k,η)-core and (k,γ)-truss baselines,
+//! * [`nucleus`] — the paper's contribution: local (exact DP + statistical
+//!   approximations), global and weakly-global nucleus decompositions,
+//! * [`nd_datasets`] — synthetic emulations of the paper's datasets.
+//!
+//! ```
+//! use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition};
+//! use prob_nucleus_repro::ugraph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! for u in 0..5u32 {
+//!     for v in (u + 1)..5u32 {
+//!         b.add_edge(u, v, 0.9).unwrap();
+//!     }
+//! }
+//! let graph = b.build();
+//! let local = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.2)).unwrap();
+//! assert_eq!(local.max_score(), 2);
+//! ```
+
+pub use detdecomp;
+pub use nd_datasets;
+pub use nucleus;
+pub use probdecomp;
+pub use ugraph;

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the probabilistic decompositions must be
+//! consistent with the deterministic ones and with each other.
+
+use prob_nucleus_repro::detdecomp::{CoreDecomposition, NucleusDecomposition, TrussDecomposition};
+use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition};
+use prob_nucleus_repro::probdecomp::{EtaCoreDecomposition, GammaTrussDecomposition};
+use prob_nucleus_repro::ugraph::generators::{
+    assign_probabilities, planted_clique_edges, PlantedCliqueConfig, ProbabilityModel,
+};
+use prob_nucleus_repro::ugraph::{EdgeId, UncertainGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn clique_rich_graph(seed: u64, p: ProbabilityModel) -> UncertainGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cfg = PlantedCliqueConfig {
+        num_vertices: 60,
+        background_edges: 80,
+        num_communities: 6,
+        community_size: (5, 7),
+        overlap: 2,
+    };
+    let edges = planted_clique_edges(&cfg, &mut rng);
+    assign_probabilities(&edges, 60, &p, &mut rng)
+}
+
+/// With all edge probabilities equal to 1, every probabilistic
+/// decomposition must coincide with its deterministic counterpart.
+#[test]
+fn certain_graph_probabilistic_equals_deterministic() {
+    let g = clique_rich_graph(1, ProbabilityModel::Constant(1.0));
+
+    let det_core = CoreDecomposition::compute(&g);
+    let prob_core = EtaCoreDecomposition::compute(&g, 0.9);
+    assert_eq!(det_core.core_numbers(), prob_core.core_numbers());
+
+    let det_truss = TrussDecomposition::compute(&g);
+    let prob_truss = GammaTrussDecomposition::compute(&g, 0.9);
+    assert_eq!(det_truss.truss_numbers(), prob_truss.truss_numbers());
+
+    let det_nucleus = NucleusDecomposition::compute(&g);
+    let prob_nucleus =
+        LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.9)).unwrap();
+    for (id, tri) in prob_nucleus.triangle_index().iter() {
+        assert_eq!(
+            prob_nucleus.score(id),
+            det_nucleus.nucleusness_of(&tri).unwrap(),
+            "triangle {tri}"
+        );
+    }
+}
+
+/// The probabilistic scores are upper-bounded by the deterministic ones
+/// and are monotone in θ on probabilistic graphs.
+#[test]
+fn probabilistic_scores_bounded_by_deterministic() {
+    let g = clique_rich_graph(2, ProbabilityModel::Uniform { low: 0.3, high: 1.0 });
+    let det = NucleusDecomposition::compute(&g);
+    let loose = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.05)).unwrap();
+    let tight = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.6)).unwrap();
+    for (id, tri) in loose.triangle_index().iter() {
+        let d = det.nucleusness_of(&tri).unwrap();
+        assert!(loose.score(id) <= d);
+        assert!(tight.score(id) <= loose.score(id));
+    }
+}
+
+/// The nucleus hierarchy is consistent with the truss and core hierarchies:
+/// every edge of an ℓ-(k,θ)-nucleus belongs to the (k,γ)-truss with k ≥ 1
+/// at the same threshold, which in turn lives inside the (k,η)-core.
+/// (This is the probabilistic analogue of nucleus ⊆ truss ⊆ core.)
+#[test]
+fn nucleus_subgraphs_are_inside_truss_and_core() {
+    let theta = 0.2;
+    let g = clique_rich_graph(3, ProbabilityModel::Uniform { low: 0.5, high: 1.0 });
+    let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
+    if local.max_score() == 0 {
+        return; // nothing to check on this draw
+    }
+    let truss = GammaTrussDecomposition::compute(&g, theta);
+    let core = EtaCoreDecomposition::compute(&g, theta);
+    for nucleus in local.k_nuclei(&g, 1) {
+        for &v in nucleus.subgraph.original_vertices() {
+            assert!(core.core_number(v) >= 1, "vertex {v} outside the 1-core");
+        }
+        for tri in &nucleus.triangles {
+            for (u, v) in tri.edges() {
+                let e: EdgeId = g.edge_id(u, v).unwrap();
+                assert!(
+                    truss.truss_number(e) >= 1,
+                    "edge ({u},{v}) outside the (1,gamma)-truss"
+                );
+            }
+        }
+    }
+}
+
+/// k-(1,2)-nucleus = k-core and k-(2,3)-nucleus = k-truss: the generalized
+/// definition collapses to the classical ones on deterministic graphs.
+/// Here verified through the support-based definitions: a vertex of core
+/// number k has at least k neighbours in its core, and an edge of truss
+/// number k has at least k triangles in its truss.
+#[test]
+fn deterministic_hierarchy_sanity() {
+    let g = clique_rich_graph(4, ProbabilityModel::Constant(1.0));
+    let core = CoreDecomposition::compute(&g);
+    let kmax = core.max_core();
+    let members = core.vertices_in_k_core(kmax);
+    for &v in &members {
+        let degree_in_core = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| members.contains(&u))
+            .count() as u32;
+        assert!(degree_in_core >= kmax);
+    }
+
+    let truss = TrussDecomposition::compute(&g);
+    let tmax = truss.max_truss();
+    let edges = truss.edges_in_k_truss(tmax);
+    for &e in &edges {
+        let edge = g.edge(e);
+        let support_in_truss = g
+            .common_neighbors(edge.u, edge.v)
+            .iter()
+            .filter(|&&w| {
+                edges.contains(&g.edge_id(edge.u, w).unwrap())
+                    && edges.contains(&g.edge_id(edge.v, w).unwrap())
+            })
+            .count() as u32;
+        assert!(support_in_truss >= tmax);
+    }
+}
+
+/// Every triangle of an extracted ℓ-(k,θ)-nucleus really does satisfy the
+/// definition: its probability of being in ≥ k 4-cliques of the nucleus is
+/// at least θ (checked with the exact DP over the nucleus subgraph).
+#[test]
+fn extracted_nuclei_satisfy_definition() {
+    let theta = 0.15;
+    let g = clique_rich_graph(5, ProbabilityModel::Uniform { low: 0.4, high: 1.0 });
+    let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
+    for k in 1..=local.max_score() {
+        for nucleus in local.k_nuclei(&g, k) {
+            let sub = nucleus.subgraph.graph();
+            let sub_local =
+                LocalNucleusDecomposition::compute(sub, &LocalConfig::exact(theta)).unwrap();
+            for (id, _tri) in sub_local.triangle_index().iter() {
+                // Within the nucleus, every triangle that is part of one of
+                // its 4-cliques must reach support k with probability >= θ.
+                let probs = sub_local.support().completion_probs(id);
+                if probs.is_empty() {
+                    continue;
+                }
+                let tail = prob_nucleus_repro::nucleus::local::dp::local_tail_probability(
+                    sub_local.support().triangle_prob(id),
+                    &probs,
+                    k as usize,
+                );
+                assert!(
+                    tail >= theta - 1e-9,
+                    "k={k}: triangle tail {tail} below theta {theta}"
+                );
+            }
+        }
+    }
+}
