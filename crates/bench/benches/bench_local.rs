@@ -9,7 +9,11 @@ use nucleus::{LocalConfig, LocalNucleusDecomposition, SupportStructure};
 fn bench_local(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_decomposition");
     group.sample_size(10);
-    for dataset in [PaperDataset::Krogan, PaperDataset::Dblp, PaperDataset::Flickr] {
+    for dataset in [
+        PaperDataset::Krogan,
+        PaperDataset::Dblp,
+        PaperDataset::Flickr,
+    ] {
         let graph = dataset.generate(Scale::Tiny, 42);
         let support = SupportStructure::build(&graph);
         for theta in [0.1, 0.3] {

@@ -113,7 +113,11 @@ pub struct ScoringCostRow {
 }
 
 /// Runs the scoring-cost ablation.
-pub fn run_scoring_cost(ctx: &ExperimentContext, counts: &[usize], repeats: usize) -> Vec<ScoringCostRow> {
+pub fn run_scoring_cost(
+    ctx: &ExperimentContext,
+    counts: &[usize],
+    repeats: usize,
+) -> Vec<ScoringCostRow> {
     let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
     let mut rows = Vec::new();
     for &c in counts {

@@ -62,7 +62,10 @@ fn main() {
             std::process::exit(1);
         }
     }
-    println!("\n# total wall-clock: {:.1}s", start.elapsed().as_secs_f64());
+    println!(
+        "\n# total wall-clock: {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn print_usage() {
@@ -124,7 +127,11 @@ fn run_fig6(ctx: &ExperimentContext) {
 fn run_table3(ctx: &ExperimentContext) {
     let t = table3::run(
         ctx,
-        &[PaperDataset::Dblp, PaperDataset::Pokec, PaperDataset::Biomine],
+        &[
+            PaperDataset::Dblp,
+            PaperDataset::Pokec,
+            PaperDataset::Biomine,
+        ],
     );
     println!("{}", t.format());
     report_shape(&t.check_shape());
@@ -141,7 +148,11 @@ fn run_fig7(ctx: &ExperimentContext) {
 fn run_fig8(ctx: &ExperimentContext) {
     let fig = fig8::run(
         ctx,
-        &[PaperDataset::Krogan, PaperDataset::Flickr, PaperDataset::Dblp],
+        &[
+            PaperDataset::Krogan,
+            PaperDataset::Flickr,
+            PaperDataset::Dblp,
+        ],
         3,
         200,
     );

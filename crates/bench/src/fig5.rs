@@ -3,8 +3,8 @@
 
 use nd_datasets::PaperDataset;
 use nucleus::{
-    global::global_nuclei_with_local, weakly_global::weakly_global_nuclei_with_local,
-    GlobalConfig, LocalConfig, LocalNucleusDecomposition, SamplingConfig,
+    global::global_nuclei_with_local, weakly_global::weakly_global_nuclei_with_local, GlobalConfig,
+    LocalConfig, LocalNucleusDecomposition, SamplingConfig,
 };
 
 use crate::runner::{format_table, ExperimentContext, Timing};

@@ -57,7 +57,9 @@ fn mean_relative_error<R: Rng>(
     let mut total = 0.0f64;
     let mut counted = 0usize;
     for _ in 0..samples {
-        let probs: Vec<f64> = (0..c).map(|_| rng.gen_range(prob_low..=prob_high)).collect();
+        let probs: Vec<f64> = (0..c)
+            .map(|_| rng.gen_range(prob_low..=prob_high))
+            .collect();
         let exact = dp::max_k(1.0, &probs, THETA);
         if exact == 0 {
             continue;
@@ -84,7 +86,7 @@ fn mean_relative_error_clustered<R: Rng>(
     let mut total = 0.0f64;
     let mut counted = 0usize;
     for _ in 0..samples {
-        let centre = rng.gen_range(0.15..0.85);
+        let centre: f64 = rng.gen_range(0.15..0.85);
         let spread = 0.02f64;
         let probs: Vec<f64> = (0..c)
             .map(|_| (centre + rng.gen_range(-spread..=spread)).clamp(0.01, 0.99))
@@ -111,7 +113,11 @@ pub fn run(ctx: &ExperimentContext, samples: usize) -> Fig6 {
 
     // Panel 6a: small Pr(E_i), c in {25, 50, 100}.
     for &c in &[25usize, 50, 100] {
-        for method in [ApproxMethod::Binomial, ApproxMethod::Clt, ApproxMethod::Poisson] {
+        for method in [
+            ApproxMethod::Binomial,
+            ApproxMethod::Clt,
+            ApproxMethod::Poisson,
+        ] {
             let err = mean_relative_error(&mut rng, method, c, 0.001, 0.1, samples);
             cells.push(Fig6Cell {
                 panel: "6a",
@@ -189,7 +195,9 @@ impl Fig6 {
                 get("6a", c, ApproxMethod::Clt),
             ) {
                 if p > clt + 0.02 {
-                    violations.push(format!("6a {c}: Poisson ({p:.3}) worse than CLT ({clt:.3})"));
+                    violations.push(format!(
+                        "6a {c}: Poisson ({p:.3}) worse than CLT ({clt:.3})"
+                    ));
                 }
             }
         }

@@ -121,7 +121,10 @@ impl Fig7 {
         }
         for p in &self.points {
             if p.avg_pd < 0.3 {
-                violations.push(format!("k={}: avg PD {:.3} unexpectedly low", p.k, p.avg_pd));
+                violations.push(format!(
+                    "k={}: avg PD {:.3} unexpectedly low",
+                    p.k, p.avg_pd
+                ));
             }
         }
         violations

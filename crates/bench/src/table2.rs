@@ -93,7 +93,10 @@ impl Table2 {
             .collect();
         format!(
             "Table 2: accuracy of AP scores vs exact DP scores\n{}",
-            format_table(&["Graph", "theta", "avg error", "% tri with error", "#tri"], &rows)
+            format_table(
+                &["Graph", "theta", "avg error", "% tri with error", "#tri"],
+                &rows
+            )
         )
     }
 

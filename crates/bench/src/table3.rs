@@ -8,7 +8,9 @@
 
 use nd_datasets::PaperDataset;
 use nucleus::{LocalConfig, LocalNucleusDecomposition};
-use probdecomp::{eta_core_subgraphs, gamma_truss_subgraphs, EtaCoreDecomposition, GammaTrussDecomposition};
+use probdecomp::{
+    eta_core_subgraphs, gamma_truss_subgraphs, EtaCoreDecomposition, GammaTrussDecomposition,
+};
 use ugraph::metrics::{probabilistic_clustering_coefficient, probabilistic_density};
 use ugraph::{EdgeSubgraph, UncertainGraph};
 
@@ -37,9 +39,17 @@ fn average_stats(subgraphs: &[&UncertainGraph]) -> (f64, f64, f64, f64) {
         return (0.0, 0.0, 0.0, 0.0);
     }
     let n = subgraphs.len() as f64;
-    let v = subgraphs.iter().map(|g| g.num_vertices() as f64).sum::<f64>() / n;
+    let v = subgraphs
+        .iter()
+        .map(|g| g.num_vertices() as f64)
+        .sum::<f64>()
+        / n;
     let e = subgraphs.iter().map(|g| g.num_edges() as f64).sum::<f64>() / n;
-    let pd = subgraphs.iter().map(|g| probabilistic_density(g)).sum::<f64>() / n;
+    let pd = subgraphs
+        .iter()
+        .map(|g| probabilistic_density(g))
+        .sum::<f64>()
+        / n;
     let pcc = subgraphs
         .iter()
         .map(|g| probabilistic_clustering_coefficient(g))
@@ -90,8 +100,9 @@ pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset]) -> Table3 {
         let graph = ctx.dataset(ds);
         for &theta in &THETAS {
             // Nucleus.
-            let local = LocalNucleusDecomposition::compute(&graph, &LocalConfig::approximate(theta))
-                .expect("valid config");
+            let local =
+                LocalNucleusDecomposition::compute(&graph, &LocalConfig::approximate(theta))
+                    .expect("valid config");
             let kn = local.max_score();
             let nucleus_subs: Vec<EdgeSubgraph> = local
                 .k_nuclei(&graph, kn.max(1))
@@ -151,7 +162,15 @@ impl Table3 {
         format!(
             "Table 3: cohesiveness of nucleus (N) vs truss (T) vs core (C)\n{}",
             format_table(
-                &["Graph", "theta", "|V| N/T/C", "|E| N/T/C", "kmax N/T/C", "PD N/T/C", "PCC N/T/C"],
+                &[
+                    "Graph",
+                    "theta",
+                    "|V| N/T/C",
+                    "|E| N/T/C",
+                    "kmax N/T/C",
+                    "PD N/T/C",
+                    "PCC N/T/C"
+                ],
                 &rows
             )
         )

@@ -71,7 +71,10 @@ impl PaperDataset {
                     low_range: (0.25, 0.65),
                 },
                 strong_community_fraction: 0.5,
-                strong_probability: ProbabilityModel::Uniform { low: 0.75, high: 0.99 },
+                strong_probability: ProbabilityModel::Uniform {
+                    low: 0.75,
+                    high: 0.99,
+                },
             },
             PaperDataset::Dblp => DatasetSpec {
                 name: "dblp",
@@ -86,7 +89,10 @@ impl PaperDataset {
                     scale: 5.0,
                 },
                 strong_community_fraction: 0.2,
-                strong_probability: ProbabilityModel::Uniform { low: 0.7, high: 0.98 },
+                strong_probability: ProbabilityModel::Uniform {
+                    low: 0.7,
+                    high: 0.98,
+                },
             },
             PaperDataset::Flickr => DatasetSpec {
                 name: "flickr",
@@ -101,7 +107,10 @@ impl PaperDataset {
                     scale: 0.2,
                 },
                 strong_community_fraction: 0.35,
-                strong_probability: ProbabilityModel::Uniform { low: 0.7, high: 0.98 },
+                strong_probability: ProbabilityModel::Uniform {
+                    low: 0.7,
+                    high: 0.98,
+                },
             },
             PaperDataset::Pokec => DatasetSpec {
                 name: "pokec",
@@ -111,9 +120,15 @@ impl PaperDataset {
                     base_communities: 45,
                     community_size: (5, 8),
                 },
-                probability: ProbabilityModel::Uniform { low: 0.01, high: 0.95 },
+                probability: ProbabilityModel::Uniform {
+                    low: 0.01,
+                    high: 0.95,
+                },
                 strong_community_fraction: 0.3,
-                strong_probability: ProbabilityModel::Uniform { low: 0.7, high: 0.98 },
+                strong_probability: ProbabilityModel::Uniform {
+                    low: 0.7,
+                    high: 0.98,
+                },
             },
             PaperDataset::Biomine => DatasetSpec {
                 name: "biomine",
@@ -129,7 +144,10 @@ impl PaperDataset {
                     low_range: (0.05, 0.4),
                 },
                 strong_community_fraction: 0.3,
-                strong_probability: ProbabilityModel::Uniform { low: 0.7, high: 0.98 },
+                strong_probability: ProbabilityModel::Uniform {
+                    low: 0.7,
+                    high: 0.98,
+                },
             },
             PaperDataset::Ljournal => DatasetSpec {
                 name: "ljournal-2008",
@@ -139,9 +157,15 @@ impl PaperDataset {
                     base_communities: 80,
                     community_size: (5, 9),
                 },
-                probability: ProbabilityModel::Uniform { low: 0.01, high: 0.95 },
+                probability: ProbabilityModel::Uniform {
+                    low: 0.01,
+                    high: 0.95,
+                },
                 strong_community_fraction: 0.3,
-                strong_probability: ProbabilityModel::Uniform { low: 0.7, high: 0.98 },
+                strong_probability: ProbabilityModel::Uniform {
+                    low: 0.7,
+                    high: 0.98,
+                },
             },
         }
     }
@@ -158,7 +182,8 @@ impl PaperDataset {
             PaperDataset::Biomine => 0x05,
             PaperDataset::Ljournal => 0x06,
         };
-        self.spec().generate(scale, seed.wrapping_mul(0x9e37_79b9).wrapping_add(salt))
+        self.spec()
+            .generate(scale, seed.wrapping_mul(0x9e37_79b9).wrapping_add(salt))
     }
 
     /// The average edge probability reported by the paper (Table 1), used

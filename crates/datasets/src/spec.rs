@@ -15,7 +15,9 @@
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use ugraph::generators::{barabasi_albert_edges, gnm_edges, watts_strogatz_edges, ProbabilityModel};
+use ugraph::generators::{
+    barabasi_albert_edges, gnm_edges, watts_strogatz_edges, ProbabilityModel,
+};
 use ugraph::{GraphBuilder, UncertainGraph, VertexId};
 
 /// How large the generated stand-in should be.
@@ -236,9 +238,15 @@ mod tests {
                 community_size: (4, 6),
                 overlap: 1,
             },
-            probability: ProbabilityModel::Uniform { low: 0.1, high: 0.4 },
+            probability: ProbabilityModel::Uniform {
+                low: 0.1,
+                high: 0.4,
+            },
             strong_community_fraction: 0.4,
-            strong_probability: ProbabilityModel::Uniform { low: 0.7, high: 0.98 },
+            strong_probability: ProbabilityModel::Uniform {
+                low: 0.7,
+                high: 0.98,
+            },
         }
     }
 
@@ -286,7 +294,11 @@ mod tests {
         let strong_cliques = ugraph::FourCliqueEnumerator::new(&g)
             .cliques()
             .iter()
-            .filter(|c| c.probability(&g).map(|p| p > 0.6f64.powi(6)).unwrap_or(false))
+            .filter(|c| {
+                c.probability(&g)
+                    .map(|p| p > 0.6f64.powi(6))
+                    .unwrap_or(false)
+            })
             .count();
         assert!(strong_cliques > 0, "expected at least one strong 4-clique");
     }

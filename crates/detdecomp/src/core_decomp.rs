@@ -209,7 +209,16 @@ mod tests {
     fn clique_with_tail() {
         // K4 on {0,1,2,3} plus path 3-4-5.
         let mut b = GraphBuilder::new();
-        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)] {
+        for &(u, v) in &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ] {
             b.add_edge(u, v, 1.0).unwrap();
         }
         let g = b.build();

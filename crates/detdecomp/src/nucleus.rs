@@ -139,11 +139,7 @@ impl NucleusDecomposition {
             .cliques
             .iter()
             .enumerate()
-            .filter_map(|(ci, tris)| {
-                tris.iter()
-                    .all(|&t| self.nucleusness(t) >= k)
-                    .then_some(ci)
-            })
+            .filter_map(|(ci, tris)| tris.iter().all(|&t| self.nucleusness(t) >= k).then_some(ci))
             .collect();
         if qualifying.is_empty() {
             return Vec::new();
@@ -163,7 +159,8 @@ impl NucleusDecomposition {
         }
 
         // Group qualifying cliques by the component of their first triangle.
-        let mut groups: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
         for &ci in &qualifying {
             let root = uf.find(self.cliques[ci][0]);
             groups.entry(root).or_default().push(ci);
@@ -384,7 +381,10 @@ mod tests {
                     }
                     let sup = clique_tris
                         .iter()
-                        .filter(|tris| tris.iter().all(|&x| alive[x as usize]) && tris.contains(&(t as TriangleId)))
+                        .filter(|tris| {
+                            tris.iter().all(|&x| alive[x as usize])
+                                && tris.contains(&(t as TriangleId))
+                        })
                         .count() as u32;
                     if sup < k {
                         alive[t] = false;

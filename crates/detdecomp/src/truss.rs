@@ -31,9 +31,8 @@ impl TrussDecomposition {
             support[e] = graph.common_neighbors(edge.u, edge.v).len() as u32;
         }
 
-        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> = (0..m)
-            .map(|e| Reverse((support[e], e as EdgeId)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> =
+            (0..m).map(|e| Reverse((support[e], e as EdgeId))).collect();
         let mut removed = vec![false; m];
         let mut truss = vec![0u32; m];
 
@@ -220,16 +219,34 @@ mod tests {
     fn clique_with_pendant_triangle() {
         // K4 {0,1,2,3} plus triangle {3,4,5}.
         let mut b = GraphBuilder::new();
-        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)] {
+        for &(u, v) in &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+        ] {
             b.add_edge(u, v, 1.0).unwrap();
         }
         let g = b.build();
         let d = TrussDecomposition::compute(&g);
         for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
-            assert_eq!(d.truss_number(g.edge_id(u, v).unwrap()), 2, "edge ({u},{v})");
+            assert_eq!(
+                d.truss_number(g.edge_id(u, v).unwrap()),
+                2,
+                "edge ({u},{v})"
+            );
         }
         for &(u, v) in &[(3, 4), (4, 5), (3, 5)] {
-            assert_eq!(d.truss_number(g.edge_id(u, v).unwrap()), 1, "edge ({u},{v})");
+            assert_eq!(
+                d.truss_number(g.edge_id(u, v).unwrap()),
+                1,
+                "edge ({u},{v})"
+            );
         }
         assert_eq!(d.edges_in_k_truss(2).len(), 6);
         assert_eq!(d.edges_in_k_truss(1).len(), 9);

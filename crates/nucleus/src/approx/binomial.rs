@@ -133,8 +133,8 @@ mod tests {
         // With identical Pr(E_i), the Binomial approximation is exact.
         let probs = vec![0.35; 15];
         let exact = dp::support_tail(&probs);
-        for k in 0..=15usize {
-            assert!((tail(15, 0.35, k) - exact[k]).abs() < 1e-9, "k={k}");
+        for (k, &e) in exact.iter().enumerate() {
+            assert!((tail(15, 0.35, k) - e).abs() < 1e-9, "k={k}");
         }
         for theta in [0.05, 0.2, 0.5, 0.8] {
             assert_eq!(

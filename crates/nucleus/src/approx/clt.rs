@@ -118,7 +118,9 @@ mod tests {
     fn approximates_dp_for_large_counts() {
         // 300 moderately sized probabilities: the CLT condition (1) of the
         // hybrid framework.  Compare the tail around the mean.
-        let probs: Vec<f64> = (0..300).map(|i| 0.3 + 0.4 * ((i % 10) as f64) / 10.0).collect();
+        let probs: Vec<f64> = (0..300)
+            .map(|i| 0.3 + 0.4 * ((i % 10) as f64) / 10.0)
+            .collect();
         let exact = dp::support_tail(&probs);
         let mean = crate::approx::stats::mean(&probs);
         let var = crate::approx::stats::variance(&probs);
@@ -134,7 +136,9 @@ mod tests {
 
     #[test]
     fn max_k_close_to_dp_for_large_counts() {
-        let probs: Vec<f64> = (0..250).map(|i| 0.2 + 0.5 * ((i % 7) as f64) / 7.0).collect();
+        let probs: Vec<f64> = (0..250)
+            .map(|i| 0.2 + 0.5 * ((i % 7) as f64) / 7.0)
+            .collect();
         for theta in [0.1, 0.3, 0.5] {
             let exact = dp::max_k(0.95, &probs, theta);
             let approx = max_k(0.95, &probs, theta);

@@ -168,7 +168,7 @@ mod tests {
         // (1) c >= 200 → CLT.
         assert_eq!(select_method(&vec![0.5; 250], &t), ApproxMethod::Clt);
         // (2) c < 100 and small probabilities → Poisson.
-        assert_eq!(select_method(&vec![0.1; 20], &t), ApproxMethod::Poisson);
+        assert_eq!(select_method(&[0.1; 20], &t), ApproxMethod::Poisson);
         // (3) sum of squares > 1 → Translated Poisson (probabilities not
         // small, count between B and A).
         assert_eq!(
@@ -182,16 +182,13 @@ mod tests {
         // still fail (2) because c >= B... impossible with defaults since
         // B < A. Instead tighten C so (2) fails: p = 0.3, c = 10,
         // sum sq = 0.9 < 1, ratio = 1 → Binomial.
-        assert_eq!(select_method(&vec![0.3; 10], &t), ApproxMethod::Binomial);
+        assert_eq!(select_method(&[0.3; 10], &t), ApproxMethod::Binomial);
         // (5) heterogeneous probabilities, sum of squares ≤ 1 and low
         // variance ratio → DP fallback.
         let mixed = vec![0.9, 0.05, 0.05, 0.05];
         assert!(stats::sum_of_squares(&mixed) <= 1.0);
         assert!(stats::binomial_variance_ratio(&mixed) < t.d);
-        assert_eq!(
-            select_method(&mixed, &t),
-            ApproxMethod::DynamicProgramming
-        );
+        assert_eq!(select_method(&mixed, &t), ApproxMethod::DynamicProgramming);
     }
 
     #[test]
@@ -202,8 +199,8 @@ mod tests {
             c_max: 0.5,
             d: 0.99,
         };
-        assert_eq!(select_method(&vec![0.4; 6], &t), ApproxMethod::Clt);
-        assert_eq!(select_method(&vec![0.4; 2], &t), ApproxMethod::Poisson);
+        assert_eq!(select_method(&[0.4; 6], &t), ApproxMethod::Clt);
+        assert_eq!(select_method(&[0.4; 2], &t), ApproxMethod::Poisson);
     }
 
     #[test]
@@ -253,8 +250,8 @@ mod tests {
         for (method, probs) in cases {
             let exact = dp::support_tail(probs);
             let mut max_err = 0.0f64;
-            for k in 0..=probs.len() {
-                let err = (tail_probability(method, probs, k) - exact[k]).abs();
+            for (k, &e) in exact.iter().enumerate() {
+                let err = (tail_probability(method, probs, k) - e).abs();
                 max_err = max_err.max(err);
             }
             assert!(max_err < 0.07, "{method}: max error {max_err}");

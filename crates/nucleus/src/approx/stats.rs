@@ -94,6 +94,9 @@ mod tests {
     #[test]
     fn le_cam_identity() {
         let probs = [0.2, 0.4, 0.6];
-        assert_close(le_cam_bound(&probs), 2.0 * (mean(&probs) - variance(&probs)));
+        assert_close(
+            le_cam_bound(&probs),
+            2.0 * (mean(&probs) - variance(&probs)),
+        );
     }
 }

@@ -62,11 +62,7 @@ impl TranslatedPoisson {
 
 /// Convenience: the largest qualifying `k` directly from the completion
 /// probabilities.
-pub fn max_k(
-    triangle_prob: f64,
-    completion_probs: &[f64],
-    theta: f64,
-) -> u32 {
+pub fn max_k(triangle_prob: f64, completion_probs: &[f64], theta: f64) -> u32 {
     let mean = super::stats::mean(completion_probs);
     let variance = super::stats::variance(completion_probs);
     TranslatedPoisson::from_moments(mean, variance).max_k(
@@ -137,9 +133,9 @@ mod tests {
         let tp = TranslatedPoisson::from_moments(lambda, stats::variance(&probs));
         let mut err_tp = 0.0;
         let mut err_poisson = 0.0;
-        for k in 0..=50usize {
-            err_tp += (tp.tail(k) - exact[k]).abs();
-            err_poisson += (super::poisson::tail(lambda, k) - exact[k]).abs();
+        for (k, &e) in exact.iter().enumerate() {
+            err_tp += (tp.tail(k) - e).abs();
+            err_poisson += (super::poisson::tail(lambda, k) - e).abs();
         }
         assert!(
             err_tp < err_poisson,

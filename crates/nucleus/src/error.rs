@@ -81,7 +81,9 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
 
-        let e = NucleusError::UnknownTriangle { vertices: [1, 2, 3] };
+        let e = NucleusError::UnknownTriangle {
+            vertices: [1, 2, 3],
+        };
         assert!(e.to_string().contains("(1, 2, 3)"));
 
         let g: NucleusError = ugraph::GraphError::SelfLoop { vertex: 4 }.into();

@@ -178,7 +178,10 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             8,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.2,
+                high: 1.0,
+            },
             &mut rng,
         );
         let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.3)).unwrap();
@@ -285,7 +288,10 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             7,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.3, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.3,
+                high: 1.0,
+            },
             &mut rng,
         );
         let triangles = ugraph::triangles::enumerate_triangles(&g);

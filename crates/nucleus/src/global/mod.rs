@@ -149,8 +149,10 @@ pub fn global_nuclei_with_local(
 
     for (&seed_triangle, _) in candidate_cliques_of.iter() {
         // Build the candidate H by 4-clique closure (lines 5-7).
-        let mut h_cliques: HashSet<u32> =
-            candidate_cliques_of[&seed_triangle].iter().copied().collect();
+        let mut h_cliques: HashSet<u32> = candidate_cliques_of[&seed_triangle]
+            .iter()
+            .copied()
+            .collect();
         loop {
             // Triangles currently in H and their clique counts within H.
             let mut tri_count: HashMap<TriangleId, usize> = HashMap::new();
@@ -230,10 +232,7 @@ pub fn global_nuclei_with_local(
                 }
             }
         }
-        let estimates: Vec<f64> = hits
-            .iter()
-            .map(|&h| h as f64 / n_samples as f64)
-            .collect();
+        let estimates: Vec<f64> = hits.iter().map(|&h| h as f64 / n_samples as f64).collect();
         let min_probability = estimates.iter().copied().fold(f64::INFINITY, f64::min);
         if estimates.iter().all(|&p| p >= config.theta) && accepted.insert(edge_ids.clone()) {
             solution.push(GlobalNucleus {
@@ -297,8 +296,11 @@ mod tests {
         // exact global tail clears θ.
         let g = figure3a_graph();
         let theta = 0.42;
-        let config = GlobalConfig::new(theta)
-            .with_sampling(SamplingConfig::default().with_num_samples(800).with_seed(11));
+        let config = GlobalConfig::new(theta).with_sampling(
+            SamplingConfig::default()
+                .with_num_samples(800)
+                .with_seed(11),
+        );
         let nuclei = global_nuclei(&g, 1, &config).unwrap();
         assert_eq!(nuclei.len(), 1);
         for tri in &nuclei[0].triangles {

@@ -124,10 +124,7 @@ mod tests {
             let (f, tri) = reliability_gadget(&g, anchor);
             let lhs = connected_world_probability(&f, &tri).unwrap();
             let rhs = network_reliability(&g).unwrap();
-            assert!(
-                (lhs - rhs).abs() < 1e-10,
-                "anchor {anchor}: {lhs} vs {rhs}"
-            );
+            assert!((lhs - rhs).abs() < 1e-10, "anchor {anchor}: {lhs} vs {rhs}");
         }
     }
 

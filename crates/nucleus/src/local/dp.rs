@@ -89,7 +89,7 @@ mod tests {
     fn pmf_matches_exhaustive_enumeration() {
         let probs = [0.3, 0.7, 0.45];
         let pmf = support_pmf(&probs);
-        let mut expected = vec![0.0f64; 4];
+        let mut expected = [0.0f64; 4];
         for mask in 0u32..8 {
             let mut p = 1.0;
             let mut cnt = 0usize;

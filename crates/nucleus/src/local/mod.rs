@@ -105,8 +105,8 @@ impl LocalNucleusDecomposition {
                     if other == t || processed[oi] || kappa[oi] <= level {
                         continue;
                     }
-                    let probs = support
-                        .completion_probs_filtered(other, |cc| !clique_dead[cc as usize]);
+                    let probs =
+                        support.completion_probs_filtered(other, |cc| !clique_dead[cc as usize]);
                     let recomputed = score_of(&probs, support.triangle_prob(other)).max(level);
                     if recomputed < kappa[oi] {
                         kappa[oi] = recomputed;
@@ -288,8 +288,7 @@ mod tests {
         let g = complete(6, 0.7);
         let mut last_scores: Option<Vec<u32>> = None;
         for theta in [0.05, 0.2, 0.4, 0.6, 0.9] {
-            let local =
-                LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
+            let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
             if let Some(prev) = &last_scores {
                 for (a, b) in prev.iter().zip(local.scores()) {
                     assert!(b <= a, "scores must not increase as theta grows");
@@ -314,7 +313,10 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             40,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.3, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.3,
+                high: 1.0,
+            },
             &mut rng,
         );
         let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.2)).unwrap();
@@ -340,7 +342,10 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             60,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.2,
+                high: 1.0,
+            },
             &mut rng,
         );
         let exact = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.2)).unwrap();

@@ -13,7 +13,9 @@
 //! the triangle's own existence probability `Pr(△)` — everything the DP,
 //! the statistical approximations and the peeling loop need.
 
-use ugraph::{FourClique, FourCliqueEnumerator, Triangle, TriangleId, TriangleIndex, UncertainGraph};
+use ugraph::{
+    FourClique, FourCliqueEnumerator, Triangle, TriangleId, TriangleIndex, UncertainGraph,
+};
 
 /// One 4-clique, expressed through the dense ids of its four triangles and
 /// the completion probability `Pr(E_i)` associated with each of them.
@@ -263,20 +265,14 @@ mod tests {
         b.add_edge(2, 3, 0.4).unwrap();
         let g = b.build();
         let s = SupportStructure::build(&g);
-        let t = s
-            .triangle_index()
-            .id_of(&Triangle::new(0, 1, 2))
-            .unwrap();
+        let t = s.triangle_index().id_of(&Triangle::new(0, 1, 2)).unwrap();
         let probs = s.completion_probs(t);
         assert_eq!(probs.len(), 1);
         assert!((probs[0] - 0.6 * 0.5 * 0.4).abs() < 1e-12);
         assert!((s.triangle_prob(t) - 0.9 * 0.8 * 0.7).abs() < 1e-12);
 
         // For the triangle (0,1,3) the completing vertex is 2.
-        let t2 = s
-            .triangle_index()
-            .id_of(&Triangle::new(0, 1, 3))
-            .unwrap();
+        let t2 = s.triangle_index().id_of(&Triangle::new(0, 1, 3)).unwrap();
         let probs2 = s.completion_probs(t2);
         assert!((probs2[0] - 0.8 * 0.7 * 0.4).abs() < 1e-12);
     }

@@ -145,8 +145,7 @@ pub fn weakly_global_nuclei_with_local(
             groups.entry(uf.find(i as u32)).or_default().push(i);
         }
         for group in groups.into_values() {
-            let triangles: Vec<Triangle> =
-                group.iter().map(|&i| candidate.triangles[i]).collect();
+            let triangles: Vec<Triangle> = group.iter().map(|&i| candidate.triangles[i]).collect();
             let min_probability = group
                 .iter()
                 .map(|&i| estimates[i])
@@ -218,14 +217,15 @@ mod tests {
             }
         }
         let g = b.build();
-        let config = GlobalConfig::new(0.01)
-            .with_sampling(SamplingConfig::default().with_num_samples(1000).with_seed(4));
+        let config = GlobalConfig::new(0.01).with_sampling(
+            SamplingConfig::default()
+                .with_num_samples(1000)
+                .with_seed(4),
+        );
         // Local nuclei exist at k = 2...
-        let local = LocalNucleusDecomposition::compute(
-            &g,
-            &crate::config::LocalConfig::exact(0.01),
-        )
-        .unwrap();
+        let local =
+            LocalNucleusDecomposition::compute(&g, &crate::config::LocalConfig::exact(0.01))
+                .unwrap();
         assert_eq!(local.max_score(), 2);
         // ...but the weakly-global decomposition rejects them (the true
         // probability is 0.006 < 0.01; with 1000 samples the estimate is

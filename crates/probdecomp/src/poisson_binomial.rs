@@ -87,9 +87,9 @@ mod tests {
         let n = 6;
         let probs = vec![p; n];
         let pmf = poisson_binomial_pmf(&probs);
-        for k in 0..=n {
+        for (k, &mass) in pmf.iter().enumerate() {
             let binom = binomial(n, k) as f64 * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
-            assert_close(pmf[k], binom);
+            assert_close(mass, binom);
         }
     }
 
@@ -105,7 +105,7 @@ mod tests {
         let probs = [0.2, 0.5, 0.8, 0.3];
         let pmf = poisson_binomial_pmf(&probs);
         // Enumerate all 2^4 outcomes.
-        let mut expected = vec![0.0f64; 5];
+        let mut expected = [0.0f64; 5];
         for mask in 0u32..16 {
             let mut p = 1.0;
             let mut count = 0usize;

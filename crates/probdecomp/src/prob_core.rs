@@ -44,9 +44,8 @@ impl EtaCoreDecomposition {
             score[v as usize] = eta_degree(graph, v, &alive);
         }
 
-        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n)
-            .map(|v| Reverse((score[v], v as VertexId)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> =
+            (0..n).map(|v| Reverse((score[v], v as VertexId))).collect();
         let mut core = vec![0u32; n];
         let mut level = 0u32;
 
@@ -239,7 +238,10 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             30,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.2,
+                high: 1.0,
+            },
             &mut rng,
         );
         let loose = EtaCoreDecomposition::compute(&g, 0.1);
@@ -262,13 +264,16 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             30,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.2, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.2,
+                high: 1.0,
+            },
             &mut rng,
         );
         let prob = EtaCoreDecomposition::compute(&g, 0.4);
         let det = detdecomp_core(&g);
-        for v in 0..30usize {
-            assert!(prob.core_numbers()[v] <= det[v]);
+        for (v, &d) in det.iter().enumerate() {
+            assert!(prob.core_numbers()[v] <= d);
         }
     }
 

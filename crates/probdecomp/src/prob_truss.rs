@@ -49,13 +49,12 @@ impl GammaTrussDecomposition {
             threshold_score(&wedge_probs, edge.p, gamma).unwrap_or(0)
         };
 
-        for e in 0..m {
-            score[e] = gamma_support(graph, e as EdgeId, &alive);
+        for (e, s) in score.iter_mut().enumerate() {
+            *s = gamma_support(graph, e as EdgeId, &alive);
         }
 
-        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> = (0..m)
-            .map(|e| Reverse((score[e], e as EdgeId)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> =
+            (0..m).map(|e| Reverse((score[e], e as EdgeId))).collect();
         let mut truss = vec![0u32; m];
         let mut level = 0u32;
 
@@ -249,13 +248,16 @@ mod tests {
         let g = ugraph::generators::assign_probabilities(
             &edges,
             20,
-            &ugraph::generators::ProbabilityModel::Uniform { low: 0.3, high: 1.0 },
+            &ugraph::generators::ProbabilityModel::Uniform {
+                low: 0.3,
+                high: 1.0,
+            },
             &mut rng,
         );
         let prob = GammaTrussDecomposition::compute(&g, 0.3);
         let det = naive_det_truss(&g);
-        for e in 0..g.num_edges() {
-            assert!(prob.truss_numbers()[e] <= det[e]);
+        for (e, &d) in det.iter().enumerate() {
+            assert!(prob.truss_numbers()[e] <= d);
         }
     }
 

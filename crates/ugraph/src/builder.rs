@@ -162,7 +162,13 @@ impl GraphBuilder {
             }
         }
 
-        UncertainGraph::from_csr(offsets, neighbors, neighbor_probs, neighbor_edges, edge_list)
+        UncertainGraph::from_csr(
+            offsets,
+            neighbors,
+            neighbor_probs,
+            neighbor_edges,
+            edge_list,
+        )
     }
 }
 
@@ -242,7 +248,8 @@ mod tests {
     #[test]
     fn edge_ids_are_dense_and_consistent() {
         let mut b = GraphBuilder::new();
-        b.extend_edges([(2, 3, 0.1), (0, 1, 0.2), (1, 2, 0.3)]).unwrap();
+        b.extend_edges([(2, 3, 0.1), (0, 1, 0.2), (1, 2, 0.3)])
+            .unwrap();
         let g = b.build();
         let mut seen = vec![false; g.num_edges()];
         for v in g.vertices() {

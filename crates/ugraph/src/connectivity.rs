@@ -84,7 +84,8 @@ impl UnionFind {
         F: Fn(u32) -> bool,
     {
         let n = self.len();
-        let mut by_root: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut by_root: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for x in 0..n as u32 {
             if keep(x) {
                 let r = self.find(x);

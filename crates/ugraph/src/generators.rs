@@ -336,7 +336,10 @@ mod tests {
     fn probability_models_stay_in_range() {
         let models = [
             ProbabilityModel::Constant(0.5),
-            ProbabilityModel::Uniform { low: 0.0, high: 1.0 },
+            ProbabilityModel::Uniform {
+                low: 0.0,
+                high: 1.0,
+            },
             ProbabilityModel::ExponentialCollaboration {
                 mean_collaborations: 2.0,
                 scale: 2.0,
@@ -455,8 +458,24 @@ mod tests {
         let e1 = planted_clique_edges(&cfg, &mut rng(99));
         let e2 = planted_clique_edges(&cfg, &mut rng(99));
         assert_eq!(e1, e2);
-        let g1 = assign_probabilities(&e1, 40, &ProbabilityModel::Uniform { low: 0.1, high: 1.0 }, &mut rng(5));
-        let g2 = assign_probabilities(&e2, 40, &ProbabilityModel::Uniform { low: 0.1, high: 1.0 }, &mut rng(5));
+        let g1 = assign_probabilities(
+            &e1,
+            40,
+            &ProbabilityModel::Uniform {
+                low: 0.1,
+                high: 1.0,
+            },
+            &mut rng(5),
+        );
+        let g2 = assign_probabilities(
+            &e2,
+            40,
+            &ProbabilityModel::Uniform {
+                low: 0.1,
+                high: 1.0,
+            },
+            &mut rng(5),
+        );
         assert_eq!(g1, g2);
     }
 

@@ -196,8 +196,7 @@ impl UncertainGraph {
 
     /// Probability of the edge `{u, v}`, or `None` when absent.
     pub fn edge_probability(&self, u: VertexId, v: VertexId) -> Option<f64> {
-        self.edge_index(u, v)
-            .map(|i| self.neighbor_probs[i])
+        self.edge_index(u, v).map(|i| self.neighbor_probs[i])
     }
 
     /// Canonical edge id of `{u, v}`, or `None` when absent.

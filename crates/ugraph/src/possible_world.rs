@@ -251,7 +251,10 @@ mod tests {
             .filter(|w| w.contains_edge(0))
             .count();
         let freq = hits as f64 / n as f64;
-        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+        assert!(
+            (freq - 0.3).abs() < 0.02,
+            "frequency {freq} too far from 0.3"
+        );
     }
 
     #[test]

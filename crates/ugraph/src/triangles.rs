@@ -24,7 +24,10 @@ impl Triangle {
     ///
     /// Panics when the vertices are not pairwise distinct.
     pub fn new(a: VertexId, b: VertexId, c: VertexId) -> Self {
-        assert!(a != b && b != c && a != c, "triangle vertices must be distinct");
+        assert!(
+            a != b && b != c && a != c,
+            "triangle vertices must be distinct"
+        );
         let mut vertices = [a, b, c];
         vertices.sort_unstable();
         Triangle { vertices }
@@ -266,7 +269,10 @@ mod tests {
             assert_eq!(idx.id_of(&t), Some(id));
             assert_eq!(idx.triangle(id), t);
         }
-        assert_eq!(idx.id_of_vertices(2, 1, 0), idx.id_of(&Triangle::new(0, 1, 2)));
+        assert_eq!(
+            idx.id_of_vertices(2, 1, 0),
+            idx.id_of(&Triangle::new(0, 1, 2))
+        );
         assert_eq!(idx.id_of(&Triangle::new(0, 1, 4)), None);
     }
 

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example approximation_tuning`
 
 use prob_nucleus_repro::nd_datasets::{PaperDataset, Scale};
-use prob_nucleus_repro::nucleus::approx::{
-    hybrid_max_k, select_method, ApproxMethod,
-};
+use prob_nucleus_repro::nucleus::approx::{hybrid_max_k, select_method, ApproxMethod};
 use prob_nucleus_repro::nucleus::local::dp;
 use prob_nucleus_repro::nucleus::{ApproxThresholds, SupportStructure};
 use std::collections::HashMap;
@@ -26,14 +24,23 @@ fn main() {
     // Candidate hyperparameter settings: the paper's defaults plus two
     // perturbations.
     let candidates = [
-        ("paper defaults (A=200,B=100,C=0.25,D=0.9)", ApproxThresholds::default()),
+        (
+            "paper defaults (A=200,B=100,C=0.25,D=0.9)",
+            ApproxThresholds::default(),
+        ),
         (
             "aggressive CLT (A=50)",
-            ApproxThresholds { a: 50, ..ApproxThresholds::default() },
+            ApproxThresholds {
+                a: 50,
+                ..ApproxThresholds::default()
+            },
         ),
         (
             "binomial-friendly (D=0.5)",
-            ApproxThresholds { d: 0.5, ..ApproxThresholds::default() },
+            ApproxThresholds {
+                d: 0.5,
+                ..ApproxThresholds::default()
+            },
         ),
     ];
 

@@ -43,8 +43,11 @@ fn main() {
 
     // 2. Global / weakly-global decompositions: complexes that materialize
     //    as deterministic nuclei across sampled interactomes.
-    let config = GlobalConfig::new(0.001)
-        .with_sampling(SamplingConfig::new(0.1, 0.1).with_num_samples(200).with_seed(7));
+    let config = GlobalConfig::new(0.001).with_sampling(
+        SamplingConfig::new(0.1, 0.1)
+            .with_num_samples(200)
+            .with_seed(7),
+    );
     let global = global_nuclei(&graph, k, &config).expect("valid configuration");
     let weak = weakly_global_nuclei(&graph, k, &config).expect("valid configuration");
     println!("\nglobal complexes at k = {k}: {}", global.len());

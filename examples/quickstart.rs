@@ -37,7 +37,10 @@ fn main() {
     let theta = 0.2;
     let local = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(theta))
         .expect("valid configuration");
-    println!("maximum l-nucleusness at theta={theta}: {}", local.max_score());
+    println!(
+        "maximum l-nucleusness at theta={theta}: {}",
+        local.max_score()
+    );
 
     // Per-triangle scores.
     for (id, triangle) in local.triangle_index().iter() {

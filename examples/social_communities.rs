@@ -20,13 +20,21 @@ fn describe(name: &str, k: u32, subgraphs: &[&UncertainGraph]) {
         return;
     }
     let n = subgraphs.len() as f64;
-    let pd = subgraphs.iter().map(|g| probabilistic_density(g)).sum::<f64>() / n;
+    let pd = subgraphs
+        .iter()
+        .map(|g| probabilistic_density(g))
+        .sum::<f64>()
+        / n;
     let pcc = subgraphs
         .iter()
         .map(|g| probabilistic_clustering_coefficient(g))
         .sum::<f64>()
         / n;
-    let avg_v = subgraphs.iter().map(|g| g.num_vertices() as f64).sum::<f64>() / n;
+    let avg_v = subgraphs
+        .iter()
+        .map(|g| g.num_vertices() as f64)
+        .sum::<f64>()
+        / n;
     println!(
         "{name:>8}: k_max = {k:>2}  {} component(s), avg {avg_v:.1} vertices, PD = {pd:.3}, PCC = {pcc:.3}",
         subgraphs.len()
@@ -47,8 +55,7 @@ fn main() {
         .expect("valid configuration");
     let kn = local.max_score();
     let nuclei = local.k_nuclei(&graph, kn.max(1));
-    let nucleus_graphs: Vec<&UncertainGraph> =
-        nuclei.iter().map(|n| n.subgraph.graph()).collect();
+    let nucleus_graphs: Vec<&UncertainGraph> = nuclei.iter().map(|n| n.subgraph.graph()).collect();
     describe("nucleus", kn, &nucleus_graphs);
 
     // Probabilistic (k,gamma)-truss (Huang et al. 2016).

@@ -39,8 +39,7 @@ fn certain_graph_probabilistic_equals_deterministic() {
     assert_eq!(det_truss.truss_numbers(), prob_truss.truss_numbers());
 
     let det_nucleus = NucleusDecomposition::compute(&g);
-    let prob_nucleus =
-        LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.9)).unwrap();
+    let prob_nucleus = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.9)).unwrap();
     for (id, tri) in prob_nucleus.triangle_index().iter() {
         assert_eq!(
             prob_nucleus.score(id),
@@ -54,7 +53,13 @@ fn certain_graph_probabilistic_equals_deterministic() {
 /// and are monotone in θ on probabilistic graphs.
 #[test]
 fn probabilistic_scores_bounded_by_deterministic() {
-    let g = clique_rich_graph(2, ProbabilityModel::Uniform { low: 0.3, high: 1.0 });
+    let g = clique_rich_graph(
+        2,
+        ProbabilityModel::Uniform {
+            low: 0.3,
+            high: 1.0,
+        },
+    );
     let det = NucleusDecomposition::compute(&g);
     let loose = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.05)).unwrap();
     let tight = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.6)).unwrap();
@@ -72,7 +77,13 @@ fn probabilistic_scores_bounded_by_deterministic() {
 #[test]
 fn nucleus_subgraphs_are_inside_truss_and_core() {
     let theta = 0.2;
-    let g = clique_rich_graph(3, ProbabilityModel::Uniform { low: 0.5, high: 1.0 });
+    let g = clique_rich_graph(
+        3,
+        ProbabilityModel::Uniform {
+            low: 0.5,
+            high: 1.0,
+        },
+    );
     let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
     if local.max_score() == 0 {
         return; // nothing to check on this draw
@@ -134,32 +145,57 @@ fn deterministic_hierarchy_sanity() {
 
 /// Every triangle of an extracted ℓ-(k,θ)-nucleus really does satisfy the
 /// definition: its probability of being in ≥ k 4-cliques of the nucleus is
-/// at least θ (checked with the exact DP over the nucleus subgraph).
+/// at least θ (checked with the exact DP over the nucleus's own cliques).
+///
+/// Like the deterministic nucleus decomposition, a nucleus is a union of
+/// qualifying 4-cliques; the definitional bound quantifies over the
+/// triangles *of those cliques*, not over stray triangles that the union
+/// of clique edges happens to form on the side.
 #[test]
 fn extracted_nuclei_satisfy_definition() {
     let theta = 0.15;
-    let g = clique_rich_graph(5, ProbabilityModel::Uniform { low: 0.4, high: 1.0 });
+    let g = clique_rich_graph(
+        5,
+        ProbabilityModel::Uniform {
+            low: 0.4,
+            high: 1.0,
+        },
+    );
     let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
     for k in 1..=local.max_score() {
         for nucleus in local.k_nuclei(&g, k) {
-            let sub = nucleus.subgraph.graph();
-            let sub_local =
-                LocalNucleusDecomposition::compute(sub, &LocalConfig::exact(theta)).unwrap();
-            for (id, _tri) in sub_local.triangle_index().iter() {
-                // Within the nucleus, every triangle that is part of one of
-                // its 4-cliques must reach support k with probability >= θ.
-                let probs = sub_local.support().completion_probs(id);
-                if probs.is_empty() {
-                    continue;
-                }
+            for tri in &nucleus.triangles {
+                // Completion probabilities of the nucleus's 4-cliques that
+                // contain this triangle: for the clique's fourth vertex z,
+                // Pr(E) is the product of the three edge probabilities
+                // linking z to the triangle.
+                let probs: Vec<f64> = nucleus
+                    .cliques
+                    .iter()
+                    .filter(|c| c.contains_triangle(tri))
+                    .map(|c| {
+                        let z = c
+                            .vertices()
+                            .into_iter()
+                            .find(|&v| !tri.contains(v))
+                            .expect("clique has a vertex outside the triangle");
+                        tri.vertices()
+                            .into_iter()
+                            .map(|v| g.edge_probability(v, z).expect("clique edge exists"))
+                            .product()
+                    })
+                    .collect();
+                assert!(
+                    !probs.is_empty(),
+                    "k={k}: triangle {tri} is in no clique of its nucleus"
+                );
+                let tri_prob = tri.probability(&g).expect("triangle edges exist");
                 let tail = prob_nucleus_repro::nucleus::local::dp::local_tail_probability(
-                    sub_local.support().triangle_prob(id),
-                    &probs,
-                    k as usize,
+                    tri_prob, &probs, k as usize,
                 );
                 assert!(
                     tail >= theta - 1e-9,
-                    "k={k}: triangle tail {tail} below theta {theta}"
+                    "k={k}: triangle {tri} tail {tail} below theta {theta}"
                 );
             }
         }

@@ -1,0 +1,73 @@
+//! End-to-end smoke test of the `prob_nucleus_repro` facade re-exports:
+//! builds a small probabilistic graph through `ugraph`, runs decompositions
+//! from `nucleus`, `detdecomp` and `probdecomp`, and touches a synthetic
+//! dataset from `nd_datasets` — all through the umbrella crate's paths.
+
+use prob_nucleus_repro::detdecomp::NucleusDecomposition;
+use prob_nucleus_repro::nd_datasets::{PaperDataset, Scale};
+use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition};
+use prob_nucleus_repro::probdecomp::EtaCoreDecomposition;
+use prob_nucleus_repro::ugraph::{GraphBuilder, Triangle};
+
+/// A probabilistic K5 with p = 0.9 on every edge.
+fn k5(p: f64) -> prob_nucleus_repro::ugraph::UncertainGraph {
+    let mut b = GraphBuilder::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5u32 {
+            b.add_edge(u, v, p).unwrap();
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn facade_local_decomposition_known_score() {
+    let graph = k5(0.9);
+    assert_eq!(graph.num_vertices(), 5);
+    assert_eq!(graph.num_edges(), 10);
+
+    // Every triangle of K5 is in two 4-cliques; with p = 0.9 each clique
+    // completes with probability 0.9³ = 0.729 and the triangle exists with
+    // probability 0.9³, so Pr[ζ ≥ 2] · Pr(△) = 0.729³ ≈ 0.387 ≥ 0.2:
+    // all ten triangles reach the deterministic maximum score of 2.
+    let local = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.2)).unwrap();
+    assert_eq!(local.num_triangles(), 10);
+    assert_eq!(local.max_score(), 2);
+    assert!(local.scores().iter().all(|&s| s == 2));
+    assert_eq!(local.score_of(&Triangle::new(0, 1, 2)), Some(2));
+
+    // The probabilistic scores coincide with the deterministic nucleusness
+    // here, and the single extracted 2-nucleus is the whole K5.
+    let det = NucleusDecomposition::compute(&graph);
+    for (id, tri) in local.triangle_index().iter() {
+        assert_eq!(local.score(id), det.nucleusness_of(&tri).unwrap());
+    }
+    let nuclei = local.k_nuclei(&graph, 2);
+    assert_eq!(nuclei.len(), 1);
+    assert_eq!(nuclei[0].num_vertices(), 5);
+    assert_eq!(nuclei[0].cliques.len(), 5);
+
+    // At a threshold above any attainable probability nothing survives.
+    let strict = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.999)).unwrap();
+    assert_eq!(strict.max_score(), 0);
+}
+
+#[test]
+fn facade_baselines_and_datasets() {
+    let graph = k5(0.9);
+
+    // (k,η)-core baseline via the facade: every vertex of K5 has 4
+    // neighbours, each present with probability 0.9, so the 3-core at
+    // η = 0.5 contains all vertices.
+    let core = EtaCoreDecomposition::compute(&graph, 0.5);
+    assert!(core.core_numbers().iter().all(|&c| c >= 3));
+
+    // Synthetic dataset generation is seeded and reproducible.
+    let a = PaperDataset::Krogan.generate(Scale::Tiny, 42);
+    let b = PaperDataset::Krogan.generate(Scale::Tiny, 42);
+    assert!(a.num_edges() > 0);
+    assert_eq!(a.num_edges(), b.num_edges());
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    let row = prob_nucleus_repro::nd_datasets::table1_row(PaperDataset::Krogan, &a);
+    assert_eq!(row.name, "krogan");
+}

@@ -55,8 +55,11 @@ fn example1_not_a_global_nucleus_but_weakly_global() {
     // threshold is lowered to 0.35 for the sampled run so that triangles
     // whose true probability is exactly 0.42 are not lost to estimation
     // noise at the boundary.
-    let config = GlobalConfig::new(0.35)
-        .with_sampling(SamplingConfig::new(0.1, 0.1).with_num_samples(800).with_seed(3));
+    let config = GlobalConfig::new(0.35).with_sampling(
+        SamplingConfig::new(0.1, 0.1)
+            .with_num_samples(800)
+            .with_seed(3),
+    );
     let weak = weakly_global_nuclei(&g, 1, &config).unwrap();
     assert_eq!(weak.len(), 1);
     assert_eq!(weak[0].num_vertices(), 5);

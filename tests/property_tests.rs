@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use prob_nucleus_repro::detdecomp::NucleusDecomposition;
-use prob_nucleus_repro::nucleus::local::dp;
 use prob_nucleus_repro::nucleus::approx::{tail_probability, ApproxMethod};
+use prob_nucleus_repro::nucleus::local::dp;
 use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition};
 use prob_nucleus_repro::ugraph::{GraphBuilder, UncertainGraph};
 

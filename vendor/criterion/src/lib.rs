@@ -1,0 +1,212 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Call sites are source-compatible with the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Identifier of a single benchmark: a function name plus an optional
+/// parameter rendered as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one duration sample per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, iterations: u64, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iterations,
+    };
+    f(&mut bencher);
+    println!("{:<50} time: [{:?}]", id, bencher.median());
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (No-op here; criterion emits summary reports.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver. One instance is threaded through every
+/// `criterion_group!` target function.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_sample_size_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(7);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("DP/krogan", 0.3);
+        assert_eq!(id.id, "DP/krogan/0.3");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(1);
+        let mut seen = 0.0f64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &1.5f64, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        group.finish();
+        assert_eq!(seen, 1.5);
+    }
+}
