@@ -1,13 +1,17 @@
-//! Experiment runner reproducing every table and figure of the paper.
+//! Experiment runner reproducing every table and figure of the paper,
+//! plus the parallel-substrate benchmark.
 //!
 //! ```text
 //! experiments <id> [--scale tiny|small|medium] [--seed N]
 //!
 //! ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all
+//!
+//! experiments parbench [--edges M] [--vertices N] [--threads 1,2,4]
+//!                      [--repeats R] [--seed N] [--out BENCH_parallel.json]
 //! ```
 
 use nd_bench::runner::ExperimentContext;
-use nd_bench::{ablation, fig4, fig5, fig6, fig7, fig8, table1, table2, table3};
+use nd_bench::{ablation, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3};
 use nd_datasets::{PaperDataset, Scale};
 
 fn main() {
@@ -17,6 +21,10 @@ fn main() {
         return;
     }
     let id = args[0].clone();
+    if id == "parbench" {
+        run_parbench(&args);
+        return;
+    }
     let scale = parse_flag(&args, "--scale")
         .map(|s| match s.as_str() {
             "tiny" => Scale::Tiny,
@@ -71,8 +79,58 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: experiments <id> [--scale tiny|small|medium] [--seed N]\n\
-         ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all"
+         ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all\n\
+         \n\
+         experiments parbench [--edges M] [--vertices N] [--threads 1,2,4]\n\
+         \x20                 [--repeats R] [--seed N] [--out BENCH_parallel.json]"
     );
+}
+
+/// Runs the parallel-substrate benchmark and writes the JSON report.
+fn run_parbench(args: &[String]) {
+    let mut config = parbench::ParBenchConfig::default();
+    if let Some(m) = parse_flag(args, "--edges").and_then(|s| s.parse().ok()) {
+        config.edges = m;
+        // Keep the default density (average degree 50) unless --vertices
+        // overrides it below.
+        config.vertices = (m / 25).max(4);
+    }
+    if let Some(n) = parse_flag(args, "--vertices").and_then(|s| s.parse().ok()) {
+        config.vertices = n;
+    }
+    if let Some(seed) = parse_flag(args, "--seed").and_then(|s| s.parse().ok()) {
+        config.seed = seed;
+    }
+    if let Some(r) = parse_flag(args, "--repeats").and_then(|s| s.parse().ok()) {
+        config.repeats = r;
+    }
+    if let Some(list) = parse_flag(args, "--threads") {
+        let mut threads = Vec::new();
+        for token in list.split(',') {
+            match token.trim().parse::<usize>() {
+                Ok(0) | Err(_) => {
+                    eprintln!("invalid --threads value '{}' (expected e.g. 1,2,4)", token);
+                    std::process::exit(1);
+                }
+                // 1 is the always-measured sequential baseline.
+                Ok(1) => {}
+                Ok(t) => threads.push(t),
+            }
+        }
+        // May legitimately be empty (`--threads 1` = baseline only).
+        config.threads = threads;
+    }
+    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    println!(
+        "# experiment: parbench  vertices: {}  edges: {}  threads: {:?}  repeats: {}  seed: {}\n",
+        config.vertices, config.edges, config.threads, config.repeats, config.seed
+    );
+    let report = parbench::run(&config);
+    println!("{}", report.format());
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {

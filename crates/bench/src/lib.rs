@@ -15,6 +15,7 @@
 //! | [`fig7`] | Figure 7 | PD/PCC/edges/#nuclei of ℓ-(k,θ)-nuclei as k varies |
 //! | [`fig8`] | Figure 8 | PD/PCC of g- vs w- vs ℓ-nuclei |
 //! | [`ablation`] | (extra) | Monte-Carlo sample count vs estimation error; per-method scoring cost |
+//! | [`parbench`] | (extra) | parallel-substrate speedups, emitted as machine-readable `BENCH_parallel.json` |
 //!
 //! Run them through the `experiments` binary:
 //!
@@ -29,9 +30,10 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod parbench;
 pub mod runner;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
-pub use runner::{ExperimentContext, Timing};
+pub use runner::{run_with_deadline, ExperimentContext, Timing};

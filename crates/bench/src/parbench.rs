@@ -1,0 +1,382 @@
+//! Parallel-substrate benchmark with machine-readable JSON output.
+//!
+//! The paper's experiments (Section 7) are dominated by triangle and
+//! 4-clique enumeration and support computation; `ugraph::par` makes those
+//! hot paths multi-threaded.  This module measures them at a range of
+//! thread counts against the sequential baseline on a seeded random graph
+//! and emits a `BENCH_parallel.json` report, so the performance trajectory
+//! of the substrate becomes a tracked, diffable artifact instead of a
+//! number in a PR description.
+//!
+//! The JSON schema (`bench-parallel/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "bench-parallel/v1",
+//!   "generator": "gnm-uniform",
+//!   "vertices": 5000, "edges": 50000, "seed": 42, "repeats": 3,
+//!   "available_parallelism": 8,
+//!   "counts": { "triangles": 16500, "four_cliques": 120 },
+//!   "baseline": { "threads": 1, "triangles_s": 0.41, "four_cliques_s": 0.52,
+//!                 "support_s": 1.08, "total_s": 2.01, "speedup": 1.0,
+//!                 "deadline_exceeded": false },
+//!   "runs": [ { "threads": 4, "triangles_s": 0.11, ... , "speedup": 3.6,
+//!               "deadline_exceeded": false } ]
+//! }
+//! ```
+//!
+//! Timings are best-of-`repeats` wall-clock seconds per phase; `speedup`
+//! is the sequential total divided by the run's total.  Every run is
+//! guarded by a condvar-based deadline watchdog
+//! ([`crate::runner::run_with_deadline`]) whose overrun flag lands in the
+//! JSON rather than hanging CI.
+
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ugraph::cliques::FourCliqueEnumerator;
+use ugraph::generators::{assign_probabilities, gnm_edges, ProbabilityModel};
+use ugraph::par::Parallelism;
+use ugraph::triangles::enumerate_triangles_with;
+use ugraph::UncertainGraph;
+
+use nucleus::SupportStructure;
+
+use crate::runner::{format_table, run_with_deadline, Timing};
+
+/// Configuration of the parallel-substrate benchmark.
+#[derive(Debug, Clone)]
+pub struct ParBenchConfig {
+    /// Number of vertices of the generated G(n, m) graph.
+    pub vertices: usize,
+    /// Number of edges of the generated G(n, m) graph.
+    pub edges: usize,
+    /// RNG seed for structure and probability generation.
+    pub seed: u64,
+    /// Thread counts to measure (the sequential baseline always runs).
+    pub threads: Vec<usize>,
+    /// Repetitions per configuration; best (minimum) time is reported.
+    pub repeats: usize,
+    /// Wall-clock budget per measured configuration.
+    pub deadline: Duration,
+}
+
+impl Default for ParBenchConfig {
+    /// 50k edges over 2k vertices (average degree 50, so triangles *and*
+    /// 4-cliques are plentiful) — the scale the acceptance bar of the
+    /// parallel substrate is measured at.
+    fn default() -> Self {
+        ParBenchConfig {
+            vertices: 2_000,
+            edges: 50_000,
+            seed: 42,
+            threads: vec![2, 4],
+            repeats: 3,
+            deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Best-of-repeats wall-clock seconds for each measured phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTimings {
+    /// Triangle enumeration.
+    pub triangles_s: f64,
+    /// 4-clique enumeration.
+    pub four_cliques_s: f64,
+    /// Full support-structure construction (includes both enumerations
+    /// plus completion probabilities).
+    pub support_s: f64,
+}
+
+impl PhaseTimings {
+    /// Sum of the three phases.
+    pub fn total_s(&self) -> f64 {
+        self.triangles_s + self.four_cliques_s + self.support_s
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ThreadRun {
+    /// Worker threads used (1 = the sequential baseline).
+    pub threads: usize,
+    /// Best-of-repeats phase timings.
+    pub timings: PhaseTimings,
+    /// Sequential total divided by this run's total.
+    pub speedup: f64,
+    /// `true` when the configuration blew its wall-clock budget.
+    pub deadline_exceeded: bool,
+}
+
+/// Full report of a parallel-substrate benchmark run.
+#[derive(Debug, Clone)]
+pub struct ParBenchReport {
+    /// The configuration the report was produced with.
+    pub config: ParBenchConfig,
+    /// Actual number of edges of the generated graph (G(n, m) can emit
+    /// slightly fewer than requested on dense inputs).
+    pub actual_edges: usize,
+    /// Number of triangles of the graph.
+    pub num_triangles: usize,
+    /// Number of 4-cliques of the graph.
+    pub num_four_cliques: usize,
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// needed to interpret speedups (a 1-core host cannot speed up).
+    pub available_parallelism: usize,
+    /// The sequential baseline.
+    pub baseline: ThreadRun,
+    /// The parallel runs, in the order of `config.threads`.
+    pub runs: Vec<ThreadRun>,
+}
+
+/// Generates the benchmark graph: G(n, m) structure with uniform edge
+/// probabilities in `[0.2, 1.0]`, fully determined by `seed`.
+pub fn generate_graph(vertices: usize, edges: usize, seed: u64) -> UncertainGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let structure = gnm_edges(vertices, edges, &mut rng);
+    assign_probabilities(
+        &structure,
+        vertices,
+        &ProbabilityModel::Uniform {
+            low: 0.2,
+            high: 1.0,
+        },
+        &mut rng,
+    )
+}
+
+fn measure_config(
+    graph: &UncertainGraph,
+    parallelism: Parallelism,
+    repeats: usize,
+    deadline: Duration,
+) -> (PhaseTimings, bool, usize, usize) {
+    let mut best = PhaseTimings {
+        triangles_s: f64::INFINITY,
+        four_cliques_s: f64::INFINITY,
+        support_s: f64::INFINITY,
+    };
+    let mut num_triangles = 0usize;
+    let mut num_cliques = 0usize;
+    let ((), _total, exceeded) = run_with_deadline(deadline, || {
+        for _ in 0..repeats.max(1) {
+            let (tris, t1) = Timing::measure(|| enumerate_triangles_with(graph, parallelism));
+            let (cliques, t2) =
+                Timing::measure(|| FourCliqueEnumerator::with_parallelism(graph, parallelism));
+            let (support, t3) =
+                Timing::measure(|| SupportStructure::build_with(graph, parallelism));
+            num_triangles = tris.len();
+            num_cliques = cliques.len();
+            assert_eq!(
+                support.num_triangles(),
+                num_triangles,
+                "support structure disagrees with the triangle enumeration"
+            );
+            best.triangles_s = best.triangles_s.min(t1.seconds());
+            best.four_cliques_s = best.four_cliques_s.min(t2.seconds());
+            best.support_s = best.support_s.min(t3.seconds());
+        }
+    });
+    (best, exceeded, num_triangles, num_cliques)
+}
+
+/// Runs the benchmark: sequential baseline first, then every requested
+/// thread count, verifying on the way that the parallel results agree with
+/// the sequential ones.
+pub fn run(config: &ParBenchConfig) -> ParBenchReport {
+    let graph = generate_graph(config.vertices, config.edges, config.seed);
+    let (baseline_timings, baseline_exceeded, num_triangles, num_four_cliques) = measure_config(
+        &graph,
+        Parallelism::Sequential,
+        config.repeats,
+        config.deadline,
+    );
+    let baseline_total = baseline_timings.total_s();
+    let baseline = ThreadRun {
+        threads: 1,
+        timings: baseline_timings,
+        speedup: 1.0,
+        deadline_exceeded: baseline_exceeded,
+    };
+
+    let mut runs = Vec::with_capacity(config.threads.len());
+    for &threads in &config.threads {
+        let (timings, exceeded, tris, cliques) = measure_config(
+            &graph,
+            Parallelism::fixed(threads),
+            config.repeats,
+            config.deadline,
+        );
+        assert_eq!(tris, num_triangles, "parallel triangle count diverged");
+        assert_eq!(
+            cliques, num_four_cliques,
+            "parallel 4-clique count diverged"
+        );
+        let total = timings.total_s();
+        runs.push(ThreadRun {
+            threads,
+            timings,
+            speedup: if total > 0.0 {
+                baseline_total / total
+            } else {
+                1.0
+            },
+            deadline_exceeded: exceeded,
+        });
+    }
+
+    ParBenchReport {
+        config: config.clone(),
+        actual_edges: graph.num_edges(),
+        num_triangles,
+        num_four_cliques,
+        available_parallelism: Parallelism::Auto.num_threads(),
+        baseline,
+        runs,
+    }
+}
+
+fn json_run(run: &ThreadRun) -> String {
+    format!(
+        "{{ \"threads\": {}, \"triangles_s\": {:.6}, \"four_cliques_s\": {:.6}, \
+         \"support_s\": {:.6}, \"total_s\": {:.6}, \"speedup\": {:.3}, \
+         \"deadline_exceeded\": {} }}",
+        run.threads,
+        run.timings.triangles_s,
+        run.timings.four_cliques_s,
+        run.timings.support_s,
+        run.timings.total_s(),
+        run.speedup,
+        run.deadline_exceeded
+    )
+}
+
+impl ParBenchReport {
+    /// Serializes the report to the `bench-parallel/v1` JSON schema.
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| format!("    {}", json_run(r)))
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"bench-parallel/v1\",\n  \"generator\": \"gnm-uniform\",\n  \
+             \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"repeats\": {},\n  \
+             \"available_parallelism\": {},\n  \"counts\": {{ \"triangles\": {}, \
+             \"four_cliques\": {} }},\n  \"baseline\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            self.config.vertices,
+            self.actual_edges,
+            self.config.seed,
+            self.config.repeats,
+            self.available_parallelism,
+            self.num_triangles,
+            self.num_four_cliques,
+            json_run(&self.baseline),
+            runs.join(",\n")
+        )
+    }
+
+    /// Human-readable table of the same measurements.
+    pub fn format(&self) -> String {
+        let mut rows = Vec::new();
+        for run in std::iter::once(&self.baseline).chain(self.runs.iter()) {
+            rows.push(vec![
+                run.threads.to_string(),
+                format!("{:.4}", run.timings.triangles_s),
+                format!("{:.4}", run.timings.four_cliques_s),
+                format!("{:.4}", run.timings.support_s),
+                format!("{:.4}", run.timings.total_s()),
+                format!("{:.2}x", run.speedup),
+                if run.deadline_exceeded { "YES" } else { "no" }.to_string(),
+            ]);
+        }
+        format!(
+            "parallel substrate bench — {} vertices, {} edges (seed {}), \
+             {} triangles, {} 4-cliques, host parallelism {}\n{}",
+            self.config.vertices,
+            self.actual_edges,
+            self.config.seed,
+            self.num_triangles,
+            self.num_four_cliques,
+            self.available_parallelism,
+            format_table(
+                &[
+                    "threads",
+                    "triangles_s",
+                    "4cliques_s",
+                    "support_s",
+                    "total_s",
+                    "speedup",
+                    "overrun"
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ParBenchConfig {
+        ParBenchConfig {
+            vertices: 60,
+            edges: 400,
+            seed: 7,
+            threads: vec![2],
+            repeats: 1,
+            deadline: Duration::from_secs(120),
+        }
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let report = run(&tiny_config());
+        assert!(report.actual_edges > 0);
+        assert!(report.num_triangles > 0);
+        assert_eq!(report.baseline.threads, 1);
+        assert_eq!(report.baseline.speedup, 1.0);
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.runs[0].threads, 2);
+        assert!(report.runs[0].speedup > 0.0);
+        assert!(!report.baseline.deadline_exceeded);
+    }
+
+    #[test]
+    fn json_has_schema_and_parses_shape() {
+        let report = run(&tiny_config());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"bench-parallel/v1\""));
+        assert!(json.contains("\"counts\""));
+        assert!(json.contains("\"baseline\""));
+        assert!(json.contains("\"runs\""));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser dependency.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn table_lists_every_run() {
+        let report = run(&tiny_config());
+        let text = report.format();
+        assert!(text.contains("threads"));
+        assert!(text.contains("speedup"));
+        // Header + separator + baseline + one run.
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn generated_graph_is_deterministic() {
+        let a = generate_graph(50, 200, 3);
+        let b = generate_graph(50, 200, 3);
+        assert_eq!(a, b);
+    }
+}

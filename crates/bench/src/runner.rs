@@ -1,5 +1,6 @@
 //! Shared infrastructure for the experiment harness.
 
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nd_datasets::{PaperDataset, Scale};
@@ -65,6 +66,51 @@ impl std::fmt::Display for Timing {
     }
 }
 
+/// Runs `f` on the calling thread while a watchdog thread blocks on a
+/// condition variable (no sleep-polling): the watchdog wakes either when
+/// `f` finishes — signalled immediately via [`Condvar::notify_all`] — or
+/// when `deadline` elapses.  Returns the result, its timing, and whether
+/// the deadline elapsed before completion.
+///
+/// The workload is never interrupted; an exceeded deadline is only
+/// *reported*, so callers (e.g. the parallel bench runner) can flag
+/// pathological runs in their output instead of silently blocking CI.
+pub fn run_with_deadline<T, F: FnOnce() -> T>(deadline: Duration, f: F) -> (T, Timing, bool) {
+    let signal = (Mutex::new(false), Condvar::new());
+    std::thread::scope(|scope| {
+        let watchdog = scope.spawn(|| {
+            let (lock, cvar) = (&signal.0, &signal.1);
+            let start = Instant::now();
+            let mut done = lock.lock().expect("watchdog lock");
+            while !*done {
+                let remaining = match deadline.checked_sub(start.elapsed()) {
+                    Some(d) => d,
+                    None => return true, // deadline elapsed first
+                };
+                done = cvar.wait_timeout(done, remaining).expect("watchdog wait").0;
+            }
+            false
+        });
+        // Completion is signalled from a drop guard so the watchdog wakes
+        // even when `f` panics — otherwise the scope would block on the
+        // watchdog for the full remaining deadline before propagating.
+        struct SignalDone<'a>(&'a (Mutex<bool>, Condvar));
+        impl Drop for SignalDone<'_> {
+            fn drop(&mut self) {
+                let mut done = self.0 .0.lock().expect("completion lock");
+                *done = true;
+                self.0 .1.notify_all();
+            }
+        }
+        let (out, timing) = {
+            let _guard = SignalDone(&signal);
+            Timing::measure(f)
+        };
+        let exceeded = watchdog.join().expect("watchdog thread");
+        (out, timing, exceeded)
+    })
+}
+
 /// Formats a simple aligned table: a header row followed by data rows.
 pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let cols = header.len();
@@ -112,12 +158,46 @@ mod tests {
     #[test]
     fn timing_measures_elapsed_time() {
         let (value, t) = Timing::measure(|| {
-            std::thread::sleep(Duration::from_millis(10));
+            // A timed blocking wait on a channel that never delivers — not
+            // a sleep-poll — keeps the workload deterministic in duration.
+            let (_tx, rx) = std::sync::mpsc::channel::<()>();
+            let _ = rx.recv_timeout(Duration::from_millis(10));
             42
         });
         assert_eq!(value, 42);
         assert!(t.seconds() >= 0.009);
         assert!(t.to_string().ends_with('s'));
+    }
+
+    #[test]
+    fn deadline_not_exceeded_for_fast_work() {
+        let (value, t, exceeded) = run_with_deadline(Duration::from_secs(30), || 7 * 6);
+        assert_eq!(value, 42);
+        assert!(!exceeded);
+        assert!(t.seconds() < 30.0);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_reported() {
+        let (value, _t, exceeded) = run_with_deadline(Duration::from_millis(5), || {
+            let (_tx, rx) = std::sync::mpsc::channel::<()>();
+            let _ = rx.recv_timeout(Duration::from_millis(50));
+            "done"
+        });
+        // The workload still completes; the overrun is only flagged.
+        assert_eq!(value, "done");
+        assert!(exceeded);
+    }
+
+    #[test]
+    fn workload_panic_releases_the_watchdog_immediately() {
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(|| {
+            run_with_deadline(Duration::from_secs(60), || panic!("workload failed"))
+        });
+        assert!(result.is_err());
+        // The panic must propagate right away, not after the 60s deadline.
+        assert!(start.elapsed() < Duration::from_secs(10));
     }
 
     #[test]

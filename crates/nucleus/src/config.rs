@@ -1,5 +1,7 @@
 //! Configuration types for the probabilistic nucleus decompositions.
 
+use ugraph::Parallelism;
+
 use crate::error::{NucleusError, Result};
 
 /// Hyperparameters of the hybrid approximation framework (Section 5.3).
@@ -58,6 +60,10 @@ pub struct LocalConfig {
     pub theta: f64,
     /// How support scores are computed.
     pub method: ScoreMethod,
+    /// Parallelism of the support-structure construction (triangle and
+    /// 4-clique enumeration, completion probabilities).  Results are
+    /// bit-identical for every setting; defaults to [`Parallelism::Auto`].
+    pub parallelism: Parallelism,
 }
 
 impl LocalConfig {
@@ -66,6 +72,7 @@ impl LocalConfig {
         LocalConfig {
             theta,
             method: ScoreMethod::DynamicProgramming,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -75,7 +82,14 @@ impl LocalConfig {
         LocalConfig {
             theta,
             method: ScoreMethod::Hybrid(ApproxThresholds::default()),
+            parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Sets the parallelism of the support-structure construction.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Validates the threshold.
@@ -203,10 +217,14 @@ mod tests {
         let e = LocalConfig::exact(0.3);
         assert_eq!(e.theta, 0.3);
         assert_eq!(e.method, ScoreMethod::DynamicProgramming);
+        assert_eq!(e.parallelism, Parallelism::Auto);
         let a = LocalConfig::approximate(0.3);
         assert!(matches!(a.method, ScoreMethod::Hybrid(_)));
         assert!(e.validate().is_ok());
         assert!(a.validate().is_ok());
+        let s = e.with_parallelism(Parallelism::Sequential);
+        assert_eq!(s.parallelism, Parallelism::Sequential);
+        assert!(s.validate().is_ok());
     }
 
     #[test]

@@ -18,6 +18,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use ugraph::{EdgeId, EdgeSubgraph, Triangle, TriangleId, UncertainGraph, WorldSampler};
 
+use ugraph::Parallelism;
+
 use crate::config::{LocalConfig, SamplingConfig, ScoreMethod};
 use crate::error::Result;
 use crate::local::LocalNucleusDecomposition;
@@ -31,6 +33,8 @@ pub struct GlobalConfig {
     pub score_method: ScoreMethod,
     /// Monte-Carlo sampling parameters.
     pub sampling: SamplingConfig,
+    /// Parallelism of the local pruning step's support construction.
+    pub parallelism: Parallelism,
 }
 
 impl GlobalConfig {
@@ -40,6 +44,7 @@ impl GlobalConfig {
             theta,
             score_method: ScoreMethod::DynamicProgramming,
             sampling: SamplingConfig::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -55,10 +60,17 @@ impl GlobalConfig {
         self
     }
 
-    fn local_config(&self) -> LocalConfig {
+    /// Sets the parallelism of the local pruning step.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    pub(crate) fn local_config(&self) -> LocalConfig {
         LocalConfig {
             theta: self.theta,
             method: self.score_method,
+            parallelism: self.parallelism,
         }
     }
 }

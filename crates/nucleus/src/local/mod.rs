@@ -37,9 +37,14 @@ pub struct LocalNucleusDecomposition {
 }
 
 impl LocalNucleusDecomposition {
-    /// Runs ℓ-NuDecomp on `graph` with the given configuration.
+    /// Runs ℓ-NuDecomp on `graph` with the given configuration.  The
+    /// support structure is built with `config.parallelism`; scores are
+    /// identical for every parallelism setting.
     pub fn compute(graph: &UncertainGraph, config: &LocalConfig) -> Result<Self> {
-        let support = SupportStructure::build(graph);
+        // Fail fast: with_support validates too, but only after the
+        // expensive support-structure build.
+        config.validate()?;
+        let support = SupportStructure::build_with(graph, config.parallelism);
         Self::with_support(support, config)
     }
 
@@ -371,6 +376,7 @@ mod tests {
             &LocalConfig {
                 theta: 0.1,
                 method: ScoreMethod::Hybrid(ApproxThresholds::default()),
+                parallelism: ugraph::Parallelism::Auto,
             },
         )
         .unwrap();

@@ -13,6 +13,7 @@
 //! the triangle's own existence probability `Pr(△)` — everything the DP,
 //! the statistical approximations and the peeling loop need.
 
+use ugraph::par::{self, Parallelism};
 use ugraph::{
     FourClique, FourCliqueEnumerator, Triangle, TriangleId, TriangleIndex, UncertainGraph,
 };
@@ -58,18 +59,29 @@ pub struct SupportStructure {
 impl SupportStructure {
     /// Builds the support structure of `graph`.
     pub fn build(graph: &UncertainGraph) -> Self {
-        let index = TriangleIndex::build(graph);
-        let triangle_probs: Vec<f64> = index
-            .triangles()
-            .iter()
-            .map(|t| t.probability(graph).expect("indexed triangle exists"))
-            .collect();
+        Self::build_with(graph, Parallelism::Sequential)
+    }
 
-        let raw_cliques = FourCliqueEnumerator::new(graph).into_cliques();
-        let mut cliques = Vec::with_capacity(raw_cliques.len());
-        let mut cliques_of: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
+    /// [`SupportStructure::build`] with an explicit [`Parallelism`]
+    /// setting.
+    ///
+    /// Triangle enumeration, 4-clique enumeration, triangle-probability
+    /// computation and clique-record construction all run as chunked
+    /// parallel scans; chunk results are merged in index order, so the
+    /// structure is bit-identical to the sequential build for every thread
+    /// count.
+    pub fn build_with(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
+        let index = TriangleIndex::build_with(graph, parallelism);
+        let triangles = index.triangles();
+        let triangle_probs: Vec<f64> = par::par_map(parallelism, triangles.len(), |i| {
+            triangles[i]
+                .probability(graph)
+                .expect("indexed triangle exists")
+        });
 
-        for clique in raw_cliques {
+        let raw_cliques = FourCliqueEnumerator::with_parallelism(graph, parallelism).into_cliques();
+        let cliques: Vec<CliqueRecord> = par::par_map(parallelism, raw_cliques.len(), |ci| {
+            let clique = raw_cliques[ci];
             let tris = clique.triangles();
             let mut triangle_ids = [0 as TriangleId; 4];
             let mut completion_probs = [0.0f64; 4];
@@ -90,15 +102,21 @@ impl SupportStructure {
                     * graph.edge_probability(c, z).expect("clique edge");
                 completion_probs[slot] = p;
             }
-            let record_id = cliques.len() as u32;
-            for &t in &triangle_ids {
-                cliques_of[t as usize].push(record_id);
-            }
-            cliques.push(CliqueRecord {
+            CliqueRecord {
                 clique,
                 triangles: triangle_ids,
                 completion_probs,
-            });
+            }
+        });
+
+        // The reverse index is a cheap sequential fill: O(4 · #cliques)
+        // pushes into per-triangle lists, ordered by clique id exactly as
+        // in the sequential build.
+        let mut cliques_of: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
+        for (record_id, record) in cliques.iter().enumerate() {
+            for &t in &record.triangles {
+                cliques_of[t as usize].push(record_id as u32);
+            }
         }
 
         SupportStructure {
@@ -302,6 +320,36 @@ mod tests {
         assert_eq!(filtered.len(), 1);
         let none = s.completion_probs_filtered(t, |_| false);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let g = k5(0.7);
+        let sequential = SupportStructure::build(&g);
+        for threads in [1, 2, 8] {
+            let par = SupportStructure::build_with(&g, Parallelism::fixed(threads));
+            assert_eq!(par.num_triangles(), sequential.num_triangles());
+            assert_eq!(par.num_cliques(), sequential.num_cliques());
+            for t in 0..sequential.num_triangles() as TriangleId {
+                assert_eq!(par.triangle(t), sequential.triangle(t));
+                assert_eq!(
+                    par.triangle_prob(t).to_bits(),
+                    sequential.triangle_prob(t).to_bits()
+                );
+                assert_eq!(par.cliques_of(t), sequential.cliques_of(t));
+            }
+            for c in 0..sequential.num_cliques() as u32 {
+                let (a, b) = (par.clique(c), sequential.clique(c));
+                assert_eq!(a.clique, b.clique);
+                assert_eq!(a.triangles, b.triangles);
+                for slot in 0..4 {
+                    assert_eq!(
+                        a.completion_probs[slot].to_bits(),
+                        b.completion_probs[slot].to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,13 +50,7 @@ pub fn weakly_global_nuclei(
     config: &GlobalConfig,
 ) -> Result<Vec<WeaklyGlobalNucleus>> {
     config.sampling.validate()?;
-    let local = LocalNucleusDecomposition::compute(
-        graph,
-        &crate::config::LocalConfig {
-            theta: config.theta,
-            method: config.score_method,
-        },
-    )?;
+    let local = LocalNucleusDecomposition::compute(graph, &config.local_config())?;
     weakly_global_nuclei_with_local(graph, k, config, &local)
 }
 

@@ -6,6 +6,7 @@
 //! once and can expand it into its four triangles.
 
 use crate::graph::{UncertainGraph, VertexId};
+use crate::par::{self, Parallelism};
 use crate::triangles::Triangle;
 
 /// A 4-clique, stored with its vertices sorted increasingly.
@@ -97,23 +98,33 @@ pub struct FourCliqueEnumerator {
 impl FourCliqueEnumerator {
     /// Enumerates all 4-cliques of `graph`.
     pub fn new(graph: &UncertainGraph) -> Self {
-        let mut cliques = Vec::new();
-        for e in graph.edges() {
-            let (u, v) = (e.u, e.v);
-            let common_uv = graph.common_neighbors(u, v);
-            for (wi, &w) in common_uv.iter().enumerate() {
-                if w <= v {
-                    continue;
-                }
-                // Candidates z must be adjacent to u, v (i.e. in common_uv)
-                // and to w; restricting to z > w keeps each clique unique.
-                for &z in &common_uv[wi + 1..] {
-                    if z > w && graph.has_edge(w, z) {
-                        cliques.push(FourClique::new(u, v, w, z));
+        Self::with_parallelism(graph, Parallelism::Sequential)
+    }
+
+    /// [`FourCliqueEnumerator::new`] with an explicit [`Parallelism`]
+    /// setting.  Edges are scanned in parallel chunks and the merged clique
+    /// list is identical to the sequential one for every thread count.
+    pub fn with_parallelism(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
+        let edges = graph.edges();
+        let mut cliques = par::par_extend(parallelism, edges.len(), |range, out| {
+            for e in &edges[range] {
+                let (u, v) = (e.u, e.v);
+                let common_uv = graph.common_neighbors(u, v);
+                for (wi, &w) in common_uv.iter().enumerate() {
+                    if w <= v {
+                        continue;
+                    }
+                    // Candidates z must be adjacent to u, v (i.e. in
+                    // common_uv) and to w; restricting to z > w keeps each
+                    // clique unique.
+                    for &z in &common_uv[wi + 1..] {
+                        if z > w && graph.has_edge(w, z) {
+                            out.push(FourClique::new(u, v, w, z));
+                        }
                     }
                 }
             }
-        }
+        });
         cliques.sort_unstable();
         FourCliqueEnumerator { cliques }
     }
@@ -142,22 +153,30 @@ impl FourCliqueEnumerator {
 /// Counts all 4-cliques of `graph` without materializing them (same
 /// traversal as [`FourCliqueEnumerator`]).
 pub fn count_four_cliques(graph: &UncertainGraph) -> usize {
-    let mut count = 0usize;
-    for e in graph.edges() {
-        let (u, v) = (e.u, e.v);
-        let common_uv = graph.common_neighbors(u, v);
-        for (wi, &w) in common_uv.iter().enumerate() {
-            if w <= v {
-                continue;
-            }
-            for &z in &common_uv[wi + 1..] {
-                if z > w && graph.has_edge(w, z) {
-                    count += 1;
+    count_four_cliques_with(graph, Parallelism::Sequential)
+}
+
+/// [`count_four_cliques`] with an explicit [`Parallelism`] setting.
+pub fn count_four_cliques_with(graph: &UncertainGraph, parallelism: Parallelism) -> usize {
+    let edges = graph.edges();
+    par::par_count(parallelism, edges.len(), |range| {
+        let mut count = 0usize;
+        for e in &edges[range] {
+            let (u, v) = (e.u, e.v);
+            let common_uv = graph.common_neighbors(u, v);
+            for (wi, &w) in common_uv.iter().enumerate() {
+                if w <= v {
+                    continue;
+                }
+                for &z in &common_uv[wi + 1..] {
+                    if z > w && graph.has_edge(w, z) {
+                        count += 1;
+                    }
                 }
             }
         }
-    }
-    count
+        count
+    })
 }
 
 /// Enumerates the k-cliques of `graph` for `k ≥ 1` by recursive pivot-free
@@ -296,6 +315,20 @@ mod tests {
         let mut naive = enumerate_k_cliques(&g, 4);
         naive.sort();
         assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        let g = complete_graph(9, 0.8);
+        let sequential = FourCliqueEnumerator::new(&g);
+        for threads in [1, 2, 8] {
+            let par = FourCliqueEnumerator::with_parallelism(&g, Parallelism::fixed(threads));
+            assert_eq!(par.cliques(), sequential.cliques(), "threads = {threads}");
+            assert_eq!(
+                count_four_cliques_with(&g, Parallelism::fixed(threads)),
+                sequential.len()
+            );
+        }
     }
 
     #[test]

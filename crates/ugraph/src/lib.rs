@@ -12,6 +12,11 @@
 //!   existence probability (Equation 1 of the paper).
 //! * Triangle and 4-clique enumeration ([`triangles`], [`cliques`]) — the
 //!   `r = 3`, `s = 4` higher-order structures used by the (3,4)-nucleus.
+//! * Parallel execution substrate ([`par`]) — a zero-dependency, scoped-
+//!   thread chunked parallel-for with atomic chunk claiming that drives the
+//!   `*_with` variants of the enumerators.  Every parallel result is
+//!   bit-identical to the sequential one; the degree of parallelism is
+//!   chosen through [`Parallelism`].
 //! * Connectivity utilities ([`connectivity`]) — union-find and BFS
 //!   components, used by every decomposition to report maximal connected
 //!   subgraphs.
@@ -30,6 +35,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod metrics;
+pub mod par;
 pub mod possible_world;
 pub mod subgraph;
 pub mod triangles;
@@ -39,6 +45,7 @@ pub use cliques::{FourClique, FourCliqueEnumerator};
 pub use connectivity::{ConnectedComponents, UnionFind};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, UncertainGraph, VertexId};
+pub use par::Parallelism;
 pub use possible_world::{PossibleWorld, WorldSampler};
 pub use subgraph::EdgeSubgraph;
 pub use triangles::{Triangle, TriangleId, TriangleIndex};

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use crate::graph::{UncertainGraph, VertexId};
+use crate::par::{self, Parallelism};
 
 /// Dense identifier of a triangle inside a [`TriangleIndex`].
 pub type TriangleId = u32;
@@ -74,16 +75,26 @@ impl std::fmt::Display for Triangle {
 /// complete a triangle `(u, v, w)`.  Each triangle is therefore reported
 /// from its lexicographically smallest edge only.
 pub fn enumerate_triangles(graph: &UncertainGraph) -> Vec<Triangle> {
-    let mut out = Vec::new();
-    for e in graph.edges() {
-        let (u, v) = (e.u, e.v);
-        for w in graph.common_neighbors(u, v) {
-            if w > v {
-                out.push(Triangle::new(u, v, w));
+    enumerate_triangles_with(graph, Parallelism::Sequential)
+}
+
+/// [`enumerate_triangles`] with an explicit [`Parallelism`] setting.
+///
+/// Edges are scanned in parallel chunks; per-chunk results are merged in
+/// edge order, so the output is identical to the sequential enumeration
+/// for every thread count.
+pub fn enumerate_triangles_with(graph: &UncertainGraph, parallelism: Parallelism) -> Vec<Triangle> {
+    let edges = graph.edges();
+    par::par_extend(parallelism, edges.len(), |range, out| {
+        for e in &edges[range] {
+            let (u, v) = (e.u, e.v);
+            for w in graph.common_neighbors(u, v) {
+                if w > v {
+                    out.push(Triangle::new(u, v, w));
+                }
             }
         }
-    }
-    out
+    })
 }
 
 /// Dense id ↔ triangle index over all triangles of a graph.
@@ -113,7 +124,13 @@ pub struct TriangleIndex {
 impl TriangleIndex {
     /// Enumerates the triangles of `graph` and builds the index.
     pub fn build(graph: &UncertainGraph) -> Self {
-        let mut triangles = enumerate_triangles(graph);
+        Self::build_with(graph, Parallelism::Sequential)
+    }
+
+    /// [`TriangleIndex::build`] with an explicit [`Parallelism`] setting.
+    /// The resulting index is identical for every thread count.
+    pub fn build_with(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
+        let mut triangles = enumerate_triangles_with(graph, parallelism);
         triangles.sort_unstable();
         let ids = triangles
             .iter()
@@ -292,6 +309,25 @@ mod tests {
         let g = k4();
         let counts = triangle_counts_per_vertex(&g);
         assert_eq!(counts, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        // K8 has 56 triangles; exercise multiple chunked workers.
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8u32 {
+                b.add_edge(u, v, 0.7).unwrap();
+            }
+        }
+        let g = b.build();
+        let sequential = enumerate_triangles(&g);
+        for threads in [1, 2, 8] {
+            let par = enumerate_triangles_with(&g, Parallelism::fixed(threads));
+            assert_eq!(par, sequential, "threads = {threads}");
+            let idx = TriangleIndex::build_with(&g, Parallelism::fixed(threads));
+            assert_eq!(idx.triangles(), TriangleIndex::build(&g).triangles());
+        }
     }
 
     #[test]

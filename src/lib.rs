@@ -34,3 +34,7 @@ pub use nd_datasets;
 pub use nucleus;
 pub use probdecomp;
 pub use ugraph;
+
+/// Convenience re-export of the parallelism knob used across the
+/// enumeration and decomposition entry points.
+pub use ugraph::Parallelism;
