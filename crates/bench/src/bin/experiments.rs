@@ -1,18 +1,34 @@
 //! Experiment runner reproducing every table and figure of the paper,
-//! plus the parallel-substrate benchmark.
+//! plus the parallel-substrate benchmark and dataset utilities.
 //!
 //! ```text
 //! experiments <id> [--scale tiny|small|medium] [--seed N]
+//!             [--input PATH [--format snap|konect|ugsnap]
+//!                           [--prob-model column|const:P|uniform:SEED[:L:H]|exp[:S]]]
 //!
 //! ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all
 //!
 //! experiments parbench [--edges M] [--vertices N] [--threads 1,2,4]
 //!                      [--repeats R] [--seed N] [--out BENCH_parallel.json]
+//!                      [--input PATH [--format F] [--prob-model M]]
+//!
+//! experiments gen [--edges M] [--vertices N] [--seed N] --out PATH
+//!                 [--snapshot PATH]
 //! ```
+//!
+//! With `--input`, the named experiment runs on the ingested graph
+//! instead of the six synthetic datasets (loading goes through the
+//! `.ugsnap` snapshot cache), and `parbench` additionally records the
+//! file plus its ingestion timings as the dataset provenance in the JSON
+//! report.  `gen` writes a seeded benchmark graph as a text edge list
+//! (and optionally a snapshot), so CI can exercise the full
+//! generate → ingest → snapshot → benchmark loop.
 
 use nd_bench::runner::ExperimentContext;
 use nd_bench::{ablation, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3};
-use nd_datasets::{PaperDataset, Scale};
+use nd_datasets::{ExternalDataset, PaperDataset, Scale};
+use ugraph::io::EdgeProbabilityModel;
+use ugraph::InputFormat;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +39,10 @@ fn main() {
     let id = args[0].clone();
     if id == "parbench" {
         run_parbench(&args);
+        return;
+    }
+    if id == "gen" {
+        run_gen(&args);
         return;
     }
     let scale = parse_flag(&args, "--scale")
@@ -39,7 +59,21 @@ fn main() {
     let seed = parse_flag(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
-    let ctx = ExperimentContext::new(scale, seed);
+    let mut ctx = ExperimentContext::new(scale, seed);
+    if let Some(input) = parse_input(&args) {
+        let start = std::time::Instant::now();
+        let graph = input
+            .load_cached()
+            .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", input.path.display())));
+        println!(
+            "# input: {} ({} vertices, {} edges, loaded in {:.3}s via snapshot cache)",
+            input.path.display(),
+            graph.num_vertices(),
+            graph.num_edges(),
+            start.elapsed().as_secs_f64()
+        );
+        ctx = ctx.with_external_graph(input.name.clone(), graph);
+    }
 
     println!("# experiment: {id}  scale: {scale:?}  seed: {seed}\n");
     let start = std::time::Instant::now();
@@ -79,11 +113,41 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: experiments <id> [--scale tiny|small|medium] [--seed N]\n\
+         \x20               [--input PATH [--format snap|konect|ugsnap] [--prob-model M]]\n\
          ids: table1 fig4 fig5 table2 fig6 table3 fig7 fig8 ablation all\n\
          \n\
          experiments parbench [--edges M] [--vertices N] [--threads 1,2,4]\n\
-         \x20                 [--repeats R] [--seed N] [--out BENCH_parallel.json]"
+         \x20                 [--repeats R] [--seed N] [--out BENCH_parallel.json]\n\
+         \x20                 [--input PATH [--format F] [--prob-model M]]\n\
+         \n\
+         experiments gen [--edges M] [--vertices N] [--seed N] --out PATH\n\
+         \x20            [--snapshot PATH]\n\
+         \n\
+         probability models: column | const:P | uniform:SEED[:LOW:HIGH] | exp[:SCALE]"
     );
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(1);
+}
+
+/// Parses the shared `--input` / `--format` / `--prob-model` flag group.
+fn parse_input(args: &[String]) -> Option<ExternalDataset> {
+    let path = parse_flag(args, "--input")?;
+    let format = match parse_flag(args, "--format") {
+        Some(spec) => spec
+            .parse::<InputFormat>()
+            .unwrap_or_else(|e| fail(&e.to_string())),
+        None => InputFormat::Snap,
+    };
+    let model = match parse_flag(args, "--prob-model") {
+        Some(spec) => spec
+            .parse::<EdgeProbabilityModel>()
+            .unwrap_or_else(|e| fail(&e.to_string())),
+        None => EdgeProbabilityModel::Column,
+    };
+    Some(ExternalDataset::new(path, format, model))
 }
 
 /// Runs the parallel-substrate benchmark and writes the JSON report.
@@ -120,17 +184,57 @@ fn run_parbench(args: &[String]) {
         // May legitimately be empty (`--threads 1` = baseline only).
         config.threads = threads;
     }
+    config.input = parse_input(args);
     let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
 
-    println!(
-        "# experiment: parbench  vertices: {}  edges: {}  threads: {:?}  repeats: {}  seed: {}\n",
-        config.vertices, config.edges, config.threads, config.repeats, config.seed
-    );
+    match &config.input {
+        Some(input) => println!(
+            "# experiment: parbench  input: {} ({})  threads: {:?}  repeats: {}\n",
+            input.path.display(),
+            input.format,
+            config.threads,
+            config.repeats
+        ),
+        None => println!(
+            "# experiment: parbench  vertices: {}  edges: {}  threads: {:?}  repeats: {}  seed: {}\n",
+            config.vertices, config.edges, config.threads, config.repeats, config.seed
+        ),
+    }
     let report = parbench::run(&config);
     println!("{}", report.format());
     std::fs::write(&out_path, report.to_json())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
+}
+
+/// Generates a seeded benchmark graph and writes it as a text edge list
+/// (and optionally a `.ugsnap` snapshot).
+fn run_gen(args: &[String]) {
+    let edges: usize = parse_flag(args, "--edges")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let vertices: usize = parse_flag(args, "--vertices")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or((edges / 25).max(4));
+    let seed: u64 = parse_flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let Some(out) = parse_flag(args, "--out") else {
+        fail("gen requires --out PATH");
+    };
+    let graph = parbench::generate_graph(vertices, edges, seed);
+    ugraph::io::write_edge_list_file(&graph, &out)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {out}: {} vertices, {} edges (seed {seed})",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    if let Some(snap) = parse_flag(args, "--snapshot") {
+        ugraph::io::write_snapshot_file(&graph, &snap)
+            .unwrap_or_else(|e| fail(&format!("cannot write {snap}: {e}")));
+        println!("wrote {snap} (ugsnap v{})", ugraph::io::SNAPSHOT_VERSION);
+    }
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
@@ -150,26 +254,35 @@ fn report_shape(violations: &[String]) {
     }
 }
 
+/// The datasets a multi-dataset experiment iterates: collapsed to one
+/// when `--input` installed an external graph.
+fn datasets(ctx: &ExperimentContext, requested: &[PaperDataset]) -> Vec<PaperDataset> {
+    ctx.effective_datasets(requested)
+}
+
 fn run_table1(ctx: &ExperimentContext) {
-    println!("{}", table1::run(ctx).format());
+    println!(
+        "{}",
+        table1::run(ctx, &datasets(ctx, &PaperDataset::all())).format()
+    );
 }
 
 fn run_fig4(ctx: &ExperimentContext) {
-    let fig = fig4::run(ctx, &PaperDataset::all());
+    let fig = fig4::run(ctx, &datasets(ctx, &PaperDataset::all()));
     println!("{}", fig.format());
     report_shape(&fig.check_shape());
     println!();
 }
 
 fn run_fig5(ctx: &ExperimentContext) {
-    let fig = fig5::run(ctx, &PaperDataset::all(), 2, 200);
+    let fig = fig5::run(ctx, &datasets(ctx, &PaperDataset::all()), 2, 200);
     println!("{}", fig.format());
     report_shape(&fig.check_shape());
     println!();
 }
 
 fn run_table2(ctx: &ExperimentContext) {
-    let t = table2::run(ctx, &PaperDataset::all());
+    let t = table2::run(ctx, &datasets(ctx, &PaperDataset::all()));
     println!("{}", t.format());
     report_shape(&t.check_shape());
     println!();
@@ -185,11 +298,14 @@ fn run_fig6(ctx: &ExperimentContext) {
 fn run_table3(ctx: &ExperimentContext) {
     let t = table3::run(
         ctx,
-        &[
-            PaperDataset::Dblp,
-            PaperDataset::Pokec,
-            PaperDataset::Biomine,
-        ],
+        &datasets(
+            ctx,
+            &[
+                PaperDataset::Dblp,
+                PaperDataset::Pokec,
+                PaperDataset::Biomine,
+            ],
+        ),
     );
     println!("{}", t.format());
     report_shape(&t.check_shape());
@@ -206,11 +322,14 @@ fn run_fig7(ctx: &ExperimentContext) {
 fn run_fig8(ctx: &ExperimentContext) {
     let fig = fig8::run(
         ctx,
-        &[
-            PaperDataset::Krogan,
-            PaperDataset::Flickr,
-            PaperDataset::Dblp,
-        ],
+        &datasets(
+            ctx,
+            &[
+                PaperDataset::Krogan,
+                PaperDataset::Flickr,
+                PaperDataset::Dblp,
+            ],
+        ),
         3,
         200,
     );

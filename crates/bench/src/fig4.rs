@@ -13,7 +13,7 @@ pub const THETAS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
 #[derive(Debug, Clone)]
 pub struct Fig4Point {
     /// Dataset name.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// Threshold θ.
     pub theta: f64,
     /// Seconds taken by the exact DP algorithm.
@@ -55,7 +55,7 @@ pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset]) -> Fig4 {
                 .expect("valid config")
             });
             points.push(Fig4Point {
-                dataset: ds.name(),
+                dataset: ctx.dataset_name(ds),
                 theta,
                 dp_seconds: dp_time.seconds(),
                 ap_seconds: ap_time.seconds(),
@@ -104,7 +104,7 @@ impl Fig4 {
         let mut by_dataset: std::collections::HashMap<&str, Vec<&Fig4Point>> =
             std::collections::HashMap::new();
         for p in &self.points {
-            by_dataset.entry(p.dataset).or_default().push(p);
+            by_dataset.entry(p.dataset.as_str()).or_default().push(p);
         }
         for (ds, points) in by_dataset {
             let total_dp: f64 = points.iter().map(|p| p.dp_seconds).sum();

@@ -16,7 +16,7 @@ pub const THETA: f64 = 0.001;
 #[derive(Debug, Clone)]
 pub struct Fig5Point {
     /// Dataset name.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// The `k` the decompositions were run for.
     pub k: u32,
     /// Seconds taken by the fully-global algorithm (Algorithm 2).
@@ -56,7 +56,7 @@ pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset], k: u32, num_sampl
             weakly_global_nuclei_with_local(&graph, k, &config, &local).expect("valid config")
         });
         points.push(Fig5Point {
-            dataset: ds.name(),
+            dataset: ctx.dataset_name(ds),
             k,
             fg_seconds: fg_time.seconds(),
             wg_seconds: wg_time.seconds(),

@@ -31,7 +31,7 @@ pub struct Fig7Point {
 #[derive(Debug, Clone)]
 pub struct Fig7 {
     /// Dataset the series was computed on.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// One point per `k` from 1 to k_max.
     pub points: Vec<Fig7Point>,
 }
@@ -68,7 +68,7 @@ pub fn run(ctx: &ExperimentContext, dataset: PaperDataset) -> Fig7 {
         });
     }
     Fig7 {
-        dataset: dataset.name(),
+        dataset: ctx.dataset_name(dataset),
         points,
     }
 }

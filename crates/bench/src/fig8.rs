@@ -19,7 +19,7 @@ pub const THETA: f64 = 0.001;
 #[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Dataset name.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// Average PD of the g-, w- and ℓ-nuclei respectively.
     pub pd: [f64; 3],
     /// Average PCC of the g-, w- and ℓ-nuclei respectively.
@@ -88,7 +88,7 @@ pub fn run(
         let (w_pd, w_pcc) = average_metrics(&w_graphs.iter().collect::<Vec<_>>());
         let (l_pd, l_pcc) = average_metrics(&l_graphs.iter().collect::<Vec<_>>());
         rows.push(Fig8Row {
-            dataset: ds.name(),
+            dataset: ctx.dataset_name(ds),
             pd: [g_pd, w_pd, l_pd],
             pcc: [g_pcc, w_pcc, l_pcc],
         });

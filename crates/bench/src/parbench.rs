@@ -8,12 +8,14 @@
 //! of the substrate becomes a tracked, diffable artifact instead of a
 //! number in a PR description.
 //!
-//! The JSON schema (`bench-parallel/v1`):
+//! The JSON schema (`bench-parallel/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench-parallel/v1",
-//!   "generator": "gnm-uniform",
+//!   "schema": "bench-parallel/v2",
+//!   "source": { "kind": "generated", "generator": "gnm-uniform",
+//!               "requested_vertices": 2000, "requested_edges": 50000,
+//!               "seed": 42 },
 //!   "vertices": 5000, "edges": 50000, "seed": 42, "repeats": 3,
 //!   "available_parallelism": 8,
 //!   "counts": { "triangles": 16500, "four_cliques": 120 },
@@ -25,6 +27,19 @@
 //! }
 //! ```
 //!
+//! With `--input` the `source` object records the ingested file instead —
+//! its path, format and probability model plus the ingestion timings
+//! (text parse vs `.ugsnap` snapshot reload), so the dataset provenance
+//! and the snapshot-cache speedup are part of the tracked artifact:
+//!
+//! ```json
+//! "source": { "kind": "file", "path": "graphs/soc.txt", "format": "snap",
+//!             "prob_model": "column",
+//!             "ingest": { "parse_s": 1.21, "snapshot_write_s": 0.05,
+//!                         "snapshot_reload_s": 0.07,
+//!                         "reload_speedup": 17.3 } }
+//! ```
+//!
 //! Timings are best-of-`repeats` wall-clock seconds per phase; `speedup`
 //! is the sequential total divided by the run's total.  Every run is
 //! guarded by a condvar-based deadline watchdog
@@ -33,10 +48,12 @@
 
 use std::time::Duration;
 
+use nd_datasets::ExternalDataset;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use ugraph::cliques::FourCliqueEnumerator;
 use ugraph::generators::{assign_probabilities, gnm_edges, ProbabilityModel};
+use ugraph::io;
 use ugraph::par::Parallelism;
 use ugraph::triangles::enumerate_triangles_with;
 use ugraph::UncertainGraph;
@@ -60,6 +77,10 @@ pub struct ParBenchConfig {
     pub repeats: usize,
     /// Wall-clock budget per measured configuration.
     pub deadline: Duration,
+    /// Ingested input overriding the generator: the benchmark then also
+    /// measures text-parse vs snapshot-reload and records the file as the
+    /// dataset provenance.
+    pub input: Option<ExternalDataset>,
 }
 
 impl Default for ParBenchConfig {
@@ -74,7 +95,28 @@ impl Default for ParBenchConfig {
             threads: vec![2, 4],
             repeats: 3,
             deadline: Duration::from_secs(600),
+            input: None,
         }
+    }
+}
+
+/// Wall-clock costs of ingesting the `--input` file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestTimings {
+    /// Seconds to parse the source file (text parse for SNAP/Konect,
+    /// snapshot read when the source already is a snapshot).
+    pub parse_s: f64,
+    /// Seconds to write the `.ugsnap` snapshot cache.
+    pub snapshot_write_s: f64,
+    /// Seconds to reload the graph from that snapshot.
+    pub snapshot_reload_s: f64,
+}
+
+impl IngestTimings {
+    /// How much faster the snapshot reload is than the original parse —
+    /// the figure of merit of the snapshot cache.
+    pub fn reload_speedup(&self) -> f64 {
+        self.parse_s / self.snapshot_reload_s.max(1e-9)
     }
 }
 
@@ -115,9 +157,14 @@ pub struct ThreadRun {
 pub struct ParBenchReport {
     /// The configuration the report was produced with.
     pub config: ParBenchConfig,
-    /// Actual number of edges of the generated graph (G(n, m) can emit
-    /// slightly fewer than requested on dense inputs).
+    /// Actual number of vertices of the measured graph.
+    pub actual_vertices: usize,
+    /// Actual number of edges of the measured graph (G(n, m) can emit
+    /// slightly fewer than requested on dense inputs; files have whatever
+    /// they have).
     pub actual_edges: usize,
+    /// Ingestion timings when the graph came from `--input`.
+    pub ingest: Option<IngestTimings>,
     /// Number of triangles of the graph.
     pub num_triangles: usize,
     /// Number of 4-cliques of the graph.
@@ -182,11 +229,76 @@ fn measure_config(
     (best, exceeded, num_triangles, num_cliques)
 }
 
+/// Ingests `config.input`, measuring text parse, snapshot-cache write and
+/// snapshot reload, and verifying the reloaded graph is identical.
+///
+/// Sources that already are snapshots skip the cache round-trip (it would
+/// measure snapshot-vs-snapshot and litter the dataset directory), and an
+/// unwritable dataset directory degrades to a temp-dir cache — or, if
+/// even that fails, to running the benchmark without ingest timings.
+fn ingest(input: &ExternalDataset) -> (UncertainGraph, Option<IngestTimings>) {
+    let (parsed, parse_t) = Timing::measure(|| input.load());
+    let graph = parsed.unwrap_or_else(|e| panic!("cannot ingest {}: {e}", input.path.display()));
+    if input.format == ugraph::InputFormat::Snapshot {
+        return (graph, None);
+    }
+    let preferred = input.snapshot_cache_path();
+    let (written, write_t) = Timing::measure(|| io::write_snapshot_file(&graph, &preferred));
+    let (cache, write_t) = match written {
+        Ok(()) => (preferred, write_t),
+        Err(_) => {
+            // Read-only dataset directory (load_cached tolerates this
+            // too); fall back to the temp dir before giving up.
+            let fallback = std::env::temp_dir().join(
+                preferred
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "parbench_cache.ugsnap".to_string()),
+            );
+            let (retried, retry_t) = Timing::measure(|| io::write_snapshot_file(&graph, &fallback));
+            match retried {
+                Ok(()) => (fallback, retry_t),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot write a snapshot cache for {} ({e}); \
+                         benchmarking without ingest timings",
+                        input.path.display()
+                    );
+                    return (graph, None);
+                }
+            }
+        }
+    };
+    let (reloaded, reload_t) = Timing::measure(|| io::read_snapshot_file(&cache));
+    let reloaded =
+        reloaded.unwrap_or_else(|e| panic!("cannot reload snapshot {}: {e}", cache.display()));
+    assert_eq!(
+        graph,
+        reloaded,
+        "snapshot reload of {} diverged from the parsed graph",
+        input.path.display()
+    );
+    (
+        graph,
+        Some(IngestTimings {
+            parse_s: parse_t.seconds(),
+            snapshot_write_s: write_t.seconds(),
+            snapshot_reload_s: reload_t.seconds(),
+        }),
+    )
+}
+
 /// Runs the benchmark: sequential baseline first, then every requested
 /// thread count, verifying on the way that the parallel results agree with
 /// the sequential ones.
 pub fn run(config: &ParBenchConfig) -> ParBenchReport {
-    let graph = generate_graph(config.vertices, config.edges, config.seed);
+    let (graph, ingest_timings) = match &config.input {
+        Some(input) => ingest(input),
+        None => (
+            generate_graph(config.vertices, config.edges, config.seed),
+            None,
+        ),
+    };
     let (baseline_timings, baseline_exceeded, num_triangles, num_four_cliques) = measure_config(
         &graph,
         Parallelism::Sequential,
@@ -229,7 +341,9 @@ pub fn run(config: &ParBenchConfig) -> ParBenchReport {
 
     ParBenchReport {
         config: config.clone(),
+        actual_vertices: graph.num_vertices(),
         actual_edges: graph.num_edges(),
+        ingest: ingest_timings,
         num_triangles,
         num_four_cliques,
         available_parallelism: Parallelism::Auto.num_threads(),
@@ -253,8 +367,56 @@ fn json_run(run: &ThreadRun) -> String {
     )
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) for
+/// the path and model fields of the provenance object.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl ParBenchReport {
-    /// Serializes the report to the `bench-parallel/v1` JSON schema.
+    /// The `source` provenance object of the JSON report.
+    fn json_source(&self) -> String {
+        match (&self.config.input, &self.ingest) {
+            (Some(input), Some(t)) => format!(
+                "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
+                 \"prob_model\": \"{}\",\n             \"ingest\": {{ \"parse_s\": {:.6}, \
+                 \"snapshot_write_s\": {:.6}, \"snapshot_reload_s\": {:.6}, \
+                 \"reload_speedup\": {:.3} }} }}",
+                json_escape(&input.path.display().to_string()),
+                input.format,
+                json_escape(&input.probability.to_string()),
+                t.parse_s,
+                t.snapshot_write_s,
+                t.snapshot_reload_s,
+                t.reload_speedup()
+            ),
+            // Snapshot sources (or an unwritable cache) have no ingest
+            // timings, but the provenance is still the file.
+            (Some(input), None) => format!(
+                "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
+                 \"prob_model\": \"{}\" }}",
+                json_escape(&input.path.display().to_string()),
+                input.format,
+                json_escape(&input.probability.to_string()),
+            ),
+            (None, _) => format!(
+                "{{ \"kind\": \"generated\", \"generator\": \"gnm-uniform\", \
+                 \"requested_vertices\": {}, \"requested_edges\": {}, \"seed\": {} }}",
+                self.config.vertices, self.config.edges, self.config.seed
+            ),
+        }
+    }
+
+    /// Serializes the report to the `bench-parallel/v2` JSON schema.
     pub fn to_json(&self) -> String {
         let runs: Vec<String> = self
             .runs
@@ -262,11 +424,12 @@ impl ParBenchReport {
             .map(|r| format!("    {}", json_run(r)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"bench-parallel/v1\",\n  \"generator\": \"gnm-uniform\",\n  \
+            "{{\n  \"schema\": \"bench-parallel/v2\",\n  \"source\": {},\n  \
              \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"repeats\": {},\n  \
              \"available_parallelism\": {},\n  \"counts\": {{ \"triangles\": {}, \
              \"four_cliques\": {} }},\n  \"baseline\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
-            self.config.vertices,
+            self.json_source(),
+            self.actual_vertices,
             self.actual_edges,
             self.config.seed,
             self.config.repeats,
@@ -292,15 +455,36 @@ impl ParBenchReport {
                 if run.deadline_exceeded { "YES" } else { "no" }.to_string(),
             ]);
         }
+        let source = match (&self.config.input, &self.ingest) {
+            (Some(input), Some(t)) => format!(
+                "\ningest: {} ({}, {}) — parse {:.3}s, snapshot write {:.3}s, \
+                 reload {:.3}s ({:.1}x faster than parsing)",
+                input.path.display(),
+                input.format,
+                input.probability,
+                t.parse_s,
+                t.snapshot_write_s,
+                t.snapshot_reload_s,
+                t.reload_speedup()
+            ),
+            (Some(input), None) => format!(
+                "\ningest: {} ({}, {})",
+                input.path.display(),
+                input.format,
+                input.probability
+            ),
+            (None, _) => String::new(),
+        };
         format!(
             "parallel substrate bench — {} vertices, {} edges (seed {}), \
-             {} triangles, {} 4-cliques, host parallelism {}\n{}",
-            self.config.vertices,
+             {} triangles, {} 4-cliques, host parallelism {}{}\n{}",
+            self.actual_vertices,
             self.actual_edges,
             self.config.seed,
             self.num_triangles,
             self.num_four_cliques,
             self.available_parallelism,
+            source,
             format_table(
                 &[
                     "threads",
@@ -329,6 +513,7 @@ mod tests {
             threads: vec![2],
             repeats: 1,
             deadline: Duration::from_secs(120),
+            input: None,
         }
     }
 
@@ -349,7 +534,8 @@ mod tests {
     fn json_has_schema_and_parses_shape() {
         let report = run(&tiny_config());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-parallel/v1\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v2\""));
+        assert!(json.contains("\"kind\": \"generated\""));
         assert!(json.contains("\"counts\""));
         assert!(json.contains("\"baseline\""));
         assert!(json.contains("\"runs\""));
@@ -378,5 +564,73 @@ mod tests {
         let a = generate_graph(50, 200, 3);
         let b = generate_graph(50, 200, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_mode_records_provenance_and_ingest_timings() {
+        use ugraph::io::EdgeProbabilityModel;
+        use ugraph::InputFormat;
+
+        let dir = std::env::temp_dir().join("parbench_input_mode_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.txt");
+        ugraph::io::write_edge_list_file(&generate_graph(60, 400, 7), &path).unwrap();
+
+        let mut config = tiny_config();
+        config.input = Some(nd_datasets::ExternalDataset::new(
+            &path,
+            InputFormat::Snap,
+            EdgeProbabilityModel::Column,
+        ));
+        let report = run(&config);
+        let ingest = report.ingest.expect("input mode records ingest timings");
+        assert!(ingest.parse_s > 0.0);
+        assert!(ingest.snapshot_reload_s > 0.0);
+        // The measured graph is the file's, not the generator's.
+        assert_eq!(report.actual_edges, 400);
+
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"file\""));
+        assert!(json.contains("\"format\": \"snap\""));
+        assert!(json.contains("\"prob_model\": \"column\""));
+        assert!(json.contains("\"reload_speedup\""));
+        assert!(report.format().contains("ingest:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_inputs_skip_the_cache_round_trip() {
+        use ugraph::io::EdgeProbabilityModel;
+        use ugraph::InputFormat;
+
+        let dir = std::env::temp_dir().join("parbench_snapshot_input_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.ugsnap");
+        ugraph::io::write_snapshot_file(&generate_graph(60, 400, 7), &path).unwrap();
+
+        let mut config = tiny_config();
+        config.input = Some(nd_datasets::ExternalDataset::new(
+            &path,
+            InputFormat::Snapshot,
+            EdgeProbabilityModel::Column,
+        ));
+        let report = run(&config);
+        assert!(report.ingest.is_none(), "no snapshot-vs-snapshot timing");
+        assert_eq!(report.actual_edges, 400);
+        // No second snapshot appears beside the source.
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "dataset directory must not be littered"
+        );
+        // Provenance still records the file, without an ingest object.
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"file\""));
+        assert!(json.contains("\"format\": \"ugsnap\""));
+        assert!(!json.contains("\"ingest\""));
+        assert!(report.format().contains("ingest: "));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

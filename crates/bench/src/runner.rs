@@ -1,30 +1,83 @@
 //! Shared infrastructure for the experiment harness.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nd_datasets::{PaperDataset, Scale};
 use ugraph::UncertainGraph;
 
-/// Execution context shared by all experiments: dataset scale and seed.
-#[derive(Debug, Clone, Copy)]
+/// An ingested graph overriding the synthetic registry for one run.
+#[derive(Debug)]
+struct ExternalGraph {
+    name: String,
+    graph: UncertainGraph,
+}
+
+/// Execution context shared by all experiments: dataset scale and seed,
+/// plus an optional ingested graph that overrides the synthetic registry
+/// (the `--input` flag of the `experiments` CLI).
+#[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// Dataset scale (tiny for smoke runs, small for the recorded results,
     /// medium for longer benchmarking sessions).
     pub scale: Scale,
     /// Seed used for dataset generation and Monte-Carlo sampling.
     pub seed: u64,
+    external: Option<Arc<ExternalGraph>>,
 }
 
 impl ExperimentContext {
     /// Creates a context.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        ExperimentContext { scale, seed }
+        ExperimentContext {
+            scale,
+            seed,
+            external: None,
+        }
     }
 
-    /// Generates a dataset under this context.
+    /// Returns a context whose [`ExperimentContext::dataset`] always
+    /// yields the given ingested graph, labelled `name` in every table.
+    pub fn with_external_graph(mut self, name: impl Into<String>, graph: UncertainGraph) -> Self {
+        self.external = Some(Arc::new(ExternalGraph {
+            name: name.into(),
+            graph,
+        }));
+        self
+    }
+
+    /// `true` when an ingested graph overrides the synthetic registry.
+    pub fn is_external(&self) -> bool {
+        self.external.is_some()
+    }
+
+    /// Generates a dataset under this context — or, when an external graph
+    /// is installed, returns that graph regardless of `dataset`.
     pub fn dataset(&self, dataset: PaperDataset) -> UncertainGraph {
-        dataset.generate(self.scale, self.seed)
+        match &self.external {
+            Some(ext) => ext.graph.clone(),
+            None => dataset.generate(self.scale, self.seed),
+        }
+    }
+
+    /// Label for `dataset` in tables and figures: the external graph's
+    /// name when one is installed, the paper name otherwise.
+    pub fn dataset_name(&self, dataset: PaperDataset) -> String {
+        match &self.external {
+            Some(ext) => ext.name.clone(),
+            None => dataset.name().to_string(),
+        }
+    }
+
+    /// The dataset list a multi-dataset experiment should iterate: the
+    /// requested paper datasets, collapsed to a single placeholder when an
+    /// external graph overrides them all anyway.
+    pub fn effective_datasets(&self, requested: &[PaperDataset]) -> Vec<PaperDataset> {
+        if self.is_external() {
+            requested.iter().take(1).copied().collect()
+        } else {
+            requested.to_vec()
+        }
     }
 }
 
@@ -153,6 +206,24 @@ mod tests {
         // Same context, same dataset.
         let g2 = ctx.dataset(PaperDataset::Krogan);
         assert_eq!(g, g2);
+        assert!(!ctx.is_external());
+        assert_eq!(ctx.dataset_name(PaperDataset::Krogan), "krogan");
+        assert_eq!(ctx.effective_datasets(&PaperDataset::all()).len(), 6);
+    }
+
+    #[test]
+    fn external_graph_overrides_every_dataset() {
+        let mut b = ugraph::GraphBuilder::new();
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build();
+        let ctx = ExperimentContext::new(Scale::Tiny, 7).with_external_graph("mygraph", g.clone());
+        assert!(ctx.is_external());
+        for ds in PaperDataset::all() {
+            assert_eq!(ctx.dataset(ds), g);
+            assert_eq!(ctx.dataset_name(ds), "mygraph");
+        }
+        assert_eq!(ctx.effective_datasets(&PaperDataset::all()).len(), 1);
+        assert!(ctx.effective_datasets(&[]).is_empty());
     }
 
     #[test]

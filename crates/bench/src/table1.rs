@@ -1,23 +1,24 @@
 //! Table 1 — dataset statistics.
 
-use nd_datasets::{table1_row, PaperDataset, Table1Row};
+use nd_datasets::{stats_row, PaperDataset, Table1Row};
 
 use crate::runner::{format_table, ExperimentContext};
 
-/// The full Table 1 over all six synthetic datasets.
+/// The full Table 1 over the requested datasets.
 #[derive(Debug, Clone)]
 pub struct Table1 {
     /// One row per dataset, in the paper's order.
     pub rows: Vec<Table1Row>,
 }
 
-/// Runs the experiment: generate every dataset and compute its statistics.
-pub fn run(ctx: &ExperimentContext) -> Table1 {
-    let rows = PaperDataset::all()
-        .into_iter()
-        .map(|ds| {
+/// Runs the experiment: materialize every dataset (synthetic or ingested)
+/// and compute its statistics.
+pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset]) -> Table1 {
+    let rows = datasets
+        .iter()
+        .map(|&ds| {
             let graph = ctx.dataset(ds);
-            table1_row(ds, &graph)
+            stats_row(ctx.dataset_name(ds), &graph)
         })
         .collect();
     Table1 { rows }
@@ -55,7 +56,7 @@ mod tests {
     #[test]
     fn produces_six_rows_in_paper_order() {
         let ctx = ExperimentContext::new(Scale::Tiny, 1);
-        let t = run(&ctx);
+        let t = run(&ctx, &PaperDataset::all());
         assert_eq!(t.rows.len(), 6);
         assert_eq!(t.rows[0].name, "krogan");
         assert_eq!(t.rows[5].name, "ljournal-2008");

@@ -14,7 +14,7 @@ pub const THETAS: [f64; 2] = [0.2, 0.4];
 #[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Dataset name.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// Threshold θ.
     pub theta: f64,
     /// Average absolute score difference over all triangles.
@@ -60,7 +60,7 @@ pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset]) -> Table2 {
                 }
             }
             rows.push(Table2Row {
-                dataset: ds.name(),
+                dataset: ctx.dataset_name(ds),
                 theta,
                 avg_error: if n == 0 { 0.0 } else { total_error / n as f64 },
                 pct_with_error: if n == 0 {

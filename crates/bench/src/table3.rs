@@ -74,7 +74,7 @@ fn stats_of_edge_subgraphs(subs: &[EdgeSubgraph], k_max: u32) -> CohesivenessSta
 #[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Dataset name.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// Threshold θ = γ = η.
     pub theta: f64,
     /// ℓ-(k,θ)-nucleus statistics.
@@ -124,7 +124,7 @@ pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset]) -> Table3 {
             let core = stats_of_edge_subgraphs(&core_subs, kc);
 
             rows.push(Table3Row {
-                dataset: ds.name(),
+                dataset: ctx.dataset_name(ds),
                 theta,
                 nucleus,
                 truss,

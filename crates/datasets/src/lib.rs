@@ -18,6 +18,12 @@
 //! experiment finishes on a laptop, and every generator is seeded so the
 //! whole evaluation is reproducible bit-for-bit.
 //!
+//! Real on-disk graphs sit beside the synthetic registry: an
+//! [`ExternalDataset`] wraps a file path, input format and
+//! edge-probability model (with cached `.ugsnap` snapshot
+//! materialization), and [`DatasetSource`] unifies both kinds behind one
+//! enum for the experiment harness.
+//!
 //! ```
 //! use nd_datasets::{PaperDataset, Scale};
 //!
@@ -27,10 +33,12 @@
 //! assert_eq!(stats.name, "krogan");
 //! ```
 
+pub mod external;
 pub mod registry;
 pub mod spec;
 pub mod stats;
 
+pub use external::{DatasetSource, ExternalDataset};
 pub use registry::PaperDataset;
 pub use spec::{DatasetSpec, Scale, StructureModel};
-pub use stats::{table1_row, Table1Row};
+pub use stats::{stats_row, table1_row, Table1Row};

@@ -9,7 +9,7 @@ use crate::registry::PaperDataset;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Dataset name.
-    pub name: &'static str,
+    pub name: String,
     /// Number of vertices.
     pub num_vertices: usize,
     /// Number of edges.
@@ -37,17 +37,23 @@ impl Table1Row {
     }
 }
 
-/// Computes the Table 1 row for a generated dataset.
-pub fn table1_row(dataset: PaperDataset, graph: &UncertainGraph) -> Table1Row {
+/// Computes the Table 1 row for an arbitrarily named graph — external
+/// datasets use their file-derived name here.
+pub fn stats_row(name: impl Into<String>, graph: &UncertainGraph) -> Table1Row {
     let stats = GraphStatistics::compute(graph);
     Table1Row {
-        name: dataset.name(),
+        name: name.into(),
         num_vertices: stats.num_vertices,
         num_edges: stats.num_edges,
         max_degree: stats.max_degree,
         average_probability: stats.average_probability,
         num_triangles: stats.num_triangles,
     }
+}
+
+/// Computes the Table 1 row for a generated dataset.
+pub fn table1_row(dataset: PaperDataset, graph: &UncertainGraph) -> Table1Row {
+    stats_row(dataset.name(), graph)
 }
 
 #[cfg(test)]

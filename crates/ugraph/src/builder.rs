@@ -78,6 +78,18 @@ impl GraphBuilder {
         Ok(())
     }
 
+    /// Like [`GraphBuilder::add_edge`] but rejects edges that were already
+    /// added instead of overriding them — the behaviour dataset loaders
+    /// need so a repeated line in an input file surfaces as a typed
+    /// [`GraphError::DuplicateEdge`] rather than silently winning.
+    pub fn add_edge_strict(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<()> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.edges.contains_key(&key) {
+            return Err(GraphError::DuplicateEdge { edge: key });
+        }
+        self.add_edge(u, v, p)
+    }
+
     /// Adds a deterministic edge (probability `1.0`).
     pub fn add_certain_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
         self.add_edge(u, v, 1.0)
@@ -201,6 +213,25 @@ mod tests {
         let g = b.build();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.edge_probability(0, 1), Some(0.9));
+    }
+
+    #[test]
+    fn strict_insert_rejects_duplicates_but_validates_first() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_strict(0, 1, 0.3).unwrap();
+        let err = b.add_edge_strict(1, 0, 0.9).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { edge: (0, 1) }));
+        assert!(matches!(
+            b.add_edge_strict(2, 2, 0.5).unwrap_err(),
+            GraphError::SelfLoop { vertex: 2 }
+        ));
+        assert!(matches!(
+            b.add_edge_strict(0, 2, 1.5).unwrap_err(),
+            GraphError::InvalidProbability { .. }
+        ));
+        // The duplicate attempt did not override the stored probability.
+        let g = b.build();
+        assert_eq!(g.edge_probability(0, 1), Some(0.3));
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum GraphError {
         /// Endpoints of the missing edge.
         edge: (u32, u32),
     },
+    /// An edge `{u, v}` appeared more than once where the input format
+    /// requires each undirected edge to be listed exactly once.
+    DuplicateEdge {
+        /// Endpoints of the repeated edge, canonical `u < v`.
+        edge: (u32, u32),
+    },
     /// A textual edge-list line could not be parsed.
     Parse {
         /// 1-based line number in the input.
@@ -37,8 +43,60 @@ pub enum GraphError {
         /// Description of the problem.
         message: String,
     },
+    /// A binary `.ugsnap` snapshot could not be decoded.
+    Snapshot(SnapshotError),
     /// Wrapper around I/O failures while reading or writing edge lists.
     Io(String),
+}
+
+/// Reasons a `.ugsnap` binary snapshot is rejected by
+/// [`io::read_snapshot`](crate::io::read_snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The input ended before the declared payload (or is shorter than the
+    /// fixed header).
+    Truncated {
+        /// Bytes the snapshot should occupy given its header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The first eight bytes are not the `UGSNAP\r\n` magic.
+    BadMagic,
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The stored checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// The payload decoded but violates a structural invariant (offsets
+    /// not monotone, neighbour out of bounds, non-canonical edge table…).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated snapshot: expected {expected} bytes, got {actual}"
+                )
+            }
+            SnapshotError::BadMagic => write!(f, "missing UGSNAP magic"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -62,15 +120,25 @@ impl fmt::Display for GraphError {
             GraphError::MissingEdge { edge } => {
                 write!(f, "edge ({}, {}) does not exist", edge.0, edge.1)
             }
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "edge ({}, {}) is listed more than once", edge.0, edge.1)
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            GraphError::Snapshot(err) => write!(f, "snapshot error: {err}"),
             GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+impl From<SnapshotError> for GraphError {
+    fn from(err: SnapshotError) -> Self {
+        GraphError::Snapshot(err)
+    }
+}
 
 impl From<std::io::Error> for GraphError {
     fn from(err: std::io::Error) -> Self {
@@ -119,6 +187,44 @@ mod tests {
             message: "bad token".to_string(),
         };
         assert!(parse.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn display_duplicate_edge() {
+        let err = GraphError::DuplicateEdge { edge: (2, 9) };
+        assert!(err.to_string().contains("(2, 9)"));
+    }
+
+    #[test]
+    fn display_snapshot_errors() {
+        let cases: Vec<(SnapshotError, &str)> = vec![
+            (
+                SnapshotError::Truncated {
+                    expected: 100,
+                    actual: 10,
+                },
+                "100",
+            ),
+            (SnapshotError::BadMagic, "magic"),
+            (SnapshotError::UnsupportedVersion(9), "9"),
+            (
+                SnapshotError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "mismatch",
+            ),
+            (
+                SnapshotError::Corrupt("bad offsets".to_string()),
+                "bad offsets",
+            ),
+        ];
+        for (err, needle) in cases {
+            let wrapped: GraphError = err.into();
+            let text = wrapped.to_string();
+            assert!(text.contains(needle), "{text}");
+            assert!(text.contains("snapshot"));
+        }
     }
 
     #[test]

@@ -111,6 +111,18 @@ impl UncertainGraph {
         }
     }
 
+    /// The raw CSR arrays `(offsets, neighbors, neighbor_probs,
+    /// neighbor_edges)` — used by the binary snapshot writer, which
+    /// persists the graph exactly as it sits in memory.
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[VertexId], &[f64], &[EdgeId]) {
+        (
+            &self.offsets,
+            &self.neighbors,
+            &self.neighbor_probs,
+            &self.neighbor_edges,
+        )
+    }
+
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         UncertainGraph {

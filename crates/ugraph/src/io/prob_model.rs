@@ -1,0 +1,266 @@
+//! Pluggable edge-probability models for ingested graphs.
+//!
+//! Real uncertain-graph benchmarks arrive in two flavours: files that
+//! already carry a probability column (krogan-style confidence scores),
+//! and deterministic source graphs that the paper's setup turns
+//! probabilistic — uniformly random probabilities (pokec, ljournal) or an
+//! exponential function of an edge weight such as the number of joint
+//! publications (dblp).  [`EdgeProbabilityModel`] captures those three
+//! recipes so every loader (SNAP, Konect, snapshots-to-be) shares one
+//! assignment path.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::GraphError;
+use crate::Result;
+
+/// How an ingested edge obtains its existence probability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeProbabilityModel {
+    /// Keep the probability parsed from the file's value column; edges
+    /// without a value column are deterministic (`p = 1.0`).  Out-of-range
+    /// values surface as [`GraphError::InvalidProbability`].
+    Column,
+    /// Every edge gets the same probability, ignoring any value column.
+    Constant(f64),
+    /// Seeded uniform probabilities in `[low, high]`, ignoring any value
+    /// column — the treatment the paper applies to deterministic social
+    /// networks.  Assignment order is the loader's canonical edge order,
+    /// so a given `(file, seed)` pair always produces the same graph.
+    UniformSeeded {
+        /// RNG seed.
+        seed: u64,
+        /// Lower bound (must be `> 0`).
+        low: f64,
+        /// Upper bound (must be `≤ 1`).
+        high: f64,
+    },
+    /// `p = 1 − exp(−w / scale)` where `w` is the file's value column
+    /// interpreted as a weight (collaboration count, interaction count…);
+    /// edges without a value column use `w = 1`.
+    ExponentialWeight {
+        /// Scale of the exponential conversion (the paper uses weights
+        /// divided by a small constant; larger scale means smaller `p`).
+        scale: f64,
+    },
+}
+
+/// Streaming state for one assignment pass: the model plus whatever RNG it
+/// needs, consuming edges in the loader's canonical order.
+#[derive(Debug, Clone)]
+pub struct ProbabilityAssigner {
+    model: EdgeProbabilityModel,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl EdgeProbabilityModel {
+    /// Starts an assignment pass.  Each loader creates exactly one
+    /// assigner per file so seeded models stay deterministic.
+    pub fn assigner(&self) -> ProbabilityAssigner {
+        let rng = match self {
+            EdgeProbabilityModel::UniformSeeded { seed, .. } => {
+                Some(ChaCha8Rng::seed_from_u64(*seed))
+            }
+            _ => None,
+        };
+        ProbabilityAssigner {
+            model: self.clone(),
+            rng,
+        }
+    }
+}
+
+impl ProbabilityAssigner {
+    /// Probability of the next edge, given the optional value column
+    /// parsed for it.  `edge` is only used for error reporting.
+    pub fn probability(&mut self, edge: (u32, u32), value: Option<f64>) -> Result<f64> {
+        let p = match &self.model {
+            EdgeProbabilityModel::Column => value.unwrap_or(1.0),
+            EdgeProbabilityModel::Constant(p) => *p,
+            EdgeProbabilityModel::UniformSeeded { low, high, .. } => {
+                let rng = self.rng.as_mut().expect("uniform model has an RNG");
+                rng.gen_range(*low..=*high)
+            }
+            EdgeProbabilityModel::ExponentialWeight { scale } => {
+                let w = value.unwrap_or(1.0);
+                // NaN is caught by the finiteness test.
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(GraphError::InvalidProbability {
+                        edge,
+                        probability: w,
+                    });
+                }
+                1.0 - (-w / scale.max(f64::MIN_POSITIVE)).exp()
+            }
+        };
+        if !(p > 0.0 && p <= 1.0) || p.is_nan() {
+            return Err(GraphError::InvalidProbability {
+                edge,
+                probability: p,
+            });
+        }
+        Ok(p)
+    }
+}
+
+impl Default for EdgeProbabilityModel {
+    /// [`EdgeProbabilityModel::Column`]: trust the file's own column.
+    #[allow(clippy::derivable_impls)] // a #[default] attribute would bury the doc
+    fn default() -> Self {
+        EdgeProbabilityModel::Column
+    }
+}
+
+impl fmt::Display for EdgeProbabilityModel {
+    /// The inverse of [`FromStr`], used to record dataset provenance in
+    /// bench reports.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeProbabilityModel::Column => write!(f, "column"),
+            EdgeProbabilityModel::Constant(p) => write!(f, "const:{p}"),
+            EdgeProbabilityModel::UniformSeeded { seed, low, high } => {
+                write!(f, "uniform:{seed}:{low}:{high}")
+            }
+            EdgeProbabilityModel::ExponentialWeight { scale } => write!(f, "exp:{scale}"),
+        }
+    }
+}
+
+impl FromStr for EdgeProbabilityModel {
+    type Err = String;
+
+    /// Parses the CLI spelling of a model:
+    ///
+    /// * `column`
+    /// * `const:P`
+    /// * `uniform:SEED[:LOW:HIGH]` (defaults `LOW = 0.05`, `HIGH = 0.95`)
+    /// * `exp[:SCALE]` (default `SCALE = 5`)
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let parse_f64 = |tok: &str| {
+            tok.parse::<f64>()
+                .map_err(|_| format!("invalid number '{tok}' in probability model '{s}'"))
+        };
+        match head {
+            "column" if rest.is_empty() => Ok(EdgeProbabilityModel::Column),
+            "const" if rest.len() == 1 => Ok(EdgeProbabilityModel::Constant(parse_f64(rest[0])?)),
+            "uniform" if rest.len() == 1 || rest.len() == 3 => {
+                let seed = rest[0]
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid seed '{}' in '{s}'", rest[0]))?;
+                let (low, high) = if rest.len() == 3 {
+                    (parse_f64(rest[1])?, parse_f64(rest[2])?)
+                } else {
+                    (0.05, 0.95)
+                };
+                if !(low > 0.0 && low <= high && high <= 1.0) {
+                    return Err(format!("uniform range ({low}, {high}) not within (0, 1]"));
+                }
+                Ok(EdgeProbabilityModel::UniformSeeded { seed, low, high })
+            }
+            "exp" if rest.len() <= 1 => {
+                let scale = if rest.is_empty() {
+                    5.0
+                } else {
+                    parse_f64(rest[0])?
+                };
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err(format!("exp scale must be positive, got {scale}"));
+                }
+                Ok(EdgeProbabilityModel::ExponentialWeight { scale })
+            }
+            _ => Err(format!(
+                "unknown probability model '{s}' \
+                 (expected column | const:P | uniform:SEED[:LOW:HIGH] | exp[:SCALE])"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_keeps_value_and_defaults_to_certain() {
+        let mut a = EdgeProbabilityModel::Column.assigner();
+        assert_eq!(a.probability((0, 1), Some(0.25)).unwrap(), 0.25);
+        assert_eq!(a.probability((0, 2), None).unwrap(), 1.0);
+        assert!(matches!(
+            a.probability((0, 3), Some(1.5)).unwrap_err(),
+            GraphError::InvalidProbability { .. }
+        ));
+        assert!(a.probability((0, 4), Some(0.0)).is_err());
+        assert!(a.probability((0, 5), Some(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed_and_in_range() {
+        let model = EdgeProbabilityModel::UniformSeeded {
+            seed: 9,
+            low: 0.2,
+            high: 0.8,
+        };
+        let mut a = model.assigner();
+        let mut b = model.assigner();
+        for i in 0..100u32 {
+            let pa = a.probability((i, i + 1), Some(0.5)).unwrap();
+            let pb = b.probability((i, i + 1), None).unwrap();
+            assert_eq!(pa, pb, "value column must be ignored");
+            assert!((0.2..=0.8).contains(&pa));
+        }
+    }
+
+    #[test]
+    fn exponential_weight_maps_counts_to_probabilities() {
+        let mut a = EdgeProbabilityModel::ExponentialWeight { scale: 5.0 }.assigner();
+        let p1 = a.probability((0, 1), Some(1.0)).unwrap();
+        let p10 = a.probability((0, 2), Some(10.0)).unwrap();
+        assert!((p1 - (1.0 - (-0.2f64).exp())).abs() < 1e-12);
+        assert!(p10 > p1, "heavier edges must be more probable");
+        assert_eq!(
+            a.probability((0, 3), None).unwrap(),
+            a.probability((0, 4), Some(1.0)).unwrap()
+        );
+        assert!(a.probability((0, 5), Some(-2.0)).is_err());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for spec in ["column", "const:0.5", "uniform:42:0.1:0.9", "exp:5"] {
+            let model: EdgeProbabilityModel = spec.parse().unwrap();
+            let again: EdgeProbabilityModel = model.to_string().parse().unwrap();
+            assert_eq!(model, again, "{spec}");
+        }
+        assert_eq!(
+            "uniform:7".parse::<EdgeProbabilityModel>().unwrap(),
+            EdgeProbabilityModel::UniformSeeded {
+                seed: 7,
+                low: 0.05,
+                high: 0.95
+            }
+        );
+        assert_eq!(
+            "exp".parse::<EdgeProbabilityModel>().unwrap(),
+            EdgeProbabilityModel::ExponentialWeight { scale: 5.0 }
+        );
+        for bad in [
+            "",
+            "nope",
+            "const",
+            "const:x",
+            "uniform:a",
+            "uniform:1:2:3",
+            "exp:-1",
+        ] {
+            assert!(bad.parse::<EdgeProbabilityModel>().is_err(), "{bad}");
+        }
+    }
+}

@@ -22,7 +22,9 @@
 //!   subgraphs.
 //! * Quality metrics ([`metrics`]) — probabilistic density (PD) and
 //!   probabilistic clustering coefficient (PCC) from Section 7.4.
-//! * Random generators ([`generators`]) and edge-list I/O ([`io`]).
+//! * Random generators ([`generators`]) and ingestion/persistence
+//!   ([`io`]) — SNAP edge lists, Konect TSV, versioned `.ugsnap` binary
+//!   snapshots with checksums, and pluggable edge-probability models.
 //!
 //! The crate is deliberately free of any decomposition logic; it is the
 //! substrate shared by `detdecomp`, `probdecomp` and `nucleus`.
@@ -43,8 +45,9 @@ pub mod triangles;
 pub use builder::GraphBuilder;
 pub use cliques::{FourClique, FourCliqueEnumerator};
 pub use connectivity::{ConnectedComponents, UnionFind};
-pub use error::GraphError;
+pub use error::{GraphError, SnapshotError};
 pub use graph::{Edge, EdgeId, UncertainGraph, VertexId};
+pub use io::{EdgeProbabilityModel, InputFormat};
 pub use par::Parallelism;
 pub use possible_world::{PossibleWorld, WorldSampler};
 pub use subgraph::EdgeSubgraph;

@@ -1,0 +1,210 @@
+//! Property-based round-trips for every IO format, plus malformed-input
+//! coverage: each failure mode must surface as a typed
+//! `ugraph::GraphError`, never a panic.
+//!
+//! * text: graph → edge list → graph is the identity (f64 `Display`
+//!   round-trips exactly in Rust), and re-serializing the re-parsed graph
+//!   reproduces the text;
+//! * snapshot: graph → `.ugsnap` → graph is bit-identical, and the
+//!   encoding is canonical (equal graphs produce equal bytes);
+//! * konect: a graph serialized as weighted TSV re-parses identically
+//!   under the column model.
+
+use proptest::prelude::*;
+
+use prob_nucleus_repro::ugraph::io::{
+    read_edge_list, read_konect, read_snapshot_bytes, write_edge_list, write_snapshot,
+    EdgeProbabilityModel,
+};
+use prob_nucleus_repro::ugraph::{GraphBuilder, GraphError, SnapshotError, UncertainGraph};
+
+/// Strategy: a random probabilistic graph built from an arbitrary subset
+/// of vertex pairs with arbitrary valid probabilities.
+fn arb_graph(max_v: u32) -> impl Strategy<Value = UncertainGraph> {
+    (2..=max_v)
+        .prop_flat_map(move |n| {
+            let pairs: Vec<(u32, u32)> = (0..n)
+                .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+                .collect();
+            let m = pairs.len();
+            (
+                Just(pairs),
+                proptest::collection::vec(0.0f64..1.0, m),
+                // Probabilities over the full legal range (0, 1],
+                // including exactly 1.0 and awkward tiny values.
+                proptest::collection::vec(1e-9f64..=1.0, m),
+            )
+        })
+        .prop_map(|(pairs, coin, probs)| {
+            let mut b = GraphBuilder::new();
+            for (i, (u, v)) in pairs.into_iter().enumerate() {
+                if coin[i] < 0.45 {
+                    b.add_edge(u, v, probs[i]).unwrap();
+                }
+            }
+            b.build()
+        })
+}
+
+fn to_text(graph: &UncertainGraph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(graph, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn to_snapshot(graph: &UncertainGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_snapshot(graph, &mut buf).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// text → graph → text and graph → text → graph are identities.
+    #[test]
+    fn text_round_trip_is_identity(g in arb_graph(12)) {
+        prop_assume!(g.num_edges() > 0);
+        let text = to_text(&g);
+        let reparsed = read_edge_list(text.as_bytes()).unwrap();
+        prop_assert_eq!(&reparsed, &g);
+        for (a, b) in g.edges().iter().zip(reparsed.edges()) {
+            prop_assert_eq!(a.p.to_bits(), b.p.to_bits());
+        }
+        // Second serialization is byte-identical: text form is canonical.
+        prop_assert_eq!(to_text(&reparsed), text);
+    }
+
+    /// graph → snapshot → graph is bit-identical, and the encoding is
+    /// canonical.
+    #[test]
+    fn snapshot_round_trip_is_identity(g in arb_graph(12)) {
+        let bytes = to_snapshot(&g);
+        let reloaded = read_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(&reloaded, &g);
+        for (a, b) in g.edges().iter().zip(reloaded.edges()) {
+            prop_assert_eq!(a.p.to_bits(), b.p.to_bits());
+        }
+        prop_assert_eq!(to_snapshot(&reloaded), bytes);
+    }
+
+    /// A graph serialized as Konect-style weighted TSV re-parses
+    /// identically under the column model.
+    #[test]
+    fn konect_round_trip_is_identity(g in arb_graph(12)) {
+        prop_assume!(g.num_edges() > 0);
+        let mut tsv = String::from("% ugraph konect round-trip\n");
+        for e in g.edges() {
+            tsv.push_str(&format!("{}\t{}\t{}\n", e.u, e.v, e.p));
+        }
+        let reparsed = read_konect(tsv.as_bytes(), &EdgeProbabilityModel::Column).unwrap();
+        prop_assert_eq!(&reparsed, &g);
+    }
+
+    /// Truncating a snapshot anywhere yields a typed error, never a panic
+    /// or a wrong graph.
+    #[test]
+    fn truncated_snapshots_error_cleanly(g in arb_graph(8), cut in 0.0f64..1.0) {
+        let bytes = to_snapshot(&g);
+        let len = ((bytes.len() - 1) as f64 * cut) as usize;
+        let err = read_snapshot_bytes(&bytes[..len]).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            GraphError::Snapshot(
+                SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+            )
+        ), "{err:?}");
+    }
+
+    /// Flipping any single byte of a snapshot is detected.
+    #[test]
+    fn corrupted_snapshots_error_cleanly(g in arb_graph(8), pos in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = to_snapshot(&g);
+        let at = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[at] ^= 1 << bit;
+        prop_assert!(read_snapshot_bytes(&bytes).is_err(), "flip at {at} undetected");
+    }
+}
+
+#[test]
+fn malformed_text_inputs_are_typed_errors() {
+    // Out-of-range probability.
+    for text in ["0 1 1.0001\n", "0 1 0\n", "0 1 -1\n", "0 1 nan\n"] {
+        assert!(
+            matches!(
+                read_edge_list(text.as_bytes()).unwrap_err(),
+                GraphError::InvalidProbability { .. }
+            ),
+            "{text:?}"
+        );
+    }
+    // Self-loop.
+    assert!(matches!(
+        read_edge_list("7 7 0.5\n".as_bytes()).unwrap_err(),
+        GraphError::SelfLoop { vertex: 7 }
+    ));
+    // Duplicate edge (either orientation).
+    assert!(matches!(
+        read_edge_list("1 2 0.5\n2 1 0.5\n".as_bytes()).unwrap_err(),
+        GraphError::DuplicateEdge { edge: (1, 2) }
+    ));
+    // Syntax problems carry the line number.
+    match read_edge_list("0 1 0.5\n0 two 0.5\n".as_bytes()).unwrap_err() {
+        GraphError::Parse { line, .. } => assert_eq!(line, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_konect_inputs_are_typed_errors() {
+    let m = EdgeProbabilityModel::Column;
+    assert!(matches!(
+        read_konect("3 3 0.5\n".as_bytes(), &m).unwrap_err(),
+        GraphError::SelfLoop { vertex: 3 }
+    ));
+    // Aggregated weight exceeding 1 is not a probability under `column`.
+    assert!(matches!(
+        read_konect("1 2 0.9\n1 2 0.9\n".as_bytes(), &m).unwrap_err(),
+        GraphError::InvalidProbability { .. }
+    ));
+    assert!(matches!(
+        read_konect("1 2 0.5 0 extra\n".as_bytes(), &m).unwrap_err(),
+        GraphError::Parse { .. }
+    ));
+}
+
+#[test]
+fn snapshot_header_failures_are_typed_errors() {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1, 0.5).unwrap();
+    let bytes = to_snapshot(&b.build());
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[2] = b'X';
+    assert!(matches!(
+        read_snapshot_bytes(&bad_magic).unwrap_err(),
+        GraphError::Snapshot(SnapshotError::BadMagic)
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        read_snapshot_bytes(&bad_version).unwrap_err(),
+        GraphError::Snapshot(SnapshotError::UnsupportedVersion(7))
+    ));
+
+    let mut bad_sum = bytes.clone();
+    let last = bad_sum.len() - 1;
+    bad_sum[last] ^= 0xFF;
+    assert!(matches!(
+        read_snapshot_bytes(&bad_sum).unwrap_err(),
+        GraphError::Snapshot(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    let mut trailing = bytes;
+    trailing.push(0);
+    assert!(matches!(
+        read_snapshot_bytes(&trailing).unwrap_err(),
+        GraphError::Snapshot(SnapshotError::Corrupt(_))
+    ));
+}

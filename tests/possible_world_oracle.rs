@@ -1,0 +1,335 @@
+//! Exhaustive possible-world oracle.
+//!
+//! For graphs with at most 12 edges, all `2^m` possible worlds can be
+//! enumerated and every probabilistic quantity the decomposition stack
+//! computes analytically can be cross-checked against the brute-force
+//! distribution (Equation 1 of the paper):
+//!
+//! * the triangle-support pmf/tails of `nucleus::local::dp`
+//!   (`support_pmf`, `local_tail_probability`, Proposition 5.1),
+//! * expected triangle and 4-clique counts,
+//! * the initial local nucleus scores (the largest `k` with
+//!   `Pr[△ ∧ ζ ≥ k] ≥ θ`), and the invariant that peeling only lowers
+//!   scores.
+//!
+//! Hand-built fixtures pin the small worked examples; proptest sweeps
+//! random tiny graphs (scale the case count with `PROPTEST_CASES`).
+
+use proptest::prelude::*;
+
+use prob_nucleus_repro::nucleus::local::dp;
+use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition, SupportStructure};
+use prob_nucleus_repro::ugraph::{GraphBuilder, TriangleId, UncertainGraph};
+
+const TOL: f64 = 1e-9;
+
+/// Brute-force distribution over all `2^m` possible worlds.
+struct WorldOracle {
+    support: SupportStructure,
+    /// `tail[t][k] = Pr[△_t exists ∧ ζ_t ≥ k]`, `k = 0..=support(t)`.
+    tail: Vec<Vec<f64>>,
+    /// `pmf[t][k] = Pr[△_t exists ∧ ζ_t = k]`.
+    pmf: Vec<Vec<f64>>,
+    /// `Σ_w Pr(w) · #triangles(w)`.
+    expected_triangles: f64,
+    /// `Σ_w Pr(w) · #4-cliques(w)`.
+    expected_four_cliques: f64,
+    /// `Σ_w Pr(w)` — must be 1.
+    total_probability: f64,
+}
+
+fn edge_mask(graph: &UncertainGraph, pairs: &[(u32, u32)]) -> u32 {
+    pairs.iter().fold(0u32, |mask, &(u, v)| {
+        mask | (1 << graph.edge_id(u, v).expect("edge of enumerated structure"))
+    })
+}
+
+fn brute_force(graph: &UncertainGraph) -> WorldOracle {
+    let m = graph.num_edges();
+    assert!(m <= 12, "oracle is exhaustive; keep graphs tiny");
+    let support = SupportStructure::build(graph);
+    let nt = support.num_triangles();
+
+    // Bitmask of each triangle's three edges and of each 4-clique's six.
+    let tri_masks: Vec<u32> = (0..nt as TriangleId)
+        .map(|t| edge_mask(graph, &support.triangle(t).edges()))
+        .collect();
+    let clique_masks: Vec<u32> = support
+        .cliques()
+        .iter()
+        .map(|c| edge_mask(graph, &c.clique.edges()))
+        .collect();
+
+    let mut tail = vec![Vec::new(); nt];
+    let mut pmf = vec![Vec::new(); nt];
+    for t in 0..nt {
+        let c = support.support(t as TriangleId);
+        tail[t] = vec![0.0; c + 1];
+        pmf[t] = vec![0.0; c + 1];
+    }
+    let mut expected_triangles = 0.0;
+    let mut expected_four_cliques = 0.0;
+    let mut total_probability = 0.0;
+
+    let probs: Vec<f64> = graph.edges().iter().map(|e| e.p).collect();
+    for world in 0u32..(1u32 << m) {
+        let mut pw = 1.0;
+        for (e, &pe) in probs.iter().enumerate() {
+            pw *= if world & (1 << e) != 0 { pe } else { 1.0 - pe };
+        }
+        total_probability += pw;
+
+        for &mask in &clique_masks {
+            if world & mask == mask {
+                expected_four_cliques += pw;
+            }
+        }
+        for t in 0..nt {
+            let t_mask = tri_masks[t];
+            if world & t_mask != t_mask {
+                continue;
+            }
+            expected_triangles += pw;
+            // ζ_t: materialized 4-cliques containing the triangle.
+            let zeta = support
+                .cliques_of(t as TriangleId)
+                .iter()
+                .filter(|&&c| {
+                    let mask = clique_masks[c as usize];
+                    world & mask == mask
+                })
+                .count();
+            pmf[t][zeta] += pw;
+            for entry in &mut tail[t][..=zeta] {
+                *entry += pw;
+            }
+        }
+    }
+
+    WorldOracle {
+        support,
+        tail,
+        pmf,
+        expected_triangles,
+        expected_four_cliques,
+        total_probability,
+    }
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    assert!((a - b).abs() < TOL, "{what}: {a} vs {b}");
+}
+
+/// Runs every analytic-vs-brute-force cross-check on one graph.
+fn check_graph(graph: &UncertainGraph, thetas: &[f64]) {
+    let oracle = brute_force(graph);
+    let support = &oracle.support;
+    assert_close(oracle.total_probability, 1.0, "world probabilities");
+
+    // Expected subgraph counts: Σ_△ Pr(△) and Σ_C Pr(C).
+    let analytic_triangles: f64 = (0..support.num_triangles() as TriangleId)
+        .map(|t| support.triangle_prob(t))
+        .sum();
+    assert_close(
+        oracle.expected_triangles,
+        analytic_triangles,
+        "expected triangle count",
+    );
+    let analytic_cliques: f64 = support
+        .cliques()
+        .iter()
+        .map(|c| c.clique.probability(graph).expect("clique edges exist"))
+        .sum();
+    assert_close(
+        oracle.expected_four_cliques,
+        analytic_cliques,
+        "expected 4-clique count",
+    );
+
+    // DP pmf and tails against the brute-force distribution
+    // (Proposition 5.1: Pr[△ ∧ ζ ≥ k] = Pr(△) · Pr[ζ ≥ k]).
+    for t in 0..support.num_triangles() as TriangleId {
+        let completion = support.completion_probs(t);
+        let tri_prob = support.triangle_prob(t);
+        let dp_pmf = dp::support_pmf(&completion);
+        assert_eq!(dp_pmf.len(), support.support(t) + 1);
+        for (k, &dp_mass) in dp_pmf.iter().enumerate() {
+            assert_close(
+                oracle.pmf[t as usize][k],
+                tri_prob * dp_mass,
+                &format!("pmf of triangle {t} at k={k}"),
+            );
+            assert_close(
+                oracle.tail[t as usize][k],
+                dp::local_tail_probability(tri_prob, &completion, k),
+                &format!("tail of triangle {t} at k={k}"),
+            );
+        }
+        // Beyond the support the tail is exactly zero.
+        assert_eq!(
+            dp::local_tail_probability(tri_prob, &completion, support.support(t) + 1),
+            0.0
+        );
+    }
+
+    // Local nucleus scores: the initial score is the largest k whose
+    // brute-force tail clears θ; peeling can only lower scores.
+    for &theta in thetas {
+        let local =
+            LocalNucleusDecomposition::with_support(support.clone(), &LocalConfig::exact(theta))
+                .expect("valid config");
+        assert_eq!(local.num_triangles(), support.num_triangles());
+        for t in 0..support.num_triangles() {
+            let brute_initial = (0..oracle.tail[t].len())
+                .rev()
+                .find(|&k| oracle.tail[t][k] >= theta)
+                .unwrap_or(0) as u32;
+            assert_eq!(
+                local.initial_scores()[t],
+                brute_initial,
+                "initial score of triangle {t} at theta {theta}"
+            );
+            assert!(
+                local.scores()[t] <= local.initial_scores()[t],
+                "peeling must not raise scores"
+            );
+        }
+    }
+}
+
+#[test]
+fn k4_fixture_matches_brute_force() {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+        b.add_edge(u, v, 0.5).unwrap();
+    }
+    let g = b.build();
+    check_graph(&g, &[0.01, 0.1, 0.3]);
+
+    // Worked example: every triangle of K4(p=0.5) has Pr(△) = 1/8 and one
+    // completion event with Pr(E) = 1/8, so Pr[△ ∧ ζ ≥ 1] = 1/64.
+    let oracle = brute_force(&g);
+    for t in 0..4 {
+        assert_close(oracle.tail[t][0], 0.125, "K4 triangle probability");
+        assert_close(oracle.tail[t][1], 1.0 / 64.0, "K4 joint clique probability");
+    }
+    // θ between 1/64 and 1/8 separates initial scores 0 and 1.
+    let sep = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.05)).unwrap();
+    assert!(sep.initial_scores().iter().all(|&s| s == 0));
+    let loose = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.01)).unwrap();
+    assert!(loose.initial_scores().iter().all(|&s| s == 1));
+}
+
+#[test]
+fn k5_with_distinct_probabilities_matches_brute_force() {
+    let mut b = GraphBuilder::new();
+    let mut p = 0.35;
+    for u in 0..5u32 {
+        for v in (u + 1)..5u32 {
+            b.add_edge(u, v, p).unwrap();
+            p = (p + 0.061).min(0.99);
+        }
+    }
+    let g = b.build();
+    assert_eq!(g.num_edges(), 10);
+    check_graph(&g, &[0.005, 0.05, 0.2, 0.6]);
+}
+
+#[test]
+fn sparse_fixtures_match_brute_force() {
+    // A lone triangle: ζ is identically zero.
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1, 0.9).unwrap();
+    b.add_edge(1, 2, 0.8).unwrap();
+    b.add_edge(0, 2, 0.7).unwrap();
+    let tri = b.build();
+    check_graph(&tri, &[0.1, 0.5, 0.9]);
+    let oracle = brute_force(&tri);
+    assert_close(oracle.tail[0][0], 0.9 * 0.8 * 0.7, "lone triangle");
+    assert_eq!(oracle.tail[0].len(), 1, "no completion events");
+
+    // A triangle-free path: no triangles at all, expectations still hold.
+    let mut b = GraphBuilder::new();
+    for i in 0..5u32 {
+        b.add_edge(i, i + 1, 0.3 + 0.1 * i as f64).unwrap();
+    }
+    let path = b.build();
+    check_graph(&path, &[0.2]);
+    assert_eq!(brute_force(&path).expected_triangles, 0.0);
+}
+
+#[test]
+fn two_cliques_sharing_a_triangle_match_brute_force() {
+    // K4 on {0,1,2,3} ∪ K4 on {0,1,2,4}: the shared triangle (0,1,2) has
+    // support 2, every other triangle support 1 — exercises pmf entries
+    // beyond k = 1.
+    let mut b = GraphBuilder::new();
+    let mut p = 0.4;
+    for &(u, v) in &[
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (0, 3),
+        (1, 3),
+        (2, 3),
+        (0, 4),
+        (1, 4),
+        (2, 4),
+    ] {
+        b.add_edge(u, v, p).unwrap();
+        p = (p + 0.055).min(0.95);
+    }
+    let g = b.build();
+    let support = SupportStructure::build(&g);
+    let shared = support
+        .triangle_index()
+        .id_of_vertices(0, 1, 2)
+        .expect("shared triangle");
+    assert_eq!(support.support(shared), 2);
+    check_graph(&g, &[0.001, 0.01, 0.1, 0.4]);
+}
+
+/// Strategy: a random probabilistic graph on up to `max_v` vertices whose
+/// edge count stays within the exhaustive-enumeration budget.
+fn arb_tiny_graph(max_v: u32, density: f64) -> impl Strategy<Value = UncertainGraph> {
+    (4..=max_v)
+        .prop_flat_map(move |n| {
+            let pairs: Vec<(u32, u32)> = (0..n)
+                .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+                .collect();
+            let m = pairs.len();
+            (
+                Just(pairs),
+                proptest::collection::vec(0.0f64..1.0, m),
+                proptest::collection::vec(0.01f64..=1.0, m),
+            )
+        })
+        .prop_map(move |(pairs, coin, probs)| {
+            let mut b = GraphBuilder::new();
+            let mut added = 0;
+            for (i, (u, v)) in pairs.into_iter().enumerate() {
+                if coin[i] < density && added < 12 {
+                    b.add_edge(u, v, probs[i]).unwrap();
+                    added += 1;
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    // Case count scales with PROPTEST_CASES (64 by default, 1024 in the
+    // thorough CI job).
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Every analytic quantity matches the brute-force possible-world
+    /// distribution on random tiny graphs.
+    #[test]
+    fn random_tiny_graphs_match_brute_force(
+        g in arb_tiny_graph(6, 0.75),
+        theta in 0.02f64..0.8,
+    ) {
+        prop_assume!(g.num_edges() <= 12);
+        check_graph(&g, &[theta]);
+    }
+}

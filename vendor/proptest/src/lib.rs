@@ -198,8 +198,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 64 cases, overridable through the `PROPTEST_CASES` environment
+        /// variable exactly like real proptest — CI's thorough job runs
+        /// the same suites at `PROPTEST_CASES=1024`.
         fn default() -> Self {
-            Self { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(64);
+            Self { cases }
         }
     }
 
@@ -310,6 +318,18 @@ mod tests {
             prop_assume!(n % 2 == 0);
             prop_assert!(n % 2 == 0);
         }
+    }
+
+    #[test]
+    fn default_config_honors_proptest_cases_env() {
+        // No other test in this binary reads the variable (they all pass
+        // explicit with_cases configs), so mutating it here is safe.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(crate::test_runner::Config::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(crate::test_runner::Config::default().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(crate::test_runner::Config::default().cases, 64);
     }
 
     #[test]
