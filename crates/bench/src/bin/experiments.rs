@@ -14,6 +14,8 @@
 //!
 //! experiments gen [--edges M] [--vertices N] [--seed N] --out PATH
 //!                 [--snapshot PATH]
+//!
+//! experiments bench-compare OLD.json NEW.json [--tolerance F]
 //! ```
 //!
 //! With `--input`, the named experiment runs on the ingested graph
@@ -24,8 +26,9 @@
 //! (and optionally a snapshot), so CI can exercise the full
 //! generate → ingest → snapshot → benchmark loop.
 
+use nd_bench::json::Json;
 use nd_bench::runner::ExperimentContext;
-use nd_bench::{ablation, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3};
+use nd_bench::{ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3};
 use nd_datasets::{ExternalDataset, PaperDataset, Scale};
 use ugraph::io::EdgeProbabilityModel;
 use ugraph::InputFormat;
@@ -43,6 +46,10 @@ fn main() {
     }
     if id == "gen" {
         run_gen(&args);
+        return;
+    }
+    if id == "bench-compare" {
+        run_bench_compare(&args);
         return;
     }
     let scale = parse_flag(&args, "--scale")
@@ -123,8 +130,52 @@ fn print_usage() {
          experiments gen [--edges M] [--vertices N] [--seed N] --out PATH\n\
          \x20            [--snapshot PATH]\n\
          \n\
+         experiments bench-compare OLD.json NEW.json [--tolerance F]\n\
+         \x20   diffs two bench-parallel/* reports; exits 1 when a deterministic\n\
+         \x20   counter (dp_calls, counts, reload_speedup) regresses beyond the\n\
+         \x20   relative tolerance (default 0). Wall times are never gated.\n\
+         \n\
          probability models: column | const:P | uniform:SEED[:LOW:HIGH] | exp[:SCALE]"
     );
+}
+
+/// Diffs two bench JSON files and gates on deterministic counters.
+fn run_bench_compare(args: &[String]) {
+    // Positional operands are whatever isn't a flag or a flag's value, so
+    // `--tolerance 0.1` may appear before, between or after the files.
+    let mut files: Vec<&str> = Vec::new();
+    let mut tolerance = 0.0f64;
+    let mut args_iter = args[1..].iter();
+    while let Some(arg) = args_iter.next() {
+        if arg == "--tolerance" {
+            let spec = args_iter
+                .next()
+                .unwrap_or_else(|| fail("bench-compare: --tolerance requires a value"));
+            tolerance = spec
+                .parse::<f64>()
+                .unwrap_or_else(|_| fail(&format!("invalid --tolerance '{spec}'")));
+        } else if arg.starts_with("--") {
+            fail(&format!("bench-compare: unknown flag '{arg}'"));
+        } else {
+            files.push(arg.as_str());
+        }
+    }
+    if files.len() != 2 {
+        fail("bench-compare requires exactly two files: OLD.json NEW.json");
+    }
+    let (old_path, new_path) = (files[0], files[1]);
+    let read = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+    };
+    let report =
+        compare::compare(&read(old_path), &read(new_path), tolerance).unwrap_or_else(|e| fail(&e));
+    println!("# bench-compare  old: {old_path}  new: {new_path}  tolerance: {tolerance}\n");
+    println!("{}", report.format());
+    if !report.regressions().is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn fail(message: &str) -> ! {

@@ -1,0 +1,402 @@
+//! Diffing of two `bench-parallel/*` reports with a deterministic
+//! regression gate (`experiments bench-compare`).
+//!
+//! Wall-clock times are far too noisy to gate a CI job on, but the
+//! benchmark reports also carry **deterministic** counters — triangle and
+//! 4-clique counts, the peeling engine's `dp_calls`, the snapshot-cache
+//! `reload_speedup` — that are pure functions of the graph and the
+//! algorithm.  `bench-compare OLD.json NEW.json` prints every tracked
+//! value side by side and exits nonzero when a *gated* counter regresses
+//! beyond `--tolerance` (a relative fraction, default 0):
+//!
+//! * `counts.triangles`, `counts.four_cliques` — must match within the
+//!   tolerance, in *both* directions (drift either way means the
+//!   algorithm changed behaviour; run at `--tolerance 0` — the default —
+//!   to demand exact equality);
+//! * `peel.dp_calls` — must not increase (the deferred engine's work);
+//! * `source.ingest.reload_speedup` — must not decrease.
+//!
+//! Schema bumps are handled gracefully: comparing a `bench-parallel/v2`
+//! baseline against a v3 report simply skips the counters the old file
+//! does not carry, with a note.  Wall times are always printed, never
+//! gated.
+
+use crate::json::Json;
+use crate::runner::format_table;
+
+/// Whether and how a tracked value participates in the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Deterministic; any change beyond tolerance fails.
+    Exact,
+    /// Deterministic; an increase beyond tolerance fails.
+    LowerIsBetter,
+    /// An observed ratio; a decrease beyond tolerance fails.
+    HigherIsBetter,
+    /// Reported for context only (wall clock and derived figures).
+    ReportOnly,
+}
+
+/// One tracked value of the comparison.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Dotted path of the value inside the report.
+    pub name: String,
+    /// Value in the old report, when present.
+    pub old: Option<f64>,
+    /// Value in the new report, when present.
+    pub new: Option<f64>,
+    /// `Some(reason)` when this row fails the gate.
+    pub regression: Option<String>,
+    /// Human-readable verdict column.
+    pub verdict: String,
+}
+
+/// Result of comparing two reports.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Schemas of the two files.
+    pub old_schema: String,
+    /// Schema of the new file.
+    pub new_schema: String,
+    /// Every tracked value.
+    pub rows: Vec<DiffRow>,
+    /// Context notes (schema bumps, skipped counters).
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// The gated rows that failed.
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.regression.is_some())
+            .collect()
+    }
+
+    /// Renders the comparison as a table plus notes.
+    pub fn format(&self) -> String {
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            let fmt = |v: Option<f64>| match v {
+                // Counters are integers; ratios and seconds keep decimals.
+                Some(x) if x.fract() == 0.0 && x.abs() < 1e15 => format!("{}", x as i64),
+                Some(x) => format!("{x:.4}"),
+                None => "-".to_string(),
+            };
+            rows.push(vec![
+                row.name.clone(),
+                fmt(row.old),
+                fmt(row.new),
+                row.verdict.clone(),
+            ]);
+        }
+        let mut out = format!(
+            "bench-compare: {} (old) vs {} (new)\n{}",
+            self.old_schema,
+            self.new_schema,
+            format_table(&["counter", "old", "new", "verdict"], &rows)
+        );
+        for note in &self.notes {
+            out.push_str(&format!("\nnote: {note}"));
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            out.push_str("\nresult: OK — no deterministic counter regressed");
+        } else {
+            out.push_str(&format!("\nresult: {} regression(s):", regressions.len()));
+            for r in regressions {
+                out.push_str(&format!(
+                    "\n  - {}: {}",
+                    r.name,
+                    r.regression.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The tracked values: dotted path, gate mode.
+const TRACKED: &[(&[&str], Gate)] = &[
+    (&["counts", "triangles"], Gate::Exact),
+    (&["counts", "four_cliques"], Gate::Exact),
+    (&["peel", "dp_calls"], Gate::LowerIsBetter),
+    (&["peel", "reference_dp_calls"], Gate::ReportOnly),
+    (&["peel", "recompute_skips"], Gate::ReportOnly),
+    (&["peel", "buckets_touched"], Gate::ReportOnly),
+    (&["peel", "peak_scratch_bytes"], Gate::ReportOnly),
+    (
+        &["source", "ingest", "reload_speedup"],
+        Gate::HigherIsBetter,
+    ),
+    (&["baseline", "total_s"], Gate::ReportOnly),
+    (&["peel", "peel_s"], Gate::ReportOnly),
+    (&["peel", "reference_peel_s"], Gate::ReportOnly),
+];
+
+fn schema_of(doc: &Json, which: &str) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{which} report has no \"schema\" field"))?;
+    if !schema.starts_with("bench-parallel/") {
+        return Err(format!(
+            "{which} report has schema \"{schema}\", expected bench-parallel/*"
+        ));
+    }
+    Ok(schema.to_string())
+}
+
+/// Compares two parsed reports.  `tolerance` is a relative fraction
+/// (e.g. `0.05` allows 5% drift on gated counters).
+pub fn compare(old: &Json, new: &Json, tolerance: f64) -> Result<CompareReport, String> {
+    if !(0.0..=1.0).contains(&tolerance) {
+        return Err(format!("tolerance must be within [0, 1], got {tolerance}"));
+    }
+    let old_schema = schema_of(old, "old")?;
+    let new_schema = schema_of(new, "new")?;
+
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    if old_schema != new_schema {
+        notes.push(format!(
+            "schema bump {old_schema} -> {new_schema}: counters absent from either side are \
+             reported as '-' and not gated"
+        ));
+    }
+
+    for (path, gate) in TRACKED {
+        let name = path.join(".");
+        let old_v = old.path(path).and_then(Json::as_f64);
+        let new_v = new.path(path).and_then(Json::as_f64);
+        let (mut regression, mut verdict) = judge(*gate, old_v, new_v, tolerance);
+        if old_v.is_none() && new_v.is_none() {
+            // Absent on both sides (e.g. reload_speedup on generated
+            // runs): not worth a row.
+            continue;
+        }
+        if old_v.is_none() != new_v.is_none() && *gate != Gate::ReportOnly {
+            if old_schema == new_schema {
+                // Same schema but a gated counter vanished (or appeared):
+                // the report shape changed without a schema bump.  Failing
+                // here keeps the gate from being silently neutered by a
+                // refactor that stops emitting a counter.
+                regression = Some(format!(
+                    "gated counter present in only one {old_schema} report; \
+                     bump the schema version if this is intentional"
+                ));
+                verdict = "REGRESSED".to_string();
+            } else {
+                notes.push(format!(
+                    "{name}: present in only one report; compared as not gated"
+                ));
+            }
+        }
+        rows.push(DiffRow {
+            name,
+            old: old_v,
+            new: new_v,
+            regression,
+            verdict,
+        });
+    }
+    Ok(CompareReport {
+        old_schema,
+        new_schema,
+        rows,
+        notes,
+    })
+}
+
+/// Applies the gate to one value pair.
+fn judge(
+    gate: Gate,
+    old: Option<f64>,
+    new: Option<f64>,
+    tolerance: f64,
+) -> (Option<String>, String) {
+    let (old_v, new_v) = match (old, new) {
+        (Some(o), Some(n)) => (o, n),
+        // A counter only one side carries cannot be gated (schema bump).
+        _ => return (None, "skipped".to_string()),
+    };
+    let slack = tolerance * old_v.abs().max(1.0);
+    match gate {
+        Gate::ReportOnly => (None, "info".to_string()),
+        Gate::Exact => {
+            if (new_v - old_v).abs() > slack {
+                (
+                    Some(format!(
+                        "must match the baseline (old {old_v}, new {new_v}, tolerance {tolerance})"
+                    )),
+                    "REGRESSED".to_string(),
+                )
+            } else {
+                (None, "ok".to_string())
+            }
+        }
+        Gate::LowerIsBetter => {
+            if new_v > old_v + slack {
+                (
+                    Some(format!(
+                        "increased beyond tolerance (old {old_v}, new {new_v})"
+                    )),
+                    "REGRESSED".to_string(),
+                )
+            } else if new_v < old_v {
+                (None, "improved".to_string())
+            } else {
+                (None, "ok".to_string())
+            }
+        }
+        Gate::HigherIsBetter => {
+            if new_v < old_v - slack {
+                (
+                    Some(format!(
+                        "decreased beyond tolerance (old {old_v}, new {new_v})"
+                    )),
+                    "REGRESSED".to_string(),
+                )
+            } else if new_v > old_v {
+                (None, "improved".to_string())
+            } else {
+                (None, "ok".to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v3(dp_calls: u64, triangles: u64, reload: Option<f64>) -> Json {
+        let ingest = match reload {
+            Some(r) => format!(", \"ingest\": {{ \"reload_speedup\": {r} }}"),
+            None => String::new(),
+        };
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-parallel/v3",
+                  "source": {{ "kind": "generated"{ingest} }},
+                  "counts": {{ "triangles": {triangles}, "four_cliques": 165 }},
+                  "baseline": {{ "total_s": 0.2 }},
+                  "peel": {{ "dp_calls": {dp_calls}, "reference_dp_calls": 400,
+                             "recompute_skips": 10, "buckets_touched": 3,
+                             "peak_scratch_bytes": 1024, "peel_s": 0.01,
+                             "reference_peel_s": 0.02 }} }}"#
+        ))
+        .unwrap()
+    }
+
+    fn v2(triangles: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-parallel/v2",
+                  "counts": {{ "triangles": {triangles}, "four_cliques": 165 }},
+                  "baseline": {{ "total_s": 0.2 }} }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let report = compare(&v3(100, 20821, Some(6.0)), &v3(100, 20821, Some(6.0)), 0.0).unwrap();
+        assert!(report.regressions().is_empty(), "{}", report.format());
+        assert!(report.format().contains("result: OK"));
+    }
+
+    #[test]
+    fn dp_call_increase_fails_and_decrease_improves() {
+        let report = compare(&v3(100, 20821, None), &v3(101, 20821, None), 0.0).unwrap();
+        let failing: Vec<_> = report
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["peel.dp_calls"]);
+        assert!(report.format().contains("REGRESSED"));
+
+        let improved = compare(&v3(100, 20821, None), &v3(60, 20821, None), 0.0).unwrap();
+        assert!(improved.regressions().is_empty());
+        assert!(improved.format().contains("improved"));
+    }
+
+    #[test]
+    fn tolerance_allows_bounded_drift() {
+        // 5% tolerance: 104 dp_calls on a 100 baseline passes, 106 fails.
+        assert!(compare(&v3(100, 20821, None), &v3(104, 20821, None), 0.05)
+            .unwrap()
+            .regressions()
+            .is_empty());
+        assert!(!compare(&v3(100, 20821, None), &v3(106, 20821, None), 0.05)
+            .unwrap()
+            .regressions()
+            .is_empty());
+        assert!(compare(&v3(100, 20821, None), &v3(100, 20821, None), 2.0).is_err());
+    }
+
+    #[test]
+    fn count_drift_fails_in_both_directions() {
+        for new_triangles in [20820, 20822] {
+            let report =
+                compare(&v3(100, 20821, None), &v3(100, new_triangles, None), 0.0).unwrap();
+            let failing: Vec<_> = report
+                .regressions()
+                .iter()
+                .map(|r| r.name.clone())
+                .collect();
+            assert_eq!(failing, vec!["counts.triangles"], "new = {new_triangles}");
+        }
+    }
+
+    #[test]
+    fn reload_speedup_gates_only_downward() {
+        let slower = compare(&v3(100, 20821, Some(6.0)), &v3(100, 20821, Some(4.0)), 0.1).unwrap();
+        assert_eq!(slower.regressions().len(), 1);
+        let faster = compare(&v3(100, 20821, Some(6.0)), &v3(100, 20821, Some(9.0)), 0.0).unwrap();
+        assert!(faster.regressions().is_empty());
+    }
+
+    #[test]
+    fn v2_baseline_skips_peel_counters_with_a_note() {
+        let report = compare(&v2(20821), &v3(100, 20821, None), 0.0).unwrap();
+        assert!(report.regressions().is_empty(), "{}", report.format());
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("schema bump bench-parallel/v2 -> bench-parallel/v3")));
+        let dp_row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "peel.dp_calls")
+            .unwrap();
+        assert_eq!(dp_row.old, None);
+        assert_eq!(dp_row.verdict, "skipped");
+    }
+
+    #[test]
+    fn same_schema_missing_gated_counter_fails() {
+        // A v3 report that silently stops emitting a gated counter must
+        // not slip through as "skipped" — that would neuter the gate.
+        let mut doc = v3(100, 20821, None);
+        if let Json::Obj(members) = &mut doc {
+            members.retain(|(k, _)| k != "counts");
+        }
+        let report = compare(&v3(100, 20821, None), &doc, 0.0).unwrap();
+        let failing: Vec<_> = report
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["counts.triangles", "counts.four_cliques"]);
+        assert!(report.format().contains("bump the schema version"));
+    }
+
+    #[test]
+    fn rejects_non_bench_schemas() {
+        let bogus = Json::parse(r#"{ "schema": "something-else/v1" }"#).unwrap();
+        assert!(compare(&bogus, &v2(1), 0.0).is_err());
+        let missing = Json::parse(r#"{ "counts": {} }"#).unwrap();
+        assert!(compare(&v2(1), &missing, 0.0).is_err());
+    }
+}

@@ -15,7 +15,8 @@
 //! | [`fig7`] | Figure 7 | PD/PCC/edges/#nuclei of ℓ-(k,θ)-nuclei as k varies |
 //! | [`fig8`] | Figure 8 | PD/PCC of g- vs w- vs ℓ-nuclei |
 //! | [`ablation`] | (extra) | Monte-Carlo sample count vs estimation error; per-method scoring cost |
-//! | [`parbench`] | (extra) | parallel-substrate speedups, emitted as machine-readable `BENCH_parallel.json` |
+//! | [`parbench`] | (extra) | parallel-substrate speedups + peeling-engine perf counters, emitted as machine-readable `BENCH_parallel.json` |
+//! | [`compare`] | (extra) | `bench-compare`: diff two bench JSONs, gate CI on deterministic counters |
 //!
 //! Run them through the `experiments` binary:
 //!
@@ -25,11 +26,13 @@
 //! ```
 
 pub mod ablation;
+pub mod compare;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod json;
 pub mod parbench;
 pub mod runner;
 pub mod table1;

@@ -8,17 +8,23 @@
 //! of the substrate becomes a tracked, diffable artifact instead of a
 //! number in a PR description.
 //!
-//! The JSON schema (`bench-parallel/v2`):
+//! The JSON schema (`bench-parallel/v3`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench-parallel/v2",
+//!   "schema": "bench-parallel/v3",
 //!   "source": { "kind": "generated", "generator": "gnm-uniform",
 //!               "requested_vertices": 2000, "requested_edges": 50000,
 //!               "seed": 42 },
 //!   "vertices": 5000, "edges": 50000, "seed": 42, "repeats": 3,
 //!   "available_parallelism": 8,
 //!   "counts": { "triangles": 16500, "four_cliques": 120 },
+//!   "peel": { "theta": 0.1, "dp_calls": 8, "recompute_skips": 120,
+//!             "buckets_touched": 3, "peak_scratch_bytes": 1840,
+//!             "reference_dp_calls": 150, "dp_calls_saved_pct": 94.7,
+//!             "max_score": 2,
+//!             "method_counts": [ { "method": "DP", "count": 16500 } ],
+//!             "peel_s": 0.09, "reference_peel_s": 0.15 },
 //!   "baseline": { "threads": 1, "triangles_s": 0.41, "four_cliques_s": 0.52,
 //!                 "support_s": 1.08, "total_s": 2.01, "speedup": 1.0,
 //!                 "deadline_exceeded": false },
@@ -26,6 +32,14 @@
 //!               "deadline_exceeded": false } ]
 //! }
 //! ```
+//!
+//! The `peel` object carries the deterministic perf counters of the
+//! ℓ-NuDecomp peeling engine ([`nucleus::PeelStats`]) next to the frozen
+//! reference engine's `reference_dp_calls`; `method_counts` is emitted as
+//! an array **sorted by method name** so the JSON is byte-stable (a
+//! `HashMap` iteration order must never leak into a tracked artifact).
+//! `experiments bench-compare` diffs two such files and gates CI on the
+//! counters, never on the wall-clock fields (`*_s`, `speedup`).
 //!
 //! With `--input` the `source` object records the ingested file instead —
 //! its path, format and probability model plus the ingestion timings
@@ -58,7 +72,8 @@ use ugraph::par::Parallelism;
 use ugraph::triangles::enumerate_triangles_with;
 use ugraph::UncertainGraph;
 
-use nucleus::SupportStructure;
+use nucleus::local::reference;
+use nucleus::{LocalConfig, LocalNucleusDecomposition, PeelStats, SupportStructure};
 
 use crate::runner::{format_table, run_with_deadline, Timing};
 
@@ -120,6 +135,41 @@ impl IngestTimings {
     }
 }
 
+/// Perf-counter measurement of the peeling engine: the production engine
+/// and the frozen reference engine run on the same support structure
+/// (sanity-asserting bit-identical scores on the way), so the report can
+/// record the deferred engine's DP savings as a tracked number.
+#[derive(Debug, Clone)]
+pub struct PeelBench {
+    /// θ the decomposition ran at ([`LocalConfig::default`]).
+    pub theta: f64,
+    /// Deterministic counters of the production engine.
+    pub stats: PeelStats,
+    /// Peeling-time score recomputations of the reference engine — the
+    /// denominator of the advertised savings.
+    pub reference_dp_calls: usize,
+    /// Largest ℓ-nucleusness in the graph.
+    pub max_score: u32,
+    /// Initial-pass evaluation methods, sorted by method name so the
+    /// JSON is byte-stable.
+    pub method_counts: Vec<(String, usize)>,
+    /// Wall-clock seconds of the production engine (reported, not gated).
+    pub peel_s: f64,
+    /// Wall-clock seconds of the reference engine (reported, not gated).
+    pub reference_peel_s: f64,
+}
+
+impl PeelBench {
+    /// Percentage of the reference engine's recomputations the deferred
+    /// engine avoided (0 when the reference did none).
+    pub fn dp_calls_saved_pct(&self) -> f64 {
+        if self.reference_dp_calls == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.stats.dp_calls as f64 / self.reference_dp_calls as f64)
+    }
+}
+
 /// Best-of-repeats wall-clock seconds for each measured phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseTimings {
@@ -172,6 +222,8 @@ pub struct ParBenchReport {
     /// `std::thread::available_parallelism()` of the measuring host —
     /// needed to interpret speedups (a 1-core host cannot speed up).
     pub available_parallelism: usize,
+    /// Peeling-engine perf counters (production vs reference engine).
+    pub peel: PeelBench,
     /// The sequential baseline.
     pub baseline: ThreadRun,
     /// The parallel runs, in the order of `config.threads`.
@@ -227,6 +279,67 @@ fn measure_config(
         }
     });
     (best, exceeded, num_triangles, num_cliques)
+}
+
+/// Runs the ℓ-NuDecomp peeling engine and the frozen reference engine on
+/// the benchmark graph at [`LocalConfig::default`] (exact DP, θ = 0.1)
+/// and returns their perf counters.  Wall times are best-of-`repeats`
+/// like every other phase, so neither engine is billed for cold caches.
+/// Panics if the engines disagree on a single score — the benchmark
+/// doubles as a CI-enforced bit-identity check at real scale.
+fn measure_peel(graph: &UncertainGraph, repeats: usize) -> PeelBench {
+    let config = LocalConfig::default();
+    let mut support = Some(SupportStructure::build_with(graph, Parallelism::Auto));
+    let mut reference_s = f64::INFINITY;
+    let mut engine_s = f64::INFINITY;
+    let mut last = None;
+    for r in 0..repeats.max(1) {
+        let borrowed = support
+            .as_ref()
+            .expect("support consumed only on the last repeat");
+        let (oracle, reference_t) = Timing::measure(|| {
+            reference::decompose(borrowed, &config).expect("default config is valid")
+        });
+        reference_s = reference_s.min(reference_t.seconds());
+        // The last repeat moves the support into the engine; earlier
+        // repeats clone it *outside* the measured closure.
+        let engine_input = if r + 1 == repeats.max(1) {
+            support.take().expect("support still present")
+        } else {
+            borrowed.clone()
+        };
+        let (decomp, engine_t) = Timing::measure(|| {
+            LocalNucleusDecomposition::with_support(engine_input, &config)
+                .expect("default config is valid")
+        });
+        engine_s = engine_s.min(engine_t.seconds());
+        last = Some((decomp, oracle));
+    }
+    let (decomp, oracle) = last.expect("at least one repeat ran");
+    assert_eq!(
+        decomp.scores(),
+        &oracle.scores[..],
+        "peeling engine diverged from the reference implementation"
+    );
+    assert_eq!(decomp.initial_scores(), &oracle.initial_scores[..]);
+    assert_eq!(decomp.method_counts(), &oracle.method_counts);
+
+    let mut method_counts: Vec<(String, usize)> = decomp
+        .method_counts()
+        .iter()
+        .map(|(m, &n)| (m.name().to_string(), n))
+        .collect();
+    method_counts.sort();
+
+    PeelBench {
+        theta: config.theta,
+        stats: *decomp.peel_stats(),
+        reference_dp_calls: oracle.dp_calls,
+        max_score: decomp.max_score(),
+        method_counts,
+        peel_s: engine_s,
+        reference_peel_s: reference_s,
+    }
 }
 
 /// Ingests `config.input`, measuring text parse, snapshot-cache write and
@@ -339,6 +452,8 @@ pub fn run(config: &ParBenchConfig) -> ParBenchReport {
         });
     }
 
+    let peel = measure_peel(&graph, config.repeats);
+
     ParBenchReport {
         config: config.clone(),
         actual_vertices: graph.num_vertices(),
@@ -347,6 +462,7 @@ pub fn run(config: &ParBenchConfig) -> ParBenchReport {
         num_triangles,
         num_four_cliques,
         available_parallelism: Parallelism::Auto.num_threads(),
+        peel,
         baseline,
         runs,
     }
@@ -416,7 +532,43 @@ impl ParBenchReport {
         }
     }
 
-    /// Serializes the report to the `bench-parallel/v2` JSON schema.
+    /// The `peel` perf-counter object of the JSON report.  The method
+    /// counts are a sorted array — never a map in hash order — so the
+    /// serialization is byte-stable across runs and toolchains.
+    fn json_peel(&self) -> String {
+        let methods: Vec<String> = self
+            .peel
+            .method_counts
+            .iter()
+            .map(|(name, count)| {
+                format!(
+                    "{{ \"method\": \"{}\", \"count\": {} }}",
+                    json_escape(name),
+                    count
+                )
+            })
+            .collect();
+        format!(
+            "{{ \"theta\": {:.6}, \"dp_calls\": {}, \"recompute_skips\": {}, \
+             \"buckets_touched\": {}, \"peak_scratch_bytes\": {},\n            \
+             \"reference_dp_calls\": {}, \"dp_calls_saved_pct\": {:.3}, \"max_score\": {},\n            \
+             \"method_counts\": [ {} ],\n            \
+             \"peel_s\": {:.6}, \"reference_peel_s\": {:.6} }}",
+            self.peel.theta,
+            self.peel.stats.dp_calls,
+            self.peel.stats.recompute_skips,
+            self.peel.stats.buckets_touched,
+            self.peel.stats.peak_scratch_bytes,
+            self.peel.reference_dp_calls,
+            self.peel.dp_calls_saved_pct(),
+            self.peel.max_score,
+            methods.join(", "),
+            self.peel.peel_s,
+            self.peel.reference_peel_s,
+        )
+    }
+
+    /// Serializes the report to the `bench-parallel/v3` JSON schema.
     pub fn to_json(&self) -> String {
         let runs: Vec<String> = self
             .runs
@@ -424,10 +576,11 @@ impl ParBenchReport {
             .map(|r| format!("    {}", json_run(r)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"bench-parallel/v2\",\n  \"source\": {},\n  \
+            "{{\n  \"schema\": \"bench-parallel/v3\",\n  \"source\": {},\n  \
              \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"repeats\": {},\n  \
              \"available_parallelism\": {},\n  \"counts\": {{ \"triangles\": {}, \
-             \"four_cliques\": {} }},\n  \"baseline\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+             \"four_cliques\": {} }},\n  \"peel\": {},\n  \"baseline\": {},\n  \
+             \"runs\": [\n{}\n  ]\n}}\n",
             self.json_source(),
             self.actual_vertices,
             self.actual_edges,
@@ -436,6 +589,7 @@ impl ParBenchReport {
             self.available_parallelism,
             self.num_triangles,
             self.num_four_cliques,
+            self.json_peel(),
             json_run(&self.baseline),
             runs.join(",\n")
         )
@@ -475,9 +629,24 @@ impl ParBenchReport {
             ),
             (None, _) => String::new(),
         };
+        let peel = format!(
+            "\npeel (theta {:.2}): dp_calls {} vs reference {} ({:.1}% saved), \
+             {} skips, {} buckets, {} scratch bytes peak, max score {} — \
+             {:.3}s vs {:.3}s",
+            self.peel.theta,
+            self.peel.stats.dp_calls,
+            self.peel.reference_dp_calls,
+            self.peel.dp_calls_saved_pct(),
+            self.peel.stats.recompute_skips,
+            self.peel.stats.buckets_touched,
+            self.peel.stats.peak_scratch_bytes,
+            self.peel.max_score,
+            self.peel.peel_s,
+            self.peel.reference_peel_s,
+        );
         format!(
             "parallel substrate bench — {} vertices, {} edges (seed {}), \
-             {} triangles, {} 4-cliques, host parallelism {}{}\n{}",
+             {} triangles, {} 4-cliques, host parallelism {}{}{}\n{}",
             self.actual_vertices,
             self.actual_edges,
             self.config.seed,
@@ -485,6 +654,7 @@ impl ParBenchReport {
             self.num_four_cliques,
             self.available_parallelism,
             source,
+            peel,
             format_table(
                 &[
                     "threads",
@@ -534,19 +704,53 @@ mod tests {
     fn json_has_schema_and_parses_shape() {
         let report = run(&tiny_config());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-parallel/v2\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v3\""));
         assert!(json.contains("\"kind\": \"generated\""));
         assert!(json.contains("\"counts\""));
+        assert!(json.contains("\"peel\""));
         assert!(json.contains("\"baseline\""));
         assert!(json.contains("\"runs\""));
-        // Balanced braces/brackets — cheap structural sanity without a
-        // JSON parser dependency.
+        // The report must parse with the crate's own JSON reader — the
+        // bench-compare gate depends on it.
+        let doc = crate::json::Json::parse(&json).expect("report JSON parses");
         assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-            "unbalanced braces"
+            doc.path(&["counts", "triangles"])
+                .and_then(crate::json::Json::as_f64),
+            Some(report.num_triangles as f64)
         );
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(
+            doc.path(&["peel", "dp_calls"])
+                .and_then(crate::json::Json::as_f64),
+            Some(report.peel.stats.dp_calls as f64)
+        );
+        assert_eq!(
+            doc.path(&["peel", "reference_dp_calls"])
+                .and_then(crate::json::Json::as_f64),
+            Some(report.peel.reference_dp_calls as f64)
+        );
+    }
+
+    #[test]
+    fn peel_counters_are_deterministic_and_method_counts_sorted() {
+        let a = run(&tiny_config());
+        let b = run(&tiny_config());
+        assert_eq!(a.peel.stats, b.peel.stats);
+        assert_eq!(a.peel.reference_dp_calls, b.peel.reference_dp_calls);
+        assert_eq!(a.peel.method_counts, b.peel.method_counts);
+        // Exact-DP default: every triangle counted once, as DP.
+        assert_eq!(
+            a.peel.method_counts,
+            vec![("DP".to_string(), a.num_triangles)]
+        );
+        let sorted = {
+            let mut s = a.peel.method_counts.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(a.peel.method_counts, sorted);
+        // The deferred engine never does more work than the reference.
+        assert!(a.peel.stats.dp_calls <= a.peel.reference_dp_calls);
+        assert!(a.peel.dp_calls_saved_pct() >= 0.0);
     }
 
     #[test]
@@ -595,7 +799,9 @@ mod tests {
         assert!(json.contains("\"format\": \"snap\""));
         assert!(json.contains("\"prob_model\": \"column\""));
         assert!(json.contains("\"reload_speedup\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v3\""));
         assert!(report.format().contains("ingest:"));
+        assert!(report.format().contains("peel (theta"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -629,7 +835,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"kind\": \"file\""));
         assert!(json.contains("\"format\": \"ugsnap\""));
-        assert!(!json.contains("\"ingest\""));
+        assert!(!json.contains("\"ingest\""), "{json}");
         assert!(report.format().contains("ingest: "));
         std::fs::remove_dir_all(&dir).ok();
     }

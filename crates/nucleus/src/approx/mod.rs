@@ -146,8 +146,32 @@ pub fn hybrid_max_k(
     theta: f64,
     thresholds: &ApproxThresholds,
 ) -> (u32, ApproxMethod) {
+    hybrid_max_k_with_scratch(
+        &mut dp::DpScratch::new(),
+        triangle_prob,
+        completion_probs,
+        theta,
+        thresholds,
+    )
+}
+
+/// [`hybrid_max_k`] with a caller-provided [`dp::DpScratch`] for the DP
+/// fallback, so the peeling engine's steady state allocates nothing.  The
+/// arithmetic (method selection and evaluation) is identical.
+pub fn hybrid_max_k_with_scratch(
+    scratch: &mut dp::DpScratch,
+    triangle_prob: f64,
+    completion_probs: &[f64],
+    theta: f64,
+    thresholds: &ApproxThresholds,
+) -> (u32, ApproxMethod) {
     let method = select_method(completion_probs, thresholds);
-    let k = max_k_with_method(method, triangle_prob, completion_probs, theta);
+    let k = match method {
+        ApproxMethod::DynamicProgramming => {
+            dp::max_k_with_scratch(scratch, triangle_prob, completion_probs, theta)
+        }
+        other => max_k_with_method(other, triangle_prob, completion_probs, theta),
+    };
     (k, method)
 }
 

@@ -159,7 +159,15 @@ pub fn global_nuclei_with_local(
     let mut accepted: HashSet<Vec<EdgeId>> = HashSet::new();
     let mut solution = Vec::new();
 
-    for (&seed_triangle, _) in candidate_cliques_of.iter() {
+    // Seed triangles in ascending id order — never in `HashMap` hash
+    // order, which varies per process.  Each *new* candidate H consumes a
+    // slice of the shared RNG stream, so the iteration order decides
+    // which worlds each candidate is tested against; a stable order is
+    // what makes the Monte-Carlo results reproducible run to run.
+    let mut seed_triangles: Vec<TriangleId> = candidate_cliques_of.keys().copied().collect();
+    seed_triangles.sort_unstable();
+
+    for seed_triangle in seed_triangles {
         // Build the candidate H by 4-clique closure (lines 5-7).
         let mut h_cliques: HashSet<u32> = candidate_cliques_of[&seed_triangle]
             .iter()

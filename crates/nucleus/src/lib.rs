@@ -70,6 +70,6 @@ pub use approx::ApproxMethod;
 pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod};
 pub use error::{NucleusError, Result};
 pub use global::{global_nuclei, GlobalConfig, GlobalNucleus};
-pub use local::LocalNucleusDecomposition;
+pub use local::{LocalNucleusDecomposition, PeelStats};
 pub use support::SupportStructure;
 pub use weakly_global::{weakly_global_nuclei, WeaklyGlobalNucleus};

@@ -14,33 +14,77 @@
 //! `Pr(X_{𝒢,△,ℓ} = k)` and the tail `Pr(X_{𝒢,△,ℓ} ≥ k)`
 //! (Proposition 5.1).  The full table costs `O(c²)` per triangle.
 
+/// Reusable buffers for the DP tables.
+///
+/// The peeling engine evaluates the DP thousands of times; allocating a
+/// fresh pmf/tail vector per evaluation dominated the allocator profile.
+/// A `DpScratch` is grown once to the largest support encountered and
+/// reused, so the steady state allocates nothing.  The arithmetic is the
+/// exact sequence of operations of the allocating entry points, so scores
+/// computed through a scratch are bit-identical to them.
+#[derive(Debug, Clone, Default)]
+pub struct DpScratch {
+    pmf: Vec<f64>,
+    tail: Vec<f64>,
+}
+
+impl DpScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    /// Fills `self.pmf` with `Pr[ζ = k]` for `k = 0..=c`.
+    fn fill_pmf(&mut self, completion_probs: &[f64]) {
+        let c = completion_probs.len();
+        self.pmf.clear();
+        self.pmf.resize(c + 1, 0.0);
+        self.pmf[0] = 1.0;
+        for (j, &p) in completion_probs.iter().enumerate() {
+            for k in (0..=j + 1).rev() {
+                let keep = if k <= j { self.pmf[k] * (1.0 - p) } else { 0.0 };
+                let take = if k > 0 { self.pmf[k - 1] * p } else { 0.0 };
+                self.pmf[k] = keep + take;
+            }
+        }
+    }
+
+    /// Fills `self.pmf` and `self.tail` (`Pr[ζ ≥ k]` for `k = 0..=c`).
+    fn fill_tail(&mut self, completion_probs: &[f64]) {
+        self.fill_pmf(completion_probs);
+        self.tail.clear();
+        self.tail.resize(self.pmf.len(), 0.0);
+        let mut acc = 0.0;
+        for k in (0..self.pmf.len()).rev() {
+            acc += self.pmf[k];
+            self.tail[k] = acc.min(1.0);
+        }
+    }
+}
+
+/// Bytes of DP-table scratch required for a support of size `c`: the pmf
+/// and tail vectors, `c + 1` entries of 8 bytes each.  A *logical*
+/// requirement (element count, not allocator capacity), so it is
+/// independent of evaluation order and thread count — which keeps the
+/// `peak_scratch_bytes` perf counter deterministic.
+pub fn table_bytes(c: usize) -> usize {
+    2 * (c + 1) * std::mem::size_of::<f64>()
+}
+
 /// Probability mass function of `ζ` (the number of 4-cliques containing
 /// the triangle that materialize).  Entry `k` is `Pr[ζ = k]` for
 /// `k = 0..=c`.
 pub fn support_pmf(completion_probs: &[f64]) -> Vec<f64> {
-    let c = completion_probs.len();
-    let mut pmf = vec![0.0f64; c + 1];
-    pmf[0] = 1.0;
-    for (j, &p) in completion_probs.iter().enumerate() {
-        for k in (0..=j + 1).rev() {
-            let keep = if k <= j { pmf[k] * (1.0 - p) } else { 0.0 };
-            let take = if k > 0 { pmf[k - 1] * p } else { 0.0 };
-            pmf[k] = keep + take;
-        }
-    }
-    pmf
+    let mut scratch = DpScratch::new();
+    scratch.fill_pmf(completion_probs);
+    scratch.pmf
 }
 
 /// Tail probabilities of `ζ`: entry `k` is `Pr[ζ ≥ k]` for `k = 0..=c`.
 pub fn support_tail(completion_probs: &[f64]) -> Vec<f64> {
-    let pmf = support_pmf(completion_probs);
-    let mut tail = vec![0.0f64; pmf.len()];
-    let mut acc = 0.0;
-    for k in (0..pmf.len()).rev() {
-        acc += pmf[k];
-        tail[k] = acc.min(1.0);
-    }
-    tail
+    let mut scratch = DpScratch::new();
+    scratch.fill_tail(completion_probs);
+    scratch.tail
 }
 
 /// `Pr(X_{𝒢,△,ℓ} ≥ k)` for a single `k` (Proposition 5.1):
@@ -56,12 +100,29 @@ pub fn local_tail_probability(triangle_prob: f64, completion_probs: &[f64], k: u
 /// `Pr(△) · Pr[ζ ≥ k] ≥ θ`, or `0` when even `k = 0` fails (i.e. the
 /// triangle itself exists with probability below `θ`).
 pub fn max_k(triangle_prob: f64, completion_probs: &[f64], theta: f64) -> u32 {
+    max_k_with_scratch(
+        &mut DpScratch::new(),
+        triangle_prob,
+        completion_probs,
+        theta,
+    )
+}
+
+/// [`max_k`] evaluated through a reusable [`DpScratch`].  Performs the
+/// identical arithmetic, so the returned score is bit-for-bit the same;
+/// only the allocations differ.
+pub fn max_k_with_scratch(
+    scratch: &mut DpScratch,
+    triangle_prob: f64,
+    completion_probs: &[f64],
+    theta: f64,
+) -> u32 {
     if triangle_prob < theta {
         return 0;
     }
-    let tail = support_tail(completion_probs);
+    scratch.fill_tail(completion_probs);
     let mut best = 0u32;
-    for (k, &t) in tail.iter().enumerate() {
+    for (k, &t) in scratch.tail.iter().enumerate() {
         if triangle_prob * t >= theta {
             best = k as u32;
         } else {
@@ -148,6 +209,36 @@ mod tests {
         assert_eq!(max_k(1.0, &probs, 0.99), 7);
         assert_eq!(max_k(0.5, &probs, 0.4), 7);
         assert_eq!(max_k(0.5, &probs, 0.6), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_sizes() {
+        // A shared scratch cycled through shrinking and growing supports
+        // must return exactly what fresh allocations return.
+        let mut scratch = DpScratch::new();
+        let supports: Vec<Vec<f64>> = vec![
+            vec![0.3, 0.7, 0.45, 0.99, 0.01],
+            vec![0.5],
+            vec![],
+            vec![0.9; 12],
+            vec![0.2, 0.8],
+        ];
+        for probs in &supports {
+            for theta in [0.05, 0.3, 0.7] {
+                assert_eq!(
+                    max_k_with_scratch(&mut scratch, 0.9, probs, theta),
+                    max_k(0.9, probs, theta),
+                    "c={} theta={theta}",
+                    probs.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_bytes_counts_both_tables() {
+        assert_eq!(table_bytes(0), 16);
+        assert_eq!(table_bytes(4), 80);
     }
 
     #[test]

@@ -11,19 +11,30 @@
 //! the hybrid statistical approximation framework
 //! ([`crate::approx`]), selected through
 //! [`ScoreMethod`](crate::config::ScoreMethod).
+//!
+//! The peeling itself runs on the engine of [`peel`]: a monotone bucket
+//! queue with deferred, batched DP recomputation and reusable scratch
+//! buffers, emitting deterministic [`PeelStats`] perf counters.  The
+//! original eager heap engine survives as [`reference`] (tests and the
+//! `reference-peel` feature) and the two are property-tested to produce
+//! bit-identical results.
 
 pub mod dp;
 pub mod nuclei;
+pub mod peel;
+#[cfg(any(test, feature = "reference-peel"))]
+pub mod reference;
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use ugraph::{Triangle, TriangleId, TriangleIndex, UncertainGraph};
 
-use crate::approx::{self, ApproxMethod};
-use crate::config::{LocalConfig, ScoreMethod};
+use crate::approx::ApproxMethod;
+use crate::config::LocalConfig;
 use crate::error::Result;
 use crate::support::SupportStructure;
+
+pub use peel::PeelStats;
 
 /// Result of the local nucleus decomposition: the ℓ-nucleusness of every
 /// triangle, plus the support structure it was computed over.
@@ -34,6 +45,7 @@ pub struct LocalNucleusDecomposition {
     initial_scores: Vec<u32>,
     scores: Vec<u32>,
     method_counts: HashMap<ApproxMethod, usize>,
+    stats: PeelStats,
 }
 
 impl LocalNucleusDecomposition {
@@ -50,83 +62,25 @@ impl LocalNucleusDecomposition {
 
     /// Runs ℓ-NuDecomp over a prebuilt [`SupportStructure`] (lets callers
     /// amortize clique enumeration across several θ values).
+    ///
+    /// The initial κ pass runs in parallel chunks under
+    /// `config.parallelism` with an ordered merge, the peeling runs on
+    /// the engine of [`peel`]; results are bit-identical for every
+    /// parallelism setting and to the [`reference`] engine.
     pub fn with_support(support: SupportStructure, config: &LocalConfig) -> Result<Self> {
         config.validate()?;
-        let theta = config.theta;
-        let nt = support.num_triangles();
-        let nc = support.num_cliques();
-        let mut method_counts: HashMap<ApproxMethod, usize> = HashMap::new();
-
-        let mut score_of = |probs: &[f64], tri_prob: f64| -> u32 {
-            match config.method {
-                ScoreMethod::DynamicProgramming => {
-                    *method_counts
-                        .entry(ApproxMethod::DynamicProgramming)
-                        .or_insert(0) += 1;
-                    dp::max_k(tri_prob, probs, theta)
-                }
-                ScoreMethod::Hybrid(thresholds) => {
-                    let (k, method) = approx::hybrid_max_k(tri_prob, probs, theta, &thresholds);
-                    *method_counts.entry(method).or_insert(0) += 1;
-                    k
-                }
-            }
-        };
-
-        // Initial κ scores over all cliques.
-        let mut kappa = vec![0u32; nt];
-        for t in 0..nt as TriangleId {
-            let probs = support.completion_probs(t);
-            kappa[t as usize] = score_of(&probs, support.triangle_prob(t));
-        }
-        let initial_scores = kappa.clone();
-
-        // Peeling.
-        let mut processed = vec![false; nt];
-        let mut clique_dead = vec![false; nc];
-        let mut scores = vec![0u32; nt];
-        let mut heap: BinaryHeap<Reverse<(u32, TriangleId)>> = (0..nt)
-            .map(|t| Reverse((kappa[t], t as TriangleId)))
-            .collect();
-        let mut level = 0u32;
-
-        while let Some(Reverse((s, t))) = heap.pop() {
-            let ti = t as usize;
-            if processed[ti] || s != kappa[ti] {
-                continue;
-            }
-            processed[ti] = true;
-            level = level.max(s);
-            scores[ti] = level;
-
-            // Every clique through t ceases to exist.
-            for &c in support.cliques_of(t) {
-                if clique_dead[c as usize] {
-                    continue;
-                }
-                clique_dead[c as usize] = true;
-                for &other in &support.clique(c).triangles {
-                    let oi = other as usize;
-                    if other == t || processed[oi] || kappa[oi] <= level {
-                        continue;
-                    }
-                    let probs =
-                        support.completion_probs_filtered(other, |cc| !clique_dead[cc as usize]);
-                    let recomputed = score_of(&probs, support.triangle_prob(other)).max(level);
-                    if recomputed < kappa[oi] {
-                        kappa[oi] = recomputed;
-                        heap.push(Reverse((recomputed, other)));
-                    }
-                }
-            }
-        }
+        let init = peel::initial_scores(&support, config);
+        let initial_scores = init.kappa.clone();
+        let (scores, mut stats) = peel::peel(&support, config, init.kappa);
+        stats.peak_scratch_bytes = stats.peak_scratch_bytes.max(init.peak_scratch_bytes);
 
         Ok(LocalNucleusDecomposition {
             support,
             config: *config,
             initial_scores,
             scores,
-            method_counts,
+            method_counts: init.method_counts,
+            stats,
         })
     }
 
@@ -180,10 +134,20 @@ impl LocalNucleusDecomposition {
         self.scores.len()
     }
 
-    /// How many triangle-score evaluations used each method (DP runs count
-    /// every evaluation as `DynamicProgramming`).
+    /// The evaluation method of each triangle's *initial* κ computation
+    /// (exactly one entry per triangle; DP runs count every triangle as
+    /// `DynamicProgramming`).  Peeling-time recomputations are not
+    /// included — they are engine work, reported as
+    /// [`PeelStats::dp_calls`] via [`peel_stats`](Self::peel_stats).
     pub fn method_counts(&self) -> &HashMap<ApproxMethod, usize> {
         &self.method_counts
+    }
+
+    /// Deterministic perf counters of the peeling engine (DP
+    /// recomputations, cheap-bound skips, bucket usage, scratch
+    /// high-water mark).
+    pub fn peel_stats(&self) -> &PeelStats {
+        &self.stats
     }
 
     /// Extracts the maximal ℓ-(k,θ)-nuclei for the given `k ≥ 1`.
@@ -201,7 +165,7 @@ impl LocalNucleusDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ApproxThresholds;
+    use crate::config::{ApproxThresholds, ScoreMethod};
     use ugraph::GraphBuilder;
 
     fn complete(n: u32, p: f64) -> UncertainGraph {

@@ -1,0 +1,693 @@
+//! The ℓ-NuDecomp peeling engine.
+//!
+//! Algorithm 1 peels triangles in non-decreasing order of their current
+//! nucleus score κ.  The first implementation (kept verbatim as
+//! [`super::reference`]) paid three avoidable costs on the hot path:
+//!
+//! 1. a `BinaryHeap` with lazy deletion, `O(log n)` per operation and full
+//!    of stale entries,
+//! 2. an **eager** full score recomputation (the `O(c²)` Poisson-binomial
+//!    DP) for every affected triangle of every dead clique, and
+//! 3. a fresh `Vec` allocation per completion-probability gather and per
+//!    DP table.
+//!
+//! This module replaces all three for the exact-DP scorer:
+//!
+//! * **Monotone bucket queue** ([`BucketQueue`]): priorities are bounded
+//!   by the largest initial κ and the drain level never decreases, so a
+//!   `Vec<Vec<TriangleId>>` indexed by κ gives `O(1)` push/pop.
+//! * **Deferred recompute**: a clique death only decrements an
+//!   alive-clique counter, marks the triangle dirty and (when needed)
+//!   requeues it at the current level.  The DP runs at most once per pop,
+//!   over the *batched* set of deaths since the last evaluation — and is
+//!   skipped entirely when the cheap upper bound `min(κ, alive)` cannot
+//!   exceed the current level, because the clamped score is then pinned
+//!   to the level no matter what the DP would say.
+//! * **Scratch arena** ([`ScoreScratch`]): the probability gather buffer
+//!   and the DP pmf/tail tables are reused across evaluations, so the
+//!   steady state allocates nothing.
+//!
+//! Deferral is only applied to the exact DP scorer because its score
+//! function is *monotone* (removing a clique never raises κ — the tail of
+//! the Poisson-binomial distribution is pointwise dominated), which makes
+//! the peeling fixpoint independent of evaluation order.  The statistical
+//! approximations of the hybrid scorer do not share that guarantee (e.g.
+//! dropping a low-probability event can *raise* a Binomial tail
+//! estimate), so [`ScoreMethod::Hybrid`] runs the eager heap loop —
+//! still through the scratch arena — and stays bit-identical to the
+//! reference by construction.
+//!
+//! The engine reports its work through [`PeelStats`]: deterministic
+//! counters (never wall-clock) that CI diffs against a committed baseline
+//! via `experiments bench-compare`, so an algorithmic-work regression
+//! fails the build even though wall time is too noisy to gate on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ugraph::par;
+use ugraph::TriangleId;
+
+use crate::approx::{self, ApproxMethod};
+use crate::config::{LocalConfig, ScoreMethod};
+use crate::local::dp::{self, DpScratch};
+use crate::support::SupportStructure;
+
+/// Deterministic perf counters of one decomposition run.
+///
+/// Every field is a function of the graph and the configuration only —
+/// independent of wall clock, thread count and allocator behaviour — so
+/// the counters can be committed to a benchmark baseline and gated on in
+/// CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeelStats {
+    /// Full score recomputations performed during peeling (DP or, for the
+    /// hybrid scorer, whichever approximation was selected).  The initial
+    /// κ pass is not included: it is always exactly one evaluation per
+    /// triangle and is reported through
+    /// [`method_counts`](super::LocalNucleusDecomposition::method_counts).
+    pub dp_calls: usize,
+    /// Score recomputations avoided because the score was already pinned
+    /// to the current level.  Deferred engine: pops of a dirty triangle
+    /// resolved by the cheap `min(κ, alive)` bound alone.  Eager engine:
+    /// per-neighbour `κ ≤ level` skips inside the clique-death loop (the
+    /// reference implementation's own shortcut).  The two denominators
+    /// differ, so don't compare this field across scorer kinds.
+    pub recompute_skips: usize,
+    /// Distinct bucket-queue priorities that ever held an entry (0 for
+    /// the eager heap engine, which has no buckets).
+    pub buckets_touched: usize,
+    /// Logical high-water mark, in bytes, of the per-evaluation scratch:
+    /// the probability gather buffer plus — when the DP tables were
+    /// actually filled — the pmf/tail tables.  Counted from requested
+    /// element counts, not allocator capacities, so it is identical for
+    /// every thread count.
+    pub peak_scratch_bytes: usize,
+}
+
+/// Reusable scoring arena: one per worker thread (initial pass) or per
+/// engine (peeling), so the steady state allocates nothing.
+pub(crate) struct ScoreScratch {
+    config: LocalConfig,
+    probs: Vec<f64>,
+    dp: DpScratch,
+    /// Running maximum of the per-evaluation logical scratch requirement.
+    peak_bytes: usize,
+}
+
+impl ScoreScratch {
+    pub(crate) fn new(config: &LocalConfig) -> Self {
+        ScoreScratch {
+            config: *config,
+            probs: Vec::new(),
+            dp: DpScratch::new(),
+            peak_bytes: 0,
+        }
+    }
+
+    /// Scores triangle `t` over the cliques accepted by `filter`,
+    /// returning the score and the evaluation method.  Bit-identical to
+    /// scoring `support.completion_probs_filtered(t, filter)` through the
+    /// allocating entry points.
+    pub(crate) fn score<F>(
+        &mut self,
+        support: &SupportStructure,
+        t: TriangleId,
+        filter: F,
+    ) -> (u32, ApproxMethod)
+    where
+        F: FnMut(u32) -> bool,
+    {
+        support.completion_probs_into(t, filter, &mut self.probs);
+        let tri_prob = support.triangle_prob(t);
+        let theta = self.config.theta;
+        let (k, method) = match self.config.method {
+            ScoreMethod::DynamicProgramming => (
+                dp::max_k_with_scratch(&mut self.dp, tri_prob, &self.probs, theta),
+                ApproxMethod::DynamicProgramming,
+            ),
+            ScoreMethod::Hybrid(thresholds) => approx::hybrid_max_k_with_scratch(
+                &mut self.dp,
+                tri_prob,
+                &self.probs,
+                theta,
+                &thresholds,
+            ),
+        };
+        // The DP tables are only materialized when the DP actually ran
+        // (`max_k` returns early for sub-θ triangles without touching
+        // them).
+        let c = self.probs.len();
+        let dp_tables = method == ApproxMethod::DynamicProgramming && tri_prob >= theta;
+        let needed =
+            c * std::mem::size_of::<f64>() + if dp_tables { dp::table_bytes(c) } else { 0 };
+        self.peak_bytes = self.peak_bytes.max(needed);
+        (k, method)
+    }
+}
+
+/// Result of the initial κ pass.
+pub(super) struct InitialScores {
+    /// κ(△) over all cliques, indexed by triangle id.
+    pub kappa: Vec<u32>,
+    /// Evaluation method per triangle, accumulated in triangle-id order.
+    pub method_counts: HashMap<ApproxMethod, usize>,
+    /// Peak logical scratch bytes of the pass.
+    pub peak_scratch_bytes: usize,
+}
+
+/// Computes the initial κ score of every triangle, in parallel chunks
+/// with one [`ScoreScratch`] per chunk.  The per-chunk results are merged
+/// in triangle-id order ([`par::par_map_init`]'s ordered-merge contract),
+/// so scores, method counts and the scratch peak are identical for every
+/// [`Parallelism`](ugraph::Parallelism) setting.
+pub(super) fn initial_scores(support: &SupportStructure, config: &LocalConfig) -> InitialScores {
+    let nt = support.num_triangles();
+    let scored: Vec<(u32, ApproxMethod, usize)> = par::par_map_init(
+        config.parallelism,
+        nt,
+        || ScoreScratch::new(config),
+        |scratch, t| {
+            let (k, method) = scratch.score(support, t as TriangleId, |_| true);
+            (k, method, scratch.peak_bytes)
+        },
+    );
+    let mut kappa = Vec::with_capacity(nt);
+    let mut method_counts: HashMap<ApproxMethod, usize> = HashMap::new();
+    let mut peak_scratch_bytes = 0usize;
+    for (k, method, peak) in scored {
+        kappa.push(k);
+        *method_counts.entry(method).or_insert(0) += 1;
+        // Per-item values are running per-chunk maxima; the overall
+        // maximum equals the maximum over individual evaluations, which
+        // is independent of the chunk partition.
+        peak_scratch_bytes = peak_scratch_bytes.max(peak);
+    }
+    InitialScores {
+        kappa,
+        method_counts,
+        peak_scratch_bytes,
+    }
+}
+
+/// Monotone bucket priority queue over small integer priorities.
+///
+/// Priorities are bounded by the largest initial κ and the drain level
+/// never decreases, so the queue is a `Vec` of buckets scanned once from
+/// priority 0 upward: push and pop are `O(1)`, and the whole peel costs
+/// `O(max κ + pushes)` queue work.  Pushing below the current drain level
+/// violates the monotone contract and is rejected in debug builds.
+///
+/// Stale entries are the caller's concern (lazy deletion): the queue
+/// never removes an entry early, callers skip entries whose recorded
+/// priority no longer matches.
+pub(crate) struct BucketQueue {
+    buckets: Vec<Vec<TriangleId>>,
+    /// Bucket currently being drained.
+    cursor: usize,
+    /// Next unread index within `buckets[cursor]`.
+    head: usize,
+    /// Distinct priorities that ever received an entry.
+    touched: usize,
+}
+
+impl BucketQueue {
+    /// A queue accepting priorities `0..=max_priority`.
+    pub(crate) fn new(max_priority: u32) -> Self {
+        BucketQueue {
+            buckets: vec![Vec::new(); max_priority as usize + 1],
+            cursor: 0,
+            head: 0,
+            touched: 0,
+        }
+    }
+
+    /// Inserts `id` at `priority`.  Monotone contract: `priority` must be
+    /// at least the current drain level.
+    pub(crate) fn push(&mut self, priority: u32, id: TriangleId) {
+        let b = priority as usize;
+        debug_assert!(
+            b >= self.cursor,
+            "monotone bucket queue: push at {b} below drain level {}",
+            self.cursor
+        );
+        if self.buckets[b].is_empty() {
+            self.touched += 1;
+        }
+        self.buckets[b].push(id);
+    }
+
+    /// Pops the next entry in non-decreasing priority order: entries
+    /// within one bucket come out in insertion (FIFO) order, including
+    /// entries pushed at the drain level mid-drain.
+    pub(crate) fn pop(&mut self) -> Option<(u32, TriangleId)> {
+        loop {
+            let bucket = self.buckets.get_mut(self.cursor)?;
+            if self.head < bucket.len() {
+                let id = bucket[self.head];
+                self.head += 1;
+                return Some((self.cursor as u32, id));
+            }
+            // The drained bucket can never be pushed to again; release
+            // its memory as the cursor leaves it.
+            *bucket = Vec::new();
+            self.cursor += 1;
+            self.head = 0;
+        }
+    }
+
+    /// Number of distinct priorities that ever held an entry.
+    pub(crate) fn buckets_touched(&self) -> usize {
+        self.touched
+    }
+}
+
+/// Peels the triangles given their initial κ scores, returning the final
+/// ℓ-nucleusness of every triangle plus the engine's perf counters.
+///
+/// Dispatches on the scorer: the exact DP runs the deferred bucket-queue
+/// engine, the hybrid approximations run the eager heap engine (see the
+/// module docs for why).
+pub(super) fn peel(
+    support: &SupportStructure,
+    config: &LocalConfig,
+    kappa: Vec<u32>,
+) -> (Vec<u32>, PeelStats) {
+    match config.method {
+        ScoreMethod::DynamicProgramming => peel_deferred(support, config, kappa),
+        ScoreMethod::Hybrid(_) => peel_eager(support, config, kappa),
+    }
+}
+
+/// The deferred bucket-queue engine (exact DP scorer only).
+///
+/// Invariants, with `level` the current drain bucket:
+///
+/// * `kappa[t]` is the score of `t` over the cliques alive at its last
+///   evaluation — an upper bound on the current score, because the DP
+///   scorer is monotone under clique removal.
+/// * `alive[t]` counts the alive cliques of `t`, so
+///   `min(kappa[t], alive[t])` is a cheap upper bound on the current
+///   score.
+/// * every unprocessed triangle has exactly one live queue entry, at
+///   `pos[t] ≥ level`; when a clique of `t` dies, `t` is requeued at the
+///   current level (its score may have dropped arbitrarily far), where
+///   the pop either skips via the cheap bound or recomputes once over
+///   the batched deaths.
+fn peel_deferred(
+    support: &SupportStructure,
+    config: &LocalConfig,
+    mut kappa: Vec<u32>,
+) -> (Vec<u32>, PeelStats) {
+    let nt = kappa.len();
+    let nc = support.num_cliques();
+    let mut stats = PeelStats::default();
+    let mut scratch = ScoreScratch::new(config);
+
+    let mut scores = vec![0u32; nt];
+    let mut processed = vec![false; nt];
+    let mut dirty = vec![false; nt];
+    let mut clique_dead = vec![false; nc];
+    let mut alive: Vec<u32> = (0..nt)
+        .map(|t| support.support(t as TriangleId) as u32)
+        .collect();
+
+    let max_kappa = kappa.iter().copied().max().unwrap_or(0);
+    let mut queue = BucketQueue::new(max_kappa);
+    let mut pos: Vec<u32> = kappa.clone();
+    for (t, &k) in kappa.iter().enumerate() {
+        queue.push(k, t as TriangleId);
+    }
+
+    while let Some((level, t)) = queue.pop() {
+        let ti = t as usize;
+        if processed[ti] || pos[ti] != level {
+            continue; // lazily deleted stale entry
+        }
+        if dirty[ti] {
+            let bound = kappa[ti].min(alive[ti]);
+            if bound > level {
+                // The batched recompute: one DP over the cliques still
+                // alive, covering every death since the last evaluation.
+                let (fresh, _) = scratch.score(support, t, |c| !clique_dead[c as usize]);
+                stats.dp_calls += 1;
+                // min() for defence in depth: the DP scorer is monotone,
+                // so fresh ≤ kappa[ti] already holds.
+                kappa[ti] = fresh.min(kappa[ti]);
+                dirty[ti] = false;
+                if kappa[ti] > level {
+                    // Still above the level: requeue at its exact score.
+                    pos[ti] = kappa[ti];
+                    queue.push(kappa[ti], t);
+                    continue;
+                }
+            } else {
+                // min(κ, alive) ≤ level pins the clamped score to the
+                // level; the DP result could not change anything.
+                stats.recompute_skips += 1;
+            }
+        }
+        processed[ti] = true;
+        scores[ti] = level;
+
+        // Every clique through t ceases to exist; affected triangles are
+        // only marked, not rescored.
+        for &c in support.cliques_of(t) {
+            if clique_dead[c as usize] {
+                continue;
+            }
+            clique_dead[c as usize] = true;
+            for &other in &support.clique(c).triangles {
+                let oi = other as usize;
+                if other == t || processed[oi] {
+                    continue;
+                }
+                alive[oi] -= 1;
+                dirty[oi] = true;
+                if pos[oi] > level {
+                    // Its score may now be as low as the current level;
+                    // requeue for (at most) one deferred recompute.
+                    pos[oi] = level;
+                    queue.push(level, other);
+                }
+            }
+        }
+    }
+
+    stats.buckets_touched = queue.buckets_touched();
+    stats.peak_scratch_bytes = scratch.peak_bytes;
+    (scores, stats)
+}
+
+/// The eager heap engine: the reference algorithm (recompute on every
+/// clique death, `BinaryHeap` with lazy deletion) driven through the
+/// scratch arena.  Used for the hybrid scorer, whose approximations are
+/// not monotone under clique removal — evaluating them over different
+/// alive sets than the reference could flip a borderline score, so the
+/// evaluation schedule is kept identical.
+fn peel_eager(
+    support: &SupportStructure,
+    config: &LocalConfig,
+    mut kappa: Vec<u32>,
+) -> (Vec<u32>, PeelStats) {
+    let nt = kappa.len();
+    let nc = support.num_cliques();
+    let mut stats = PeelStats::default();
+    let mut scratch = ScoreScratch::new(config);
+
+    let mut scores = vec![0u32; nt];
+    let mut processed = vec![false; nt];
+    let mut clique_dead = vec![false; nc];
+    let mut heap: BinaryHeap<Reverse<(u32, TriangleId)>> = (0..nt)
+        .map(|t| Reverse((kappa[t], t as TriangleId)))
+        .collect();
+    let mut level = 0u32;
+
+    while let Some(Reverse((s, t))) = heap.pop() {
+        let ti = t as usize;
+        if processed[ti] || s != kappa[ti] {
+            continue;
+        }
+        processed[ti] = true;
+        level = level.max(s);
+        scores[ti] = level;
+
+        for &c in support.cliques_of(t) {
+            if clique_dead[c as usize] {
+                continue;
+            }
+            clique_dead[c as usize] = true;
+            for &other in &support.clique(c).triangles {
+                let oi = other as usize;
+                if other == t || processed[oi] {
+                    continue;
+                }
+                if kappa[oi] <= level {
+                    stats.recompute_skips += 1;
+                    continue;
+                }
+                let (fresh, _) = scratch.score(support, other, |cc| !clique_dead[cc as usize]);
+                stats.dp_calls += 1;
+                let recomputed = fresh.max(level);
+                if recomputed < kappa[oi] {
+                    kappa[oi] = recomputed;
+                    heap.push(Reverse((recomputed, other)));
+                }
+            }
+        }
+    }
+
+    stats.peak_scratch_bytes = scratch.peak_bytes;
+    (scores, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::{GraphBuilder, UncertainGraph};
+
+    fn complete(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bucket_queue_pops_in_priority_then_fifo_order() {
+        let mut q = BucketQueue::new(3);
+        q.push(2, 10);
+        q.push(0, 11);
+        q.push(2, 12);
+        q.push(3, 13);
+        q.push(0, 14);
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, vec![(0, 11), (0, 14), (2, 10), (2, 12), (3, 13)]);
+        // Priorities 0, 2 and 3 held entries; 1 never did.
+        assert_eq!(q.buckets_touched(), 3);
+    }
+
+    #[test]
+    fn bucket_queue_accepts_pushes_at_the_drain_level() {
+        let mut q = BucketQueue::new(2);
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some((1, 1)));
+        // Mid-drain push at the current level must come out before any
+        // higher bucket.
+        q.push(1, 2);
+        q.push(2, 3);
+        assert_eq!(q.pop(), Some((1, 2)));
+        assert_eq!(q.pop(), Some((2, 3)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "exhausted queue stays exhausted");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone bucket queue")]
+    #[cfg(debug_assertions)]
+    fn bucket_queue_rejects_push_below_drain_level() {
+        let mut q = BucketQueue::new(3);
+        q.push(2, 1);
+        assert_eq!(q.pop(), Some((2, 1)));
+        q.push(1, 2);
+    }
+
+    #[test]
+    fn empty_queue_and_zero_priority() {
+        let mut q = BucketQueue::new(0);
+        q.push(0, 7);
+        assert_eq!(q.buckets_touched(), 1);
+        assert_eq!(q.pop(), Some((0, 7)));
+        assert_eq!(q.pop(), None);
+        let mut empty = BucketQueue::new(5);
+        assert_eq!(empty.pop(), None);
+        assert_eq!(empty.buckets_touched(), 0);
+    }
+
+    #[test]
+    fn deferred_engine_skips_recomputes_via_the_cheap_bound() {
+        // K5, every edge certain, θ small: every triangle has κ = 2 and
+        // the whole graph peels at level 2.  Every pop of a dirty
+        // triangle happens at level 2 with bound min(κ=2, alive) ≤ 2, so
+        // the cheap bound resolves every single one — zero DP
+        // recomputations against 5 · 3 = 15 (actually fewer after the
+        // kappa ≤ level skip) in the eager engine.
+        let g = complete(5, 1.0);
+        let config = LocalConfig::exact(0.5);
+        let support = SupportStructure::build(&g);
+        let init = initial_scores(&support, &config);
+        assert!(init.kappa.iter().all(|&k| k == 2));
+        let (scores, stats) = peel_deferred(&support, &config, init.kappa.clone());
+        assert!(scores.iter().all(|&s| s == 2));
+        assert_eq!(stats.dp_calls, 0, "cheap bound must defeat every pop");
+        assert!(stats.recompute_skips > 0);
+        assert!(stats.buckets_touched >= 1);
+        // No recompute ran, so the *peel-phase* scratch was never used;
+        // the decomposition folds the initial pass's peak in.
+        assert_eq!(stats.peak_scratch_bytes, 0);
+        let full = super::super::LocalNucleusDecomposition::compute(&g, &config).unwrap();
+        assert!(full.peel_stats().peak_scratch_bytes > 0);
+
+        let (eager_scores, eager_stats) = peel_eager(&support, &config, init.kappa);
+        assert_eq!(scores, eager_scores);
+        // The eager engine dodges these pops through its own kappa ≤
+        // level check and counts them as skips too.
+        assert_eq!(eager_stats.dp_calls, 0);
+        assert!(eager_stats.recompute_skips > 0);
+    }
+
+    #[test]
+    fn deferred_engine_recomputes_when_the_bound_is_inconclusive() {
+        // K5 on {0,1,2,4,5} plus a pendant 4-clique {0,1,2,3}: the hub
+        // triangle (0,1,2) starts at κ = 3, the pendant's side triangles
+        // at κ = 1, the other K5 triangles at κ = 2.  Peeling the pendant
+        // at level 1 kills one hub clique, requeueing the hub at level 1
+        // where its bound min(κ=3, alive=2) = 2 > 1 is inconclusive: the
+        // engine must run one batched DP to learn the hub now sits at 2.
+        let mut b = GraphBuilder::new();
+        for &u in &[0u32, 1, 2, 4, 5] {
+            for &v in &[0u32, 1, 2, 4, 5] {
+                if u < v {
+                    b.add_edge(u, v, 1.0).unwrap();
+                }
+            }
+        }
+        for &u in &[0u32, 1, 2] {
+            b.add_edge(u, 3, 1.0).unwrap();
+        }
+        let g = b.build();
+        let config = LocalConfig::exact(0.5);
+        let support = SupportStructure::build(&g);
+        let init = initial_scores(&support, &config);
+        let (deferred, stats) = peel_deferred(&support, &config, init.kappa.clone());
+        let (eager, eager_stats) = peel_eager(&support, &config, init.kappa);
+        assert_eq!(deferred, eager);
+        assert!(stats.dp_calls > 0, "inconclusive bounds must recompute");
+        assert!(
+            stats.dp_calls <= eager_stats.dp_calls,
+            "deferral must never recompute more than the eager engine \
+             ({} vs {})",
+            stats.dp_calls,
+            eager_stats.dp_calls
+        );
+        assert!(stats.peak_scratch_bytes > 0);
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_repeat_runs() {
+        let g = complete(6, 0.7);
+        let config = LocalConfig::exact(0.2);
+        let support = SupportStructure::build(&g);
+        let init = initial_scores(&support, &config);
+        let (scores_a, stats_a) = peel_deferred(&support, &config, init.kappa.clone());
+        let (scores_b, stats_b) = peel_deferred(&support, &config, init.kappa);
+        assert_eq!(scores_a, scores_b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn initial_pass_is_identical_for_every_parallelism() {
+        use ugraph::Parallelism;
+        let g = complete(7, 0.6);
+        let support = SupportStructure::build(&g);
+        let base = initial_scores(&support, &LocalConfig::exact(0.15));
+        for threads in [1, 2, 8] {
+            let cfg = LocalConfig::exact(0.15).with_parallelism(Parallelism::fixed(threads));
+            let par = initial_scores(&support, &cfg);
+            assert_eq!(par.kappa, base.kappa, "threads = {threads}");
+            assert_eq!(par.method_counts, base.method_counts);
+            assert_eq!(par.peak_scratch_bytes, base.peak_scratch_bytes);
+        }
+    }
+}
+
+/// Property suite: the production engine must be **bit-identical** to the
+/// frozen [`reference`](super::reference) engine — scores, initial scores
+/// and method counts — on random graphs, across θ, both scorers and every
+/// parallelism setting.  This is the contract that lets the deferred
+/// engine skip work: any observable divergence is a bug, not a tradeoff.
+#[cfg(test)]
+mod equivalence_proptests {
+    use proptest::prelude::*;
+
+    use super::super::reference;
+    use super::super::LocalNucleusDecomposition;
+    use crate::config::LocalConfig;
+    use crate::support::SupportStructure;
+    use ugraph::{GraphBuilder, Parallelism, UncertainGraph};
+
+    /// A random probabilistic graph dense enough to grow 4-cliques.
+    fn arb_graph(max_v: u32, density: f64) -> impl Strategy<Value = UncertainGraph> {
+        (4..=max_v)
+            .prop_flat_map(move |n| {
+                let pairs: Vec<(u32, u32)> = (0..n)
+                    .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+                    .collect();
+                let m = pairs.len();
+                (
+                    Just(pairs),
+                    proptest::collection::vec(0.0f64..1.0, m),
+                    proptest::collection::vec(0.01f64..=1.0, m),
+                )
+            })
+            .prop_map(move |(pairs, coin, probs)| {
+                let mut b = GraphBuilder::new();
+                for (i, (u, v)) in pairs.into_iter().enumerate() {
+                    if coin[i] < density {
+                        b.add_edge(u, v, probs[i]).unwrap();
+                    }
+                }
+                b.build()
+            })
+    }
+
+    fn assert_engines_agree(g: &UncertainGraph, config_for: impl Fn(Parallelism) -> LocalConfig) {
+        let support = SupportStructure::build(g);
+        let oracle = reference::decompose(&support, &config_for(Parallelism::Sequential)).unwrap();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::fixed(2),
+            Parallelism::fixed(8),
+        ] {
+            let engine =
+                LocalNucleusDecomposition::with_support(support.clone(), &config_for(par)).unwrap();
+            prop_assert_eq!(engine.scores(), &oracle.scores[..], "parallelism = {}", par);
+            prop_assert_eq!(engine.initial_scores(), &oracle.initial_scores[..]);
+            prop_assert_eq!(engine.method_counts(), &oracle.method_counts);
+        }
+    }
+
+    proptest! {
+        // Default config: 64 cases, scaled up via PROPTEST_CASES in CI's
+        // thorough job.
+        #![proptest_config(ProptestConfig::default())]
+
+        /// Exact-DP scorer: the deferred bucket-queue engine against the
+        /// eager heap reference.
+        #[test]
+        fn dp_engine_bit_identical_to_reference(
+            g in arb_graph(11, 0.75),
+            theta in 0.02f64..0.95,
+        ) {
+            assert_engines_agree(&g, |par| LocalConfig::exact(theta).with_parallelism(par));
+        }
+
+        /// Hybrid scorer: the eager scratch-arena engine against the
+        /// allocating reference (same evaluation schedule by design).
+        #[test]
+        fn hybrid_engine_bit_identical_to_reference(
+            g in arb_graph(10, 0.8),
+            theta in 0.02f64..0.95,
+        ) {
+            assert_engines_agree(&g, |par| {
+                LocalConfig::approximate(theta).with_parallelism(par)
+            });
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The original ℓ-NuDecomp peeling implementation, frozen as an oracle.
+//!
+//! This is the heap-based engine the crate shipped before the
+//! bucket-queue rearchitecture ([`super::peel`]): a
+//! `BinaryHeap<Reverse<(κ, id)>>` with lazy deletion, an **eager** full
+//! score recomputation for every affected triangle of every dead clique,
+//! and a fresh allocation per completion-probability gather and per DP
+//! table.  The peeling logic and the scores it produces are preserved
+//! exactly — allocations included; the one deliberate edit is
+//! `method_counts`, which now counts the initial pass only (one entry per
+//! triangle), matching the redefined contract of
+//! [`method_counts`](super::LocalNucleusDecomposition::method_counts) so
+//! the two engines report comparable values.  It is kept for two
+//! reasons:
+//!
+//! * **bit-identity testing**: the property suite peels random graphs
+//!   with both engines and requires identical scores, initial scores and
+//!   method counts;
+//! * **perf-counter baselines**: `experiments parbench` runs it next to
+//!   the new engine and records `reference_dp_calls`, the denominator of
+//!   the deferred engine's advertised DP savings.
+//!
+//! Compiled only for tests and for the `reference-peel` feature (which
+//! the bench harness enables); production builds carry no dead engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ugraph::TriangleId;
+
+use crate::approx::{self, ApproxMethod};
+use crate::config::{LocalConfig, ScoreMethod};
+use crate::error::Result;
+use crate::local::dp;
+use crate::support::SupportStructure;
+
+/// Output of the reference engine.
+#[derive(Debug, Clone)]
+pub struct ReferenceDecomposition {
+    /// κ(△) before peeling, indexed by triangle id.
+    pub initial_scores: Vec<u32>,
+    /// ℓ-nucleusness ν(△), indexed by triangle id.
+    pub scores: Vec<u32>,
+    /// Evaluation method of each triangle's initial κ computation (the
+    /// same initial-pass semantics the production engine reports).
+    pub method_counts: HashMap<ApproxMethod, usize>,
+    /// Full score recomputations performed during peeling — the eager
+    /// engine's equivalent of
+    /// [`PeelStats::dp_calls`](super::peel::PeelStats::dp_calls).
+    pub dp_calls: usize,
+}
+
+/// Runs the original eager peeling over a prebuilt support structure.
+pub fn decompose(
+    support: &SupportStructure,
+    config: &LocalConfig,
+) -> Result<ReferenceDecomposition> {
+    config.validate()?;
+    let theta = config.theta;
+    let nt = support.num_triangles();
+    let nc = support.num_cliques();
+    let mut method_counts: HashMap<ApproxMethod, usize> = HashMap::new();
+    let mut dp_calls = 0usize;
+
+    let score_of = |probs: &[f64], tri_prob: f64| -> (u32, ApproxMethod) {
+        match config.method {
+            ScoreMethod::DynamicProgramming => (
+                dp::max_k(tri_prob, probs, theta),
+                ApproxMethod::DynamicProgramming,
+            ),
+            ScoreMethod::Hybrid(thresholds) => {
+                approx::hybrid_max_k(tri_prob, probs, theta, &thresholds)
+            }
+        }
+    };
+
+    // Initial κ scores over all cliques (sequential, one allocation per
+    // triangle — exactly the original code path).
+    let mut kappa = vec![0u32; nt];
+    for t in 0..nt as TriangleId {
+        let probs = support.completion_probs(t);
+        let (k, method) = score_of(&probs, support.triangle_prob(t));
+        kappa[t as usize] = k;
+        *method_counts.entry(method).or_insert(0) += 1;
+    }
+    let initial_scores = kappa.clone();
+
+    // Peeling with eager recomputation.
+    let mut processed = vec![false; nt];
+    let mut clique_dead = vec![false; nc];
+    let mut scores = vec![0u32; nt];
+    let mut heap: BinaryHeap<Reverse<(u32, TriangleId)>> = (0..nt)
+        .map(|t| Reverse((kappa[t], t as TriangleId)))
+        .collect();
+    let mut level = 0u32;
+
+    while let Some(Reverse((s, t))) = heap.pop() {
+        let ti = t as usize;
+        if processed[ti] || s != kappa[ti] {
+            continue;
+        }
+        processed[ti] = true;
+        level = level.max(s);
+        scores[ti] = level;
+
+        for &c in support.cliques_of(t) {
+            if clique_dead[c as usize] {
+                continue;
+            }
+            clique_dead[c as usize] = true;
+            for &other in &support.clique(c).triangles {
+                let oi = other as usize;
+                if other == t || processed[oi] || kappa[oi] <= level {
+                    continue;
+                }
+                let probs =
+                    support.completion_probs_filtered(other, |cc| !clique_dead[cc as usize]);
+                let (fresh, _) = score_of(&probs, support.triangle_prob(other));
+                dp_calls += 1;
+                let recomputed = fresh.max(level);
+                if recomputed < kappa[oi] {
+                    kappa[oi] = recomputed;
+                    heap.push(Reverse((recomputed, other)));
+                }
+            }
+        }
+    }
+
+    Ok(ReferenceDecomposition {
+        initial_scores,
+        scores,
+        method_counts,
+        dp_calls,
+    })
+}

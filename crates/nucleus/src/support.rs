@@ -176,20 +176,34 @@ impl SupportStructure {
 
     /// The completion probabilities `Pr(E_i)` of triangle `t` over the
     /// cliques accepted by `filter` (which receives the clique index).
-    pub fn completion_probs_filtered<F>(&self, t: TriangleId, mut filter: F) -> Vec<f64>
+    pub fn completion_probs_filtered<F>(&self, t: TriangleId, filter: F) -> Vec<f64>
     where
         F: FnMut(u32) -> bool,
     {
-        self.cliques_of[t as usize]
-            .iter()
-            .copied()
-            .filter(|&c| filter(c))
-            .map(|c| {
-                self.cliques[c as usize]
-                    .completion_prob(t)
-                    .expect("clique listed for t contains t")
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.completion_probs_into(t, filter, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`SupportStructure::completion_probs_filtered`]: clears `out` and
+    /// fills it with the accepted `Pr(E_i)` in clique-id order (the same
+    /// order the allocating variant returns).  The peeling engine's score
+    /// recomputations run through this with a reused buffer.
+    pub fn completion_probs_into<F>(&self, t: TriangleId, mut filter: F, out: &mut Vec<f64>)
+    where
+        F: FnMut(u32) -> bool,
+    {
+        out.clear();
+        for &c in &self.cliques_of[t as usize] {
+            if filter(c) {
+                out.push(
+                    self.cliques[c as usize]
+                        .completion_prob(t)
+                        .expect("clique listed for t contains t"),
+                );
+            }
+        }
     }
 
     /// The completion probabilities `Pr(E_i)` of triangle `t` over all its
@@ -320,6 +334,24 @@ mod tests {
         assert_eq!(filtered.len(), 1);
         let none = s.completion_probs_filtered(t, |_| false);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn probs_into_matches_allocating_variant_and_clears_buffer() {
+        let g = k5(0.7);
+        let s = SupportStructure::build(&g);
+        let mut buf = vec![99.0; 8]; // stale contents must be discarded
+        for t in 0..s.num_triangles() as TriangleId {
+            let first = s.cliques_of(t)[0];
+            for keep_first in [true, false] {
+                let expected = s.completion_probs_filtered(t, |c| keep_first || c != first);
+                s.completion_probs_into(t, |c| keep_first || c != first, &mut buf);
+                assert_eq!(buf.len(), expected.len());
+                for (a, b) in buf.iter().zip(&expected) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -133,8 +133,10 @@ pub fn weakly_global_nuclei_with_local(
                 }
             }
         }
-        let mut groups: std::collections::HashMap<u32, Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: groups come out ordered by root id, so
+        // the solution order is reproducible run to run.
+        let mut groups: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for &i in &qualifying {
             groups.entry(uf.find(i as u32)).or_default().push(i);
         }

@@ -186,6 +186,28 @@ where
     })
 }
 
+/// Parallel index map with per-chunk worker state: like [`par_map`], but
+/// `init` is called once per chunk and the produced state is threaded
+/// through every `f` call of that chunk.  This is the hook scratch-buffer
+/// arenas plug into: the nucleus scoring pass reuses one DP scratch per
+/// chunk instead of allocating per triangle, while the ordered-merge
+/// guarantee of [`par_extend`] keeps the output bit-identical to a
+/// sequential left-to-right pass for every thread count.
+pub fn par_map_init<T, S, I, F>(par: Parallelism, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    par_extend(par, n, |range, out| {
+        let mut state = init();
+        out.reserve(range.len());
+        for i in range {
+            out.push(f(&mut state, i));
+        }
+    })
+}
+
 /// Parallel sum of a per-range reducer: splits `0..n` into chunks, calls
 /// `f(range)` for each and sums the partial results.  Used by counting
 /// paths that never materialize their items.
@@ -256,6 +278,34 @@ mod tests {
             assert_eq!(got.len(), expected.len());
             for (a, b) in got.iter().zip(&expected) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_init_reuses_state_within_chunks() {
+        // The state counts how many indices the chunk has processed so
+        // far; outputs must still merge in index order, and every index
+        // must observe a state initialized at the chunk boundary (the
+        // per-chunk counter never exceeds the chunk length).
+        for threads in [1, 2, 4, 8] {
+            let chunk = (1000 / (threads * CHUNKS_PER_THREAD)).max(1);
+            let got = par_map_init(
+                Parallelism::fixed(threads),
+                1000,
+                || 0usize,
+                |seen, i| {
+                    *seen += 1;
+                    (i, *seen)
+                },
+            );
+            assert_eq!(got.len(), 1000);
+            for (pos, &(i, seen)) in got.iter().enumerate() {
+                assert_eq!(i, pos, "threads = {threads}");
+                assert!(seen >= 1);
+                if threads > 1 {
+                    assert!(seen <= chunk, "state leaked across chunks");
+                }
             }
         }
     }

@@ -110,7 +110,8 @@ proptest! {
     }
 
     /// End to end: the local decomposition computes identical nucleusness
-    /// scores for every parallelism setting.
+    /// scores, method counts and peeling perf counters for every
+    /// parallelism setting.
     #[test]
     fn local_decomposition_scores_identical(g in arb_graph(9, 0.8), theta in 0.05f64..0.9) {
         let sequential = LocalNucleusDecomposition::compute(
@@ -126,6 +127,10 @@ proptest! {
             .unwrap();
             prop_assert_eq!(par.scores(), sequential.scores(), "threads = {}", threads);
             prop_assert_eq!(par.initial_scores(), sequential.initial_scores());
+            prop_assert_eq!(par.method_counts(), sequential.method_counts());
+            // PeelStats are deterministic perf counters: dp_calls and
+            // friends must not depend on the thread count either.
+            prop_assert_eq!(par.peel_stats(), sequential.peel_stats());
         }
     }
 
