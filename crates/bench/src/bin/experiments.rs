@@ -28,7 +28,9 @@
 
 use nd_bench::json::Json;
 use nd_bench::runner::ExperimentContext;
-use nd_bench::{ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3};
+use nd_bench::{
+    ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3, thetasweep,
+};
 use nd_datasets::{ExternalDataset, PaperDataset, Scale};
 use ugraph::io::EdgeProbabilityModel;
 use ugraph::InputFormat;
@@ -42,6 +44,10 @@ fn main() {
     let id = args[0].clone();
     if id == "parbench" {
         run_parbench(&args);
+        return;
+    }
+    if id == "thetasweep" {
+        run_thetasweep(&args);
         return;
     }
     if id == "gen" {
@@ -63,9 +69,7 @@ fn main() {
             }
         })
         .unwrap_or(Scale::Small);
-    let seed = parse_flag(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let seed = parse_num_flag(&args, "--seed").unwrap_or(42u64);
     let mut ctx = ExperimentContext::new(scale, seed);
     if let Some(input) = parse_input(&args) {
         let start = std::time::Instant::now();
@@ -127,6 +131,13 @@ fn print_usage() {
          \x20                 [--repeats R] [--seed N] [--out BENCH_parallel.json]\n\
          \x20                 [--input PATH [--format F] [--prob-model M]]\n\
          \n\
+         experiments thetasweep [--edges M] [--vertices N] [--seed N]\n\
+         \x20                   [--thetas 0.02,0.05,0.1,0.25,0.5] [--repeats R]\n\
+         \x20                   [--out BENCH_thetasweep.json]\n\
+         \x20                   [--input PATH [--format F] [--prob-model M]]\n\
+         \x20   one ThetaSweep index build vs independent per-theta runs;\n\
+         \x20   emits bench-parallel/v4 JSON with support_builds + amortization\n\
+         \n\
          experiments gen [--edges M] [--vertices N] [--seed N] --out PATH\n\
          \x20            [--snapshot PATH]\n\
          \n\
@@ -183,6 +194,17 @@ fn fail(message: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Parses a numeric flag strictly: an absent flag yields `None`, a
+/// present-but-unparseable value is a loud error — never a silent fall
+/// back to the default (which would benchmark the wrong graph and only
+/// surface later as a confusing counts regression in `bench-compare`).
+fn parse_num_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    parse_flag(args, flag).map(|spec| {
+        spec.parse::<T>()
+            .unwrap_or_else(|_| fail(&format!("invalid {flag} value '{spec}'")))
+    })
+}
+
 /// Parses the shared `--input` / `--format` / `--prob-model` flag group.
 fn parse_input(args: &[String]) -> Option<ExternalDataset> {
     let path = parse_flag(args, "--input")?;
@@ -204,19 +226,19 @@ fn parse_input(args: &[String]) -> Option<ExternalDataset> {
 /// Runs the parallel-substrate benchmark and writes the JSON report.
 fn run_parbench(args: &[String]) {
     let mut config = parbench::ParBenchConfig::default();
-    if let Some(m) = parse_flag(args, "--edges").and_then(|s| s.parse().ok()) {
+    if let Some(m) = parse_num_flag(args, "--edges") {
         config.edges = m;
         // Keep the default density (average degree 50) unless --vertices
         // overrides it below.
         config.vertices = (m / 25).max(4);
     }
-    if let Some(n) = parse_flag(args, "--vertices").and_then(|s| s.parse().ok()) {
+    if let Some(n) = parse_num_flag(args, "--vertices") {
         config.vertices = n;
     }
-    if let Some(seed) = parse_flag(args, "--seed").and_then(|s| s.parse().ok()) {
+    if let Some(seed) = parse_num_flag(args, "--seed") {
         config.seed = seed;
     }
-    if let Some(r) = parse_flag(args, "--repeats").and_then(|s| s.parse().ok()) {
+    if let Some(r) = parse_num_flag(args, "--repeats") {
         config.repeats = r;
     }
     if let Some(list) = parse_flag(args, "--threads") {
@@ -258,18 +280,70 @@ fn run_parbench(args: &[String]) {
     println!("wrote {out_path}");
 }
 
+/// Runs the θ-sweep amortization benchmark and writes the v4 JSON report.
+fn run_thetasweep(args: &[String]) {
+    let mut config = thetasweep::SweepBenchConfig::default();
+    if let Some(m) = parse_num_flag(args, "--edges") {
+        config.edges = m;
+        // Keep the default density (average degree 50) unless --vertices
+        // overrides it below.
+        config.vertices = (m / 25).max(4);
+    }
+    if let Some(n) = parse_num_flag(args, "--vertices") {
+        config.vertices = n;
+    }
+    if let Some(seed) = parse_num_flag(args, "--seed") {
+        config.seed = seed;
+    }
+    if let Some(r) = parse_num_flag(args, "--repeats") {
+        config.repeats = r;
+    }
+    if let Some(list) = parse_flag(args, "--thetas") {
+        let mut thetas = Vec::new();
+        for token in list.split(',') {
+            match token.trim().parse::<f64>() {
+                Ok(t) => thetas.push(t),
+                Err(_) => fail(&format!(
+                    "invalid --thetas value '{token}' (expected e.g. 0.05,0.1,0.5)"
+                )),
+            }
+        }
+        config.thetas = thetas;
+    }
+    // Malformed grids (empty, NaN, out-of-range, unsorted, duplicates)
+    // fail here with the typed validation message, before any work.
+    if let Err(e) = nucleus::ThetaSweep::new(nucleus::SweepConfig::exact(config.thetas.clone())) {
+        fail(&format!("thetasweep: {e}"));
+    }
+    config.input = parse_input(args);
+    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_thetasweep.json".to_string());
+
+    match &config.input {
+        Some(input) => println!(
+            "# experiment: thetasweep  input: {} ({})  thetas: {:?}  repeats: {}\n",
+            input.path.display(),
+            input.format,
+            config.thetas,
+            config.repeats
+        ),
+        None => println!(
+            "# experiment: thetasweep  vertices: {}  edges: {}  thetas: {:?}  repeats: {}  seed: {}\n",
+            config.vertices, config.edges, config.thetas, config.repeats, config.seed
+        ),
+    }
+    let report = thetasweep::run_bench(&config);
+    println!("{}", report.format());
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
 /// Generates a seeded benchmark graph and writes it as a text edge list
 /// (and optionally a `.ugsnap` snapshot).
 fn run_gen(args: &[String]) {
-    let edges: usize = parse_flag(args, "--edges")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
-    let vertices: usize = parse_flag(args, "--vertices")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or((edges / 25).max(4));
-    let seed: u64 = parse_flag(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let edges: usize = parse_num_flag(args, "--edges").unwrap_or(50_000);
+    let vertices: usize = parse_num_flag(args, "--vertices").unwrap_or((edges / 25).max(4));
+    let seed: u64 = parse_num_flag(args, "--seed").unwrap_or(42);
     let Some(out) = parse_flag(args, "--out") else {
         fail("gen requires --out PATH");
     };

@@ -133,6 +133,17 @@ const TRACKED: &[(&[&str], Gate)] = &[
     (&["baseline", "total_s"], Gate::ReportOnly),
     (&["peel", "peel_s"], Gate::ReportOnly),
     (&["peel", "reference_peel_s"], Gate::ReportOnly),
+    // θ-sweep counters (bench-parallel/v4, `experiments thetasweep`).
+    // `support_builds` is the tentpole invariant: the sweep must build
+    // the support structure exactly once, so any drift from the baseline
+    // (whose value is 1) fails the gate.
+    (&["sweep", "support_builds"], Gate::Exact),
+    (&["sweep", "grid_size"], Gate::Exact),
+    (&["sweep", "dp_calls_total"], Gate::LowerIsBetter),
+    (&["sweep", "independent_dp_calls_total"], Gate::ReportOnly),
+    (&["sweep", "sweep_s"], Gate::ReportOnly),
+    (&["sweep", "independent_s"], Gate::ReportOnly),
+    (&["sweep", "amortization"], Gate::ReportOnly),
 ];
 
 fn schema_of(doc: &Json, which: &str) -> Result<String, String> {
@@ -390,6 +401,64 @@ mod tests {
             .collect();
         assert_eq!(failing, vec!["counts.triangles", "counts.four_cliques"]);
         assert!(report.format().contains("bump the schema version"));
+    }
+
+    fn v4(support_builds: u64, dp_total: u64, triangles: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-parallel/v4",
+                  "source": {{ "kind": "generated" }},
+                  "counts": {{ "triangles": {triangles}, "four_cliques": 165 }},
+                  "sweep": {{ "grid_size": 5, "support_builds": {support_builds},
+                              "dp_calls_total": {dp_total},
+                              "independent_dp_calls_total": {dp_total},
+                              "sweep_s": 0.5, "independent_s": 1.6,
+                              "amortization": 3.2 }} }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn v4_support_builds_gate_is_exact() {
+        let ok = compare(&v4(1, 400, 20821), &v4(1, 400, 20821), 0.0).unwrap();
+        assert!(ok.regressions().is_empty(), "{}", ok.format());
+        // A second support build is the exact regression the sweep
+        // exists to prevent; tolerance must not excuse it either way.
+        let rebuilt = compare(&v4(1, 400, 20821), &v4(2, 400, 20821), 0.0).unwrap();
+        let failing: Vec<_> = rebuilt
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["sweep.support_builds"]);
+    }
+
+    #[test]
+    fn v4_sweep_dp_total_gates_only_upward() {
+        let more = compare(&v4(1, 400, 20821), &v4(1, 401, 20821), 0.0).unwrap();
+        assert_eq!(more.regressions().len(), 1);
+        assert_eq!(more.regressions()[0].name, "sweep.dp_calls_total");
+        let fewer = compare(&v4(1, 400, 20821), &v4(1, 300, 20821), 0.0).unwrap();
+        assert!(fewer.regressions().is_empty());
+    }
+
+    #[test]
+    fn v3_to_v4_schema_bump_degrades_gracefully() {
+        // A v3 baseline (parbench) against a v4 report (thetasweep) on
+        // the same graph: shared counters still gate (counts must
+        // match), one-sided counters are skipped with a note.
+        let report = compare(&v3(100, 20821, None), &v4(1, 400, 20821), 0.0).unwrap();
+        assert!(report.regressions().is_empty(), "{}", report.format());
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("schema bump bench-parallel/v3 -> bench-parallel/v4")));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("sweep.support_builds")));
+        // Shared counters still diverge loudly.
+        let drifted = compare(&v3(100, 20821, None), &v4(1, 400, 99), 0.0).unwrap();
+        assert!(!drifted.regressions().is_empty());
     }
 
     #[test]

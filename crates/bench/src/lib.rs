@@ -16,6 +16,7 @@
 //! | [`fig8`] | Figure 8 | PD/PCC of g- vs w- vs ℓ-nuclei |
 //! | [`ablation`] | (extra) | Monte-Carlo sample count vs estimation error; per-method scoring cost |
 //! | [`parbench`] | (extra) | parallel-substrate speedups + peeling-engine perf counters, emitted as machine-readable `BENCH_parallel.json` |
+//! | [`thetasweep`] | (extra) | θ-sweep amortization: one support build vs per-θ rebuilds, `support_builds` + per-θ counters as `bench-parallel/v4` JSON |
 //! | [`compare`] | (extra) | `bench-compare`: diff two bench JSONs, gate CI on deterministic counters |
 //!
 //! Run them through the `experiments` binary:
@@ -38,5 +39,6 @@ pub mod runner;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod thetasweep;
 
 pub use runner::{run_with_deadline, ExperimentContext, Timing};

@@ -349,7 +349,7 @@ fn measure_peel(graph: &UncertainGraph, repeats: usize) -> PeelBench {
 /// measure snapshot-vs-snapshot and litter the dataset directory), and an
 /// unwritable dataset directory degrades to a temp-dir cache — or, if
 /// even that fails, to running the benchmark without ingest timings.
-fn ingest(input: &ExternalDataset) -> (UncertainGraph, Option<IngestTimings>) {
+pub(crate) fn ingest(input: &ExternalDataset) -> (UncertainGraph, Option<IngestTimings>) {
     let (parsed, parse_t) = Timing::measure(|| input.load());
     let graph = parsed.unwrap_or_else(|e| panic!("cannot ingest {}: {e}", input.path.display()));
     if input.format == ugraph::InputFormat::Snapshot {
@@ -485,7 +485,7 @@ fn json_run(run: &ThreadRun) -> String {
 
 /// Minimal JSON string escaping (quotes, backslashes, control bytes) for
 /// the path and model fields of the provenance object.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -498,38 +498,57 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-impl ParBenchReport {
-    /// The `source` provenance object of the JSON report.
-    fn json_source(&self) -> String {
-        match (&self.config.input, &self.ingest) {
-            (Some(input), Some(t)) => format!(
-                "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
+/// The `source` provenance object shared by the bench JSON reports
+/// (`parbench` and `thetasweep`): the ingested file plus its timings, or
+/// the generator parameters.
+pub(crate) fn json_source_object(
+    input: Option<&ExternalDataset>,
+    ingest: Option<&IngestTimings>,
+    requested_vertices: usize,
+    requested_edges: usize,
+    seed: u64,
+) -> String {
+    match (input, ingest) {
+        (Some(input), Some(t)) => format!(
+            "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
                  \"prob_model\": \"{}\",\n             \"ingest\": {{ \"parse_s\": {:.6}, \
                  \"snapshot_write_s\": {:.6}, \"snapshot_reload_s\": {:.6}, \
                  \"reload_speedup\": {:.3} }} }}",
-                json_escape(&input.path.display().to_string()),
-                input.format,
-                json_escape(&input.probability.to_string()),
-                t.parse_s,
-                t.snapshot_write_s,
-                t.snapshot_reload_s,
-                t.reload_speedup()
-            ),
-            // Snapshot sources (or an unwritable cache) have no ingest
-            // timings, but the provenance is still the file.
-            (Some(input), None) => format!(
-                "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
-                 \"prob_model\": \"{}\" }}",
-                json_escape(&input.path.display().to_string()),
-                input.format,
-                json_escape(&input.probability.to_string()),
-            ),
-            (None, _) => format!(
-                "{{ \"kind\": \"generated\", \"generator\": \"gnm-uniform\", \
-                 \"requested_vertices\": {}, \"requested_edges\": {}, \"seed\": {} }}",
-                self.config.vertices, self.config.edges, self.config.seed
-            ),
-        }
+            json_escape(&input.path.display().to_string()),
+            input.format,
+            json_escape(&input.probability.to_string()),
+            t.parse_s,
+            t.snapshot_write_s,
+            t.snapshot_reload_s,
+            t.reload_speedup()
+        ),
+        // Snapshot sources (or an unwritable cache) have no ingest
+        // timings, but the provenance is still the file.
+        (Some(input), None) => format!(
+            "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
+             \"prob_model\": \"{}\" }}",
+            json_escape(&input.path.display().to_string()),
+            input.format,
+            json_escape(&input.probability.to_string()),
+        ),
+        (None, _) => format!(
+            "{{ \"kind\": \"generated\", \"generator\": \"gnm-uniform\", \
+             \"requested_vertices\": {requested_vertices}, \
+             \"requested_edges\": {requested_edges}, \"seed\": {seed} }}"
+        ),
+    }
+}
+
+impl ParBenchReport {
+    /// The `source` provenance object of the JSON report.
+    fn json_source(&self) -> String {
+        json_source_object(
+            self.config.input.as_ref(),
+            self.ingest.as_ref(),
+            self.config.vertices,
+            self.config.edges,
+            self.config.seed,
+        )
     }
 
     /// The `peel` perf-counter object of the JSON report.  The method

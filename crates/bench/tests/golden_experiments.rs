@@ -23,7 +23,7 @@
 //! `UPDATE_GOLDEN=1 cargo test --release -p nd-bench --test golden_experiments -- --include-ignored`
 
 use nd_bench::runner::ExperimentContext;
-use nd_bench::{fig4, fig5, fig6, fig7, fig8, table1, table2, table3};
+use nd_bench::{fig4, fig5, fig6, fig7, fig8, table1, table2, table3, thetasweep};
 use nd_datasets::{PaperDataset, Scale};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -140,6 +140,30 @@ fn golden_fig7() {
         "fig7_small_seed42",
         &fig7::run(&ctx(), PaperDataset::Flickr).format(),
     );
+}
+
+#[test]
+fn golden_thetasweep() {
+    // The sweep table is fully deterministic (counters only, no wall
+    // times) and run_table re-verifies every grid point against an
+    // independent decomposition before reporting.
+    let t = thetasweep::run_table(
+        &ctx(),
+        &[PaperDataset::Krogan, PaperDataset::Dblp],
+        &[0.05, 0.1, 0.3, 0.6],
+    );
+    check_golden("thetasweep_small_seed42", &t.format());
+}
+
+#[test]
+#[ignore = "heavy (sweep + per-theta verification over all six datasets); run by the test-thorough CI job"]
+fn golden_thetasweep_all_datasets() {
+    let t = thetasweep::run_table(
+        &ctx(),
+        &PaperDataset::all(),
+        &[0.02, 0.05, 0.1, 0.2, 0.4, 0.8],
+    );
+    check_golden("thetasweep_all_small_seed42", &t.format());
 }
 
 #[test]

@@ -2,7 +2,7 @@
 
 use ugraph::Parallelism;
 
-use crate::error::{NucleusError, Result};
+use crate::error::{NucleusError, Result, ThetaGridError};
 
 /// Hyperparameters of the hybrid approximation framework (Section 5.3).
 ///
@@ -100,27 +100,129 @@ impl LocalConfig {
                 value: self.theta,
             });
         }
-        if let ScoreMethod::Hybrid(t) = self.method {
-            if !(t.c_max > 0.0 && t.c_max <= 1.0) {
-                return Err(NucleusError::InvalidThreshold {
-                    name: "approx.c_max",
-                    value: t.c_max,
-                });
-            }
-            if !(t.d > 0.0 && t.d <= 1.0) {
-                return Err(NucleusError::InvalidThreshold {
-                    name: "approx.d",
-                    value: t.d,
-                });
-            }
-        }
-        Ok(())
+        validate_method(&self.method)
     }
 }
 
 impl Default for LocalConfig {
     fn default() -> Self {
         LocalConfig::exact(0.1)
+    }
+}
+
+/// Validates a scoring method's hyperparameters (shared by
+/// [`LocalConfig`] and [`SweepConfig`]).
+fn validate_method(method: &ScoreMethod) -> Result<()> {
+    if let ScoreMethod::Hybrid(t) = method {
+        if !(t.c_max > 0.0 && t.c_max <= 1.0) {
+            return Err(NucleusError::InvalidThreshold {
+                name: "approx.c_max",
+                value: t.c_max,
+            });
+        }
+        if !(t.d > 0.0 && t.d <= 1.0) {
+            return Err(NucleusError::InvalidThreshold {
+                name: "approx.d",
+                value: t.d,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a θ grid: non-empty, every entry finite and in `(0, 1]`,
+/// sorted strictly ascending (no duplicates).  Each malformed mode maps
+/// to its own [`ThetaGridError`] variant.
+pub fn validate_theta_grid(thetas: &[f64]) -> Result<()> {
+    if thetas.is_empty() {
+        return Err(NucleusError::InvalidThetaGrid(ThetaGridError::Empty));
+    }
+    for (index, &value) in thetas.iter().enumerate() {
+        if value.is_nan() {
+            return Err(NucleusError::InvalidThetaGrid(ThetaGridError::NaN {
+                index,
+            }));
+        }
+        if !(value > 0.0 && value <= 1.0) {
+            return Err(NucleusError::InvalidThetaGrid(ThetaGridError::OutOfRange {
+                index,
+                value,
+            }));
+        }
+    }
+    for index in 1..thetas.len() {
+        if thetas[index] < thetas[index - 1] {
+            return Err(NucleusError::InvalidThetaGrid(ThetaGridError::NotSorted {
+                index,
+            }));
+        }
+        if thetas[index] == thetas[index - 1] {
+            return Err(NucleusError::InvalidThetaGrid(ThetaGridError::Duplicate {
+                index,
+                value: thetas[index],
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Configuration of a θ-sweep decomposition
+/// ([`ThetaSweep`](crate::local::sweep::ThetaSweep)): one support-structure
+/// build amortized across a whole grid of thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// The θ grid, sorted strictly ascending, every entry in `(0, 1]`.
+    pub thetas: Vec<f64>,
+    /// How support scores are computed (shared by every grid point).
+    pub method: ScoreMethod,
+    /// Parallelism of the support-structure build and of the per-θ peels
+    /// (grids with ≥ 2 points peel grid points concurrently).  Results
+    /// are bit-identical for every setting.
+    pub parallelism: Parallelism,
+}
+
+impl SweepConfig {
+    /// Exact-DP sweep over the given grid.
+    pub fn exact(thetas: Vec<f64>) -> Self {
+        SweepConfig {
+            thetas,
+            method: ScoreMethod::DynamicProgramming,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Hybrid-approximation sweep with the paper's default
+    /// hyperparameters.
+    pub fn approximate(thetas: Vec<f64>) -> Self {
+        SweepConfig {
+            thetas,
+            method: ScoreMethod::Hybrid(ApproxThresholds::default()),
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Sets the parallelism of the sweep.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The per-θ [`LocalConfig`] of grid point `index`, with the given
+    /// inner parallelism (the sweep engine picks sequential scoring when
+    /// it already parallelizes across grid points).
+    pub(crate) fn local_config(&self, index: usize, parallelism: Parallelism) -> LocalConfig {
+        LocalConfig {
+            theta: self.thetas[index],
+            method: self.method,
+            parallelism,
+        }
+    }
+
+    /// Validates the grid ([`validate_theta_grid`]) and the scoring
+    /// method's hyperparameters.
+    pub fn validate(&self) -> Result<()> {
+        validate_theta_grid(&self.thetas)?;
+        validate_method(&self.method)
     }
 }
 
@@ -242,6 +344,101 @@ mod tests {
             t.d = 2.0;
         }
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_config_constructors() {
+        let e = SweepConfig::exact(vec![0.1, 0.3, 0.9]);
+        assert_eq!(e.method, ScoreMethod::DynamicProgramming);
+        assert_eq!(e.parallelism, Parallelism::Auto);
+        assert!(e.validate().is_ok());
+        let a = SweepConfig::approximate(vec![0.2]).with_parallelism(Parallelism::Sequential);
+        assert!(matches!(a.method, ScoreMethod::Hybrid(_)));
+        assert_eq!(a.parallelism, Parallelism::Sequential);
+        assert!(a.validate().is_ok());
+        // A grid touching the boundaries of (0, 1] is valid.
+        assert!(SweepConfig::exact(vec![f64::MIN_POSITIVE, 1.0])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn sweep_config_local_configs_mirror_the_grid() {
+        let cfg = SweepConfig::approximate(vec![0.1, 0.4]);
+        let local = cfg.local_config(1, Parallelism::Sequential);
+        assert_eq!(local.theta, 0.4);
+        assert_eq!(local.method, cfg.method);
+        assert_eq!(local.parallelism, Parallelism::Sequential);
+        assert!(local.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_grid_is_rejected() {
+        assert_eq!(
+            SweepConfig::exact(vec![]).validate(),
+            Err(NucleusError::InvalidThetaGrid(ThetaGridError::Empty))
+        );
+    }
+
+    #[test]
+    fn nan_grid_entry_is_rejected() {
+        assert_eq!(
+            SweepConfig::exact(vec![0.1, f64::NAN, 0.5]).validate(),
+            Err(NucleusError::InvalidThetaGrid(ThetaGridError::NaN {
+                index: 1
+            }))
+        );
+    }
+
+    #[test]
+    fn out_of_range_grid_entries_are_rejected() {
+        for (grid, index, value) in [
+            (vec![0.0, 0.5], 0, 0.0),
+            (vec![-0.2, 0.5], 0, -0.2),
+            (vec![0.5, 1.5], 1, 1.5),
+            (vec![0.5, f64::INFINITY], 1, f64::INFINITY),
+        ] {
+            assert_eq!(
+                SweepConfig::exact(grid).validate(),
+                Err(NucleusError::InvalidThetaGrid(ThetaGridError::OutOfRange {
+                    index,
+                    value
+                }))
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_grid_is_rejected() {
+        assert_eq!(
+            SweepConfig::exact(vec![0.5, 0.2, 0.8]).validate(),
+            Err(NucleusError::InvalidThetaGrid(ThetaGridError::NotSorted {
+                index: 1
+            }))
+        );
+    }
+
+    #[test]
+    fn duplicate_grid_entry_is_rejected() {
+        assert_eq!(
+            SweepConfig::exact(vec![0.2, 0.5, 0.5]).validate(),
+            Err(NucleusError::InvalidThetaGrid(ThetaGridError::Duplicate {
+                index: 2,
+                value: 0.5
+            }))
+        );
+    }
+
+    #[test]
+    fn sweep_config_validates_method_thresholds_too() {
+        let mut cfg = SweepConfig::approximate(vec![0.5]);
+        if let ScoreMethod::Hybrid(ref mut t) = cfg.method {
+            t.c_max = 0.0;
+        }
+        assert!(matches!(
+            cfg.validate(),
+            Err(NucleusError::InvalidThreshold { .. })
+        ));
     }
 
     #[test]

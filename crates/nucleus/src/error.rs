@@ -2,6 +2,65 @@
 
 use std::fmt;
 
+/// Why a θ grid was rejected by [`SweepConfig`](crate::config::SweepConfig)
+/// validation.  Each malformed mode is its own variant so callers (and
+/// tests) can distinguish an empty grid from an unsorted one without
+/// string matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThetaGridError {
+    /// The grid has no entries.
+    Empty,
+    /// An entry is NaN.
+    NaN {
+        /// Position of the offending entry.
+        index: usize,
+    },
+    /// An entry is outside the valid threshold range `(0, 1]`.
+    OutOfRange {
+        /// Position of the offending entry.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An entry is smaller than its predecessor (the grid must be sorted
+    /// ascending).
+    NotSorted {
+        /// Position of the entry that breaks the order.
+        index: usize,
+    },
+    /// An entry equals its predecessor (grid points must be distinct).
+    Duplicate {
+        /// Position of the repeated entry.
+        index: usize,
+        /// The repeated value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ThetaGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThetaGridError::Empty => write!(f, "theta grid is empty"),
+            ThetaGridError::NaN { index } => {
+                write!(f, "theta grid entry {index} is NaN")
+            }
+            ThetaGridError::OutOfRange { index, value } => {
+                write!(f, "theta grid entry {index} is {value}, outside (0, 1]")
+            }
+            ThetaGridError::NotSorted { index } => {
+                write!(
+                    f,
+                    "theta grid entry {index} is smaller than its predecessor \
+                     (grid must be sorted ascending)"
+                )
+            }
+            ThetaGridError::Duplicate { index, value } => {
+                write!(f, "theta grid entry {index} duplicates the value {value}")
+            }
+        }
+    }
+}
+
 /// Errors produced by the decomposition algorithms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NucleusError {
@@ -12,6 +71,8 @@ pub enum NucleusError {
         /// The rejected value.
         value: f64,
     },
+    /// A θ grid handed to the sweep engine was malformed.
+    InvalidThetaGrid(ThetaGridError),
     /// The requested operation needs an exhaustive enumeration of possible
     /// worlds, but the graph has too many edges.
     GraphTooLargeForExact {
@@ -35,6 +96,7 @@ impl fmt::Display for NucleusError {
             NucleusError::InvalidThreshold { name, value } => {
                 write!(f, "invalid value {value} for parameter '{name}'")
             }
+            NucleusError::InvalidThetaGrid(e) => write!(f, "invalid theta grid: {e}"),
             NucleusError::GraphTooLargeForExact {
                 num_edges,
                 max_edges,
@@ -88,5 +150,33 @@ mod tests {
 
         let g: NucleusError = ugraph::GraphError::SelfLoop { vertex: 4 }.into();
         assert!(g.to_string().contains("graph error"));
+    }
+
+    #[test]
+    fn theta_grid_display_messages() {
+        let cases: [(ThetaGridError, &str); 5] = [
+            (ThetaGridError::Empty, "empty"),
+            (ThetaGridError::NaN { index: 2 }, "NaN"),
+            (
+                ThetaGridError::OutOfRange {
+                    index: 1,
+                    value: 1.5,
+                },
+                "outside (0, 1]",
+            ),
+            (ThetaGridError::NotSorted { index: 3 }, "sorted"),
+            (
+                ThetaGridError::Duplicate {
+                    index: 1,
+                    value: 0.5,
+                },
+                "duplicates",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+            let wrapped = NucleusError::InvalidThetaGrid(e);
+            assert!(wrapped.to_string().starts_with("invalid theta grid:"));
+        }
     }
 }

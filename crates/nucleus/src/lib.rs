@@ -48,6 +48,7 @@
 //! |--------|---------------|----------|
 //! | [`support`] | 5.1 | per-triangle 4-clique completion probabilities |
 //! | [`local`] | 5.1–5.2 | exact DP and the peeling algorithm (Algorithm 1) |
+//! | [`local::sweep`] | 5, §7 sweeps | θ-sweep index: one support build amortized over a θ grid, O(log grid) (θ, k) queries |
 //! | [`approx`] | 5.3 | Poisson / Translated-Poisson / Binomial / CLT approximations and the hybrid selector |
 //! | [`global`] | 6 | Algorithm 2 (Monte-Carlo g-(k,θ)-nuclei) |
 //! | [`weakly_global`] | 6 | Algorithm 3 (Monte-Carlo w-(k,θ)-nuclei) |
@@ -67,9 +68,9 @@ pub mod support;
 pub mod weakly_global;
 
 pub use approx::ApproxMethod;
-pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod};
-pub use error::{NucleusError, Result};
+pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod, SweepConfig};
+pub use error::{NucleusError, Result, ThetaGridError};
 pub use global::{global_nuclei, GlobalConfig, GlobalNucleus};
-pub use local::{LocalNucleusDecomposition, PeelStats};
+pub use local::{LocalNucleusDecomposition, NucleusIndex, PeelStats, ThetaSweep};
 pub use support::SupportStructure;
 pub use weakly_global::{weakly_global_nuclei, WeaklyGlobalNucleus};

@@ -18,12 +18,17 @@
 //! original eager heap engine survives as [`reference`] (tests and the
 //! `reference-peel` feature) and the two are property-tested to produce
 //! bit-identical results.
+//!
+//! To decompose at many thresholds, [`sweep`] amortizes the support
+//! structure across a whole θ grid: one build, one [`NucleusIndex`]
+//! answering any (θ, k) query, bit-identical to per-θ runs.
 
 pub mod dp;
 pub mod nuclei;
 pub mod peel;
 #[cfg(any(test, feature = "reference-peel"))]
 pub mod reference;
+pub mod sweep;
 
 use std::collections::HashMap;
 
@@ -35,6 +40,7 @@ use crate::error::Result;
 use crate::support::SupportStructure;
 
 pub use peel::PeelStats;
+pub use sweep::{NucleusIndex, ThetaSweep};
 
 /// Result of the local nucleus decomposition: the ℓ-nucleusness of every
 /// triangle, plus the support structure it was computed over.

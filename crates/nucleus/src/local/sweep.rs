@@ -1,0 +1,489 @@
+//! θ-sweep decomposition index: one support build, many thresholds.
+//!
+//! Every quantity Algorithm 1 derives from the graph *except* the scores
+//! themselves — the triangle index, the 4-clique enumeration, the
+//! completion probabilities `Pr(E_i)` — is independent of the threshold
+//! θ, yet the paper's experiments (and any serving workload answering
+//! "(θ, k)-nucleus?" queries) recompute all of it per θ.  This module
+//! amortizes the dominant cost: [`ThetaSweep`] builds the
+//! [`SupportStructure`] **exactly once**, then runs the bucket-queue peel
+//! of [`super::peel`] per grid point — concurrently across grid points
+//! via [`ugraph::par`] when the grid has ≥ 2 entries — and packages the
+//! results as a [`NucleusIndex`]: per-θ score vectors, initial scores,
+//! method counts and [`PeelStats`], queryable in O(log grid) by
+//! [`scores_at`](NucleusIndex::scores_at) /
+//! [`k_nuclei_at`](NucleusIndex::k_nuclei_at).
+//!
+//! Every per-θ result is **bit-identical** to an independent
+//! [`LocalNucleusDecomposition::compute`](super::LocalNucleusDecomposition::compute)
+//! at that θ, for every parallelism setting — scores, initial scores,
+//! method counts *and* perf counters (all thread-count-independent by
+//! construction).  A differential proptest suite
+//! (`tests/theta_sweep_equivalence.rs`) enforces this, and the exact-DP
+//! rows of the index are checked non-increasing in θ (Definition 5: a
+//! larger threshold can only shrink every tail set, so κ_θ(△) and ν_θ(△)
+//! are monotone).
+//!
+//! The engine counts its support builds ([`NucleusIndex::support_builds`])
+//! so the amortization claim is CI-gateable: `experiments thetasweep`
+//! emits the counter into its JSON report and `bench-compare` pins it
+//! to 1.
+
+use std::collections::HashMap;
+
+use ugraph::par;
+use ugraph::{Parallelism, Triangle, TriangleIndex, UncertainGraph};
+
+use crate::approx::ApproxMethod;
+use crate::config::SweepConfig;
+use crate::error::Result;
+use crate::local::{nuclei, peel, PeelStats};
+use crate::support::SupportStructure;
+
+/// The per-θ slice of a sweep: everything a single-θ decomposition
+/// reports, minus the support structure (shared by the whole index).
+#[derive(Debug, Clone)]
+struct GridPoint {
+    /// ℓ-nucleusness ν(△) at this θ, indexed by triangle id.
+    scores: Vec<u32>,
+    /// Initial κ(△) at this θ, indexed by triangle id.
+    initial_scores: Vec<u32>,
+    /// Evaluation method of each triangle's initial κ computation.
+    method_counts: HashMap<ApproxMethod, usize>,
+    /// Deterministic perf counters of this θ's peel.
+    stats: PeelStats,
+}
+
+/// The θ-sweep engine: validates the grid once, then amortizes one
+/// support-structure build across every threshold of the grid.
+#[derive(Debug, Clone)]
+pub struct ThetaSweep {
+    config: SweepConfig,
+}
+
+impl ThetaSweep {
+    /// Creates a sweep engine, validating `config` (grid and scoring
+    /// hyperparameters) up front.
+    pub fn new(config: SweepConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ThetaSweep { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// One-shot convenience: validate, build the support structure once,
+    /// sweep the grid.
+    pub fn compute(graph: &UncertainGraph, config: &SweepConfig) -> Result<NucleusIndex> {
+        Self::new(config.clone())?.run(graph)
+    }
+
+    /// Builds the support structure (exactly once, with
+    /// `config.parallelism`) and sweeps the grid over it.
+    pub fn run(&self, graph: &UncertainGraph) -> Result<NucleusIndex> {
+        let support = SupportStructure::build_with(graph, self.config.parallelism);
+        let mut index = self.run_with_support(support)?;
+        index.support_builds = 1;
+        Ok(index)
+    }
+
+    /// Sweeps the grid over a prebuilt [`SupportStructure`] (the caller
+    /// amortized the build; [`NucleusIndex::support_builds`] reports 0).
+    ///
+    /// Grid points are independent, so grids with ≥ 2 entries peel them
+    /// concurrently under `config.parallelism` (each peel then scores
+    /// sequentially); a single-point grid runs one peel whose initial
+    /// pass parallelizes over triangles instead.  Either way every per-θ
+    /// result is bit-identical to an independent per-θ decomposition.
+    pub fn run_with_support(&self, support: SupportStructure) -> Result<NucleusIndex> {
+        // `config` is private and only set through `new`, which already
+        // validated it — no error path here today; the Result signature
+        // is kept for parity with the other entry points.
+        let grid_len = self.config.thetas.len();
+        // Parallelize across grid points when there are several; inside a
+        // grid-point worker the scoring runs sequentially (nesting
+        // parallel scans would oversubscribe without changing results).
+        let inner = if grid_len >= 2 {
+            Parallelism::Sequential
+        } else {
+            self.config.parallelism
+        };
+        let points: Vec<GridPoint> = par::par_map(self.config.parallelism, grid_len, |gi| {
+            let local = self.config.local_config(gi, inner);
+            let init = peel::initial_scores(&support, &local);
+            let initial_scores = init.kappa.clone();
+            let (scores, mut stats) = peel::peel(&support, &local, init.kappa);
+            stats.peak_scratch_bytes = stats.peak_scratch_bytes.max(init.peak_scratch_bytes);
+            GridPoint {
+                scores,
+                initial_scores,
+                method_counts: init.method_counts,
+                stats,
+            }
+        });
+
+        let index = NucleusIndex {
+            support,
+            config: self.config.clone(),
+            points,
+            support_builds: 0,
+        };
+        // The DP scorer is provably monotone in θ (larger θ shrinks every
+        // tail set); catch any engine regression early in debug builds.
+        #[cfg(debug_assertions)]
+        if self.config.method == crate::config::ScoreMethod::DynamicProgramming {
+            debug_assert!(
+                index.is_monotone_in_theta(),
+                "exact-DP sweep scores must be non-increasing in theta"
+            );
+        }
+        Ok(index)
+    }
+}
+
+/// A multi-threshold decomposition index: per-triangle score vectors at
+/// every grid point, over one shared [`SupportStructure`].  One build
+/// answers any (θ, k) query on the grid.
+#[derive(Debug, Clone)]
+pub struct NucleusIndex {
+    support: SupportStructure,
+    config: SweepConfig,
+    /// One entry per grid point, aligned with `config.thetas`.
+    points: Vec<GridPoint>,
+    /// Support-structure builds performed by the engine: 1 when built
+    /// through [`ThetaSweep::run`], 0 for a caller-provided structure.
+    /// The CI perf gate pins this to 1 — the whole point of the sweep.
+    support_builds: usize,
+}
+
+impl NucleusIndex {
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// The θ grid, sorted ascending.
+    pub fn thetas(&self) -> &[f64] {
+        &self.config.thetas
+    }
+
+    /// Number of grid points.
+    pub fn grid_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of triangles (shared by every grid point).
+    pub fn num_triangles(&self) -> usize {
+        self.support.num_triangles()
+    }
+
+    /// The shared support structure.
+    pub fn support(&self) -> &SupportStructure {
+        &self.support
+    }
+
+    /// The shared triangle index.
+    pub fn triangle_index(&self) -> &TriangleIndex {
+        self.support.triangle_index()
+    }
+
+    /// Support-structure builds the engine performed (1 via
+    /// [`ThetaSweep::run`], 0 via [`ThetaSweep::run_with_support`]).
+    pub fn support_builds(&self) -> usize {
+        self.support_builds
+    }
+
+    /// Grid position of `theta` (exact match, O(log grid) binary search
+    /// over the sorted grid), or `None` when θ is not a grid point.
+    pub fn grid_index_of(&self, theta: f64) -> Option<usize> {
+        self.config
+            .thetas
+            .binary_search_by(|probe| {
+                probe
+                    .partial_cmp(&theta)
+                    .unwrap_or(std::cmp::Ordering::Less)
+            })
+            .ok()
+    }
+
+    /// ℓ-nucleusness of every triangle at grid point `index` (panics when
+    /// out of range; use [`scores_at`](Self::scores_at) for θ lookup).
+    pub fn scores_at_index(&self, index: usize) -> &[u32] {
+        &self.points[index].scores
+    }
+
+    /// ℓ-nucleusness of every triangle at threshold `theta`, or `None`
+    /// when θ is not a grid point.
+    pub fn scores_at(&self, theta: f64) -> Option<&[u32]> {
+        self.grid_index_of(theta).map(|i| self.scores_at_index(i))
+    }
+
+    /// Initial κ scores at grid point `index`.
+    pub fn initial_scores_at_index(&self, index: usize) -> &[u32] {
+        &self.points[index].initial_scores
+    }
+
+    /// Initial κ scores at threshold `theta`, or `None` off the grid.
+    pub fn initial_scores_at(&self, theta: f64) -> Option<&[u32]> {
+        self.grid_index_of(theta)
+            .map(|i| self.initial_scores_at_index(i))
+    }
+
+    /// Per-θ evaluation-method counts at threshold `theta`.
+    pub fn method_counts_at(&self, theta: f64) -> Option<&HashMap<ApproxMethod, usize>> {
+        self.grid_index_of(theta)
+            .map(|i| &self.points[i].method_counts)
+    }
+
+    /// Per-θ peeling perf counters at threshold `theta`.
+    pub fn peel_stats_at(&self, theta: f64) -> Option<&PeelStats> {
+        self.grid_index_of(theta).map(|i| &self.points[i].stats)
+    }
+
+    /// Peeling perf counters of every grid point, in grid order.
+    pub fn peel_stats(&self) -> Vec<PeelStats> {
+        self.points.iter().map(|p| p.stats).collect()
+    }
+
+    /// Sum of peeling-time score recomputations across the grid.
+    pub fn total_dp_calls(&self) -> usize {
+        self.points.iter().map(|p| p.stats.dp_calls).sum()
+    }
+
+    /// The largest ℓ-nucleusness at threshold `theta`, or `None` off the
+    /// grid.
+    pub fn max_score_at(&self, theta: f64) -> Option<u32> {
+        self.grid_index_of(theta)
+            .map(|i| self.points[i].scores.iter().copied().max().unwrap_or(0))
+    }
+
+    /// ℓ-nucleusness of `triangle` across the whole grid (one entry per
+    /// grid point, non-increasing for the exact-DP scorer), or `None`
+    /// when the triangle is not in the graph.
+    pub fn scores_across_grid(&self, triangle: &Triangle) -> Option<Vec<u32>> {
+        let t = self.support.triangle_index().id_of(triangle)?;
+        Some(self.points.iter().map(|p| p.scores[t as usize]).collect())
+    }
+
+    /// `true` when every triangle's score row (final and initial) is
+    /// non-increasing as θ grows across the grid.  Always holds for the
+    /// exact-DP scorer; the metamorphic test suite asserts it.
+    pub fn is_monotone_in_theta(&self) -> bool {
+        let nt = self.num_triangles();
+        self.points.windows(2).all(|w| {
+            (0..nt).all(|t| {
+                w[1].scores[t] <= w[0].scores[t] && w[1].initial_scores[t] <= w[0].initial_scores[t]
+            })
+        })
+    }
+
+    /// The maximal ℓ-(k,θ)-nuclei at grid point `theta`, or `None` off
+    /// the grid.  The support structure is shared, so this is a pure
+    /// O(cliques) extraction — no enumeration, no scoring.
+    pub fn k_nuclei_at(
+        &self,
+        graph: &UncertainGraph,
+        theta: f64,
+        k: u32,
+    ) -> Option<Vec<detdecomp::NucleusSubgraph>> {
+        self.grid_index_of(theta)
+            .map(|i| nuclei::extract_k_nuclei(graph, &self.support, &self.points[i].scores, k))
+    }
+
+    /// The union of all ℓ-(k,θ)-nuclei edges at grid point `theta`
+    /// (candidate space of the global algorithm), or `None` off the grid.
+    pub fn k_nuclei_union_edges_at(
+        &self,
+        graph: &UncertainGraph,
+        theta: f64,
+        k: u32,
+    ) -> Option<Vec<ugraph::EdgeId>> {
+        self.grid_index_of(theta)
+            .map(|i| nuclei::k_nuclei_union_edges(graph, &self.support, &self.points[i].scores, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LocalConfig;
+    use crate::error::{NucleusError, ThetaGridError};
+    use crate::local::LocalNucleusDecomposition;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sweep_matches_independent_runs_on_a_fixture() {
+        let g = complete(6, 0.7);
+        let grid = vec![0.05, 0.2, 0.4, 0.6, 0.9];
+        let index = ThetaSweep::compute(&g, &SweepConfig::exact(grid.clone())).unwrap();
+        assert_eq!(index.support_builds(), 1);
+        assert_eq!(index.grid_len(), 5);
+        for &theta in &grid {
+            let solo = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
+            assert_eq!(index.scores_at(theta).unwrap(), solo.scores());
+            assert_eq!(
+                index.initial_scores_at(theta).unwrap(),
+                solo.initial_scores()
+            );
+            assert_eq!(index.method_counts_at(theta).unwrap(), solo.method_counts());
+            assert_eq!(index.peel_stats_at(theta).unwrap(), solo.peel_stats());
+            assert_eq!(index.max_score_at(theta).unwrap(), solo.max_score());
+        }
+    }
+
+    #[test]
+    fn run_with_support_reports_zero_builds() {
+        let g = complete(5, 0.8);
+        let sweep = ThetaSweep::new(SweepConfig::exact(vec![0.1, 0.5])).unwrap();
+        let support = SupportStructure::build(&g);
+        let index = sweep.run_with_support(support).unwrap();
+        assert_eq!(index.support_builds(), 0);
+        let direct = sweep.run(&g).unwrap();
+        assert_eq!(direct.support_builds(), 1);
+        for gi in 0..index.grid_len() {
+            assert_eq!(index.scores_at_index(gi), direct.scores_at_index(gi));
+            assert_eq!(
+                index.initial_scores_at_index(gi),
+                direct.initial_scores_at_index(gi)
+            );
+        }
+    }
+
+    #[test]
+    fn grid_lookup_is_exact_match_only() {
+        let g = complete(5, 0.6);
+        let index = ThetaSweep::compute(&g, &SweepConfig::exact(vec![0.1, 0.3, 0.7])).unwrap();
+        assert_eq!(index.grid_index_of(0.3), Some(1));
+        assert_eq!(index.grid_index_of(0.2), None);
+        assert!(index.scores_at(0.2).is_none());
+        assert!(index.initial_scores_at(0.31).is_none());
+        assert!(index.method_counts_at(f64::NAN).is_none());
+        assert!(index.peel_stats_at(0.9).is_none());
+        assert!(index.max_score_at(0.0).is_none());
+        assert_eq!(index.thetas(), &[0.1, 0.3, 0.7]);
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected_before_any_work() {
+        let g = complete(4, 0.5);
+        assert_eq!(
+            ThetaSweep::compute(&g, &SweepConfig::exact(vec![])).unwrap_err(),
+            NucleusError::InvalidThetaGrid(ThetaGridError::Empty)
+        );
+        assert!(ThetaSweep::new(SweepConfig::exact(vec![0.5, 0.1])).is_err());
+    }
+
+    #[test]
+    fn monotone_rows_and_per_triangle_queries() {
+        let g = complete(6, 0.65);
+        let index =
+            ThetaSweep::compute(&g, &SweepConfig::exact(vec![0.05, 0.2, 0.5, 0.8])).unwrap();
+        assert!(index.is_monotone_in_theta());
+        let tri = index.triangle_index().triangle(0);
+        let row = index.scores_across_grid(&tri).unwrap();
+        assert_eq!(row.len(), 4);
+        assert!(row.windows(2).all(|w| w[1] <= w[0]));
+        assert!(index
+            .scores_across_grid(&Triangle::new(90, 91, 92))
+            .is_none());
+    }
+
+    #[test]
+    fn k_nuclei_queries_match_single_theta_decompositions() {
+        let g = complete(5, 0.9);
+        let grid = vec![0.1, 0.5];
+        let index = ThetaSweep::compute(&g, &SweepConfig::exact(grid.clone())).unwrap();
+        for &theta in &grid {
+            let solo = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(theta)).unwrap();
+            for k in 1..=2 {
+                let from_index = index.k_nuclei_at(&g, theta, k).unwrap();
+                let from_solo = solo.k_nuclei(&g, k);
+                assert_eq!(from_index.len(), from_solo.len());
+                for (a, b) in from_index.iter().zip(&from_solo) {
+                    assert_eq!(a.cliques, b.cliques);
+                    assert_eq!(a.triangles, b.triangles);
+                }
+                assert_eq!(
+                    index.k_nuclei_union_edges_at(&g, theta, k).unwrap(),
+                    solo.k_nuclei_union_edges(&g, k)
+                );
+            }
+        }
+        assert!(index.k_nuclei_at(&g, 0.33, 1).is_none());
+    }
+
+    #[test]
+    fn sweep_is_identical_for_every_parallelism() {
+        let g = complete(7, 0.6);
+        let grid = vec![0.05, 0.15, 0.4, 0.75];
+        let base = ThetaSweep::compute(
+            &g,
+            &SweepConfig::exact(grid.clone()).with_parallelism(Parallelism::Sequential),
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let par = ThetaSweep::compute(
+                &g,
+                &SweepConfig::exact(grid.clone()).with_parallelism(Parallelism::fixed(threads)),
+            )
+            .unwrap();
+            for gi in 0..grid.len() {
+                assert_eq!(
+                    par.scores_at_index(gi),
+                    base.scores_at_index(gi),
+                    "threads = {threads}"
+                );
+                assert_eq!(
+                    par.initial_scores_at_index(gi),
+                    base.initial_scores_at_index(gi)
+                );
+                assert_eq!(par.peel_stats()[gi], base.peel_stats()[gi]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_grid_equals_a_plain_decomposition() {
+        let g = complete(6, 0.7);
+        let index = ThetaSweep::compute(&g, &SweepConfig::exact(vec![0.25])).unwrap();
+        let solo = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.25)).unwrap();
+        assert_eq!(index.grid_len(), 1);
+        assert_eq!(index.scores_at(0.25).unwrap(), solo.scores());
+        assert_eq!(index.total_dp_calls(), solo.peel_stats().dp_calls);
+    }
+
+    #[test]
+    fn empty_graph_sweeps_cleanly() {
+        let g = UncertainGraph::empty(4);
+        let index = ThetaSweep::compute(&g, &SweepConfig::exact(vec![0.1, 0.9])).unwrap();
+        assert_eq!(index.num_triangles(), 0);
+        assert_eq!(index.max_score_at(0.1), Some(0));
+        assert!(index.is_monotone_in_theta());
+        assert!(index.k_nuclei_at(&g, 0.9, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hybrid_sweep_matches_independent_hybrid_runs() {
+        let g = complete(7, 0.55);
+        let grid = vec![0.05, 0.3, 0.7];
+        let index = ThetaSweep::compute(&g, &SweepConfig::approximate(grid.clone())).unwrap();
+        for &theta in &grid {
+            let solo =
+                LocalNucleusDecomposition::compute(&g, &LocalConfig::approximate(theta)).unwrap();
+            assert_eq!(index.scores_at(theta).unwrap(), solo.scores());
+            assert_eq!(index.method_counts_at(theta).unwrap(), solo.method_counts());
+        }
+    }
+}

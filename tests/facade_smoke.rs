@@ -5,7 +5,9 @@
 
 use prob_nucleus_repro::detdecomp::NucleusDecomposition;
 use prob_nucleus_repro::nd_datasets::{PaperDataset, Scale};
-use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition};
+use prob_nucleus_repro::nucleus::{
+    LocalConfig, LocalNucleusDecomposition, NucleusError, SweepConfig, ThetaGridError, ThetaSweep,
+};
 use prob_nucleus_repro::probdecomp::EtaCoreDecomposition;
 use prob_nucleus_repro::ugraph::{GraphBuilder, Triangle};
 
@@ -50,6 +52,28 @@ fn facade_local_decomposition_known_score() {
     // At a threshold above any attainable probability nothing survives.
     let strict = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.999)).unwrap();
     assert_eq!(strict.max_score(), 0);
+}
+
+#[test]
+fn facade_theta_sweep_index() {
+    let graph = k5(0.9);
+
+    // The θ-sweep re-exports: one support build answering a grid of
+    // thresholds, bit-identical to independent runs at each grid point.
+    let index = ThetaSweep::compute(&graph, &SweepConfig::exact(vec![0.2, 0.999])).unwrap();
+    assert_eq!(index.support_builds(), 1);
+    assert_eq!(index.max_score_at(0.2), Some(2));
+    assert_eq!(index.max_score_at(0.999), Some(0));
+    assert!(index.is_monotone_in_theta());
+    let solo = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.2)).unwrap();
+    assert_eq!(index.scores_at(0.2).unwrap(), solo.scores());
+    assert_eq!(index.k_nuclei_at(&graph, 0.2, 2).unwrap().len(), 1);
+
+    // Typed grid validation surfaces through the facade too.
+    assert_eq!(
+        ThetaSweep::compute(&graph, &SweepConfig::exact(vec![0.9, 0.2])).unwrap_err(),
+        NucleusError::InvalidThetaGrid(ThetaGridError::NotSorted { index: 1 })
+    );
 }
 
 #[test]

@@ -18,7 +18,9 @@
 use proptest::prelude::*;
 
 use prob_nucleus_repro::nucleus::local::dp;
-use prob_nucleus_repro::nucleus::{LocalConfig, LocalNucleusDecomposition, SupportStructure};
+use prob_nucleus_repro::nucleus::{
+    LocalConfig, LocalNucleusDecomposition, SupportStructure, SweepConfig, ThetaSweep,
+};
 use prob_nucleus_repro::ugraph::{GraphBuilder, TriangleId, UncertainGraph};
 
 const TOL: f64 = 1e-9;
@@ -192,6 +194,36 @@ fn check_graph(graph: &UncertainGraph, thetas: &[f64]) {
             assert!(
                 local.scores()[t] <= local.initial_scores()[t],
                 "peeling must not raise scores"
+            );
+        }
+    }
+
+    // θ-sweep index: one support build answering every grid point must
+    // agree with the exhaustive distribution at each θ — same
+    // brute-force initial scores, same per-θ scores as the independent
+    // decomposition, and rows non-increasing in θ.
+    let mut grid = thetas.to_vec();
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("thetas are finite"));
+    grid.dedup();
+    let sweep = ThetaSweep::new(SweepConfig::exact(grid.clone())).expect("valid grid");
+    let index = sweep
+        .run_with_support(support.clone())
+        .expect("valid sweep");
+    assert!(index.is_monotone_in_theta(), "sweep rows must be sorted");
+    for &theta in &grid {
+        let initial = index.initial_scores_at(theta).expect("grid point");
+        let solo =
+            LocalNucleusDecomposition::with_support(support.clone(), &LocalConfig::exact(theta))
+                .expect("valid config");
+        assert_eq!(index.scores_at(theta).expect("grid point"), solo.scores());
+        for (t, &sweep_initial) in initial.iter().enumerate() {
+            let brute_initial = (0..oracle.tail[t].len())
+                .rev()
+                .find(|&k| oracle.tail[t][k] >= theta)
+                .unwrap_or(0) as u32;
+            assert_eq!(
+                sweep_initial, brute_initial,
+                "sweep initial score of triangle {t} at theta {theta}"
             );
         }
     }
