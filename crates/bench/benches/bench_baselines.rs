@@ -12,10 +12,10 @@ fn bench_baselines(c: &mut Criterion) {
     let graph = PaperDataset::Dblp.generate(Scale::Tiny, 42);
     let theta = 0.3;
     group.bench_function("eta_core/dblp", |b| {
-        b.iter(|| EtaCoreDecomposition::compute(&graph, theta))
+        b.iter(|| EtaCoreDecomposition::try_compute(&graph, theta).unwrap())
     });
     group.bench_function("gamma_truss/dblp", |b| {
-        b.iter(|| GammaTrussDecomposition::compute(&graph, theta))
+        b.iter(|| GammaTrussDecomposition::try_compute(&graph, theta).unwrap())
     });
     group.bench_function("local_nucleus_ap/dblp", |b| {
         b.iter(|| {

@@ -12,6 +12,10 @@
 //!                      [--repeats R] [--seed N] [--out BENCH_parallel.json]
 //!                      [--input PATH [--format F] [--prob-model M]]
 //!
+//! experiments thetasweep [--rank core|truss|nucleus] [--edges M] [--vertices N]
+//!                        [--seed N] [--thetas GRID] [--repeats R] [--out PATH]
+//!                        [--input PATH [--format F] [--prob-model M]]
+//!
 //! experiments gen [--edges M] [--vertices N] [--seed N] --out PATH
 //!                 [--snapshot PATH]
 //!
@@ -131,12 +135,15 @@ fn print_usage() {
          \x20                 [--repeats R] [--seed N] [--out BENCH_parallel.json]\n\
          \x20                 [--input PATH [--format F] [--prob-model M]]\n\
          \n\
-         experiments thetasweep [--edges M] [--vertices N] [--seed N]\n\
+         experiments thetasweep [--rank core|truss|nucleus] [--edges M]\n\
+         \x20                   [--vertices N] [--seed N]\n\
          \x20                   [--thetas 0.02,0.05,0.1,0.25,0.5] [--repeats R]\n\
          \x20                   [--out BENCH_thetasweep.json]\n\
          \x20                   [--input PATH [--format F] [--prob-model M]]\n\
-         \x20   one ThetaSweep index build vs independent per-theta runs;\n\
-         \x20   emits bench-parallel/v4 JSON with support_builds + amortization\n\
+         \x20   one sweep index build vs independent per-threshold runs at the\n\
+         \x20   chosen (r,s) rank (default nucleus; the grid is the eta/gamma\n\
+         \x20   grid at the core/truss ranks); emits bench-parallel/v5 JSON\n\
+         \x20   with rank + support_builds + amortization\n\
          \n\
          experiments gen [--edges M] [--vertices N] [--seed N] --out PATH\n\
          \x20            [--snapshot PATH]\n\
@@ -280,9 +287,18 @@ fn run_parbench(args: &[String]) {
     println!("wrote {out_path}");
 }
 
-/// Runs the θ-sweep amortization benchmark and writes the v4 JSON report.
+/// Runs the threshold-sweep amortization benchmark at the requested
+/// rank and writes the v5 JSON report.
 fn run_thetasweep(args: &[String]) {
     let mut config = thetasweep::SweepBenchConfig::default();
+    // Same policy as the numeric flags: an absent --rank defaults to
+    // nucleus, a present-but-unknown value fails loudly with the typed
+    // parse error instead of silently benchmarking the wrong algorithm.
+    if let Some(spec) = parse_flag(args, "--rank") {
+        config.rank = spec
+            .parse::<nucleus::Rank>()
+            .unwrap_or_else(|e| fail(&format!("thetasweep: {e}")));
+    }
     if let Some(m) = parse_num_flag(args, "--edges") {
         config.edges = m;
         // Keep the default density (average degree 50) unless --vertices
@@ -320,15 +336,16 @@ fn run_thetasweep(args: &[String]) {
 
     match &config.input {
         Some(input) => println!(
-            "# experiment: thetasweep  input: {} ({})  thetas: {:?}  repeats: {}\n",
+            "# experiment: thetasweep  rank: {}  input: {} ({})  grid: {:?}  repeats: {}\n",
+            config.rank,
             input.path.display(),
             input.format,
             config.thetas,
             config.repeats
         ),
         None => println!(
-            "# experiment: thetasweep  vertices: {}  edges: {}  thetas: {:?}  repeats: {}  seed: {}\n",
-            config.vertices, config.edges, config.thetas, config.repeats, config.seed
+            "# experiment: thetasweep  rank: {}  vertices: {}  edges: {}  grid: {:?}  repeats: {}  seed: {}\n",
+            config.rank, config.vertices, config.edges, config.thetas, config.repeats, config.seed
         ),
     }
     let report = thetasweep::run_bench(&config);

@@ -20,6 +20,12 @@
 //! baseline against a v3 report simply skips the counters the old file
 //! does not carry, with a note.  Wall times are always printed, never
 //! gated.
+//!
+//! Sweep reports carry a `rank` field since `bench-parallel/v5` (core,
+//! truss or nucleus).  Reports that predate it are treated as nucleus
+//! sweeps, with a note; comparing reports of *different* ranks is
+//! refused outright — their counters describe different algorithms, so
+//! any verdict would be meaningless.
 
 use crate::json::Json;
 use crate::runner::format_table;
@@ -146,6 +152,11 @@ const TRACKED: &[(&[&str], Gate)] = &[
     (&["sweep", "amortization"], Gate::ReportOnly),
 ];
 
+/// The explicit `rank` field of a report, when present (v5+).
+fn rank_of(doc: &Json) -> Option<String> {
+    doc.get("rank").and_then(Json::as_str).map(str::to_string)
+}
+
 fn schema_of(doc: &Json, which: &str) -> Result<String, String> {
     let schema = doc
         .get("schema")
@@ -168,12 +179,33 @@ pub fn compare(old: &Json, new: &Json, tolerance: f64) -> Result<CompareReport, 
     let old_schema = schema_of(old, "old")?;
     let new_schema = schema_of(new, "new")?;
 
+    // Pre-v5 reports carry no rank field; they all described the
+    // nucleus-rank decomposition, so that is the implied default.
+    let old_rank = rank_of(old);
+    let new_rank = rank_of(new);
+    let old_r = old_rank.as_deref().unwrap_or("nucleus");
+    let new_r = new_rank.as_deref().unwrap_or("nucleus");
+    if old_r != new_r {
+        return Err(format!(
+            "rank mismatch: old report is a {old_r} sweep, new report is a {new_r} sweep; \
+             their counters describe different algorithms and cannot be gated against \
+             each other"
+        ));
+    }
+
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     if old_schema != new_schema {
         notes.push(format!(
             "schema bump {old_schema} -> {new_schema}: counters absent from either side are \
              reported as '-' and not gated"
+        ));
+    }
+    if old_rank.is_none() != new_rank.is_none() {
+        let which = if old_rank.is_none() { "old" } else { "new" };
+        notes.push(format!(
+            "{which} report predates the \"rank\" field (bench-parallel/v5); treated as a \
+             nucleus sweep"
         ));
     }
 
@@ -459,6 +491,75 @@ mod tests {
         // Shared counters still diverge loudly.
         let drifted = compare(&v3(100, 20821, None), &v4(1, 400, 99), 0.0).unwrap();
         assert!(!drifted.regressions().is_empty());
+    }
+
+    fn v5(rank: &str, support_builds: u64, dp_total: u64, triangles: u64) -> Json {
+        // The truss rank's counts carry no four_cliques; keep the fixture
+        // honest about that so cross-rank key presence is exercised too.
+        let counts = if rank == "nucleus" {
+            format!(r#"{{ "triangles": {triangles}, "four_cliques": 165 }}"#)
+        } else {
+            format!(r#"{{ "triangles": {triangles} }}"#)
+        };
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-parallel/v5",
+                  "rank": "{rank}",
+                  "source": {{ "kind": "generated" }},
+                  "counts": {counts},
+                  "sweep": {{ "grid_size": 5, "support_builds": {support_builds},
+                              "dp_calls_total": {dp_total},
+                              "independent_dp_calls_total": {dp_total},
+                              "sweep_s": 0.5, "independent_s": 1.6,
+                              "amortization": 3.2 }} }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn v4_to_v5_schema_bump_degrades_gracefully() {
+        // A v4 baseline has no "rank" key: treated as a nucleus sweep, so
+        // gating against a v5 nucleus report works and the assumption is
+        // spelled out in a note.
+        let report = compare(&v4(1, 400, 20821), &v5("nucleus", 1, 400, 20821), 0.0).unwrap();
+        assert!(report.regressions().is_empty(), "{}", report.format());
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("schema bump bench-parallel/v4 -> bench-parallel/v5")));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("old report predates the \"rank\" field")));
+        // The gated sweep counters still bite across the bump.
+        let rebuilt = compare(&v4(1, 400, 20821), &v5("nucleus", 2, 400, 20821), 0.0).unwrap();
+        assert_eq!(rebuilt.regressions()[0].name, "sweep.support_builds");
+    }
+
+    #[test]
+    fn v5_gates_apply_per_rank() {
+        // Same-rank v5 reports gate exactly like v4 ones did.
+        let ok = compare(&v5("truss", 1, 300, 9000), &v5("truss", 1, 300, 9000), 0.0).unwrap();
+        assert!(ok.regressions().is_empty(), "{}", ok.format());
+        let rebuilt = compare(&v5("truss", 1, 300, 9000), &v5("truss", 2, 300, 9000), 0.0).unwrap();
+        let failing: Vec<_> = rebuilt
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["sweep.support_builds"]);
+        let more_dp = compare(&v5("core", 1, 300, 0), &v5("core", 1, 301, 0), 0.0).unwrap();
+        assert_eq!(more_dp.regressions()[0].name, "sweep.dp_calls_total");
+    }
+
+    #[test]
+    fn mismatched_ranks_are_refused() {
+        // A truss baseline against a core report (or a v4 nucleus
+        // baseline against a truss report) compares different
+        // algorithms: refuse instead of emitting a meaningless verdict.
+        let err = compare(&v5("truss", 1, 300, 9000), &v5("core", 1, 300, 9000), 0.0).unwrap_err();
+        assert!(err.contains("rank mismatch"), "{err}");
+        let err = compare(&v4(1, 400, 20821), &v5("truss", 1, 300, 20821), 0.0).unwrap_err();
+        assert!(err.contains("rank mismatch"), "{err}");
     }
 
     #[test]

@@ -112,15 +112,17 @@ pub fn run(ctx: &ExperimentContext, datasets: &[PaperDataset]) -> Table3 {
             let nucleus = stats_of_edge_subgraphs(&nucleus_subs, kn);
 
             // Truss.
-            let truss_decomp = GammaTrussDecomposition::compute(&graph, theta);
+            let truss_decomp =
+                GammaTrussDecomposition::try_compute(&graph, theta).expect("valid theta");
             let kt = truss_decomp.max_truss();
-            let truss_subs = gamma_truss_subgraphs(&graph, kt.max(1), theta);
+            let truss_subs = gamma_truss_subgraphs(&graph, kt.max(1), theta).expect("valid theta");
             let truss = stats_of_edge_subgraphs(&truss_subs, kt);
 
             // Core.
-            let core_decomp = EtaCoreDecomposition::compute(&graph, theta);
+            let core_decomp =
+                EtaCoreDecomposition::try_compute(&graph, theta).expect("valid theta");
             let kc = core_decomp.max_core();
-            let core_subs = eta_core_subgraphs(&graph, kc.max(1), theta);
+            let core_subs = eta_core_subgraphs(&graph, kc.max(1), theta).expect("valid theta");
             let core = stats_of_edge_subgraphs(&core_subs, kc);
 
             rows.push(Table3Row {

@@ -1,38 +1,55 @@
-//! θ-sweep amortization benchmark and experiment driver.
+//! Threshold-sweep amortization benchmark and experiment driver, at any
+//! (r,s) rank.
 //!
 //! The paper's experiments sweep θ for every figure (fig4–fig8 all
 //! re-run the decomposition per threshold), paying the θ-independent
 //! support-structure build each time.  `nucleus::local::sweep` amortizes
-//! that build across the grid; this module measures the claim and makes
-//! it CI-gateable:
+//! that build across the grid, and [`DecompSweep`] generalizes the same
+//! amortization to the (k,η)-core and (k,γ)-truss ranks; this module
+//! measures the claim and makes it CI-gateable:
 //!
-//! * [`run_bench`] builds one [`ThetaSweep`] index over a grid, then
-//!   runs an **independent** [`LocalNucleusDecomposition`] per θ
-//!   (support rebuilt each time, exactly what a caller without the index
-//!   would do), asserts every per-θ result is bit-identical, and emits a
-//!   `bench-parallel/v4` JSON report: the shared `counts`/`source`
-//!   objects of the v3 schema plus a `sweep` object with
-//!   `support_builds` (gated `== 1` in CI), per-θ peel counters, the
-//!   summed `dp_calls_total` vs `independent_dp_calls_total`, and the
-//!   measured wall-clock amortization (reported, never gated).
-//! * [`run_table`] runs the sweep over the synthetic paper datasets at a
-//!   pinned context and formats a fully deterministic table (counters
-//!   only, no wall times) — the golden-snapshot surface.
+//! * [`run_bench`] builds one sweep index over a grid at the configured
+//!   [`Rank`] ([`ThetaSweep`] at the nucleus rank, [`DecompSweep`]
+//!   elsewhere), then runs an **independent** decomposition per
+//!   threshold (support rebuilt each time, exactly what a caller without
+//!   the index would do), asserts every per-threshold result is
+//!   bit-identical, and emits a `bench-parallel/v5` JSON report: the
+//!   shared `counts`/`source` objects of the v3 schema plus a top-level
+//!   `rank` string and a `sweep` object with `support_builds` (gated
+//!   `== 1` in CI), per-threshold peel counters, the summed
+//!   `dp_calls_total` vs `independent_dp_calls_total`, and the measured
+//!   wall-clock amortization (reported, never gated).  The `counts`
+//!   object is rank-appropriate: triangles and 4-cliques at the nucleus
+//!   rank, triangles only at the truss rank, empty at the core rank.
+//!   (v4 reports lacked the `rank` key; `bench-compare` treats them as
+//!   nucleus sweeps.)
+//! * [`run_table`] runs the nucleus-rank sweep over the synthetic paper
+//!   datasets at a pinned context and formats a fully deterministic
+//!   table (counters only, no wall times) — the golden-snapshot surface.
 //!
 //! ```json
+//! "rank": "nucleus",
 //! "sweep": { "grid": [0.02, 0.05, 0.1, 0.25, 0.5], "grid_size": 5,
 //!            "support_builds": 1, "independent_support_builds": 5,
 //!            "dp_calls_total": 40705, "independent_dp_calls_total": 40705,
 //!            "sweep_s": 0.61, "independent_s": 2.05, "amortization": 3.4,
 //!            "per_theta": [ { "theta": 0.02, "dp_calls": 9641, ... } ] }
 //! ```
+//!
+//! The `per_theta` key names are shared by every rank for schema
+//! stability; at the core and truss ranks the `theta` values are the η
+//! and γ grids.
 
 use std::time::Duration;
 
 use nd_datasets::{ExternalDataset, PaperDataset};
 use ugraph::par::Parallelism;
+use ugraph::{TriangleIndex, UncertainGraph};
 
-use nucleus::{LocalConfig, LocalNucleusDecomposition, PeelStats, SweepConfig, ThetaSweep};
+use nucleus::{
+    DecompConfig, DecompSweep, Decomposition, LocalConfig, LocalNucleusDecomposition, PeelStats,
+    Rank, SweepConfig, ThetaSweep,
+};
 
 use crate::parbench::{generate_graph, ingest, json_source_object, IngestTimings};
 use crate::runner::{format_table, run_with_deadline, ExperimentContext, Timing};
@@ -41,16 +58,19 @@ use crate::runner::{format_table, run_with_deadline, ExperimentContext, Timing};
 /// figures sweep, anchored on the parbench θ (0.1).
 pub const DEFAULT_GRID: [f64; 5] = [0.02, 0.05, 0.1, 0.25, 0.5];
 
-/// Configuration of the θ-sweep benchmark.
+/// Configuration of the threshold-sweep benchmark.
 #[derive(Debug, Clone)]
 pub struct SweepBenchConfig {
+    /// The (r,s) rank to sweep: core, truss or nucleus.
+    pub rank: Rank,
     /// Number of vertices of the generated G(n, m) graph.
     pub vertices: usize,
     /// Number of edges of the generated G(n, m) graph.
     pub edges: usize,
     /// RNG seed for structure and probability generation.
     pub seed: u64,
-    /// The θ grid (validated by the sweep engine).
+    /// The threshold grid — θ, or η/γ at the other ranks (validated by
+    /// the sweep engine).
     pub thetas: Vec<f64>,
     /// Repetitions; best (minimum) wall time is reported.
     pub repeats: usize,
@@ -66,6 +86,7 @@ impl Default for SweepBenchConfig {
     /// the two reports describe the same workload.
     fn default() -> Self {
         SweepBenchConfig {
+            rank: Rank::Nucleus,
             vertices: 2_000,
             edges: 50_000,
             seed: 42,
@@ -104,10 +125,12 @@ pub struct SweepBenchReport {
     pub actual_edges: usize,
     /// Ingestion timings when the graph came from `--input`.
     pub ingest: Option<IngestTimings>,
-    /// Number of triangles.
-    pub num_triangles: usize,
-    /// Number of 4-cliques.
-    pub num_four_cliques: usize,
+    /// Number of triangles (the nucleus rank's elements and the truss
+    /// rank's cells; `None` at the core rank, whose element and cell
+    /// counts are the top-level vertex and edge counts).
+    pub num_triangles: Option<usize>,
+    /// Number of 4-cliques (nucleus-rank cells; `None` elsewhere).
+    pub num_four_cliques: Option<usize>,
     /// `std::thread::available_parallelism()` of the measuring host.
     pub available_parallelism: usize,
     /// Support-structure builds of the sweep (the tentpole number: 1).
@@ -142,7 +165,17 @@ impl SweepBenchReport {
         self.independent_s / self.sweep_s.max(1e-9)
     }
 
-    /// Serializes the report to the `bench-parallel/v4` JSON schema.
+    /// The rank-appropriate `counts` JSON object (matching the v3
+    /// parbench keys where the quantities exist at this rank).
+    fn counts_json(&self) -> String {
+        match (self.num_triangles, self.num_four_cliques) {
+            (Some(t), Some(c)) => format!("{{ \"triangles\": {t}, \"four_cliques\": {c} }}"),
+            (Some(t), None) => format!("{{ \"triangles\": {t} }}"),
+            _ => "{ }".to_string(),
+        }
+    }
+
+    /// Serializes the report to the `bench-parallel/v5` JSON schema.
     pub fn to_json(&self) -> String {
         let grid: Vec<String> = self
             .per_theta
@@ -168,15 +201,17 @@ impl SweepBenchReport {
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"bench-parallel/v4\",\n  \"source\": {},\n  \
+            "{{\n  \"schema\": \"bench-parallel/v5\",\n  \"rank\": \"{}\",\n  \
+             \"source\": {},\n  \
              \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"repeats\": {},\n  \
-             \"available_parallelism\": {},\n  \"counts\": {{ \"triangles\": {}, \
-             \"four_cliques\": {} }},\n  \"sweep\": {{\n    \"grid\": [ {} ],\n    \
+             \"available_parallelism\": {},\n  \"counts\": {},\n  \
+             \"sweep\": {{\n    \"grid\": [ {} ],\n    \
              \"grid_size\": {},\n    \"support_builds\": {},\n    \
              \"independent_support_builds\": {},\n    \"dp_calls_total\": {},\n    \
              \"independent_dp_calls_total\": {},\n    \"sweep_s\": {:.6},\n    \
              \"independent_s\": {:.6},\n    \"amortization\": {:.3},\n    \
              \"deadline_exceeded\": {},\n    \"per_theta\": [\n{}\n    ]\n  }}\n}}\n",
+            self.config.rank,
             json_source_object(
                 self.config.input.as_ref(),
                 self.ingest.as_ref(),
@@ -189,8 +224,7 @@ impl SweepBenchReport {
             self.config.seed,
             self.config.repeats,
             self.available_parallelism,
-            self.num_triangles,
-            self.num_four_cliques,
+            self.counts_json(),
             grid.join(", "),
             self.per_theta.len(),
             self.support_builds,
@@ -218,16 +252,20 @@ impl SweepBenchReport {
                 p.max_score.to_string(),
             ]);
         }
+        let counts = match (self.num_triangles, self.num_four_cliques) {
+            (Some(t), Some(c)) => format!(", {t} triangles, {c} 4-cliques"),
+            (Some(t), None) => format!(", {t} triangles"),
+            _ => String::new(),
+        };
         format!(
-            "theta sweep bench — {} vertices, {} edges (seed {}), {} triangles, \
-             {} 4-cliques, host parallelism {}\n\
+            "{} sweep bench — {} vertices, {} edges (seed {}){}, host parallelism {}\n\
              support builds: {} (sweep) vs {} (independent); dp_calls {} vs {}\n\
              wall: sweep {:.3}s vs independent {:.3}s ({:.2}x amortization){}\n{}",
+            self.config.rank,
             self.actual_vertices,
             self.actual_edges,
             self.config.seed,
-            self.num_triangles,
-            self.num_four_cliques,
+            counts,
             self.available_parallelism,
             self.support_builds,
             self.independent_support_builds,
@@ -243,7 +281,7 @@ impl SweepBenchReport {
             },
             format_table(
                 &[
-                    "theta",
+                    self.config.rank.threshold_name(),
                     "dp_calls",
                     "skips",
                     "buckets",
@@ -256,9 +294,9 @@ impl SweepBenchReport {
     }
 }
 
-/// Runs the benchmark: best-of-`repeats` sweep builds, then
-/// best-of-`repeats` independent per-θ loops, verifying bit-identity of
-/// every per-θ result on the way.
+/// Runs the benchmark at the configured rank: best-of-`repeats` sweep
+/// builds, then best-of-`repeats` independent per-threshold loops,
+/// verifying bit-identity of every per-threshold result on the way.
 ///
 /// Panics if the sweep and an independent decomposition disagree on a
 /// single score, initial score, method count or perf counter — the
@@ -271,6 +309,20 @@ pub fn run_bench(config: &SweepBenchConfig) -> SweepBenchReport {
             None,
         ),
     };
+    match config.rank {
+        Rank::Nucleus => run_bench_nucleus(config, &graph, ingest_timings),
+        rank => run_bench_generic(config, rank, &graph, ingest_timings),
+    }
+}
+
+/// The nucleus-rank benchmark: [`ThetaSweep`] vs independent
+/// [`LocalNucleusDecomposition`] runs (the richest per-point checks,
+/// including method counts and clique counts).
+fn run_bench_nucleus(
+    config: &SweepBenchConfig,
+    graph: &UncertainGraph,
+    ingest_timings: Option<IngestTimings>,
+) -> SweepBenchReport {
     let sweep_config = SweepConfig::exact(config.thetas.clone());
     let repeats = config.repeats.max(1);
 
@@ -279,7 +331,7 @@ pub fn run_bench(config: &SweepBenchConfig) -> SweepBenchReport {
     let (_, _, sweep_exceeded) = run_with_deadline(config.deadline, || {
         for _ in 0..repeats {
             let (built, t) = Timing::measure(|| {
-                ThetaSweep::compute(&graph, &sweep_config).expect("valid sweep config")
+                ThetaSweep::compute(graph, &sweep_config).expect("valid sweep config")
             });
             sweep_s = sweep_s.min(t.seconds());
             index = Some(built);
@@ -297,7 +349,7 @@ pub fn run_bench(config: &SweepBenchConfig) -> SweepBenchReport {
                     .thetas
                     .iter()
                     .map(|&theta| {
-                        LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(theta))
+                        LocalNucleusDecomposition::compute(graph, &LocalConfig::exact(theta))
                             .expect("valid config")
                     })
                     .collect::<Vec<_>>()
@@ -342,8 +394,110 @@ pub fn run_bench(config: &SweepBenchConfig) -> SweepBenchReport {
         actual_vertices: graph.num_vertices(),
         actual_edges: graph.num_edges(),
         ingest: ingest_timings,
-        num_triangles: index.num_triangles(),
-        num_four_cliques: index.support().num_cliques(),
+        num_triangles: Some(index.num_triangles()),
+        num_four_cliques: Some(index.support().num_cliques()),
+        available_parallelism: Parallelism::Auto.num_threads(),
+        support_builds: index.support_builds(),
+        independent_support_builds: config.thetas.len(),
+        per_theta,
+        sweep_s,
+        independent_s,
+        deadline_exceeded: sweep_exceeded || indep_exceeded,
+    }
+}
+
+/// The core/truss-rank benchmark: [`DecompSweep`] vs independent
+/// [`Decomposition::compute`] runs per grid point.
+fn run_bench_generic(
+    config: &SweepBenchConfig,
+    rank: Rank,
+    graph: &UncertainGraph,
+    ingest_timings: Option<IngestTimings>,
+) -> SweepBenchReport {
+    let sweep_config = SweepConfig::exact(config.thetas.clone());
+    let repeats = config.repeats.max(1);
+
+    let mut sweep_s = f64::INFINITY;
+    let mut index = None;
+    let (_, _, sweep_exceeded) = run_with_deadline(config.deadline, || {
+        for _ in 0..repeats {
+            let (built, t) = Timing::measure(|| {
+                DecompSweep::compute(graph, rank, &sweep_config).expect("valid sweep config")
+            });
+            sweep_s = sweep_s.min(t.seconds());
+            index = Some(built);
+        }
+    });
+    let index = index.expect("at least one repeat ran");
+    assert_eq!(index.support_builds(), 1, "sweep must build support once");
+
+    let mut independent_s = f64::INFINITY;
+    let mut independents = None;
+    let (_, _, indep_exceeded) = run_with_deadline(config.deadline, || {
+        for _ in 0..repeats {
+            let (solo, t) = Timing::measure(|| {
+                config
+                    .thetas
+                    .iter()
+                    .map(|&threshold| {
+                        let point = match rank {
+                            Rank::Core => DecompConfig::core(threshold),
+                            Rank::Truss => DecompConfig::truss(threshold),
+                            Rank::Nucleus => unreachable!("nucleus uses run_bench_nucleus"),
+                        };
+                        Decomposition::compute(graph, &point).expect("valid config")
+                    })
+                    .collect::<Vec<_>>()
+            });
+            independent_s = independent_s.min(t.seconds());
+            independents = Some(solo);
+        }
+    });
+    let independents = independents.expect("at least one repeat ran");
+
+    let stats_grid = index.peel_stats();
+    let per_theta: Vec<PerThetaCounters> = config
+        .thetas
+        .iter()
+        .enumerate()
+        .zip(&independents)
+        .map(|((gi, &theta), solo)| {
+            assert_eq!(
+                index.scores_at_index(gi),
+                solo.scores(),
+                "{rank} sweep diverged from the independent decomposition at threshold {theta}"
+            );
+            assert_eq!(
+                index.initial_scores_at_index(gi),
+                solo.initial_scores(),
+                "{rank} initial scores diverged at threshold {theta}"
+            );
+            let stats = stats_grid[gi];
+            assert_eq!(&stats, solo.peel_stats(), "perf counters diverged");
+            PerThetaCounters {
+                theta,
+                stats,
+                max_score: index.scores_at_index(gi).iter().copied().max().unwrap_or(0),
+                independent_dp_calls: solo.peel_stats().dp_calls,
+            }
+        })
+        .collect();
+
+    // The cell counts the `counts` object can carry at this rank: the
+    // truss rank's cells are triangles; the core rank's elements and
+    // cells (vertices, edges) are already top-level report fields.
+    let num_triangles = match rank {
+        Rank::Truss => Some(TriangleIndex::build(graph).len()),
+        _ => None,
+    };
+
+    SweepBenchReport {
+        config: config.clone(),
+        actual_vertices: graph.num_vertices(),
+        actual_edges: graph.num_edges(),
+        ingest: ingest_timings,
+        num_triangles,
+        num_four_cliques: None,
         available_parallelism: Parallelism::Auto.num_threads(),
         support_builds: index.support_builds(),
         independent_support_builds: config.thetas.len(),
@@ -469,6 +623,7 @@ mod tests {
 
     fn tiny_config() -> SweepBenchConfig {
         SweepBenchConfig {
+            rank: Rank::Nucleus,
             vertices: 60,
             edges: 400,
             seed: 7,
@@ -485,7 +640,7 @@ mod tests {
         assert_eq!(report.support_builds, 1);
         assert_eq!(report.independent_support_builds, 3);
         assert_eq!(report.per_theta.len(), 3);
-        assert!(report.num_triangles > 0);
+        assert!(report.num_triangles.unwrap() > 0);
         assert!(!report.deadline_exceeded);
         // Same engine per θ on both sides: the sums are equal, so the ≤
         // gate holds with slack zero.
@@ -498,10 +653,11 @@ mod tests {
     }
 
     #[test]
-    fn json_has_v4_schema_and_parses_shape() {
+    fn json_has_v5_schema_and_parses_shape() {
         let report = run_bench(&tiny_config());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-parallel/v4\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
+        assert!(json.contains("\"rank\": \"nucleus\""));
         assert!(json.contains("\"kind\": \"generated\""));
         let doc = crate::json::Json::parse(&json).expect("report JSON parses");
         assert_eq!(
@@ -522,7 +678,7 @@ mod tests {
         assert_eq!(
             doc.path(&["counts", "triangles"])
                 .and_then(crate::json::Json::as_f64),
-            Some(report.num_triangles as f64)
+            Some(report.num_triangles.unwrap() as f64)
         );
     }
 
@@ -571,8 +727,58 @@ mod tests {
         assert_eq!(report.actual_edges, 400);
         let json = report.to_json();
         assert!(json.contains("\"kind\": \"file\""));
-        assert!(json.contains("\"schema\": \"bench-parallel/v4\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
         assert!(report.format().contains("amortization"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truss_rank_sweeps_with_one_support_build() {
+        let mut config = tiny_config();
+        config.rank = Rank::Truss;
+        let report = run_bench(&config);
+        assert_eq!(report.support_builds, 1);
+        assert_eq!(report.per_theta.len(), 3);
+        // The truss rank peels edges; triangles are the cells.
+        assert_eq!(report.per_theta.len(), config.thetas.len());
+        assert!(report.num_triangles.unwrap() > 0);
+        assert_eq!(report.num_four_cliques, None);
+        assert_eq!(report.dp_calls_total(), report.independent_dp_calls_total());
+        for w in report.per_theta.windows(2) {
+            assert!(w[1].max_score <= w[0].max_score);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
+        assert!(json.contains("\"rank\": \"truss\""));
+        assert!(json.contains("\"triangles\""));
+        assert!(!json.contains("four_cliques"));
+        let doc = crate::json::Json::parse(&json).expect("report JSON parses");
+        assert_eq!(
+            doc.path(&["sweep", "support_builds"])
+                .and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        assert!(report.format().starts_with("truss sweep bench"));
+        assert!(report.format().contains("gamma"));
+    }
+
+    #[test]
+    fn core_rank_sweeps_with_empty_counts() {
+        let mut config = tiny_config();
+        config.rank = Rank::Core;
+        let report = run_bench(&config);
+        assert_eq!(report.support_builds, 1);
+        assert_eq!(report.num_triangles, None);
+        assert_eq!(report.num_four_cliques, None);
+        let json = report.to_json();
+        assert!(json.contains("\"rank\": \"core\""));
+        assert!(json.contains("\"counts\": { }"));
+        let doc = crate::json::Json::parse(&json).expect("report JSON parses");
+        assert_eq!(
+            doc.path(&["sweep", "grid_size"])
+                .and_then(crate::json::Json::as_f64),
+            Some(3.0)
+        );
+        assert!(report.format().contains("eta"));
     }
 }

@@ -1,11 +1,16 @@
 //! Deterministic k-core decomposition.
 //!
-//! The classic Batagelj–Zaveršnik bucket-based peeling algorithm: vertices
-//! are processed in non-decreasing order of their *current* degree; when a
-//! vertex is removed its core number is the current peeling level, and the
-//! degrees of its unprocessed neighbours decrease by one.  Runs in
-//! `O(|V| + |E|)`.
+//! Vertices are peeled in non-decreasing order of their *current* degree;
+//! when a vertex is removed its core number is the current peeling level,
+//! and the degrees of its unprocessed neighbours decrease by one.  Since
+//! the (r,s)-nucleus API redesign the peel runs on the generic deferred
+//! bucket-queue engine of `ugraph::rs` at rank (1,2), with a cell-counting
+//! rescore; the pre-redesign Batagelj–Zaveršnik loop is frozen in
+//! [`crate::reference::core_numbers`] and the two are pinned identical by
+//! the differential test suite (core numbers are canonical, so any
+//! correct peel order yields the same output).
 
+use ugraph::rs::{peel_deferred, CoreSupport, RsSupport};
 use ugraph::{ConnectedComponents, EdgeSubgraph, UncertainGraph, VertexId};
 
 /// Result of a k-core decomposition: the core number of every vertex.
@@ -18,60 +23,17 @@ impl CoreDecomposition {
     /// Runs the decomposition on the structure of `graph` (probabilities
     /// are ignored).
     pub fn compute(graph: &UncertainGraph) -> Self {
-        let n = graph.num_vertices();
-        if n == 0 {
-            return CoreDecomposition {
-                core_numbers: Vec::new(),
-            };
-        }
-        let mut degree: Vec<usize> = (0..n as VertexId).map(|v| graph.degree(v)).collect();
-        let max_degree = *degree.iter().max().unwrap_or(&0);
-
-        // Bucket sort vertices by degree.
-        let mut bins = vec![0usize; max_degree + 2];
-        for &d in &degree {
-            bins[d] += 1;
-        }
-        let mut start = 0usize;
-        for bin in bins.iter_mut() {
-            let count = *bin;
-            *bin = start;
-            start += count;
-        }
-        // pos[v] is the position of v in vert; vert is sorted by degree.
-        let mut pos = vec![0usize; n];
-        let mut vert = vec![0 as VertexId; n];
-        {
-            let mut next = bins.clone();
-            for v in 0..n {
-                let d = degree[v];
-                pos[v] = next[d];
-                vert[pos[v]] = v as VertexId;
-                next[d] += 1;
-            }
-        }
-
-        let mut core_numbers = vec![0u32; n];
-        for i in 0..n {
-            let v = vert[i];
-            core_numbers[v as usize] = degree[v as usize] as u32;
-            for &u in graph.neighbors(v) {
-                let du = degree[u as usize];
-                if du > degree[v as usize] {
-                    // Move u to the front of its bucket and decrement.
-                    let pu = pos[u as usize];
-                    let pw = bins[du];
-                    let w = vert[pw];
-                    if u != w {
-                        vert.swap(pu, pw);
-                        pos[u as usize] = pw;
-                        pos[w as usize] = pu;
-                    }
-                    bins[du] += 1;
-                    degree[u as usize] -= 1;
-                }
-            }
-        }
+        let support = CoreSupport::deterministic(graph);
+        let kappa: Vec<u32> = (0..support.num_elements())
+            .map(|v| support.support(v as u32) as u32)
+            .collect();
+        let (core_numbers, _stats) = peel_deferred(&support, kappa, |v, edge_dead| {
+            support
+                .cells_of(v)
+                .iter()
+                .filter(|&&e| !edge_dead[e as usize])
+                .count() as u32
+        });
         CoreDecomposition { core_numbers }
     }
 
@@ -245,6 +207,11 @@ mod tests {
         let fast = CoreDecomposition::compute(&g);
         let naive = naive_core_numbers(&g);
         assert_eq!(fast.core_numbers(), naive.as_slice());
+        assert_eq!(
+            fast.core_numbers(),
+            crate::reference::core_numbers(&g).as_slice(),
+            "generic engine must match the frozen Batagelj–Zaveršnik peel"
+        );
     }
 
     #[test]

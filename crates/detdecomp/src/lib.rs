@@ -21,6 +21,7 @@
 
 pub mod core_decomp;
 pub mod nucleus;
+pub mod reference;
 pub mod truss;
 
 pub use core_decomp::{k_core_subgraphs, CoreDecomposition};

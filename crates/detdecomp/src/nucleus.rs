@@ -7,16 +7,53 @@
 //!
 //! The decomposition assigns every triangle its *nucleusness* κ(△): the
 //! largest `k` such that △ belongs to a k-(3,4)-nucleus.  It is computed
-//! by support peeling over triangles, the direct generalization of the
-//! core/truss peeling used elsewhere in this crate.
+//! by support peeling over triangles; since the (r,s)-nucleus API
+//! redesign the peel runs on the generic deferred bucket-queue engine of
+//! `ugraph::rs` at rank (3,4), with a cell-counting rescore.  The
+//! pre-redesign eager heap loop is frozen in
+//! [`crate::reference::nucleusness`] and the two are pinned identical by
+//! the differential test suite (nucleusness values are canonical, so any
+//! correct peel order yields the same output).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use ugraph::rs::{peel_deferred, RsSupport};
 use ugraph::{
     EdgeSubgraph, FourClique, FourCliqueEnumerator, Triangle, TriangleId, TriangleIndex,
     UncertainGraph, UnionFind,
 };
+
+/// Rank-(3,4) deterministic support structure: triangles are the
+/// elements, enumerated 4-cliques the cells.  All probabilities are 1;
+/// only the incidence accessors are exercised by the counting rescore.
+struct DetNucleusSupport {
+    cliques: Vec<[TriangleId; 4]>,
+    cliques_of: Vec<Vec<u32>>,
+}
+
+impl RsSupport for DetNucleusSupport {
+    fn num_elements(&self) -> usize {
+        self.cliques_of.len()
+    }
+
+    fn num_cells(&self) -> usize {
+        self.cliques.len()
+    }
+
+    fn element_prob(&self, _t: u32) -> f64 {
+        1.0
+    }
+
+    fn cells_of(&self, t: u32) -> &[u32] {
+        &self.cliques_of[t as usize]
+    }
+
+    fn cell_elements(&self, c: u32) -> &[u32] {
+        &self.cliques[c as usize]
+    }
+
+    fn completion_prob(&self, _c: u32, _t: u32) -> f64 {
+        1.0
+    }
+}
 
 /// Result of the deterministic (3,4)-nucleus decomposition.
 #[derive(Debug, Clone)]
@@ -36,7 +73,7 @@ impl NucleusDecomposition {
         // Map each 4-clique to the ids of its four triangles, and build the
         // reverse triangle → cliques adjacency.
         let mut cliques: Vec<[TriangleId; 4]> = Vec::with_capacity(clique_vertices.len());
-        let mut cliques_of: Vec<Vec<usize>> = vec![Vec::new(); index.len()];
+        let mut cliques_of: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
         for (ci, clique) in clique_vertices.iter().enumerate() {
             let mut ids = [0 as TriangleId; 4];
             for (slot, t) in clique.triangles().iter().enumerate() {
@@ -44,50 +81,30 @@ impl NucleusDecomposition {
                     .id_of(t)
                     .expect("every triangle of an enumerated 4-clique is indexed");
                 ids[slot] = id;
-                cliques_of[id as usize].push(ci);
+                cliques_of[id as usize].push(ci as u32);
             }
             cliques.push(ids);
         }
 
-        // Support peeling over triangles.
-        let nt = index.len();
-        let mut support: Vec<u32> = cliques_of.iter().map(|c| c.len() as u32).collect();
-        let mut removed = vec![false; nt];
-        let mut clique_dead = vec![false; cliques.len()];
-        let mut nucleusness = vec![0u32; nt];
-
-        let mut heap: BinaryHeap<Reverse<(u32, TriangleId)>> = (0..nt)
-            .map(|t| Reverse((support[t], t as TriangleId)))
+        // Support peeling over triangles via the generic engine.
+        let support = DetNucleusSupport {
+            cliques,
+            cliques_of,
+        };
+        let kappa: Vec<u32> = (0..support.num_elements())
+            .map(|t| support.support(t as u32) as u32)
             .collect();
-
-        while let Some(Reverse((s, t))) = heap.pop() {
-            let ti = t as usize;
-            if removed[ti] || s != support[ti] {
-                continue; // stale entry
-            }
-            removed[ti] = true;
-            nucleusness[ti] = s;
-            for &ci in &cliques_of[ti] {
-                if clique_dead[ci] {
-                    continue;
-                }
-                clique_dead[ci] = true;
-                for &other in &cliques[ci] {
-                    let oi = other as usize;
-                    if oi == ti || removed[oi] {
-                        continue;
-                    }
-                    if support[oi] > s {
-                        support[oi] -= 1;
-                        heap.push(Reverse((support[oi], other)));
-                    }
-                }
-            }
-        }
+        let (nucleusness, _stats) = peel_deferred(&support, kappa, |t, clique_dead| {
+            support
+                .cells_of(t)
+                .iter()
+                .filter(|&&c| !clique_dead[c as usize])
+                .count() as u32
+        });
 
         NucleusDecomposition {
             index,
-            cliques,
+            cliques: support.cliques,
             clique_vertices,
             nucleusness,
         }
@@ -494,6 +511,11 @@ mod tests {
             let fast = NucleusDecomposition::compute(&g);
             let naive = naive_nucleusness(&g);
             assert_eq!(fast.nucleusness_values(), naive.as_slice(), "seed {seed}");
+            assert_eq!(
+                fast.nucleusness_values(),
+                crate::reference::nucleusness(&g).as_slice(),
+                "generic engine must match the frozen eager heap peel (seed {seed})"
+            );
         }
     }
 

@@ -1,0 +1,197 @@
+//! Frozen reference implementations of the deterministic decompositions.
+//!
+//! Verbatim copies of the original peeling loops of
+//! [`CoreDecomposition::compute`](crate::CoreDecomposition) (bucket-based
+//! Batagelj–Zaveršnik), [`TrussDecomposition::compute`](crate::TrussDecomposition)
+//! and [`NucleusDecomposition::compute`](crate::NucleusDecomposition)
+//! (eager heap peels) as they existed before the three types were rebuilt
+//! on the generic `ugraph::rs` peeling engine.  They exist so the
+//! differential test suite can pin the generic engine bit-identical to
+//! the historical behaviour; they are **not** part of the supported API
+//! surface.  Do not "improve" them — any edit here invalidates the
+//! equivalence baseline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ugraph::{EdgeId, FourCliqueEnumerator, TriangleId, TriangleIndex, UncertainGraph, VertexId};
+
+/// Core number of every vertex, by the frozen Batagelj–Zaveršnik bucket
+/// peel.
+pub fn core_numbers(graph: &UncertainGraph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n as VertexId).map(|v| graph.degree(v)).collect();
+    let max_degree = *degree.iter().max().unwrap_or(&0);
+
+    // Bucket sort vertices by degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for bin in bins.iter_mut() {
+        let count = *bin;
+        *bin = start;
+        start += count;
+    }
+    // pos[v] is the position of v in vert; vert is sorted by degree.
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut next = bins.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = next[d];
+            vert[pos[v]] = v as VertexId;
+            next[d] += 1;
+        }
+    }
+
+    let mut core_numbers = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core_numbers[v as usize] = degree[v as usize] as u32;
+        for &u in graph.neighbors(v) {
+            let du = degree[u as usize];
+            if du > degree[v as usize] {
+                // Move u to the front of its bucket and decrement.
+                let pu = pos[u as usize];
+                let pw = bins[du];
+                let w = vert[pw];
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bins[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core_numbers
+}
+
+/// Truss number of every edge, by the frozen eager heap peel.
+pub fn truss_numbers(graph: &UncertainGraph) -> Vec<u32> {
+    let m = graph.num_edges();
+    let mut support = vec![0u32; m];
+    for (e, edge) in graph.edges().iter().enumerate() {
+        support[e] = graph.common_neighbors(edge.u, edge.v).len() as u32;
+    }
+
+    let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> =
+        (0..m).map(|e| Reverse((support[e], e as EdgeId))).collect();
+    let mut removed = vec![false; m];
+    let mut truss = vec![0u32; m];
+
+    while let Some(Reverse((s, e))) = heap.pop() {
+        let ei = e as usize;
+        if removed[ei] || s != support[ei] {
+            continue; // stale heap entry
+        }
+        removed[ei] = true;
+        truss[ei] = s;
+        let edge = graph.edge(e);
+        let (u, v) = (edge.u, edge.v);
+        for w in graph.common_neighbors(u, v) {
+            let euw = graph.edge_id(u, w).expect("triangle edge exists");
+            let evw = graph.edge_id(v, w).expect("triangle edge exists");
+            if removed[euw as usize] || removed[evw as usize] {
+                continue; // this triangle is already gone
+            }
+            for f in [euw, evw] {
+                let fi = f as usize;
+                if support[fi] > s {
+                    support[fi] -= 1;
+                    heap.push(Reverse((support[fi], f)));
+                }
+            }
+        }
+    }
+    truss
+}
+
+/// Nucleusness of every triangle (ids of `TriangleIndex::build`), by the
+/// frozen eager heap peel.
+pub fn nucleusness(graph: &UncertainGraph) -> Vec<u32> {
+    let index = TriangleIndex::build(graph);
+    let clique_vertices = FourCliqueEnumerator::new(graph).into_cliques();
+
+    let mut cliques: Vec<[TriangleId; 4]> = Vec::with_capacity(clique_vertices.len());
+    let mut cliques_of: Vec<Vec<usize>> = vec![Vec::new(); index.len()];
+    for (ci, clique) in clique_vertices.iter().enumerate() {
+        let mut ids = [0 as TriangleId; 4];
+        for (slot, t) in clique.triangles().iter().enumerate() {
+            let id = index
+                .id_of(t)
+                .expect("every triangle of an enumerated 4-clique is indexed");
+            ids[slot] = id;
+            cliques_of[id as usize].push(ci);
+        }
+        cliques.push(ids);
+    }
+
+    let nt = index.len();
+    let mut support: Vec<u32> = cliques_of.iter().map(|c| c.len() as u32).collect();
+    let mut removed = vec![false; nt];
+    let mut clique_dead = vec![false; cliques.len()];
+    let mut nucleusness = vec![0u32; nt];
+
+    let mut heap: BinaryHeap<Reverse<(u32, TriangleId)>> = (0..nt)
+        .map(|t| Reverse((support[t], t as TriangleId)))
+        .collect();
+
+    while let Some(Reverse((s, t))) = heap.pop() {
+        let ti = t as usize;
+        if removed[ti] || s != support[ti] {
+            continue; // stale entry
+        }
+        removed[ti] = true;
+        nucleusness[ti] = s;
+        for &ci in &cliques_of[ti] {
+            if clique_dead[ci] {
+                continue;
+            }
+            clique_dead[ci] = true;
+            for &other in &cliques[ci] {
+                let oi = other as usize;
+                if oi == ti || removed[oi] {
+                    continue;
+                }
+                if support[oi] > s {
+                    support[oi] -= 1;
+                    heap.push(Reverse((support[oi], other)));
+                }
+            }
+        }
+    }
+    nucleusness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn reference_values_on_k6() {
+        // K6: core 5, truss 4, nucleusness 3 everywhere.
+        let g = complete(6);
+        assert_eq!(core_numbers(&g), vec![5; 6]);
+        assert_eq!(truss_numbers(&g), vec![4; 15]);
+        assert_eq!(nucleusness(&g), vec![3; 20]);
+    }
+}

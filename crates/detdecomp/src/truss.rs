@@ -8,13 +8,16 @@
 //!
 //! The algorithm is the classic support-peeling: repeatedly remove an edge
 //! of minimum current support; its truss number is that support; removing
-//! it destroys the triangles through it, which decrements the support of
-//! the surviving edges of those triangles (never below the current level).
+//! it destroys the triangles through it.  Since the (r,s)-nucleus API
+//! redesign the peel runs on the generic deferred bucket-queue engine of
+//! `ugraph::rs` at rank (2,3), with a cell-counting rescore; the
+//! pre-redesign eager heap loop is frozen in
+//! [`crate::reference::truss_numbers`] and the two are pinned identical
+//! by the differential test suite (truss numbers are canonical, so any
+//! correct peel order yields the same output).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use ugraph::{ConnectedComponents, EdgeId, EdgeSubgraph, UncertainGraph};
+use ugraph::rs::{peel_deferred, RsSupport, TrussSupport};
+use ugraph::{ConnectedComponents, EdgeId, EdgeSubgraph, Parallelism, UncertainGraph};
 
 /// Result of a k-truss decomposition: the truss number of every edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,44 +28,18 @@ pub struct TrussDecomposition {
 impl TrussDecomposition {
     /// Runs the decomposition on the structure of `graph`.
     pub fn compute(graph: &UncertainGraph) -> Self {
-        let m = graph.num_edges();
-        let mut support = vec![0u32; m];
-        for (e, edge) in graph.edges().iter().enumerate() {
-            support[e] = graph.common_neighbors(edge.u, edge.v).len() as u32;
-        }
-
-        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> =
-            (0..m).map(|e| Reverse((support[e], e as EdgeId))).collect();
-        let mut removed = vec![false; m];
-        let mut truss = vec![0u32; m];
-
-        while let Some(Reverse((s, e))) = heap.pop() {
-            let ei = e as usize;
-            if removed[ei] || s != support[ei] {
-                continue; // stale heap entry
-            }
-            removed[ei] = true;
-            truss[ei] = s;
-            let edge = graph.edge(e);
-            let (u, v) = (edge.u, edge.v);
-            for w in graph.common_neighbors(u, v) {
-                let euw = graph.edge_id(u, w).expect("triangle edge exists");
-                let evw = graph.edge_id(v, w).expect("triangle edge exists");
-                if removed[euw as usize] || removed[evw as usize] {
-                    continue; // this triangle is already gone
-                }
-                for f in [euw, evw] {
-                    let fi = f as usize;
-                    if support[fi] > s {
-                        support[fi] -= 1;
-                        heap.push(Reverse((support[fi], f)));
-                    }
-                }
-            }
-        }
-        TrussDecomposition {
-            truss_numbers: truss,
-        }
+        let support = TrussSupport::deterministic(graph, Parallelism::Sequential);
+        let kappa: Vec<u32> = (0..support.num_elements())
+            .map(|e| support.support(e as u32) as u32)
+            .collect();
+        let (truss_numbers, _stats) = peel_deferred(&support, kappa, |e, triangle_dead| {
+            support
+                .cells_of(e)
+                .iter()
+                .filter(|&&t| !triangle_dead[t as usize])
+                .count() as u32
+        });
+        TrussDecomposition { truss_numbers }
     }
 
     /// Truss number of edge `e`.
@@ -266,6 +243,11 @@ mod tests {
         let fast = TrussDecomposition::compute(&g);
         let naive = naive_truss_numbers(&g);
         assert_eq!(fast.truss_numbers(), naive.as_slice());
+        assert_eq!(
+            fast.truss_numbers(),
+            crate::reference::truss_numbers(&g).as_slice(),
+            "generic engine must match the frozen eager heap peel"
+        );
     }
 
     #[test]

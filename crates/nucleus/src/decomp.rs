@@ -1,0 +1,706 @@
+//! Unified (r,s)-decomposition surface.
+//!
+//! The paper's ℓ-NuDecomp is the (3,4) instance of the (r,s)-nucleus
+//! family (Sarıyüce et al.); the probabilistic (k,η)-core (Bonchi et
+//! al.) is (1,2) and the local (k,γ)-truss (Huang et al.) is (2,3) —
+//! the same peel-with-Poisson-binomial-DP shape at every rank.  This
+//! module is the one entry point that computes any of them on the
+//! shared engine of [`ugraph::rs`]:
+//!
+//! * [`Rank`] selects the instance,
+//! * [`DecompConfig`] is the builder-style configuration (rank,
+//!   threshold, scoring method, parallelism), validated into the typed
+//!   errors of [`crate::error`],
+//! * [`Decomposition::compute`] runs one threshold,
+//! * [`DecompSweep::compute`] amortizes one support build across a whole
+//!   threshold grid, for any rank.
+//!
+//! Outputs are **bit-identical** to the historical per-rank entry points
+//! (`probdecomp::EtaCoreDecomposition`, `probdecomp::GammaTrussDecomposition`,
+//! [`LocalNucleusDecomposition`]): the supports gather the same floats in
+//! the same order, the DP is the same arithmetic, and the deferred peel
+//! reaches the same fixpoint as the frozen eager references (the DP
+//! scorer is monotone under cell removal, which makes the peeling
+//! fixpoint schedule-independent).  Differential proptests in
+//! `tests/rs_engine_equivalence.rs` enforce this per rank.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use ugraph::rs::{self, CoreSupport, PeelStats, RsSupport, TailScratch, TrussSupport};
+use ugraph::{par, Parallelism, UncertainGraph};
+
+use crate::approx::ApproxMethod;
+use crate::config::{LocalConfig, ScoreMethod, SweepConfig};
+use crate::error::{NucleusError, Result};
+use crate::local::{LocalNucleusDecomposition, ThetaSweep};
+
+/// Which member of the (r,s)-nucleus family to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rank {
+    /// (1,2): vertices scored by incident edges — the probabilistic
+    /// (k,η)-core.
+    Core,
+    /// (2,3): edges scored by triangles — the local probabilistic
+    /// (k,γ)-truss.
+    Truss,
+    /// (3,4): triangles scored by 4-cliques — the paper's ℓ-NuDecomp.
+    Nucleus,
+}
+
+impl Rank {
+    /// The element clique size `r`.
+    pub fn r(&self) -> usize {
+        match self {
+            Rank::Core => 1,
+            Rank::Truss => 2,
+            Rank::Nucleus => 3,
+        }
+    }
+
+    /// The cell clique size `s = r + 1`.
+    pub fn s(&self) -> usize {
+        self.r() + 1
+    }
+
+    /// Lower-case name (`core`, `truss`, `nucleus`), as accepted by
+    /// [`FromStr`] and emitted in bench reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Rank::Core => "core",
+            Rank::Truss => "truss",
+            Rank::Nucleus => "nucleus",
+        }
+    }
+
+    /// Conventional name of this rank's probability threshold: `eta`
+    /// for the core, `gamma` for the truss, `theta` for the nucleus.
+    pub fn threshold_name(&self) -> &'static str {
+        match self {
+            Rank::Core => "eta",
+            Rank::Truss => "gamma",
+            Rank::Nucleus => "theta",
+        }
+    }
+
+    /// What the peeled elements are (`vertices`, `edges`, `triangles`).
+    pub fn element_name(&self) -> &'static str {
+        match self {
+            Rank::Core => "vertices",
+            Rank::Truss => "edges",
+            Rank::Nucleus => "triangles",
+        }
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A rank name that [`Rank::from_str`] did not recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRankError(pub String);
+
+impl fmt::Display for UnknownRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown rank '{}' (expected 'core', 'truss' or 'nucleus')",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownRankError {}
+
+impl FromStr for Rank {
+    type Err = UnknownRankError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "core" => Ok(Rank::Core),
+            "truss" => Ok(Rank::Truss),
+            "nucleus" => Ok(Rank::Nucleus),
+            other => Err(UnknownRankError(other.to_string())),
+        }
+    }
+}
+
+/// Builder-style configuration of a single-threshold (r,s)
+/// decomposition.
+///
+/// Construct with [`core`](Self::core) / [`truss`](Self::truss) /
+/// [`nucleus`](Self::nucleus), refine with the `with_*` methods, and
+/// hand to [`Decomposition::compute`] — which validates into the typed
+/// errors of [`NucleusError`] before touching the graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecompConfig {
+    /// The (r,s) instance to compute.
+    pub rank: Rank,
+    /// The probability threshold (η, γ or θ depending on the rank),
+    /// required in `(0, 1]`.
+    pub threshold: f64,
+    /// How scores are computed.  [`ScoreMethod::Hybrid`] is calibrated
+    /// for the (3,4) rank and rejected elsewhere.
+    pub method: ScoreMethod,
+    /// Parallelism of the support build and initial scoring pass.
+    /// Results are bit-identical for every setting.
+    pub parallelism: Parallelism,
+}
+
+impl DecompConfig {
+    fn new(rank: Rank, threshold: f64) -> Self {
+        DecompConfig {
+            rank,
+            threshold,
+            method: ScoreMethod::DynamicProgramming,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Probabilistic (k,η)-core configuration.
+    pub fn core(eta: f64) -> Self {
+        Self::new(Rank::Core, eta)
+    }
+
+    /// Local probabilistic (k,γ)-truss configuration.
+    pub fn truss(gamma: f64) -> Self {
+        Self::new(Rank::Truss, gamma)
+    }
+
+    /// ℓ-NuDecomp configuration (equivalent to
+    /// [`LocalConfig::exact`]).
+    pub fn nucleus(theta: f64) -> Self {
+        Self::new(Rank::Nucleus, theta)
+    }
+
+    /// Sets the scoring method ([`ScoreMethod::Hybrid`] is only valid at
+    /// [`Rank::Nucleus`]; validation rejects it elsewhere).
+    pub fn with_method(mut self, method: ScoreMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the parallelism of the support build and scoring passes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Validates the threshold range and the method/rank combination.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) || self.threshold.is_nan() {
+            return Err(NucleusError::InvalidThreshold {
+                name: self.rank.threshold_name(),
+                value: self.threshold,
+            });
+        }
+        if self.rank != Rank::Nucleus && matches!(self.method, ScoreMethod::Hybrid(_)) {
+            return Err(NucleusError::UnsupportedMethod {
+                rank: self.rank.as_str(),
+                method: "hybrid",
+            });
+        }
+        // Delegate hybrid-hyperparameter checks (and re-check θ) to the
+        // rank-3 config.
+        self.local_config().validate().map_err(|e| match e {
+            // Re-label the threshold under this rank's conventional name.
+            NucleusError::InvalidThreshold { value, .. } if value == self.threshold => {
+                NucleusError::InvalidThreshold {
+                    name: self.rank.threshold_name(),
+                    value,
+                }
+            }
+            other => other,
+        })
+    }
+
+    /// The equivalent rank-3 [`LocalConfig`] (used for the nucleus path
+    /// and for hyperparameter validation).
+    fn local_config(&self) -> LocalConfig {
+        LocalConfig {
+            theta: self.threshold,
+            method: self.method,
+            parallelism: self.parallelism,
+        }
+    }
+}
+
+/// Result of a unified (r,s) decomposition: the decomposition number of
+/// every element (core number, truss number or ℓ-nucleusness, indexed by
+/// vertex, edge or triangle id), plus the engine's deterministic perf
+/// counters.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    config: DecompConfig,
+    initial_scores: Vec<u32>,
+    scores: Vec<u32>,
+    method_counts: HashMap<ApproxMethod, usize>,
+    stats: PeelStats,
+}
+
+impl Decomposition {
+    /// Computes the decomposition selected by `config`, validating the
+    /// configuration first.
+    pub fn compute(graph: &UncertainGraph, config: &DecompConfig) -> Result<Self> {
+        config.validate()?;
+        match config.rank {
+            Rank::Nucleus => {
+                let local = LocalNucleusDecomposition::compute(graph, &config.local_config())?;
+                Ok(Decomposition {
+                    config: *config,
+                    initial_scores: local.initial_scores().to_vec(),
+                    scores: local.scores().to_vec(),
+                    method_counts: local.method_counts().clone(),
+                    stats: *local.peel_stats(),
+                })
+            }
+            Rank::Core => {
+                let support = CoreSupport::build(graph);
+                Ok(Self::run_generic(config, &support))
+            }
+            Rank::Truss => {
+                let support = TrussSupport::build(graph, config.parallelism);
+                Ok(Self::run_generic(config, &support))
+            }
+        }
+    }
+
+    /// Runs the generic engine over a prebuilt support: parallel initial
+    /// DP pass (ordered merge, so bit-identical for every thread count),
+    /// then the deferred bucket-queue peel.
+    fn run_generic<S: RsSupport + Sync>(config: &DecompConfig, support: &S) -> Self {
+        let n = support.num_elements();
+        let threshold = config.threshold;
+        let scored: Vec<(u32, usize)> =
+            par::par_map_init(config.parallelism, n, TailScratch::new, |scratch, t| {
+                let k = scratch.score(support, t as u32, threshold, |_| true);
+                (k, scratch.peak_bytes())
+            });
+        let mut kappa = Vec::with_capacity(n);
+        let mut init_peak = 0usize;
+        for (k, peak) in scored {
+            kappa.push(k);
+            // Per-item values are running per-chunk maxima; the overall
+            // maximum is independent of the chunk partition.
+            init_peak = init_peak.max(peak);
+        }
+        let initial_scores = kappa.clone();
+
+        let mut scratch = TailScratch::new();
+        let (scores, mut stats) = rs::peel_deferred(support, kappa, |t, cell_dead| {
+            scratch.score(support, t, threshold, |c| !cell_dead[c as usize])
+        });
+        stats.peak_scratch_bytes = scratch.peak_bytes().max(init_peak);
+
+        let mut method_counts = HashMap::new();
+        method_counts.insert(ApproxMethod::DynamicProgramming, n);
+        Decomposition {
+            config: *config,
+            initial_scores,
+            scores,
+            method_counts,
+            stats,
+        }
+    }
+
+    /// The validated configuration the decomposition ran with.
+    pub fn config(&self) -> &DecompConfig {
+        &self.config
+    }
+
+    /// The rank that was computed.
+    pub fn rank(&self) -> Rank {
+        self.config.rank
+    }
+
+    /// Decomposition number of element `id` (vertex, edge or triangle id
+    /// depending on the rank).
+    pub fn score(&self, id: u32) -> u32 {
+        self.scores[id as usize]
+    }
+
+    /// Decomposition number of every element, indexed by element id.
+    pub fn scores(&self) -> &[u32] {
+        &self.scores
+    }
+
+    /// The initial scores (before peeling), indexed by element id.
+    pub fn initial_scores(&self) -> &[u32] {
+        &self.initial_scores
+    }
+
+    /// The largest decomposition number.
+    pub fn max_score(&self) -> u32 {
+        self.scores.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of peeled elements.
+    pub fn num_elements(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Evaluation method of each element's initial score computation.
+    pub fn method_counts(&self) -> &HashMap<ApproxMethod, usize> {
+        &self.method_counts
+    }
+
+    /// Deterministic perf counters of the peeling engine.
+    pub fn peel_stats(&self) -> &PeelStats {
+        &self.stats
+    }
+}
+
+/// A threshold sweep at any rank: one support build amortized across a
+/// whole grid, per-point scores and [`PeelStats`].
+///
+/// At [`Rank::Nucleus`] this delegates to [`ThetaSweep`] (the paper's
+/// amortized index); at the other ranks it runs the generic engine per
+/// grid point over the shared support.  Every per-point result is
+/// bit-identical to an independent [`Decomposition::compute`] at that
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct DecompSweep {
+    rank: Rank,
+    thresholds: Vec<f64>,
+    points: Vec<SweepPoint>,
+    support_builds: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SweepPoint {
+    scores: Vec<u32>,
+    initial_scores: Vec<u32>,
+    stats: PeelStats,
+}
+
+impl DecompSweep {
+    /// Sweeps `config.thetas` (interpreted as the rank's threshold grid:
+    /// η, γ or θ values) at the given rank.  The grid is validated like a
+    /// θ grid — non-empty, finite, in `(0, 1]`, strictly ascending — and
+    /// the method/rank combination like a [`DecompConfig`].
+    pub fn compute(graph: &UncertainGraph, rank: Rank, config: &SweepConfig) -> Result<Self> {
+        config.validate()?;
+        if rank != Rank::Nucleus && matches!(config.method, ScoreMethod::Hybrid(_)) {
+            return Err(NucleusError::UnsupportedMethod {
+                rank: rank.as_str(),
+                method: "hybrid",
+            });
+        }
+        match rank {
+            Rank::Nucleus => {
+                let index = ThetaSweep::compute(graph, config)?;
+                let points = (0..index.grid_len())
+                    .map(|gi| SweepPoint {
+                        scores: index.scores_at_index(gi).to_vec(),
+                        initial_scores: index.initial_scores_at_index(gi).to_vec(),
+                        stats: index.peel_stats()[gi],
+                    })
+                    .collect();
+                Ok(DecompSweep {
+                    rank,
+                    thresholds: config.thetas.clone(),
+                    points,
+                    support_builds: index.support_builds(),
+                })
+            }
+            Rank::Core => {
+                let support = CoreSupport::build(graph);
+                Ok(Self::sweep_generic(rank, config, &support))
+            }
+            Rank::Truss => {
+                let support = TrussSupport::build(graph, config.parallelism);
+                Ok(Self::sweep_generic(rank, config, &support))
+            }
+        }
+    }
+
+    fn sweep_generic<S: RsSupport + Sync>(rank: Rank, config: &SweepConfig, support: &S) -> Self {
+        let grid_len = config.thetas.len();
+        // Parallelize across grid points when there are several; inside a
+        // grid-point worker the scoring runs sequentially (mirrors
+        // ThetaSweep's schedule, and results are schedule-independent).
+        let inner = if grid_len >= 2 {
+            Parallelism::Sequential
+        } else {
+            config.parallelism
+        };
+        let points: Vec<SweepPoint> = par::par_map(config.parallelism, grid_len, |gi| {
+            let point_config = DecompConfig {
+                rank,
+                threshold: config.thetas[gi],
+                method: config.method,
+                parallelism: inner,
+            };
+            let d = Decomposition::run_generic(&point_config, support);
+            SweepPoint {
+                scores: d.scores,
+                initial_scores: d.initial_scores,
+                stats: d.stats,
+            }
+        });
+        DecompSweep {
+            rank,
+            thresholds: config.thetas.clone(),
+            points,
+            support_builds: 1,
+        }
+    }
+
+    /// The rank the sweep was computed at.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// The threshold grid, sorted ascending.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Number of grid points.
+    pub fn grid_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of peeled elements (shared by every grid point).
+    pub fn num_elements(&self) -> usize {
+        self.points.first().map_or(0, |p| p.scores.len())
+    }
+
+    /// Support builds the engine performed — pinned to 1 by the CI perf
+    /// gate, the whole point of the sweep.
+    pub fn support_builds(&self) -> usize {
+        self.support_builds
+    }
+
+    /// Decomposition numbers at grid point `index`.
+    pub fn scores_at_index(&self, index: usize) -> &[u32] {
+        &self.points[index].scores
+    }
+
+    /// Initial scores at grid point `index`.
+    pub fn initial_scores_at_index(&self, index: usize) -> &[u32] {
+        &self.points[index].initial_scores
+    }
+
+    /// Peeling perf counters of every grid point, in grid order.
+    pub fn peel_stats(&self) -> Vec<PeelStats> {
+        self.points.iter().map(|p| p.stats).collect()
+    }
+
+    /// Sum of peeling-time score recomputations across the grid.
+    pub fn total_dp_calls(&self) -> usize {
+        self.points.iter().map(|p| p.stats.dp_calls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rank_metadata() {
+        assert_eq!(Rank::Core.r(), 1);
+        assert_eq!(Rank::Core.s(), 2);
+        assert_eq!(Rank::Truss.r(), 2);
+        assert_eq!(Rank::Nucleus.s(), 4);
+        assert_eq!(Rank::Truss.threshold_name(), "gamma");
+        assert_eq!(Rank::Nucleus.to_string(), "nucleus");
+        assert_eq!(Rank::Core.element_name(), "vertices");
+        assert_eq!("truss".parse::<Rank>(), Ok(Rank::Truss));
+        let err = "triangle".parse::<Rank>().unwrap_err();
+        assert!(err.to_string().contains("unknown rank 'triangle'"));
+    }
+
+    #[test]
+    fn config_validation_uses_rank_specific_threshold_names() {
+        for (config, name) in [
+            (DecompConfig::core(0.0), "eta"),
+            (DecompConfig::truss(1.5), "gamma"),
+            (DecompConfig::nucleus(f64::NAN), "theta"),
+        ] {
+            match config.validate() {
+                Err(NucleusError::InvalidThreshold { name: got, .. }) => {
+                    assert_eq!(got, name)
+                }
+                other => panic!("expected InvalidThreshold, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_method_is_nucleus_only() {
+        let hybrid = ScoreMethod::Hybrid(crate::config::ApproxThresholds::default());
+        assert_eq!(
+            DecompConfig::core(0.5).with_method(hybrid).validate(),
+            Err(NucleusError::UnsupportedMethod {
+                rank: "core",
+                method: "hybrid",
+            })
+        );
+        assert_eq!(
+            DecompConfig::truss(0.5).with_method(hybrid).validate(),
+            Err(NucleusError::UnsupportedMethod {
+                rank: "truss",
+                method: "hybrid",
+            })
+        );
+        assert!(DecompConfig::nucleus(0.5)
+            .with_method(hybrid)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn certain_k5_has_known_core_truss_nucleus_numbers() {
+        let g = complete(5, 1.0);
+        let core = Decomposition::compute(&g, &DecompConfig::core(0.9)).unwrap();
+        assert_eq!(core.rank(), Rank::Core);
+        assert!(core.scores().iter().all(|&s| s == 4), "{:?}", core.scores());
+        let truss = Decomposition::compute(&g, &DecompConfig::truss(0.9)).unwrap();
+        assert!(truss.scores().iter().all(|&s| s == 3));
+        let nucleus = Decomposition::compute(&g, &DecompConfig::nucleus(0.9)).unwrap();
+        assert!(nucleus.scores().iter().all(|&s| s == 2));
+        assert_eq!(core.num_elements(), 5);
+        assert_eq!(truss.num_elements(), 10);
+        assert_eq!(nucleus.num_elements(), 10);
+    }
+
+    #[test]
+    fn nucleus_rank_matches_local_decomposition_bitwise() {
+        let g = complete(6, 0.7);
+        let unified = Decomposition::compute(&g, &DecompConfig::nucleus(0.2)).unwrap();
+        let local = LocalNucleusDecomposition::compute(&g, &LocalConfig::exact(0.2)).unwrap();
+        assert_eq!(unified.scores(), local.scores());
+        assert_eq!(unified.initial_scores(), local.initial_scores());
+        assert_eq!(unified.peel_stats(), local.peel_stats());
+        assert_eq!(unified.method_counts(), local.method_counts());
+    }
+
+    #[test]
+    fn initial_scores_bound_final_scores_at_every_rank() {
+        let g = complete(6, 0.6);
+        for config in [
+            DecompConfig::core(0.3),
+            DecompConfig::truss(0.3),
+            DecompConfig::nucleus(0.3),
+        ] {
+            let d = Decomposition::compute(&g, &config).unwrap();
+            assert_eq!(
+                d.method_counts()[&ApproxMethod::DynamicProgramming],
+                d.num_elements()
+            );
+            for t in 0..d.num_elements() {
+                assert!(d.scores()[t] <= d.initial_scores()[t], "{:?}", config.rank);
+            }
+            assert_eq!(d.max_score(), d.scores().iter().copied().max().unwrap());
+            assert_eq!(d.score(0), d.scores()[0]);
+        }
+    }
+
+    #[test]
+    fn results_are_parallelism_independent_at_every_rank() {
+        let g = complete(7, 0.65);
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let base = Decomposition::compute(
+                &g,
+                &DecompConfig::new(rank, 0.2).with_parallelism(Parallelism::Sequential),
+            )
+            .unwrap();
+            for threads in [2, 8] {
+                let par = Decomposition::compute(
+                    &g,
+                    &DecompConfig::new(rank, 0.2).with_parallelism(Parallelism::fixed(threads)),
+                )
+                .unwrap();
+                assert_eq!(par.scores(), base.scores(), "{rank} x{threads}");
+                assert_eq!(par.initial_scores(), base.initial_scores());
+                assert_eq!(par.peel_stats(), base.peel_stats());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_independent_runs_at_every_rank() {
+        let g = complete(6, 0.7);
+        let grid = vec![0.1, 0.3, 0.6, 0.9];
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let sweep = DecompSweep::compute(&g, rank, &SweepConfig::exact(grid.clone())).unwrap();
+            assert_eq!(sweep.rank(), rank);
+            assert_eq!(sweep.grid_len(), grid.len());
+            assert_eq!(sweep.support_builds(), 1, "{rank}");
+            assert_eq!(sweep.thresholds(), &grid[..]);
+            let stats = sweep.peel_stats();
+            for (gi, &threshold) in grid.iter().enumerate() {
+                let solo = Decomposition::compute(&g, &DecompConfig::new(rank, threshold)).unwrap();
+                assert_eq!(
+                    sweep.scores_at_index(gi),
+                    solo.scores(),
+                    "{rank} @ {threshold}"
+                );
+                assert_eq!(sweep.initial_scores_at_index(gi), solo.initial_scores());
+                assert_eq!(&stats[gi], solo.peel_stats());
+            }
+            assert_eq!(
+                sweep.total_dp_calls(),
+                stats.iter().map(|s| s.dp_calls).sum::<usize>()
+            );
+            assert_eq!(sweep.num_elements(), sweep.scores_at_index(0).len());
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_grids_and_methods() {
+        let g = complete(4, 0.5);
+        assert!(matches!(
+            DecompSweep::compute(&g, Rank::Core, &SweepConfig::exact(vec![])),
+            Err(NucleusError::InvalidThetaGrid(_))
+        ));
+        assert!(matches!(
+            DecompSweep::compute(&g, Rank::Truss, &SweepConfig::exact(vec![0.5, 0.2])),
+            Err(NucleusError::InvalidThetaGrid(_))
+        ));
+        assert!(matches!(
+            DecompSweep::compute(&g, Rank::Core, &SweepConfig::approximate(vec![0.5])),
+            Err(NucleusError::UnsupportedMethod {
+                rank: "core",
+                method: "hybrid",
+            })
+        ));
+        assert!(
+            DecompSweep::compute(&g, Rank::Nucleus, &SweepConfig::approximate(vec![0.5])).is_ok()
+        );
+    }
+
+    #[test]
+    fn scores_monotone_in_threshold_at_every_rank() {
+        let g = complete(6, 0.6);
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let sweep =
+                DecompSweep::compute(&g, rank, &SweepConfig::exact(vec![0.05, 0.2, 0.5, 0.8]))
+                    .unwrap();
+            for gi in 1..sweep.grid_len() {
+                for t in 0..sweep.num_elements() {
+                    assert!(
+                        sweep.scores_at_index(gi)[t] <= sweep.scores_at_index(gi - 1)[t],
+                        "{rank}: scores must be non-increasing in the threshold"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -73,6 +73,15 @@ pub enum NucleusError {
     },
     /// A θ grid handed to the sweep engine was malformed.
     InvalidThetaGrid(ThetaGridError),
+    /// The requested scoring method is not available at the requested
+    /// rank of the (r,s)-nucleus family (the hybrid statistical
+    /// approximations are calibrated for (3,4) only).
+    UnsupportedMethod {
+        /// The requested rank (`core`, `truss`, `nucleus`).
+        rank: &'static str,
+        /// The rejected scoring method.
+        method: &'static str,
+    },
     /// The requested operation needs an exhaustive enumeration of possible
     /// worlds, but the graph has too many edges.
     GraphTooLargeForExact {
@@ -97,6 +106,10 @@ impl fmt::Display for NucleusError {
                 write!(f, "invalid value {value} for parameter '{name}'")
             }
             NucleusError::InvalidThetaGrid(e) => write!(f, "invalid theta grid: {e}"),
+            NucleusError::UnsupportedMethod { rank, method } => write!(
+                f,
+                "scoring method '{method}' is not supported by the {rank} decomposition"
+            ),
             NucleusError::GraphTooLargeForExact {
                 num_edges,
                 max_edges,

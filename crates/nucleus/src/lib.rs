@@ -47,6 +47,7 @@
 //! | module | paper section | contents |
 //! |--------|---------------|----------|
 //! | [`support`] | 5.1 | per-triangle 4-clique completion probabilities |
+//! | [`decomp`] | — | unified (r,s) surface: [`DecompConfig`], [`Decomposition`], [`DecompSweep`] over core/truss/nucleus |
 //! | [`local`] | 5.1–5.2 | exact DP and the peeling algorithm (Algorithm 1) |
 //! | [`local::sweep`] | 5, §7 sweeps | θ-sweep index: one support build amortized over a θ grid, O(log grid) (θ, k) queries |
 //! | [`approx`] | 5.3 | Poisson / Translated-Poisson / Binomial / CLT approximations and the hybrid selector |
@@ -58,6 +59,7 @@
 
 pub mod approx;
 pub mod config;
+pub mod decomp;
 pub mod error;
 pub mod exact;
 pub mod global;
@@ -69,6 +71,7 @@ pub mod weakly_global;
 
 pub use approx::ApproxMethod;
 pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod, SweepConfig};
+pub use decomp::{DecompConfig, DecompSweep, Decomposition, Rank, UnknownRankError};
 pub use error::{NucleusError, Result, ThetaGridError};
 pub use global::{global_nuclei, GlobalConfig, GlobalNucleus};
 pub use local::{LocalNucleusDecomposition, NucleusIndex, PeelStats, ThetaSweep};

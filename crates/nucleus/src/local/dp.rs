@@ -1,254 +1,19 @@
-//! Exact dynamic programming for the probabilistic triangle support
-//! (Section 5.1, Equations 6–7).
+//! Exact Poisson-binomial dynamic programming (Section 5.1 of the
+//! paper).
 //!
-//! For a triangle `△` with 4-clique completion events `E_1, …, E_c` (see
-//! [`crate::support`]), let `ζ = Σ E_i`.  The DP table
-//! `X(S_△, k, j)` — the probability that exactly `k` of the first `j`
-//! events hold — satisfies
+//! The DP is not (3,4)-specific: the same recurrence scores every rank
+//! of the (r,s)-nucleus family, so the implementation lives in
+//! [`ugraph::rs::dp`] where the probabilistic core (1,2) and truss (2,3)
+//! engines share it.  This module re-exports it under its historical
+//! path; the arithmetic is unchanged, so scores remain bit-identical to
+//! earlier releases.
 //!
-//! ```text
-//! X(S, k, j) = Pr(E_j)·X(S, k−1, j−1) + (1 − Pr(E_j))·X(S, k, j−1)
-//! ```
-//!
-//! with `X(S, 0, 0) = 1`.  Multiplying by `Pr(△)` gives
-//! `Pr(X_{𝒢,△,ℓ} = k)` and the tail `Pr(X_{𝒢,△,ℓ} ≥ k)`
-//! (Proposition 5.1).  The full table costs `O(c²)` per triangle.
+//! In nucleus terms: `element_prob` is `Pr(△)`, the completion
+//! probabilities are the `Pr(E_i)` of the 4-clique completion events of
+//! the triangle (see [`crate::support`]), and [`max_k`] yields the
+//! largest `k` with `Pr(X_{𝒢,△,ℓ} ≥ k) ≥ θ` (Proposition 5.1).
 
-/// Reusable buffers for the DP tables.
-///
-/// The peeling engine evaluates the DP thousands of times; allocating a
-/// fresh pmf/tail vector per evaluation dominated the allocator profile.
-/// A `DpScratch` is grown once to the largest support encountered and
-/// reused, so the steady state allocates nothing.  The arithmetic is the
-/// exact sequence of operations of the allocating entry points, so scores
-/// computed through a scratch are bit-identical to them.
-#[derive(Debug, Clone, Default)]
-pub struct DpScratch {
-    pmf: Vec<f64>,
-    tail: Vec<f64>,
-}
-
-impl DpScratch {
-    /// An empty scratch; buffers grow on first use.
-    pub fn new() -> Self {
-        DpScratch::default()
-    }
-
-    /// Fills `self.pmf` with `Pr[ζ = k]` for `k = 0..=c`.
-    fn fill_pmf(&mut self, completion_probs: &[f64]) {
-        let c = completion_probs.len();
-        self.pmf.clear();
-        self.pmf.resize(c + 1, 0.0);
-        self.pmf[0] = 1.0;
-        for (j, &p) in completion_probs.iter().enumerate() {
-            for k in (0..=j + 1).rev() {
-                let keep = if k <= j { self.pmf[k] * (1.0 - p) } else { 0.0 };
-                let take = if k > 0 { self.pmf[k - 1] * p } else { 0.0 };
-                self.pmf[k] = keep + take;
-            }
-        }
-    }
-
-    /// Fills `self.pmf` and `self.tail` (`Pr[ζ ≥ k]` for `k = 0..=c`).
-    fn fill_tail(&mut self, completion_probs: &[f64]) {
-        self.fill_pmf(completion_probs);
-        self.tail.clear();
-        self.tail.resize(self.pmf.len(), 0.0);
-        let mut acc = 0.0;
-        for k in (0..self.pmf.len()).rev() {
-            acc += self.pmf[k];
-            self.tail[k] = acc.min(1.0);
-        }
-    }
-}
-
-/// Bytes of DP-table scratch required for a support of size `c`: the pmf
-/// and tail vectors, `c + 1` entries of 8 bytes each.  A *logical*
-/// requirement (element count, not allocator capacity), so it is
-/// independent of evaluation order and thread count — which keeps the
-/// `peak_scratch_bytes` perf counter deterministic.
-pub fn table_bytes(c: usize) -> usize {
-    2 * (c + 1) * std::mem::size_of::<f64>()
-}
-
-/// Probability mass function of `ζ` (the number of 4-cliques containing
-/// the triangle that materialize).  Entry `k` is `Pr[ζ = k]` for
-/// `k = 0..=c`.
-pub fn support_pmf(completion_probs: &[f64]) -> Vec<f64> {
-    let mut scratch = DpScratch::new();
-    scratch.fill_pmf(completion_probs);
-    scratch.pmf
-}
-
-/// Tail probabilities of `ζ`: entry `k` is `Pr[ζ ≥ k]` for `k = 0..=c`.
-pub fn support_tail(completion_probs: &[f64]) -> Vec<f64> {
-    let mut scratch = DpScratch::new();
-    scratch.fill_tail(completion_probs);
-    scratch.tail
-}
-
-/// `Pr(X_{𝒢,△,ℓ} ≥ k)` for a single `k` (Proposition 5.1):
-/// `Pr(△) · Pr[ζ ≥ k]`.
-pub fn local_tail_probability(triangle_prob: f64, completion_probs: &[f64], k: usize) -> f64 {
-    if k > completion_probs.len() {
-        return 0.0;
-    }
-    triangle_prob * support_tail(completion_probs)[k]
-}
-
-/// The initial nucleus score of a triangle: the largest `k` such that
-/// `Pr(△) · Pr[ζ ≥ k] ≥ θ`, or `0` when even `k = 0` fails (i.e. the
-/// triangle itself exists with probability below `θ`).
-pub fn max_k(triangle_prob: f64, completion_probs: &[f64], theta: f64) -> u32 {
-    max_k_with_scratch(
-        &mut DpScratch::new(),
-        triangle_prob,
-        completion_probs,
-        theta,
-    )
-}
-
-/// [`max_k`] evaluated through a reusable [`DpScratch`].  Performs the
-/// identical arithmetic, so the returned score is bit-for-bit the same;
-/// only the allocations differ.
-pub fn max_k_with_scratch(
-    scratch: &mut DpScratch,
-    triangle_prob: f64,
-    completion_probs: &[f64],
-    theta: f64,
-) -> u32 {
-    if triangle_prob < theta {
-        return 0;
-    }
-    scratch.fill_tail(completion_probs);
-    let mut best = 0u32;
-    for (k, &t) in scratch.tail.iter().enumerate() {
-        if triangle_prob * t >= theta {
-            best = k as u32;
-        } else {
-            break; // tails are non-increasing in k
-        }
-    }
-    best
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
-    }
-
-    #[test]
-    fn pmf_of_no_cliques() {
-        assert_eq!(support_pmf(&[]), vec![1.0]);
-        assert_eq!(support_tail(&[]), vec![1.0]);
-    }
-
-    #[test]
-    fn pmf_matches_exhaustive_enumeration() {
-        let probs = [0.3, 0.7, 0.45];
-        let pmf = support_pmf(&probs);
-        let mut expected = [0.0f64; 4];
-        for mask in 0u32..8 {
-            let mut p = 1.0;
-            let mut cnt = 0usize;
-            for (i, &pi) in probs.iter().enumerate() {
-                if mask & (1 << i) != 0 {
-                    p *= pi;
-                    cnt += 1;
-                } else {
-                    p *= 1.0 - pi;
-                }
-            }
-            expected[cnt] += p;
-        }
-        for k in 0..4 {
-            assert_close(pmf[k], expected[k]);
-        }
-        assert_close(pmf.iter().sum::<f64>(), 1.0);
-    }
-
-    #[test]
-    fn tail_is_monotone() {
-        let probs = [0.2, 0.9, 0.5, 0.5, 0.1];
-        let tail = support_tail(&probs);
-        assert_close(tail[0], 1.0);
-        for w in tail.windows(2) {
-            assert!(w[0] >= w[1] - 1e-15);
-        }
-    }
-
-    #[test]
-    fn local_tail_probability_values() {
-        // Figure 2a example of the paper: triangle (1,3,5) of the
-        // ℓ-(1, 0.42)-nucleus is in one 4-clique that exists with
-        // probability 0.5, and the triangle itself has probability 1.
-        assert_close(local_tail_probability(1.0, &[0.5], 1), 0.5);
-        assert_close(local_tail_probability(1.0, &[0.5], 0), 1.0);
-        assert_eq!(local_tail_probability(1.0, &[0.5], 2), 0.0);
-    }
-
-    #[test]
-    fn max_k_on_paper_example() {
-        // Pr(△) = 1, one clique with Pr(E) = 0.5, θ = 0.42 → κ = 1.
-        assert_eq!(max_k(1.0, &[0.5], 0.42), 1);
-        // θ = 0.6 → only k = 0 qualifies.
-        assert_eq!(max_k(1.0, &[0.5], 0.6), 0);
-    }
-
-    #[test]
-    fn max_k_zero_when_triangle_is_unlikely() {
-        assert_eq!(max_k(0.05, &[0.9, 0.9], 0.1), 0);
-    }
-
-    #[test]
-    fn max_k_with_many_certain_cliques() {
-        let probs = vec![1.0; 7];
-        assert_eq!(max_k(1.0, &probs, 0.99), 7);
-        assert_eq!(max_k(0.5, &probs, 0.4), 7);
-        assert_eq!(max_k(0.5, &probs, 0.6), 0);
-    }
-
-    #[test]
-    fn scratch_reuse_is_bit_identical_across_sizes() {
-        // A shared scratch cycled through shrinking and growing supports
-        // must return exactly what fresh allocations return.
-        let mut scratch = DpScratch::new();
-        let supports: Vec<Vec<f64>> = vec![
-            vec![0.3, 0.7, 0.45, 0.99, 0.01],
-            vec![0.5],
-            vec![],
-            vec![0.9; 12],
-            vec![0.2, 0.8],
-        ];
-        for probs in &supports {
-            for theta in [0.05, 0.3, 0.7] {
-                assert_eq!(
-                    max_k_with_scratch(&mut scratch, 0.9, probs, theta),
-                    max_k(0.9, probs, theta),
-                    "c={} theta={theta}",
-                    probs.len()
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn table_bytes_counts_both_tables() {
-        assert_eq!(table_bytes(0), 16);
-        assert_eq!(table_bytes(4), 80);
-    }
-
-    #[test]
-    fn max_k_is_monotone_in_theta() {
-        let probs = [0.6, 0.7, 0.8, 0.3, 0.9];
-        let mut last = u32::MAX;
-        for theta in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8] {
-            let k = max_k(0.9, &probs, theta);
-            assert!(k <= last);
-            last = k;
-        }
-    }
-}
+pub use ugraph::rs::dp::{
+    local_tail_probability, max_k, max_k_with_scratch, support_pmf, support_tail, table_bytes,
+    DpScratch,
+};

@@ -11,18 +11,25 @@
 //! 3. a fresh `Vec` allocation per completion-probability gather and per
 //!    DP table.
 //!
-//! This module replaces all three for the exact-DP scorer:
+//! This module replaces all three for the exact-DP scorer by
+//! instantiating the **generic (r,s) engine** of [`ugraph::rs`] at rank
+//! (3,4) — [`SupportStructure`] implements
+//! [`RsSupport`](ugraph::rs::RsSupport), and the probabilistic core and
+//! truss decompositions drive the very same loop at ranks (1,2) and
+//! (2,3):
 //!
-//! * **Monotone bucket queue** ([`BucketQueue`]): priorities are bounded
-//!   by the largest initial κ and the drain level never decreases, so a
-//!   `Vec<Vec<TriangleId>>` indexed by κ gives `O(1)` push/pop.
-//! * **Deferred recompute**: a clique death only decrements an
-//!   alive-clique counter, marks the triangle dirty and (when needed)
-//!   requeues it at the current level.  The DP runs at most once per pop,
-//!   over the *batched* set of deaths since the last evaluation — and is
-//!   skipped entirely when the cheap upper bound `min(κ, alive)` cannot
-//!   exceed the current level, because the clamped score is then pinned
-//!   to the level no matter what the DP would say.
+//! * **Monotone bucket queue** ([`ugraph::rs::BucketQueue`]): priorities
+//!   are bounded by the largest initial κ and the drain level never
+//!   decreases, so a `Vec<Vec<TriangleId>>` indexed by κ gives `O(1)`
+//!   push/pop.
+//! * **Deferred recompute** ([`ugraph::rs::peel_deferred`]): a clique
+//!   death only decrements an alive-clique counter, marks the triangle
+//!   dirty and (when needed) requeues it at the current level.  The DP
+//!   runs at most once per pop, over the *batched* set of deaths since
+//!   the last evaluation — and is skipped entirely when the cheap upper
+//!   bound `min(κ, alive)` cannot exceed the current level, because the
+//!   clamped score is then pinned to the level no matter what the DP
+//!   would say.
 //! * **Scratch arena** ([`ScoreScratch`]): the probability gather buffer
 //!   and the DP pmf/tail tables are reused across evaluations, so the
 //!   steady state allocates nothing.
@@ -53,37 +60,12 @@ use crate::config::{LocalConfig, ScoreMethod};
 use crate::local::dp::{self, DpScratch};
 use crate::support::SupportStructure;
 
-/// Deterministic perf counters of one decomposition run.
-///
-/// Every field is a function of the graph and the configuration only —
-/// independent of wall clock, thread count and allocator behaviour — so
-/// the counters can be committed to a benchmark baseline and gated on in
-/// CI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PeelStats {
-    /// Full score recomputations performed during peeling (DP or, for the
-    /// hybrid scorer, whichever approximation was selected).  The initial
-    /// κ pass is not included: it is always exactly one evaluation per
-    /// triangle and is reported through
-    /// [`method_counts`](super::LocalNucleusDecomposition::method_counts).
-    pub dp_calls: usize,
-    /// Score recomputations avoided because the score was already pinned
-    /// to the current level.  Deferred engine: pops of a dirty triangle
-    /// resolved by the cheap `min(κ, alive)` bound alone.  Eager engine:
-    /// per-neighbour `κ ≤ level` skips inside the clique-death loop (the
-    /// reference implementation's own shortcut).  The two denominators
-    /// differ, so don't compare this field across scorer kinds.
-    pub recompute_skips: usize,
-    /// Distinct bucket-queue priorities that ever held an entry (0 for
-    /// the eager heap engine, which has no buckets).
-    pub buckets_touched: usize,
-    /// Logical high-water mark, in bytes, of the per-evaluation scratch:
-    /// the probability gather buffer plus — when the DP tables were
-    /// actually filled — the pmf/tail tables.  Counted from requested
-    /// element counts, not allocator capacities, so it is identical for
-    /// every thread count.
-    pub peak_scratch_bytes: usize,
-}
+/// Deterministic perf counters — the generic engine's, re-exported under
+/// the historical path.  In this crate `dp_calls` counts peel-phase DP
+/// (or hybrid) evaluations; the initial κ pass is reported through
+/// [`method_counts`](super::LocalNucleusDecomposition::method_counts)
+/// instead.
+pub use ugraph::rs::PeelStats;
 
 /// Reusable scoring arena: one per worker thread (initial pass) or per
 /// engine (peeling), so the steady state allocates nothing.
@@ -190,78 +172,6 @@ pub(super) fn initial_scores(support: &SupportStructure, config: &LocalConfig) -
     }
 }
 
-/// Monotone bucket priority queue over small integer priorities.
-///
-/// Priorities are bounded by the largest initial κ and the drain level
-/// never decreases, so the queue is a `Vec` of buckets scanned once from
-/// priority 0 upward: push and pop are `O(1)`, and the whole peel costs
-/// `O(max κ + pushes)` queue work.  Pushing below the current drain level
-/// violates the monotone contract and is rejected in debug builds.
-///
-/// Stale entries are the caller's concern (lazy deletion): the queue
-/// never removes an entry early, callers skip entries whose recorded
-/// priority no longer matches.
-pub(crate) struct BucketQueue {
-    buckets: Vec<Vec<TriangleId>>,
-    /// Bucket currently being drained.
-    cursor: usize,
-    /// Next unread index within `buckets[cursor]`.
-    head: usize,
-    /// Distinct priorities that ever received an entry.
-    touched: usize,
-}
-
-impl BucketQueue {
-    /// A queue accepting priorities `0..=max_priority`.
-    pub(crate) fn new(max_priority: u32) -> Self {
-        BucketQueue {
-            buckets: vec![Vec::new(); max_priority as usize + 1],
-            cursor: 0,
-            head: 0,
-            touched: 0,
-        }
-    }
-
-    /// Inserts `id` at `priority`.  Monotone contract: `priority` must be
-    /// at least the current drain level.
-    pub(crate) fn push(&mut self, priority: u32, id: TriangleId) {
-        let b = priority as usize;
-        debug_assert!(
-            b >= self.cursor,
-            "monotone bucket queue: push at {b} below drain level {}",
-            self.cursor
-        );
-        if self.buckets[b].is_empty() {
-            self.touched += 1;
-        }
-        self.buckets[b].push(id);
-    }
-
-    /// Pops the next entry in non-decreasing priority order: entries
-    /// within one bucket come out in insertion (FIFO) order, including
-    /// entries pushed at the drain level mid-drain.
-    pub(crate) fn pop(&mut self) -> Option<(u32, TriangleId)> {
-        loop {
-            let bucket = self.buckets.get_mut(self.cursor)?;
-            if self.head < bucket.len() {
-                let id = bucket[self.head];
-                self.head += 1;
-                return Some((self.cursor as u32, id));
-            }
-            // The drained bucket can never be pushed to again; release
-            // its memory as the cursor leaves it.
-            *bucket = Vec::new();
-            self.cursor += 1;
-            self.head = 0;
-        }
-    }
-
-    /// Number of distinct priorities that ever held an entry.
-    pub(crate) fn buckets_touched(&self) -> usize {
-        self.touched
-    }
-}
-
 /// Peels the triangles given their initial κ scores, returning the final
 /// ℓ-nucleusness of every triangle plus the engine's perf counters.
 ///
@@ -279,102 +189,23 @@ pub(super) fn peel(
     }
 }
 
-/// The deferred bucket-queue engine (exact DP scorer only).
-///
-/// Invariants, with `level` the current drain bucket:
-///
-/// * `kappa[t]` is the score of `t` over the cliques alive at its last
-///   evaluation — an upper bound on the current score, because the DP
-///   scorer is monotone under clique removal.
-/// * `alive[t]` counts the alive cliques of `t`, so
-///   `min(kappa[t], alive[t])` is a cheap upper bound on the current
-///   score.
-/// * every unprocessed triangle has exactly one live queue entry, at
-///   `pos[t] ≥ level`; when a clique of `t` dies, `t` is requeued at the
-///   current level (its score may have dropped arbitrarily far), where
-///   the pop either skips via the cheap bound or recomputes once over
-///   the batched deaths.
+/// The deferred bucket-queue engine (exact DP scorer only): the generic
+/// [`ugraph::rs::peel_deferred`] instantiated with the (3,4) support and
+/// the scratch-arena DP rescorer.  The generic loop owns the invariants
+/// (κ upper bounds, alive counters, `min(κ, alive)` skip bound, lazy
+/// deletion) and the `dp_calls`/`recompute_skips`/`buckets_touched`
+/// counters; this wrapper folds the scratch arena's high-water mark into
+/// the stats, exactly as the pre-generic engine did.
 fn peel_deferred(
     support: &SupportStructure,
     config: &LocalConfig,
-    mut kappa: Vec<u32>,
+    kappa: Vec<u32>,
 ) -> (Vec<u32>, PeelStats) {
-    let nt = kappa.len();
-    let nc = support.num_cliques();
-    let mut stats = PeelStats::default();
     let mut scratch = ScoreScratch::new(config);
-
-    let mut scores = vec![0u32; nt];
-    let mut processed = vec![false; nt];
-    let mut dirty = vec![false; nt];
-    let mut clique_dead = vec![false; nc];
-    let mut alive: Vec<u32> = (0..nt)
-        .map(|t| support.support(t as TriangleId) as u32)
-        .collect();
-
-    let max_kappa = kappa.iter().copied().max().unwrap_or(0);
-    let mut queue = BucketQueue::new(max_kappa);
-    let mut pos: Vec<u32> = kappa.clone();
-    for (t, &k) in kappa.iter().enumerate() {
-        queue.push(k, t as TriangleId);
-    }
-
-    while let Some((level, t)) = queue.pop() {
-        let ti = t as usize;
-        if processed[ti] || pos[ti] != level {
-            continue; // lazily deleted stale entry
-        }
-        if dirty[ti] {
-            let bound = kappa[ti].min(alive[ti]);
-            if bound > level {
-                // The batched recompute: one DP over the cliques still
-                // alive, covering every death since the last evaluation.
-                let (fresh, _) = scratch.score(support, t, |c| !clique_dead[c as usize]);
-                stats.dp_calls += 1;
-                // min() for defence in depth: the DP scorer is monotone,
-                // so fresh ≤ kappa[ti] already holds.
-                kappa[ti] = fresh.min(kappa[ti]);
-                dirty[ti] = false;
-                if kappa[ti] > level {
-                    // Still above the level: requeue at its exact score.
-                    pos[ti] = kappa[ti];
-                    queue.push(kappa[ti], t);
-                    continue;
-                }
-            } else {
-                // min(κ, alive) ≤ level pins the clamped score to the
-                // level; the DP result could not change anything.
-                stats.recompute_skips += 1;
-            }
-        }
-        processed[ti] = true;
-        scores[ti] = level;
-
-        // Every clique through t ceases to exist; affected triangles are
-        // only marked, not rescored.
-        for &c in support.cliques_of(t) {
-            if clique_dead[c as usize] {
-                continue;
-            }
-            clique_dead[c as usize] = true;
-            for &other in &support.clique(c).triangles {
-                let oi = other as usize;
-                if other == t || processed[oi] {
-                    continue;
-                }
-                alive[oi] -= 1;
-                dirty[oi] = true;
-                if pos[oi] > level {
-                    // Its score may now be as low as the current level;
-                    // requeue for (at most) one deferred recompute.
-                    pos[oi] = level;
-                    queue.push(level, other);
-                }
-            }
-        }
-    }
-
-    stats.buckets_touched = queue.buckets_touched();
+    let (scores, mut stats) = ugraph::rs::peel_deferred(support, kappa, |t, clique_dead| {
+        let (fresh, _) = scratch.score(support, t, |c| !clique_dead[c as usize]);
+        fresh
+    });
     stats.peak_scratch_bytes = scratch.peak_bytes;
     (scores, stats)
 }
@@ -456,59 +287,8 @@ mod tests {
         b.build()
     }
 
-    #[test]
-    fn bucket_queue_pops_in_priority_then_fifo_order() {
-        let mut q = BucketQueue::new(3);
-        q.push(2, 10);
-        q.push(0, 11);
-        q.push(2, 12);
-        q.push(3, 13);
-        q.push(0, 14);
-        let mut popped = Vec::new();
-        while let Some(e) = q.pop() {
-            popped.push(e);
-        }
-        assert_eq!(popped, vec![(0, 11), (0, 14), (2, 10), (2, 12), (3, 13)]);
-        // Priorities 0, 2 and 3 held entries; 1 never did.
-        assert_eq!(q.buckets_touched(), 3);
-    }
-
-    #[test]
-    fn bucket_queue_accepts_pushes_at_the_drain_level() {
-        let mut q = BucketQueue::new(2);
-        q.push(1, 1);
-        assert_eq!(q.pop(), Some((1, 1)));
-        // Mid-drain push at the current level must come out before any
-        // higher bucket.
-        q.push(1, 2);
-        q.push(2, 3);
-        assert_eq!(q.pop(), Some((1, 2)));
-        assert_eq!(q.pop(), Some((2, 3)));
-        assert_eq!(q.pop(), None);
-        assert_eq!(q.pop(), None, "exhausted queue stays exhausted");
-    }
-
-    #[test]
-    #[should_panic(expected = "monotone bucket queue")]
-    #[cfg(debug_assertions)]
-    fn bucket_queue_rejects_push_below_drain_level() {
-        let mut q = BucketQueue::new(3);
-        q.push(2, 1);
-        assert_eq!(q.pop(), Some((2, 1)));
-        q.push(1, 2);
-    }
-
-    #[test]
-    fn empty_queue_and_zero_priority() {
-        let mut q = BucketQueue::new(0);
-        q.push(0, 7);
-        assert_eq!(q.buckets_touched(), 1);
-        assert_eq!(q.pop(), Some((0, 7)));
-        assert_eq!(q.pop(), None);
-        let mut empty = BucketQueue::new(5);
-        assert_eq!(empty.pop(), None);
-        assert_eq!(empty.buckets_touched(), 0);
-    }
+    // The bucket-queue unit tests moved to `ugraph::rs` together with the
+    // queue itself; what stays here exercises the (3,4) instantiation.
 
     #[test]
     fn deferred_engine_skips_recomputes_via_the_cheap_bound() {

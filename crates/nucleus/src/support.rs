@@ -14,6 +14,7 @@
 //! the statistical approximations and the peeling loop need.
 
 use ugraph::par::{self, Parallelism};
+use ugraph::rs::RsSupport;
 use ugraph::{
     FourClique, FourCliqueEnumerator, Triangle, TriangleId, TriangleIndex, UncertainGraph,
 };
@@ -229,6 +230,41 @@ impl SupportStructure {
     }
 }
 
+/// The (3,4) instance of the generic engine: elements are triangles,
+/// cells are 4-cliques.
+///
+/// The inherent accessors stay the primary API within this crate; the
+/// trait view is what lets the shared `ugraph::rs` peeling engine drive a
+/// nucleus decomposition.  Both go through the same fields, so scores are
+/// identical whichever path gathers them.
+impl RsSupport for SupportStructure {
+    fn num_elements(&self) -> usize {
+        self.num_triangles()
+    }
+
+    fn num_cells(&self) -> usize {
+        self.num_cliques()
+    }
+
+    fn element_prob(&self, t: u32) -> f64 {
+        self.triangle_prob(t)
+    }
+
+    fn cells_of(&self, t: u32) -> &[u32] {
+        &self.cliques_of[t as usize]
+    }
+
+    fn cell_elements(&self, c: u32) -> &[u32] {
+        &self.cliques[c as usize].triangles
+    }
+
+    fn completion_prob(&self, c: u32, t: u32) -> f64 {
+        self.cliques[c as usize]
+            .completion_prob(t)
+            .expect("clique listed for t contains t")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +417,33 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn trait_view_matches_inherent_accessors_bitwise() {
+        let g = k5(0.7);
+        let s = SupportStructure::build(&g);
+        assert_eq!(RsSupport::num_elements(&s), s.num_triangles());
+        assert_eq!(RsSupport::num_cells(&s), s.num_cliques());
+        let mut via_trait = Vec::new();
+        for t in 0..s.num_triangles() as TriangleId {
+            assert_eq!(
+                RsSupport::element_prob(&s, t).to_bits(),
+                s.triangle_prob(t).to_bits()
+            );
+            assert_eq!(RsSupport::cells_of(&s, t), s.cliques_of(t));
+            assert_eq!(RsSupport::support(&s, t), s.support(t));
+            let first = s.cliques_of(t)[0];
+            RsSupport::completion_probs_into(&s, t, |c| c != first, &mut via_trait);
+            let inherent = s.completion_probs_filtered(t, |c| c != first);
+            assert_eq!(via_trait.len(), inherent.len());
+            for (a, b) in via_trait.iter().zip(&inherent) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        for c in 0..s.num_cliques() as u32 {
+            assert_eq!(RsSupport::cell_elements(&s, c), &s.clique(c).triangles);
         }
     }
 

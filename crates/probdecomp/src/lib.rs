@@ -10,14 +10,22 @@
 //!   subgraph in which every edge is contained in at least `k` triangles
 //!   with probability at least `γ`.  See [`prob_truss`].
 //!
-//! Both follow the same pattern as the probabilistic nucleus of the
-//! `nucleus` crate one or two levels down the clique hierarchy: a
-//! Poisson-binomial tail bound per element (vertex / edge) computed by
-//! dynamic programming, combined with support peeling.
+//! Both are instances of the same (r,s)-nucleus template as the
+//! probabilistic nucleus of the `nucleus` crate — a Poisson-binomial tail
+//! bound per element (vertex / edge) computed by dynamic programming,
+//! combined with support peeling — and since the (r,s) API redesign both
+//! types are thin shims over the rank-generic engine behind
+//! [`nucleus::Decomposition`].  New code should prefer that unified
+//! surface (`DecompConfig::core(eta)` / `DecompConfig::truss(gamma)`);
+//! these wrappers remain for the baseline-flavoured accessors
+//! (`vertices_in_core`, `edges_in_truss`, subgraph extraction).  The
+//! pre-redesign eager peels are frozen verbatim in [`reference`] and
+//! pinned bit-identical to the generic engine by the differential tests.
 
 pub mod poisson_binomial;
 pub mod prob_core;
 pub mod prob_truss;
+pub mod reference;
 
 pub use poisson_binomial::{poisson_binomial_pmf, poisson_binomial_tail, threshold_score};
 pub use prob_core::{eta_core_subgraphs, EtaCoreDecomposition};

@@ -6,17 +6,16 @@
 //! every vertex has η-degree ≥ k *within the subgraph*; the η-core number
 //! of a vertex is the largest `k` for which it belongs to a (k,η)-core.
 //!
-//! The decomposition peels vertices in non-decreasing order of their
-//! current η-degree, recomputing the η-degree of the neighbours of a
-//! peeled vertex over their still-alive incident edges — the probabilistic
-//! analogue of the Batagelj–Zaveršnik algorithm.
+//! Since the (r,s)-nucleus API redesign this type is a thin wrapper over
+//! the rank-generic peeling engine: [`EtaCoreDecomposition::try_compute`]
+//! delegates to [`nucleus::Decomposition`] at [`nucleus::Rank::Core`],
+//! which peels vertices with the shared bucket-queue engine in
+//! `ugraph::rs`.  The historical eager heap-based peel is frozen in
+//! [`crate::reference::eta_core_numbers`] and the two are pinned
+//! bit-identical by the differential test suite.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use nucleus::{DecompConfig, Decomposition};
 use ugraph::{ConnectedComponents, EdgeSubgraph, UncertainGraph, VertexId};
-
-use crate::poisson_binomial::threshold_score;
 
 /// Result of the probabilistic (k,η)-core decomposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,55 +24,33 @@ pub struct EtaCoreDecomposition {
 }
 
 impl EtaCoreDecomposition {
+    /// Runs the decomposition with probability threshold `eta`, rejecting
+    /// out-of-range thresholds (`eta ∉ (0, 1]` or NaN) with a typed
+    /// [`nucleus::NucleusError::InvalidThreshold`].
+    pub fn try_compute(graph: &UncertainGraph, eta: f64) -> nucleus::Result<Self> {
+        let decomp = Decomposition::compute(graph, &DecompConfig::core(eta))?;
+        Ok(EtaCoreDecomposition {
+            eta_core_numbers: decomp.scores().to_vec(),
+        })
+    }
+
     /// Runs the decomposition with probability threshold `eta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eta` is outside `(0, 1]` or NaN.  The historical
+    /// behaviour was to silently produce degenerate scores; migrate to
+    /// [`EtaCoreDecomposition::try_compute`] to handle the typed error
+    /// instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EtaCoreDecomposition::try_compute`, which returns a typed \
+                `nucleus::NucleusError` for invalid thresholds instead of panicking"
+    )]
     pub fn compute(graph: &UncertainGraph, eta: f64) -> Self {
-        let n = graph.num_vertices();
-        let mut alive = vec![true; n];
-        let mut score = vec![0u32; n];
-
-        let eta_degree = |graph: &UncertainGraph, v: VertexId, alive: &[bool]| -> u32 {
-            let probs: Vec<f64> = graph
-                .neighbor_entries(v)
-                .filter(|(w, _, _)| alive[*w as usize])
-                .map(|(_, p, _)| p)
-                .collect();
-            threshold_score(&probs, 1.0, eta).unwrap_or(0)
-        };
-
-        for v in 0..n as VertexId {
-            score[v as usize] = eta_degree(graph, v, &alive);
-        }
-
-        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> =
-            (0..n).map(|v| Reverse((score[v], v as VertexId))).collect();
-        let mut core = vec![0u32; n];
-        let mut level = 0u32;
-
-        while let Some(Reverse((s, v))) = heap.pop() {
-            let vi = v as usize;
-            if !alive[vi] || s != score[vi] {
-                continue;
-            }
-            alive[vi] = false;
-            level = level.max(s);
-            core[vi] = level;
-            for &u in graph.neighbors(v) {
-                let ui = u as usize;
-                if !alive[ui] {
-                    continue;
-                }
-                let new_score = eta_degree(graph, u, &alive);
-                // Scores never rise above the current peeling level when
-                // they are already below it.
-                let new_score = new_score.max(level.min(score[ui]));
-                if new_score < score[ui] {
-                    score[ui] = new_score;
-                    heap.push(Reverse((new_score, u)));
-                }
-            }
-        }
-        EtaCoreDecomposition {
-            eta_core_numbers: core,
+        match Self::try_compute(graph, eta) {
+            Ok(decomp) => decomp,
+            Err(e) => panic!("EtaCoreDecomposition::compute: {e}"),
         }
     }
 
@@ -102,23 +79,28 @@ impl EtaCoreDecomposition {
     }
 }
 
-/// Extracts the maximal connected (k,η)-core subgraphs of `graph`.
-pub fn eta_core_subgraphs(graph: &UncertainGraph, k: u32, eta: f64) -> Vec<EdgeSubgraph> {
-    let decomp = EtaCoreDecomposition::compute(graph, eta);
+/// Extracts the maximal connected (k,η)-core subgraphs of `graph`,
+/// rejecting out-of-range `eta` with a typed error.
+pub fn eta_core_subgraphs(
+    graph: &UncertainGraph,
+    k: u32,
+    eta: f64,
+) -> nucleus::Result<Vec<EdgeSubgraph>> {
+    let decomp = EtaCoreDecomposition::try_compute(graph, eta)?;
     let members = decomp.vertices_in_core(k);
     if members.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let in_core: Vec<bool> = (0..graph.num_vertices() as VertexId)
         .map(|v| decomp.core_number(v) >= k)
         .collect();
     let components = ConnectedComponents::over_vertices(graph, |v| in_core[v as usize]);
-    components
+    Ok(components
         .vertex_sets()
         .into_iter()
         .filter(|set| set.len() > 1)
         .map(|set| EdgeSubgraph::induced_by_vertices(graph, &set))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -155,7 +137,7 @@ mod tests {
             &ugraph::generators::ProbabilityModel::Constant(1.0),
             &mut rng,
         );
-        let prob = EtaCoreDecomposition::compute(&g, 0.7);
+        let prob = EtaCoreDecomposition::try_compute(&g, 0.7).unwrap();
         let det = detdecomp_core(&g);
         assert_eq!(prob.core_numbers(), det.as_slice());
     }
@@ -198,6 +180,39 @@ mod tests {
     use ugraph::UncertainGraph;
 
     #[test]
+    fn deprecated_compute_matches_try_compute() {
+        let g = complete(5, 0.8);
+        #[allow(deprecated)]
+        let old = EtaCoreDecomposition::compute(&g, 0.4);
+        let new = EtaCoreDecomposition::try_compute(&g, 0.4).unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn try_compute_matches_frozen_reference() {
+        let g = complete(6, 0.6);
+        let new = EtaCoreDecomposition::try_compute(&g, 0.3).unwrap();
+        assert_eq!(
+            new.core_numbers(),
+            crate::reference::eta_core_numbers(&g, 0.3).as_slice()
+        );
+    }
+
+    #[test]
+    fn malformed_eta_is_rejected_with_typed_error() {
+        let g = complete(4, 0.9);
+        for bad in [0.0, -0.25, 1.5, f64::NAN] {
+            match EtaCoreDecomposition::try_compute(&g, bad) {
+                Err(nucleus::NucleusError::InvalidThreshold { name: "eta", value }) => {
+                    assert!(value.is_nan() == bad.is_nan() && (bad.is_nan() || value == bad));
+                }
+                other => panic!("eta={bad} should be rejected, got {other:?}"),
+            }
+            assert!(eta_core_subgraphs(&g, 1, bad).is_err());
+        }
+    }
+
+    #[test]
     fn eta_degree_drops_with_threshold() {
         // A star with 4 leaves, each edge p = 0.5.  Pr[deg >= 2] = 0.6875,
         // Pr[deg >= 3] = 0.3125.
@@ -206,8 +221,8 @@ mod tests {
             b.add_edge(0, leaf, 0.5).unwrap();
         }
         let g = b.build();
-        let lenient = EtaCoreDecomposition::compute(&g, 0.3);
-        let strict = EtaCoreDecomposition::compute(&g, 0.7);
+        let lenient = EtaCoreDecomposition::try_compute(&g, 0.3).unwrap();
+        let strict = EtaCoreDecomposition::try_compute(&g, 0.7).unwrap();
         assert!(lenient.core_number(0) >= strict.core_number(0));
         // Leaves can have at most η-degree 1 (p = 0.5 < 0.7 means 0 for strict).
         assert_eq!(strict.core_number(1), 0);
@@ -215,8 +230,8 @@ mod tests {
 
     #[test]
     fn clique_with_low_probabilities_has_smaller_core() {
-        let high = EtaCoreDecomposition::compute(&complete(6, 0.95), 0.5);
-        let low = EtaCoreDecomposition::compute(&complete(6, 0.3), 0.5);
+        let high = EtaCoreDecomposition::try_compute(&complete(6, 0.95), 0.5).unwrap();
+        let low = EtaCoreDecomposition::try_compute(&complete(6, 0.3), 0.5).unwrap();
         assert!(high.max_core() > low.max_core());
         assert_eq!(high.core_numbers().len(), 6);
     }
@@ -224,10 +239,10 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = UncertainGraph::empty(3);
-        let d = EtaCoreDecomposition::compute(&g, 0.5);
+        let d = EtaCoreDecomposition::try_compute(&g, 0.5).unwrap();
         assert_eq!(d.core_numbers(), &[0, 0, 0]);
         assert_eq!(d.max_core(), 0);
-        assert!(eta_core_subgraphs(&g, 1, 0.5).is_empty());
+        assert!(eta_core_subgraphs(&g, 1, 0.5).unwrap().is_empty());
     }
 
     #[test]
@@ -244,8 +259,8 @@ mod tests {
             },
             &mut rng,
         );
-        let loose = EtaCoreDecomposition::compute(&g, 0.1);
-        let tight = EtaCoreDecomposition::compute(&g, 0.9);
+        let loose = EtaCoreDecomposition::try_compute(&g, 0.1).unwrap();
+        let tight = EtaCoreDecomposition::try_compute(&g, 0.9).unwrap();
         for v in 0..30u32 {
             assert!(
                 loose.core_number(v) >= tight.core_number(v),
@@ -270,7 +285,7 @@ mod tests {
             },
             &mut rng,
         );
-        let prob = EtaCoreDecomposition::compute(&g, 0.4);
+        let prob = EtaCoreDecomposition::try_compute(&g, 0.4).unwrap();
         let det = detdecomp_core(&g);
         for (v, &d) in det.iter().enumerate() {
             assert!(prob.core_numbers()[v] <= d);
@@ -292,10 +307,10 @@ mod tests {
         b.add_edge(4, 10, 0.1).unwrap();
         b.add_edge(9, 11, 0.1).unwrap();
         let g = b.build();
-        let decomp = EtaCoreDecomposition::compute(&g, 0.5);
+        let decomp = EtaCoreDecomposition::try_compute(&g, 0.5).unwrap();
         let k = decomp.max_core();
         assert!(k >= 3);
-        let cores = eta_core_subgraphs(&g, k, 0.5);
+        let cores = eta_core_subgraphs(&g, k, 0.5).unwrap();
         assert_eq!(cores.len(), 2);
         for c in &cores {
             assert_eq!(c.num_vertices(), 5);

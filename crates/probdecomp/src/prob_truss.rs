@@ -11,16 +11,19 @@
 //! The γ-support of `e` is the largest `k` with `Pr[X_e ≥ k] ≥ γ`; the
 //! local (k,γ)-truss is a maximal subgraph in which every edge has
 //! γ-support ≥ k, and the probabilistic truss number of `e` is the largest
-//! such `k`.  The decomposition peels edges of minimum γ-support and
-//! recomputes the support of edges that shared a triangle with the peeled
-//! edge, mirroring Algorithm 1 of the nucleus paper one level down.
+//! such `k`.
+//!
+//! Since the (r,s)-nucleus API redesign this type is a thin wrapper over
+//! the rank-generic peeling engine:
+//! [`GammaTrussDecomposition::try_compute`] delegates to
+//! [`nucleus::Decomposition`] at [`nucleus::Rank::Truss`], which peels
+//! edges with the shared bucket-queue engine in `ugraph::rs`.  The
+//! historical eager heap-based peel is frozen in
+//! [`crate::reference::gamma_truss_numbers`] and the two are pinned
+//! bit-identical by the differential test suite.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use nucleus::{DecompConfig, Decomposition};
 use ugraph::{ConnectedComponents, EdgeId, EdgeSubgraph, UncertainGraph};
-
-use crate::poisson_binomial::threshold_score;
 
 /// Result of the probabilistic local (k,γ)-truss decomposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,65 +32,33 @@ pub struct GammaTrussDecomposition {
 }
 
 impl GammaTrussDecomposition {
+    /// Runs the decomposition with probability threshold `gamma`,
+    /// rejecting out-of-range thresholds (`gamma ∉ (0, 1]` or NaN) with a
+    /// typed [`nucleus::NucleusError::InvalidThreshold`].
+    pub fn try_compute(graph: &UncertainGraph, gamma: f64) -> nucleus::Result<Self> {
+        let decomp = Decomposition::compute(graph, &DecompConfig::truss(gamma))?;
+        Ok(GammaTrussDecomposition {
+            truss_numbers: decomp.scores().to_vec(),
+        })
+    }
+
     /// Runs the decomposition with probability threshold `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is outside `(0, 1]` or NaN.  The historical
+    /// behaviour was to silently produce degenerate scores; migrate to
+    /// [`GammaTrussDecomposition::try_compute`] to handle the typed error
+    /// instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GammaTrussDecomposition::try_compute`, which returns a typed \
+                `nucleus::NucleusError` for invalid thresholds instead of panicking"
+    )]
     pub fn compute(graph: &UncertainGraph, gamma: f64) -> Self {
-        let m = graph.num_edges();
-        let mut alive = vec![true; m];
-        let mut score = vec![0u32; m];
-
-        let gamma_support = |graph: &UncertainGraph, e: EdgeId, alive: &[bool]| -> u32 {
-            let edge = graph.edge(e);
-            let (u, v) = (edge.u, edge.v);
-            let mut wedge_probs = Vec::new();
-            for w in graph.common_neighbors(u, v) {
-                let euw = graph.edge_id(u, w).expect("edge exists");
-                let evw = graph.edge_id(v, w).expect("edge exists");
-                if alive[euw as usize] && alive[evw as usize] {
-                    wedge_probs.push(graph.edge(euw).p * graph.edge(evw).p);
-                }
-            }
-            threshold_score(&wedge_probs, edge.p, gamma).unwrap_or(0)
-        };
-
-        for (e, s) in score.iter_mut().enumerate() {
-            *s = gamma_support(graph, e as EdgeId, &alive);
-        }
-
-        let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> =
-            (0..m).map(|e| Reverse((score[e], e as EdgeId))).collect();
-        let mut truss = vec![0u32; m];
-        let mut level = 0u32;
-
-        while let Some(Reverse((s, e))) = heap.pop() {
-            let ei = e as usize;
-            if !alive[ei] || s != score[ei] {
-                continue;
-            }
-            alive[ei] = false;
-            level = level.max(s);
-            truss[ei] = level;
-            let edge = graph.edge(e);
-            let (u, v) = (edge.u, edge.v);
-            for w in graph.common_neighbors(u, v) {
-                let euw = graph.edge_id(u, w).expect("edge exists");
-                let evw = graph.edge_id(v, w).expect("edge exists");
-                if !alive[euw as usize] || !alive[evw as usize] {
-                    continue;
-                }
-                for f in [euw, evw] {
-                    let fi = f as usize;
-                    if score[fi] > level {
-                        let new_score = gamma_support(graph, f, &alive).max(level);
-                        if new_score < score[fi] {
-                            score[fi] = new_score;
-                            heap.push(Reverse((new_score, f)));
-                        }
-                    }
-                }
-            }
-        }
-        GammaTrussDecomposition {
-            truss_numbers: truss,
+        match Self::try_compute(graph, gamma) {
+            Ok(decomp) => decomp,
+            Err(e) => panic!("GammaTrussDecomposition::compute: {e}"),
         }
     }
 
@@ -116,16 +87,21 @@ impl GammaTrussDecomposition {
     }
 }
 
-/// Extracts the maximal connected (k,γ)-truss subgraphs of `graph`.
-pub fn gamma_truss_subgraphs(graph: &UncertainGraph, k: u32, gamma: f64) -> Vec<EdgeSubgraph> {
-    let decomp = GammaTrussDecomposition::compute(graph, gamma);
+/// Extracts the maximal connected (k,γ)-truss subgraphs of `graph`,
+/// rejecting out-of-range `gamma` with a typed error.
+pub fn gamma_truss_subgraphs(
+    graph: &UncertainGraph,
+    k: u32,
+    gamma: f64,
+) -> nucleus::Result<Vec<EdgeSubgraph>> {
+    let decomp = GammaTrussDecomposition::try_compute(graph, gamma)?;
     let edges = decomp.edges_in_truss(k);
     if edges.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let sub = EdgeSubgraph::induced_by_edges(graph, &edges);
     let components = ConnectedComponents::new(sub.graph());
-    components
+    Ok(components
         .vertex_sets()
         .into_iter()
         .filter(|set| set.len() > 2)
@@ -141,7 +117,7 @@ pub fn gamma_truss_subgraphs(graph: &UncertainGraph, k: u32, gamma: f64) -> Vec<
                 .collect();
             EdgeSubgraph::induced_by_edges(graph, &comp_edges)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -210,31 +186,67 @@ mod tests {
             &ugraph::generators::ProbabilityModel::Constant(1.0),
             &mut rng,
         );
-        let prob = GammaTrussDecomposition::compute(&g, 0.6);
+        let prob = GammaTrussDecomposition::try_compute(&g, 0.6).unwrap();
         let det = naive_det_truss(&g);
         assert_eq!(prob.truss_numbers(), det.as_slice());
     }
 
     #[test]
+    fn deprecated_compute_matches_try_compute() {
+        let g = complete(5, 0.8);
+        #[allow(deprecated)]
+        let old = GammaTrussDecomposition::compute(&g, 0.4);
+        let new = GammaTrussDecomposition::try_compute(&g, 0.4).unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn try_compute_matches_frozen_reference() {
+        let g = complete(6, 0.7);
+        let new = GammaTrussDecomposition::try_compute(&g, 0.2).unwrap();
+        assert_eq!(
+            new.truss_numbers(),
+            crate::reference::gamma_truss_numbers(&g, 0.2).as_slice()
+        );
+    }
+
+    #[test]
+    fn malformed_gamma_is_rejected_with_typed_error() {
+        let g = complete(4, 0.9);
+        for bad in [0.0, -1.0, 2.0, f64::NAN] {
+            match GammaTrussDecomposition::try_compute(&g, bad) {
+                Err(nucleus::NucleusError::InvalidThreshold {
+                    name: "gamma",
+                    value,
+                }) => {
+                    assert!(value.is_nan() == bad.is_nan() && (bad.is_nan() || value == bad));
+                }
+                other => panic!("gamma={bad} should be rejected, got {other:?}"),
+            }
+            assert!(gamma_truss_subgraphs(&g, 1, bad).is_err());
+        }
+    }
+
+    #[test]
     fn empty_and_triangle_free_graphs() {
         let g = UncertainGraph::empty(4);
-        let d = GammaTrussDecomposition::compute(&g, 0.5);
+        let d = GammaTrussDecomposition::try_compute(&g, 0.5).unwrap();
         assert_eq!(d.max_truss(), 0);
 
         let mut b = GraphBuilder::new();
         b.add_edge(0, 1, 0.9).unwrap();
         b.add_edge(1, 2, 0.9).unwrap();
         let path = b.build();
-        let d = GammaTrussDecomposition::compute(&path, 0.5);
+        let d = GammaTrussDecomposition::try_compute(&path, 0.5).unwrap();
         assert!(d.truss_numbers().iter().all(|&t| t == 0));
-        assert!(gamma_truss_subgraphs(&path, 1, 0.5).is_empty());
+        assert!(gamma_truss_subgraphs(&path, 1, 0.5).unwrap().is_empty());
     }
 
     #[test]
     fn gamma_truss_number_decreases_with_gamma() {
         let g = complete(6, 0.7);
-        let loose = GammaTrussDecomposition::compute(&g, 0.05);
-        let tight = GammaTrussDecomposition::compute(&g, 0.9);
+        let loose = GammaTrussDecomposition::try_compute(&g, 0.05).unwrap();
+        let tight = GammaTrussDecomposition::try_compute(&g, 0.9).unwrap();
         for e in 0..g.num_edges() {
             assert!(loose.truss_number(e as EdgeId) >= tight.truss_number(e as EdgeId));
         }
@@ -254,7 +266,7 @@ mod tests {
             },
             &mut rng,
         );
-        let prob = GammaTrussDecomposition::compute(&g, 0.3);
+        let prob = GammaTrussDecomposition::try_compute(&g, 0.3).unwrap();
         let det = naive_det_truss(&g);
         for (e, &d) in det.iter().enumerate() {
             assert!(prob.truss_numbers()[e] <= d);
@@ -266,9 +278,9 @@ mod tests {
         // One triangle with p = 0.8 everywhere.
         // Pr[X_e >= 1] = 0.8 * 0.64 = 0.512.
         let g = complete(3, 0.8);
-        let d1 = GammaTrussDecomposition::compute(&g, 0.5);
+        let d1 = GammaTrussDecomposition::try_compute(&g, 0.5).unwrap();
         assert!(d1.truss_numbers().iter().all(|&t| t == 1));
-        let d2 = GammaTrussDecomposition::compute(&g, 0.6);
+        let d2 = GammaTrussDecomposition::try_compute(&g, 0.6).unwrap();
         assert!(d2.truss_numbers().iter().all(|&t| t == 0));
     }
 
@@ -285,10 +297,10 @@ mod tests {
         b.add_edge(4, 6, 0.2).unwrap();
         b.add_edge(5, 6, 0.2).unwrap();
         let g = b.build();
-        let decomp = GammaTrussDecomposition::compute(&g, 0.5);
+        let decomp = GammaTrussDecomposition::try_compute(&g, 0.5).unwrap();
         let k = decomp.max_truss();
         assert!(k >= 2);
-        let trusses = gamma_truss_subgraphs(&g, k, 0.5);
+        let trusses = gamma_truss_subgraphs(&g, k, 0.5).unwrap();
         assert_eq!(trusses.len(), 1);
         assert_eq!(trusses[0].num_vertices(), 5);
         assert_eq!(trusses[0].num_edges(), 10);
@@ -297,7 +309,7 @@ mod tests {
     #[test]
     fn max_truss_and_edge_listing() {
         let g = complete(5, 0.9);
-        let d = GammaTrussDecomposition::compute(&g, 0.3);
+        let d = GammaTrussDecomposition::try_compute(&g, 0.3).unwrap();
         assert!(d.max_truss() >= 2);
         assert_eq!(d.edges_in_truss(0).len(), 10);
         assert!(d.edges_in_truss(d.max_truss() + 1).is_empty());

@@ -1,0 +1,160 @@
+//! Frozen reference implementations of the baseline decompositions.
+//!
+//! These are verbatim copies of the original eager heap-based peeling
+//! loops of [`EtaCoreDecomposition::compute`](crate::EtaCoreDecomposition)
+//! and [`GammaTrussDecomposition::compute`](crate::GammaTrussDecomposition)
+//! as they existed before both types were rebuilt on the generic
+//! `ugraph::rs` peeling engine.  They exist so the differential test
+//! suite can pin the generic engine bit-identical to the historical
+//! behaviour; they are **not** part of the supported API surface and
+//! make no performance claims.  Do not "improve" them — any edit here
+//! invalidates the equivalence baseline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ugraph::{EdgeId, UncertainGraph, VertexId};
+
+use crate::poisson_binomial::threshold_score;
+
+/// η-core numbers of every vertex, computed by the frozen eager
+/// heap-based peel (probabilistic Batagelj–Zaveršnik).
+pub fn eta_core_numbers(graph: &UncertainGraph, eta: f64) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut alive = vec![true; n];
+    let mut score = vec![0u32; n];
+
+    let eta_degree = |graph: &UncertainGraph, v: VertexId, alive: &[bool]| -> u32 {
+        let probs: Vec<f64> = graph
+            .neighbor_entries(v)
+            .filter(|(w, _, _)| alive[*w as usize])
+            .map(|(_, p, _)| p)
+            .collect();
+        threshold_score(&probs, 1.0, eta).unwrap_or(0)
+    };
+
+    for v in 0..n as VertexId {
+        score[v as usize] = eta_degree(graph, v, &alive);
+    }
+
+    let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> =
+        (0..n).map(|v| Reverse((score[v], v as VertexId))).collect();
+    let mut core = vec![0u32; n];
+    let mut level = 0u32;
+
+    while let Some(Reverse((s, v))) = heap.pop() {
+        let vi = v as usize;
+        if !alive[vi] || s != score[vi] {
+            continue;
+        }
+        alive[vi] = false;
+        level = level.max(s);
+        core[vi] = level;
+        for &u in graph.neighbors(v) {
+            let ui = u as usize;
+            if !alive[ui] {
+                continue;
+            }
+            let new_score = eta_degree(graph, u, &alive);
+            // Scores never rise above the current peeling level when
+            // they are already below it.
+            let new_score = new_score.max(level.min(score[ui]));
+            if new_score < score[ui] {
+                score[ui] = new_score;
+                heap.push(Reverse((new_score, u)));
+            }
+        }
+    }
+    core
+}
+
+/// Probabilistic truss numbers of every edge, computed by the frozen
+/// eager heap-based peel (Huang et al., SIGMOD 2016 convention).
+pub fn gamma_truss_numbers(graph: &UncertainGraph, gamma: f64) -> Vec<u32> {
+    let m = graph.num_edges();
+    let mut alive = vec![true; m];
+    let mut score = vec![0u32; m];
+
+    let gamma_support = |graph: &UncertainGraph, e: EdgeId, alive: &[bool]| -> u32 {
+        let edge = graph.edge(e);
+        let (u, v) = (edge.u, edge.v);
+        let mut wedge_probs = Vec::new();
+        for w in graph.common_neighbors(u, v) {
+            let euw = graph.edge_id(u, w).expect("edge exists");
+            let evw = graph.edge_id(v, w).expect("edge exists");
+            if alive[euw as usize] && alive[evw as usize] {
+                wedge_probs.push(graph.edge(euw).p * graph.edge(evw).p);
+            }
+        }
+        threshold_score(&wedge_probs, edge.p, gamma).unwrap_or(0)
+    };
+
+    for (e, s) in score.iter_mut().enumerate() {
+        *s = gamma_support(graph, e as EdgeId, &alive);
+    }
+
+    let mut heap: BinaryHeap<Reverse<(u32, EdgeId)>> =
+        (0..m).map(|e| Reverse((score[e], e as EdgeId))).collect();
+    let mut truss = vec![0u32; m];
+    let mut level = 0u32;
+
+    while let Some(Reverse((s, e))) = heap.pop() {
+        let ei = e as usize;
+        if !alive[ei] || s != score[ei] {
+            continue;
+        }
+        alive[ei] = false;
+        level = level.max(s);
+        truss[ei] = level;
+        let edge = graph.edge(e);
+        let (u, v) = (edge.u, edge.v);
+        for w in graph.common_neighbors(u, v) {
+            let euw = graph.edge_id(u, w).expect("edge exists");
+            let evw = graph.edge_id(v, w).expect("edge exists");
+            if !alive[euw as usize] || !alive[evw as usize] {
+                continue;
+            }
+            for f in [euw, evw] {
+                let fi = f as usize;
+                if score[fi] > level {
+                    let new_score = gamma_support(graph, f, &alive).max(level);
+                    if new_score < score[fi] {
+                        score[fi] = new_score;
+                        heap.push(Reverse((new_score, f)));
+                    }
+                }
+            }
+        }
+    }
+    truss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn complete(n: u32, p: f64) -> ugraph::UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn reference_core_matches_known_values() {
+        // Certain K5: every vertex has deterministic core number 4.
+        let core = eta_core_numbers(&complete(5, 1.0), 0.5);
+        assert_eq!(core, vec![4; 5]);
+    }
+
+    #[test]
+    fn reference_truss_matches_known_values() {
+        // Certain K5: every edge sits in 3 triangles (support convention).
+        let truss = gamma_truss_numbers(&complete(5, 1.0), 0.5);
+        assert_eq!(truss, vec![3; 10]);
+    }
+}

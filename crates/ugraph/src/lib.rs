@@ -22,6 +22,10 @@
 //!   subgraphs.
 //! * Quality metrics ([`metrics`]) — probabilistic density (PD) and
 //!   probabilistic clustering coefficient (PCC) from Section 7.4.
+//! * Generic (r,s)-nucleus engine ([`rs`]) — the support-structure trait
+//!   ([`rs::RsSupport`]), its (1,2) and (2,3) implementations, the shared
+//!   Poisson-binomial DP ([`rs::dp`]) and the deferred bucket-queue peel
+//!   that `detdecomp`, `probdecomp` and `nucleus` all instantiate.
 //! * Random generators ([`generators`]) and ingestion/persistence
 //!   ([`io`]) — SNAP edge lists, Konect TSV, versioned `.ugsnap` binary
 //!   snapshots with checksums, and pluggable edge-probability models.
@@ -39,6 +43,7 @@ pub mod io;
 pub mod metrics;
 pub mod par;
 pub mod possible_world;
+pub mod rs;
 pub mod subgraph;
 pub mod triangles;
 

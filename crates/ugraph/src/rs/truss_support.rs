@@ -1,0 +1,209 @@
+//! The (2,3) support structure: edges scored by their triangles.
+//!
+//! This is the substrate of the local probabilistic (k,γ)-truss (Huang,
+//! Lu, Lakshmanan, "Truss decomposition of probabilistic graphs") and of
+//! the deterministic k-truss.  An edge's completion events are the wedge
+//! closures of its triangles: given edge `{u, v}`, triangle `{u, v, w}`
+//! materializes with probability `p(u,w) · p(v,w)`, and the γ-support is
+//! the largest `k` with `p(u,v) · Pr[at least k triangles close] ≥ γ`.
+
+use crate::graph::UncertainGraph;
+use crate::par::Parallelism;
+use crate::triangles::TriangleIndex;
+
+use super::RsSupport;
+
+/// Support structure of the (2,3) rank: elements are edges, cells are
+/// triangles.
+///
+/// Triangles are enumerated through [`TriangleIndex`], whose id order is
+/// lexicographic on the sorted vertex triple — so for a fixed edge
+/// `{u, v}` the cell list is ordered by ascending third vertex `w`,
+/// exactly the `common_neighbors(u, v)` order the frozen reference
+/// implementation gathers in.  DP scores are therefore bit-identical.
+pub struct TrussSupport {
+    /// Existence probability of every edge (`1.0` in the deterministic
+    /// variant).
+    element_probs: Vec<f64>,
+    /// Triangle ids of every edge, in ascending id (= ascending third
+    /// vertex) order.
+    cells_of: Vec<Vec<u32>>,
+    /// Member edge ids of every triangle `{a, b, c}` (`a < b < c`), as
+    /// `[{a,b}, {a,c}, {b,c}]`.
+    cell_elements: Vec<[u32; 3]>,
+    /// Wedge-closure probability per triangle slot: entry `i` is the
+    /// probability that the two *other* edges of the triangle exist,
+    /// conditioning on member edge `i`.
+    completion: Vec<[f64; 3]>,
+}
+
+impl TrussSupport {
+    /// Builds the (2,3) support of `graph` with the graph's edge
+    /// probabilities.  Triangle enumeration and per-triangle probability
+    /// work run under `parallelism`.
+    pub fn build(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
+        Self::build_inner(graph, parallelism, false)
+    }
+
+    /// Builds the (2,3) support of a *deterministic* view of `graph`:
+    /// every edge exists with probability 1, so the Poisson-binomial
+    /// scorer degenerates to triangle counting.
+    pub fn deterministic(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
+        Self::build_inner(graph, parallelism, true)
+    }
+
+    fn build_inner(graph: &UncertainGraph, parallelism: Parallelism, deterministic: bool) -> Self {
+        let index = TriangleIndex::build_with(graph, parallelism);
+        let triangles = index.triangles();
+        let nt = triangles.len();
+
+        let records: Vec<([u32; 3], [f64; 3])> = crate::par::par_map(parallelism, nt, |ti| {
+            let [a, b, c] = triangles[ti].vertices();
+            let eab = graph.edge_id(a, b).expect("triangle edge {a,b} exists");
+            let eac = graph.edge_id(a, c).expect("triangle edge {a,c} exists");
+            let ebc = graph.edge_id(b, c).expect("triangle edge {b,c} exists");
+            let completion = if deterministic {
+                [1.0, 1.0, 1.0]
+            } else {
+                let pab = graph.edge(eab).p;
+                let pac = graph.edge(eac).p;
+                let pbc = graph.edge(ebc).p;
+                // Slot i conditions on member edge i; the two other
+                // edges close the wedge.
+                [pac * pbc, pab * pbc, pab * pac]
+            };
+            ([eab, eac, ebc], completion)
+        });
+
+        let mut cells_of = vec![Vec::new(); graph.num_edges()];
+        let mut cell_elements = Vec::with_capacity(nt);
+        let mut completion = Vec::with_capacity(nt);
+        for (ti, (edges, probs)) in records.into_iter().enumerate() {
+            // Ascending triangle id per edge = ascending third vertex,
+            // because triangle ids are lexicographic on the triple.
+            for &e in &edges {
+                cells_of[e as usize].push(ti as u32);
+            }
+            cell_elements.push(edges);
+            completion.push(probs);
+        }
+
+        let element_probs = if deterministic {
+            vec![1.0; graph.num_edges()]
+        } else {
+            graph.edges().iter().map(|e| e.p).collect()
+        };
+
+        TrussSupport {
+            element_probs,
+            cells_of,
+            cell_elements,
+            completion,
+        }
+    }
+
+    /// Index of member edge `t` within cell `c`, or `None` when `t` is
+    /// not an edge of the triangle.
+    fn slot_of(&self, c: u32, t: u32) -> Option<usize> {
+        self.cell_elements[c as usize].iter().position(|&e| e == t)
+    }
+}
+
+impl RsSupport for TrussSupport {
+    fn num_elements(&self) -> usize {
+        self.element_probs.len()
+    }
+
+    fn num_cells(&self) -> usize {
+        self.cell_elements.len()
+    }
+
+    fn element_prob(&self, t: u32) -> f64 {
+        self.element_probs[t as usize]
+    }
+
+    fn cells_of(&self, t: u32) -> &[u32] {
+        &self.cells_of[t as usize]
+    }
+
+    fn cell_elements(&self, c: u32) -> &[u32] {
+        &self.cell_elements[c as usize]
+    }
+
+    fn completion_prob(&self, c: u32, t: u32) -> f64 {
+        let slot = self
+            .slot_of(c, t)
+            .expect("completion_prob: edge is not a member of the triangle");
+        self.completion[c as usize][slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Two triangles sharing the edge {1, 2}: {0,1,2} and {1,2,3}.
+    fn bowtie() -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.8).unwrap();
+        b.add_edge(1, 2, 0.7).unwrap();
+        b.add_edge(1, 3, 0.6).unwrap();
+        b.add_edge(2, 3, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn shared_edge_sees_both_triangles_in_ascending_w_order() {
+        let g = bowtie();
+        let s = TrussSupport::build(&g, Parallelism::Sequential);
+        assert_eq!(s.num_elements(), 5);
+        assert_eq!(s.num_cells(), 2);
+        let e12 = g.edge_id(1, 2).unwrap();
+        let cells = s.cells_of(e12);
+        assert_eq!(cells.len(), 2);
+        // Reference gather order for edge {1,2}: common neighbours
+        // ascending, w = 0 then w = 3.
+        let mut probs = Vec::new();
+        s.completion_probs_into(e12, |_| true, &mut probs);
+        assert_eq!(probs, vec![0.9 * 0.8, 0.6 * 0.5]);
+        assert_eq!(s.element_prob(e12), 0.7);
+    }
+
+    #[test]
+    fn completion_matches_wedge_products_for_every_member() {
+        let g = bowtie();
+        let s = TrussSupport::build(&g, Parallelism::Sequential);
+        // Triangle {0,1,2}: conditioning on {0,1} leaves {0,2},{1,2}.
+        let e01 = g.edge_id(0, 1).unwrap();
+        let e02 = g.edge_id(0, 2).unwrap();
+        let e12 = g.edge_id(1, 2).unwrap();
+        let t = s.cells_of(e01)[0];
+        assert_eq!(s.cell_elements(t), &[e01, e02, e12]);
+        assert_eq!(s.completion_prob(t, e01), 0.8 * 0.7);
+        assert_eq!(s.completion_prob(t, e02), 0.9 * 0.7);
+        assert_eq!(s.completion_prob(t, e12), 0.9 * 0.8);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = bowtie();
+        let seq = TrussSupport::build(&g, Parallelism::Sequential);
+        let par = TrussSupport::build(&g, Parallelism::fixed(4));
+        assert_eq!(seq.element_probs, par.element_probs);
+        assert_eq!(seq.cells_of, par.cells_of);
+        assert_eq!(seq.cell_elements, par.cell_elements);
+        assert_eq!(seq.completion, par.completion);
+    }
+
+    #[test]
+    fn deterministic_variant_counts_triangles() {
+        let g = bowtie();
+        let s = TrussSupport::deterministic(&g, Parallelism::Sequential);
+        let e12 = g.edge_id(1, 2).unwrap();
+        assert_eq!(s.support(e12), 2);
+        assert_eq!(s.element_prob(e12), 1.0);
+        assert_eq!(s.completion_prob(s.cells_of(e12)[0], e12), 1.0);
+    }
+}

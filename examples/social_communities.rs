@@ -59,16 +59,16 @@ fn main() {
     describe("nucleus", kn, &nucleus_graphs);
 
     // Probabilistic (k,gamma)-truss (Huang et al. 2016).
-    let truss = GammaTrussDecomposition::compute(&graph, theta);
+    let truss = GammaTrussDecomposition::try_compute(&graph, theta).expect("valid theta");
     let kt = truss.max_truss();
-    let trusses = gamma_truss_subgraphs(&graph, kt.max(1), theta);
+    let trusses = gamma_truss_subgraphs(&graph, kt.max(1), theta).expect("valid theta");
     let truss_graphs: Vec<&UncertainGraph> = trusses.iter().map(|t| t.graph()).collect();
     describe("truss", kt, &truss_graphs);
 
     // Probabilistic (k,eta)-core (Bonchi et al. 2014).
-    let core = EtaCoreDecomposition::compute(&graph, theta);
+    let core = EtaCoreDecomposition::try_compute(&graph, theta).expect("valid theta");
     let kc = core.max_core();
-    let cores = eta_core_subgraphs(&graph, kc.max(1), theta);
+    let cores = eta_core_subgraphs(&graph, kc.max(1), theta).expect("valid theta");
     let core_graphs: Vec<&UncertainGraph> = cores.iter().map(|c| c.graph()).collect();
     describe("core", kc, &core_graphs);
 

@@ -38,3 +38,8 @@ pub use ugraph;
 /// Convenience re-export of the parallelism knob used across the
 /// enumeration and decomposition entry points.
 pub use ugraph::Parallelism;
+
+/// Convenience re-exports of the unified (r,s)-decomposition surface: one
+/// builder-style config and one engine covering the (k,η)-core, local
+/// (k,γ)-truss and ℓ-nucleus decompositions plus their threshold sweeps.
+pub use nucleus::{DecompConfig, DecompSweep, Decomposition, Rank};

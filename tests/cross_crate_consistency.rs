@@ -31,11 +31,11 @@ fn certain_graph_probabilistic_equals_deterministic() {
     let g = clique_rich_graph(1, ProbabilityModel::Constant(1.0));
 
     let det_core = CoreDecomposition::compute(&g);
-    let prob_core = EtaCoreDecomposition::compute(&g, 0.9);
+    let prob_core = EtaCoreDecomposition::try_compute(&g, 0.9).unwrap();
     assert_eq!(det_core.core_numbers(), prob_core.core_numbers());
 
     let det_truss = TrussDecomposition::compute(&g);
-    let prob_truss = GammaTrussDecomposition::compute(&g, 0.9);
+    let prob_truss = GammaTrussDecomposition::try_compute(&g, 0.9).unwrap();
     assert_eq!(det_truss.truss_numbers(), prob_truss.truss_numbers());
 
     let det_nucleus = NucleusDecomposition::compute(&g);
@@ -88,8 +88,8 @@ fn nucleus_subgraphs_are_inside_truss_and_core() {
     if local.max_score() == 0 {
         return; // nothing to check on this draw
     }
-    let truss = GammaTrussDecomposition::compute(&g, theta);
-    let core = EtaCoreDecomposition::compute(&g, theta);
+    let truss = GammaTrussDecomposition::try_compute(&g, theta).unwrap();
+    let core = EtaCoreDecomposition::try_compute(&g, theta).unwrap();
     for nucleus in local.k_nuclei(&g, 1) {
         for &v in nucleus.subgraph.original_vertices() {
             assert!(core.core_number(v) >= 1, "vertex {v} outside the 1-core");

@@ -83,7 +83,7 @@ fn facade_baselines_and_datasets() {
     // (k,η)-core baseline via the facade: every vertex of K5 has 4
     // neighbours, each present with probability 0.9, so the 3-core at
     // η = 0.5 contains all vertices.
-    let core = EtaCoreDecomposition::compute(&graph, 0.5);
+    let core = EtaCoreDecomposition::try_compute(&graph, 0.5).unwrap();
     assert!(core.core_numbers().iter().all(|&c| c >= 3));
 
     // Synthetic dataset generation is seeded and reproducible.

@@ -19,9 +19,10 @@ use proptest::prelude::*;
 
 use prob_nucleus_repro::nucleus::local::dp;
 use prob_nucleus_repro::nucleus::{
-    LocalConfig, LocalNucleusDecomposition, SupportStructure, SweepConfig, ThetaSweep,
+    DecompConfig, Decomposition, LocalConfig, LocalNucleusDecomposition, SupportStructure,
+    SweepConfig, ThetaSweep,
 };
-use prob_nucleus_repro::ugraph::{GraphBuilder, TriangleId, UncertainGraph};
+use prob_nucleus_repro::ugraph::{EdgeId, GraphBuilder, TriangleId, UncertainGraph};
 
 const TOL: f64 = 1e-9;
 
@@ -229,6 +230,116 @@ fn check_graph(graph: &UncertainGraph, thetas: &[f64]) {
     }
 }
 
+/// Rank-(2,3) oracle: `tail[e][k] = Pr[e exists ∧ X_e ≥ k]`, with `X_e`
+/// the number of triangles through `e` in the sampled world, from the
+/// exhaustive `2^m` enumeration.
+fn truss_world_tails(graph: &UncertainGraph) -> Vec<Vec<f64>> {
+    let m = graph.num_edges();
+    assert!(m <= 12, "oracle is exhaustive; keep graphs tiny");
+    // For every edge, the masks of the two other edges of each potential
+    // triangle through it.
+    let wedge_masks: Vec<Vec<u32>> = (0..m as EdgeId)
+        .map(|e| {
+            let edge = graph.edge(e);
+            graph
+                .common_neighbors(edge.u, edge.v)
+                .iter()
+                .map(|&w| {
+                    let euw = graph.edge_id(edge.u, w).expect("wedge edge");
+                    let evw = graph.edge_id(edge.v, w).expect("wedge edge");
+                    (1u32 << euw) | (1u32 << evw)
+                })
+                .collect()
+        })
+        .collect();
+
+    let probs: Vec<f64> = graph.edges().iter().map(|e| e.p).collect();
+    let mut tail: Vec<Vec<f64>> = wedge_masks
+        .iter()
+        .map(|wedges| vec![0.0; wedges.len() + 1])
+        .collect();
+    for world in 0u32..(1u32 << m) {
+        let mut pw = 1.0;
+        for (e, &pe) in probs.iter().enumerate() {
+            pw *= if world & (1 << e) != 0 { pe } else { 1.0 - pe };
+        }
+        for e in 0..m {
+            if world & (1 << e) == 0 {
+                continue;
+            }
+            let x = wedge_masks[e]
+                .iter()
+                .filter(|&&mask| world & mask == mask)
+                .count();
+            for entry in &mut tail[e][..=x] {
+                *entry += pw;
+            }
+        }
+    }
+    tail
+}
+
+/// Cross-checks the generic engine's (2,3) instance against the
+/// brute-force distribution: the initial γ-support of every edge is the
+/// largest `k` whose exhaustive tail clears γ, and peeling only lowers
+/// scores.
+fn check_truss_rank(graph: &UncertainGraph, gammas: &[f64]) {
+    let tail = truss_world_tails(graph);
+    for &gamma in gammas {
+        let decomp =
+            Decomposition::compute(graph, &DecompConfig::truss(gamma)).expect("valid gamma");
+        for (e, edge_tail) in tail.iter().enumerate() {
+            let brute_initial = (0..edge_tail.len())
+                .rev()
+                .find(|&k| edge_tail[k] >= gamma)
+                .unwrap_or(0) as u32;
+            assert_eq!(
+                decomp.initial_scores()[e],
+                brute_initial,
+                "initial gamma-support of edge {e} at gamma {gamma}"
+            );
+            assert!(
+                decomp.scores()[e] <= decomp.initial_scores()[e],
+                "peeling must not raise scores"
+            );
+        }
+    }
+}
+
+#[test]
+fn truss_rank_fixtures_match_brute_force() {
+    // K4 with mixed probabilities: every edge sits in two potential
+    // triangles.
+    let mut b = GraphBuilder::new();
+    let mut p = 0.45;
+    for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+        b.add_edge(u, v, p).unwrap();
+        p = (p + 0.07).min(0.95);
+    }
+    check_truss_rank(&b.build(), &[0.01, 0.1, 0.3, 0.7]);
+
+    // Bowtie: two triangles sharing edge (1,2) — the shared edge has two
+    // wedges, the outer edges one each.
+    let mut b = GraphBuilder::new();
+    for &(u, v, p) in &[
+        (0u32, 1u32, 0.9),
+        (0, 2, 0.8),
+        (1, 2, 0.7),
+        (1, 3, 0.6),
+        (2, 3, 0.5),
+    ] {
+        b.add_edge(u, v, p).unwrap();
+    }
+    check_truss_rank(&b.build(), &[0.05, 0.25, 0.5]);
+
+    // Triangle-free path: all supports are zero at every gamma.
+    let mut b = GraphBuilder::new();
+    for i in 0..4u32 {
+        b.add_edge(i, i + 1, 0.6).unwrap();
+    }
+    check_truss_rank(&b.build(), &[0.1, 0.5]);
+}
+
 #[test]
 fn k4_fixture_matches_brute_force() {
     let mut b = GraphBuilder::new();
@@ -363,5 +474,16 @@ proptest! {
     ) {
         prop_assume!(g.num_edges() <= 12);
         check_graph(&g, &[theta]);
+    }
+
+    /// The (2,3) instance of the generic engine matches the brute-force
+    /// triangle-count distribution on random tiny graphs.
+    #[test]
+    fn random_tiny_graphs_match_truss_oracle(
+        g in arb_tiny_graph(6, 0.75),
+        gamma in 0.02f64..0.8,
+    ) {
+        prop_assume!(g.num_edges() <= 12);
+        check_truss_rank(&g, &[gamma]);
     }
 }
