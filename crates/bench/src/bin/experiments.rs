@@ -20,6 +20,14 @@
 //!                 [--snapshot PATH]
 //!
 //! experiments bench-compare OLD.json NEW.json [--tolerance F]
+//!
+//! experiments serve [--port P] [--cache N] [--threads N] [--thetas GRID]
+//!                   [--edges M] [--vertices N] [--seed N]
+//!                   [--input PATH [--format F] [--prob-model M]]
+//!                   [--oneshot [--out BENCH_serve.json]]
+//!
+//! experiments serve-client --addr HOST:PORT [--call METHOD]
+//!                          [--params JSON] [--deadline-ms N]
 //! ```
 //!
 //! With `--input`, the named experiment runs on the ingested graph
@@ -33,7 +41,8 @@
 use nd_bench::json::Json;
 use nd_bench::runner::ExperimentContext;
 use nd_bench::{
-    ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, table1, table2, table3, thetasweep,
+    ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, serve, table1, table2, table3,
+    thetasweep,
 };
 use nd_datasets::{ExternalDataset, PaperDataset, Scale};
 use ugraph::io::EdgeProbabilityModel;
@@ -60,6 +69,14 @@ fn main() {
     }
     if id == "bench-compare" {
         run_bench_compare(&args);
+        return;
+    }
+    if id == "serve" {
+        run_serve(&args);
+        return;
+    }
+    if id == "serve-client" {
+        run_serve_client(&args);
         return;
     }
     let scale = parse_flag(&args, "--scale")
@@ -149,9 +166,22 @@ fn print_usage() {
          \x20            [--snapshot PATH]\n\
          \n\
          experiments bench-compare OLD.json NEW.json [--tolerance F]\n\
-         \x20   diffs two bench-parallel/* reports; exits 1 when a deterministic\n\
-         \x20   counter (dp_calls, counts, reload_speedup) regresses beyond the\n\
-         \x20   relative tolerance (default 0). Wall times are never gated.\n\
+         \x20   diffs two bench-parallel/* or bench-serve/* reports; exits 1 when\n\
+         \x20   a deterministic counter (dp_calls, counts, reload_speedup, server\n\
+         \x20   stats) regresses beyond the relative tolerance (default 0).\n\
+         \x20   Wall times are never gated.\n\
+         \n\
+         experiments serve [--port P] [--cache N] [--threads N]\n\
+         \x20              [--thetas 0.1,0.3] [--edges M] [--vertices N] [--seed N]\n\
+         \x20              [--input PATH [--format F] [--prob-model M]]\n\
+         \x20              [--oneshot [--out BENCH_serve.json]]\n\
+         \x20   resident (r,s)-nucleus query service over TCP; with --oneshot,\n\
+         \x20   runs the scripted self-test (every wire answer compared\n\
+         \x20   bit-for-bit against the library) and emits bench-serve/v1 JSON\n\
+         \n\
+         experiments serve-client --addr HOST:PORT [--call METHOD]\n\
+         \x20                     [--params JSON] [--deadline-ms N]\n\
+         \x20   one call against a running server; prints the JSON result\n\
          \n\
          probability models: column | const:P | uniform:SEED[:LOW:HIGH] | exp[:SCALE]"
     );
@@ -280,10 +310,10 @@ fn run_parbench(args: &[String]) {
             config.vertices, config.edges, config.threads, config.repeats, config.seed
         ),
     }
-    let report = parbench::run(&config);
+    let report = parbench::run(&config).unwrap_or_else(|e| fail(&e.to_string()));
     println!("{}", report.format());
     std::fs::write(&out_path, report.to_json())
-        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
     println!("wrote {out_path}");
 }
 
@@ -314,16 +344,7 @@ fn run_thetasweep(args: &[String]) {
     if let Some(r) = parse_num_flag(args, "--repeats") {
         config.repeats = r;
     }
-    if let Some(list) = parse_flag(args, "--thetas") {
-        let mut thetas = Vec::new();
-        for token in list.split(',') {
-            match token.trim().parse::<f64>() {
-                Ok(t) => thetas.push(t),
-                Err(_) => fail(&format!(
-                    "invalid --thetas value '{token}' (expected e.g. 0.05,0.1,0.5)"
-                )),
-            }
-        }
+    if let Some(thetas) = parse_thetas(args) {
         config.thetas = thetas;
     }
     // Malformed grids (empty, NaN, out-of-range, unsorted, duplicates)
@@ -348,10 +369,10 @@ fn run_thetasweep(args: &[String]) {
             config.rank, config.vertices, config.edges, config.thetas, config.repeats, config.seed
         ),
     }
-    let report = thetasweep::run_bench(&config);
+    let report = thetasweep::run_bench(&config).unwrap_or_else(|e| fail(&e.to_string()));
     println!("{}", report.format());
     std::fs::write(&out_path, report.to_json())
-        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
     println!("wrote {out_path}");
 }
 
@@ -376,6 +397,138 @@ fn run_gen(args: &[String]) {
         ugraph::io::write_snapshot_file(&graph, &snap)
             .unwrap_or_else(|e| fail(&format!("cannot write {snap}: {e}")));
         println!("wrote {snap} (ugsnap v{})", ugraph::io::SNAPSHOT_VERSION);
+    }
+}
+
+/// Parses the shared `--thetas 0.1,0.3` grid flag.
+fn parse_thetas(args: &[String]) -> Option<Vec<f64>> {
+    parse_flag(args, "--thetas").map(|list| {
+        let mut thetas = Vec::new();
+        for token in list.split(',') {
+            match token.trim().parse::<f64>() {
+                Ok(t) => thetas.push(t),
+                Err(_) => fail(&format!(
+                    "invalid --thetas value '{token}' (expected e.g. 0.05,0.1,0.5)"
+                )),
+            }
+        }
+        thetas
+    })
+}
+
+/// Boots the resident query service — or, with `--oneshot`, runs the
+/// scripted self-test against a freshly booted server and writes the
+/// `bench-serve/v1` report (the CI `serve-smoke` surface).
+fn run_serve(args: &[String]) {
+    let mut config = serve::ServeBenchConfig::default();
+    if let Some(m) = parse_num_flag(args, "--edges") {
+        config.edges = m;
+        // Keep the default density (average degree 50) unless --vertices
+        // overrides it below.
+        config.vertices = (m / 25).max(4);
+    }
+    if let Some(n) = parse_num_flag(args, "--vertices") {
+        config.vertices = n;
+    }
+    if let Some(seed) = parse_num_flag(args, "--seed") {
+        config.seed = seed;
+    }
+    if let Some(c) = parse_num_flag(args, "--cache") {
+        config.cache_capacity = c;
+    }
+    if let Some(t) = parse_num_flag::<usize>(args, "--threads") {
+        if t == 0 {
+            fail("serve: --threads must be at least 1");
+        }
+        config.threads = Some(t);
+    }
+    if let Some(thetas) = parse_thetas(args) {
+        if thetas.len() < 2 {
+            fail("serve: --thetas needs a grid of at least 2 points");
+        }
+        config.thetas = thetas;
+    }
+    config.input = parse_input(args);
+
+    if args.iter().any(|a| a == "--oneshot") {
+        let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+        match &config.input {
+            Some(input) => println!(
+                "# experiment: serve --oneshot  input: {} ({})  grid: {:?}\n",
+                input.path.display(),
+                input.format,
+                config.thetas
+            ),
+            None => println!(
+                "# experiment: serve --oneshot  vertices: {}  edges: {}  grid: {:?}  seed: {}\n",
+                config.vertices, config.edges, config.thetas, config.seed
+            ),
+        }
+        let report = serve::run(&config).unwrap_or_else(|e| fail(&e.to_string()));
+        println!("{}", report.format());
+        std::fs::write(&out_path, report.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+        println!("wrote {out_path}");
+        if !report.passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Resident mode: load once (through the snapshot cache, like the
+    // generic experiments), bind, and serve until a client asks for
+    // shutdown.
+    let graph = match &config.input {
+        Some(input) => input
+            .load_cached()
+            .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", input.path.display()))),
+        None => parbench::generate_graph(config.vertices, config.edges, config.seed),
+    };
+    let port: u16 = parse_num_flag(args, "--port").unwrap_or(0);
+    let parallelism = match config.threads {
+        Some(t) => ugraph::par::Parallelism::fixed(t),
+        None => ugraph::par::Parallelism::Auto,
+    };
+    let core = nd_server::ServerCore::new(
+        graph,
+        nd_server::ServerConfig {
+            cache_capacity: config.cache_capacity,
+            parallelism,
+            ..nd_server::ServerConfig::default()
+        },
+    );
+    let server = nd_server::Server::bind(format!("127.0.0.1:{port}"), core)
+        .unwrap_or_else(|e| fail(&format!("cannot bind 127.0.0.1:{port}: {e}")));
+    match server.local_addr() {
+        Ok(addr) => println!("serving on {addr} (send a 'shutdown' call to stop)"),
+        Err(e) => fail(&format!("cannot read the bound address: {e}")),
+    }
+    let stats = server.run();
+    println!("server drained; final counters:");
+    for (name, value) in stats.fields() {
+        println!("  {name}: {value}");
+    }
+}
+
+/// One scripted call against a running server: connect, send, print the
+/// JSON result (or the typed error) and exit accordingly.
+fn run_serve_client(args: &[String]) {
+    let Some(addr) = parse_flag(args, "--addr") else {
+        fail("serve-client requires --addr HOST:PORT");
+    };
+    let method = parse_flag(args, "--call").unwrap_or_else(|| "ping".to_string());
+    let params = match parse_flag(args, "--params") {
+        Some(text) => {
+            Json::parse(&text).unwrap_or_else(|e| fail(&format!("invalid --params: {e}")))
+        }
+        None => Json::Null,
+    };
+    let deadline_ms = parse_num_flag::<u64>(args, "--deadline-ms");
+    let mut client = nd_server::Client::connect(addr.as_str())
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    match client.call_with_deadline(&method, params, deadline_ms) {
+        Ok(result) => println!("{}", result.to_json_string()),
+        Err(e) => fail(&e.to_string()),
     }
 }
 

@@ -26,6 +26,12 @@
 //! sweeps, with a note; comparing reports of *different* ranks is
 //! refused outright — their counters describe different algorithms, so
 //! any verdict would be meaningless.
+//!
+//! `bench-serve/*` reports (`experiments serve --oneshot`) gate the
+//! query service's deterministic [`nd_server::StatsSnapshot`] counters —
+//! all Exact, since the scripted session is fixed.  Comparing across
+//! schema *families* (a parallel bench against a serve smoke) is
+//! refused for the same reason as cross-rank compares.
 
 use crate::json::Json;
 use crate::runner::format_table;
@@ -150,6 +156,24 @@ const TRACKED: &[(&[&str], Gate)] = &[
     (&["sweep", "sweep_s"], Gate::ReportOnly),
     (&["sweep", "independent_s"], Gate::ReportOnly),
     (&["sweep", "amortization"], Gate::ReportOnly),
+    // Query-service counters (bench-serve/v1, `experiments serve
+    // --oneshot`).  The scripted session is fixed, so every counter is a
+    // deterministic function of the script: all Exact.  The load-bearing
+    // three: `support_builds` must stay 1 however many sessions open,
+    // repeated-θ queries must keep landing as `cache_hits`, and
+    // `protocol_errors` must stay 0 (the script sends no malformed
+    // frames).
+    (&["stats", "requests"], Gate::Exact),
+    (&["stats", "batches"], Gate::Exact),
+    (&["stats", "protocol_errors"], Gate::Exact),
+    (&["stats", "request_errors"], Gate::Exact),
+    (&["stats", "cache_hits"], Gate::Exact),
+    (&["stats", "cache_misses"], Gate::Exact),
+    (&["stats", "cache_evictions"], Gate::Exact),
+    (&["stats", "support_builds"], Gate::Exact),
+    (&["stats", "sessions_opened"], Gate::Exact),
+    (&["stats", "sessions_closed"], Gate::Exact),
+    (&["stats", "deadlines_exceeded"], Gate::Exact),
 ];
 
 /// The explicit `rank` field of a report, when present (v5+).
@@ -157,17 +181,24 @@ fn rank_of(doc: &Json) -> Option<String> {
     doc.get("rank").and_then(Json::as_str).map(str::to_string)
 }
 
-fn schema_of(doc: &Json, which: &str) -> Result<String, String> {
+/// The schema families this tool understands.  Reports of different
+/// families (a parallel bench vs a serve smoke) share no gated counters
+/// and describe different artifacts, so comparing across them is
+/// refused rather than silently reporting "everything skipped, OK".
+const FAMILIES: &[&str] = &["bench-parallel", "bench-serve"];
+
+fn schema_of(doc: &Json, which: &str) -> Result<(String, String), String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
         .ok_or_else(|| format!("{which} report has no \"schema\" field"))?;
-    if !schema.starts_with("bench-parallel/") {
+    let family = schema.split('/').next().unwrap_or(schema);
+    if !FAMILIES.contains(&family) {
         return Err(format!(
-            "{which} report has schema \"{schema}\", expected bench-parallel/*"
+            "{which} report has schema \"{schema}\", expected bench-parallel/* or bench-serve/*"
         ));
     }
-    Ok(schema.to_string())
+    Ok((family.to_string(), schema.to_string()))
 }
 
 /// Compares two parsed reports.  `tolerance` is a relative fraction
@@ -176,8 +207,14 @@ pub fn compare(old: &Json, new: &Json, tolerance: f64) -> Result<CompareReport, 
     if !(0.0..=1.0).contains(&tolerance) {
         return Err(format!("tolerance must be within [0, 1], got {tolerance}"));
     }
-    let old_schema = schema_of(old, "old")?;
-    let new_schema = schema_of(new, "new")?;
+    let (old_family, old_schema) = schema_of(old, "old")?;
+    let (new_family, new_schema) = schema_of(new, "new")?;
+    if old_family != new_family {
+        return Err(format!(
+            "schema family mismatch: old report is {old_schema}, new report is {new_schema}; \
+             the two families share no gated counters, so any verdict would be meaningless"
+        ));
+    }
 
     // Pre-v5 reports carry no rank field; they all described the
     // nucleus-rank decomposition, so that is the implied default.
@@ -568,5 +605,49 @@ mod tests {
         assert!(compare(&bogus, &v2(1), 0.0).is_err());
         let missing = Json::parse(r#"{ "counts": {} }"#).unwrap();
         assert!(compare(&v2(1), &missing, 0.0).is_err());
+    }
+
+    fn serve(hits: u64, builds: u64, protocol_errors: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-serve/v1",
+                  "source": {{ "kind": "generated" }},
+                  "oneshot": {{ "passed": true, "bit_identical": true, "failures": [ ] }},
+                  "stats": {{ "requests": 22, "batches": 1,
+                              "protocol_errors": {protocol_errors},
+                              "request_errors": 4, "cache_hits": {hits},
+                              "cache_misses": 2, "cache_evictions": 0,
+                              "support_builds": {builds}, "sessions_opened": 2,
+                              "sessions_closed": 2, "deadlines_exceeded": 1 }} }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_reports_gate_every_counter_exactly() {
+        let ok = compare(&serve(8, 1, 0), &serve(8, 1, 0), 0.0).unwrap();
+        assert!(ok.regressions().is_empty(), "{}", ok.format());
+        // A second support build, a lost cache hit, or any protocol
+        // error each trips its own exact gate.
+        for (drifted, expect) in [
+            (serve(8, 2, 0), "stats.support_builds"),
+            (serve(7, 1, 0), "stats.cache_hits"),
+            (serve(8, 1, 1), "stats.protocol_errors"),
+        ] {
+            let report = compare(&serve(8, 1, 0), &drifted, 0.0).unwrap();
+            let failing: Vec<_> = report
+                .regressions()
+                .iter()
+                .map(|r| r.name.clone())
+                .collect();
+            assert_eq!(failing, vec![expect]);
+        }
+    }
+
+    #[test]
+    fn cross_family_compares_are_refused() {
+        let err = compare(&v3(100, 20821, None), &serve(8, 1, 0), 0.0).unwrap_err();
+        assert!(err.contains("schema family mismatch"), "{err}");
+        let err = compare(&serve(8, 1, 0), &v5("nucleus", 1, 400, 20821), 0.0).unwrap_err();
+        assert!(err.contains("schema family mismatch"), "{err}");
     }
 }

@@ -18,6 +18,7 @@
 //! | [`parbench`] | (extra) | parallel-substrate speedups + peeling-engine perf counters, emitted as machine-readable `BENCH_parallel.json` |
 //! | [`thetasweep`] | (extra) | θ-sweep amortization: one support build vs per-θ rebuilds, `support_builds` + per-θ counters as `bench-parallel/v4` JSON |
 //! | [`compare`] | (extra) | `bench-compare`: diff two bench JSONs, gate CI on deterministic counters |
+//! | [`serve`] | (extra) | `nd-server` smoke: scripted TCP session vs direct library calls, counters as `bench-serve/v1` JSON |
 //!
 //! Run them through the `experiments` binary:
 //!
@@ -33,12 +34,16 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
-pub mod json;
 pub mod parbench;
 pub mod runner;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod thetasweep;
+
+/// The workspace's JSON reader/writer now lives with the wire protocol
+/// in `nd-server`; this re-export keeps `nd_bench::json` paths working.
+pub use nd_server::json;
 
 pub use runner::{run_with_deadline, ExperimentContext, Timing};

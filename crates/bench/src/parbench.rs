@@ -115,6 +115,45 @@ impl Default for ParBenchConfig {
     }
 }
 
+/// Why ingesting an `--input` file failed.  Every `experiments`
+/// subcommand that takes `--input` funnels through this one type, so a
+/// missing or unreadable file produces the same message and the same
+/// non-zero exit no matter which subcommand it was passed to.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The input file could not be parsed or read.
+    Load {
+        /// The file that failed.
+        path: std::path::PathBuf,
+        /// The underlying parse/IO error.
+        error: ugraph::GraphError,
+    },
+    /// A snapshot cache we just wrote failed to read back.
+    SnapshotReload {
+        /// The cache file that failed.
+        path: std::path::PathBuf,
+        /// The underlying reload error.
+        error: ugraph::GraphError,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Same wording as the generic experiments' --input path, so
+            // the operator-visible message is subcommand-independent.
+            IngestError::Load { path, error } => {
+                write!(f, "cannot load {}: {error}", path.display())
+            }
+            IngestError::SnapshotReload { path, error } => {
+                write!(f, "cannot reload snapshot {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// Wall-clock costs of ingesting the `--input` file.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IngestTimings {
@@ -349,11 +388,16 @@ fn measure_peel(graph: &UncertainGraph, repeats: usize) -> PeelBench {
 /// measure snapshot-vs-snapshot and litter the dataset directory), and an
 /// unwritable dataset directory degrades to a temp-dir cache — or, if
 /// even that fails, to running the benchmark without ingest timings.
-pub(crate) fn ingest(input: &ExternalDataset) -> (UncertainGraph, Option<IngestTimings>) {
+pub(crate) fn ingest(
+    input: &ExternalDataset,
+) -> Result<(UncertainGraph, Option<IngestTimings>), IngestError> {
     let (parsed, parse_t) = Timing::measure(|| input.load());
-    let graph = parsed.unwrap_or_else(|e| panic!("cannot ingest {}: {e}", input.path.display()));
+    let graph = parsed.map_err(|error| IngestError::Load {
+        path: input.path.clone(),
+        error,
+    })?;
     if input.format == ugraph::InputFormat::Snapshot {
-        return (graph, None);
+        return Ok((graph, None));
     }
     let preferred = input.snapshot_cache_path();
     let (written, write_t) = Timing::measure(|| io::write_snapshot_file(&graph, &preferred));
@@ -377,36 +421,38 @@ pub(crate) fn ingest(input: &ExternalDataset) -> (UncertainGraph, Option<IngestT
                          benchmarking without ingest timings",
                         input.path.display()
                     );
-                    return (graph, None);
+                    return Ok((graph, None));
                 }
             }
         }
     };
     let (reloaded, reload_t) = Timing::measure(|| io::read_snapshot_file(&cache));
-    let reloaded =
-        reloaded.unwrap_or_else(|e| panic!("cannot reload snapshot {}: {e}", cache.display()));
+    let reloaded = reloaded.map_err(|error| IngestError::SnapshotReload {
+        path: cache.clone(),
+        error,
+    })?;
     assert_eq!(
         graph,
         reloaded,
         "snapshot reload of {} diverged from the parsed graph",
         input.path.display()
     );
-    (
+    Ok((
         graph,
         Some(IngestTimings {
             parse_s: parse_t.seconds(),
             snapshot_write_s: write_t.seconds(),
             snapshot_reload_s: reload_t.seconds(),
         }),
-    )
+    ))
 }
 
 /// Runs the benchmark: sequential baseline first, then every requested
 /// thread count, verifying on the way that the parallel results agree with
 /// the sequential ones.
-pub fn run(config: &ParBenchConfig) -> ParBenchReport {
+pub fn run(config: &ParBenchConfig) -> Result<ParBenchReport, IngestError> {
     let (graph, ingest_timings) = match &config.input {
-        Some(input) => ingest(input),
+        Some(input) => ingest(input)?,
         None => (
             generate_graph(config.vertices, config.edges, config.seed),
             None,
@@ -454,7 +500,7 @@ pub fn run(config: &ParBenchConfig) -> ParBenchReport {
 
     let peel = measure_peel(&graph, config.repeats);
 
-    ParBenchReport {
+    Ok(ParBenchReport {
         config: config.clone(),
         actual_vertices: graph.num_vertices(),
         actual_edges: graph.num_edges(),
@@ -465,7 +511,7 @@ pub fn run(config: &ParBenchConfig) -> ParBenchReport {
         peel,
         baseline,
         runs,
-    }
+    })
 }
 
 fn json_run(run: &ThreadRun) -> String {
@@ -708,7 +754,7 @@ mod tests {
 
     #[test]
     fn report_is_consistent() {
-        let report = run(&tiny_config());
+        let report = run(&tiny_config()).unwrap();
         assert!(report.actual_edges > 0);
         assert!(report.num_triangles > 0);
         assert_eq!(report.baseline.threads, 1);
@@ -721,7 +767,7 @@ mod tests {
 
     #[test]
     fn json_has_schema_and_parses_shape() {
-        let report = run(&tiny_config());
+        let report = run(&tiny_config()).unwrap();
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"bench-parallel/v3\""));
         assert!(json.contains("\"kind\": \"generated\""));
@@ -751,8 +797,8 @@ mod tests {
 
     #[test]
     fn peel_counters_are_deterministic_and_method_counts_sorted() {
-        let a = run(&tiny_config());
-        let b = run(&tiny_config());
+        let a = run(&tiny_config()).unwrap();
+        let b = run(&tiny_config()).unwrap();
         assert_eq!(a.peel.stats, b.peel.stats);
         assert_eq!(a.peel.reference_dp_calls, b.peel.reference_dp_calls);
         assert_eq!(a.peel.method_counts, b.peel.method_counts);
@@ -774,7 +820,7 @@ mod tests {
 
     #[test]
     fn table_lists_every_run() {
-        let report = run(&tiny_config());
+        let report = run(&tiny_config()).unwrap();
         let text = report.format();
         assert!(text.contains("threads"));
         assert!(text.contains("speedup"));
@@ -806,7 +852,7 @@ mod tests {
             InputFormat::Snap,
             EdgeProbabilityModel::Column,
         ));
-        let report = run(&config);
+        let report = run(&config).unwrap();
         let ingest = report.ingest.expect("input mode records ingest timings");
         assert!(ingest.parse_s > 0.0);
         assert!(ingest.snapshot_reload_s > 0.0);
@@ -841,7 +887,7 @@ mod tests {
             InputFormat::Snapshot,
             EdgeProbabilityModel::Column,
         ));
-        let report = run(&config);
+        let report = run(&config).unwrap();
         assert!(report.ingest.is_none(), "no snapshot-vs-snapshot timing");
         assert_eq!(report.actual_edges, 400);
         // No second snapshot appears beside the source.

@@ -51,7 +51,7 @@ use nucleus::{
     Rank, SweepConfig, ThetaSweep,
 };
 
-use crate::parbench::{generate_graph, ingest, json_source_object, IngestTimings};
+use crate::parbench::{generate_graph, ingest, json_source_object, IngestError, IngestTimings};
 use crate::runner::{format_table, run_with_deadline, ExperimentContext, Timing};
 
 /// The default θ grid of the benchmark: spans the range the paper's
@@ -301,18 +301,18 @@ impl SweepBenchReport {
 /// Panics if the sweep and an independent decomposition disagree on a
 /// single score, initial score, method count or perf counter — the
 /// benchmark doubles as a CI-enforced differential check at real scale.
-pub fn run_bench(config: &SweepBenchConfig) -> SweepBenchReport {
+pub fn run_bench(config: &SweepBenchConfig) -> Result<SweepBenchReport, IngestError> {
     let (graph, ingest_timings) = match &config.input {
-        Some(input) => ingest(input),
+        Some(input) => ingest(input)?,
         None => (
             generate_graph(config.vertices, config.edges, config.seed),
             None,
         ),
     };
-    match config.rank {
+    Ok(match config.rank {
         Rank::Nucleus => run_bench_nucleus(config, &graph, ingest_timings),
         rank => run_bench_generic(config, rank, &graph, ingest_timings),
-    }
+    })
 }
 
 /// The nucleus-rank benchmark: [`ThetaSweep`] vs independent
@@ -414,7 +414,7 @@ fn run_bench_generic(
     graph: &UncertainGraph,
     ingest_timings: Option<IngestTimings>,
 ) -> SweepBenchReport {
-    let sweep_config = SweepConfig::exact(config.thetas.clone());
+    let sweep_config = SweepConfig::exact(config.thetas.clone()).with_rank(rank);
     let repeats = config.repeats.max(1);
 
     let mut sweep_s = f64::INFINITY;
@@ -422,7 +422,7 @@ fn run_bench_generic(
     let (_, _, sweep_exceeded) = run_with_deadline(config.deadline, || {
         for _ in 0..repeats {
             let (built, t) = Timing::measure(|| {
-                DecompSweep::compute(graph, rank, &sweep_config).expect("valid sweep config")
+                DecompSweep::compute(graph, &sweep_config).expect("valid sweep config")
             });
             sweep_s = sweep_s.min(t.seconds());
             index = Some(built);
@@ -636,7 +636,7 @@ mod tests {
 
     #[test]
     fn report_is_consistent_and_support_built_once() {
-        let report = run_bench(&tiny_config());
+        let report = run_bench(&tiny_config()).unwrap();
         assert_eq!(report.support_builds, 1);
         assert_eq!(report.independent_support_builds, 3);
         assert_eq!(report.per_theta.len(), 3);
@@ -654,7 +654,7 @@ mod tests {
 
     #[test]
     fn json_has_v5_schema_and_parses_shape() {
-        let report = run_bench(&tiny_config());
+        let report = run_bench(&tiny_config()).unwrap();
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
         assert!(json.contains("\"rank\": \"nucleus\""));
@@ -684,8 +684,8 @@ mod tests {
 
     #[test]
     fn counters_are_deterministic_across_runs() {
-        let a = run_bench(&tiny_config());
-        let b = run_bench(&tiny_config());
+        let a = run_bench(&tiny_config()).unwrap();
+        let b = run_bench(&tiny_config()).unwrap();
         assert_eq!(a.dp_calls_total(), b.dp_calls_total());
         for (x, y) in a.per_theta.iter().zip(&b.per_theta) {
             assert_eq!(x.stats, y.stats);
@@ -722,7 +722,7 @@ mod tests {
             InputFormat::Snap,
             EdgeProbabilityModel::Column,
         ));
-        let report = run_bench(&config);
+        let report = run_bench(&config).unwrap();
         assert!(report.ingest.is_some());
         assert_eq!(report.actual_edges, 400);
         let json = report.to_json();
@@ -736,7 +736,7 @@ mod tests {
     fn truss_rank_sweeps_with_one_support_build() {
         let mut config = tiny_config();
         config.rank = Rank::Truss;
-        let report = run_bench(&config);
+        let report = run_bench(&config).unwrap();
         assert_eq!(report.support_builds, 1);
         assert_eq!(report.per_theta.len(), 3);
         // The truss rank peels edges; triangles are the cells.
@@ -766,7 +766,7 @@ mod tests {
     fn core_rank_sweeps_with_empty_counts() {
         let mut config = tiny_config();
         config.rank = Rank::Core;
-        let report = run_bench(&config);
+        let report = run_bench(&config).unwrap();
         assert_eq!(report.support_builds, 1);
         assert_eq!(report.num_triangles, None);
         assert_eq!(report.num_four_cliques, None);

@@ -1,0 +1,67 @@
+//! Every `experiments` subcommand that takes `--input` must report a
+//! missing or unreadable file the same way: one `cannot load <path>: …`
+//! line on stderr and a non-zero exit — no panics, no backtraces, no
+//! subcommand-specific wording.  One malformed invocation per
+//! subcommand, driven through the real binary.
+
+use std::process::Command;
+
+const MISSING: &str = "/nonexistent/cli_errors_test_graph.txt";
+
+/// Runs the experiments binary with `args`, asserting exit code 1 and
+/// the unified error line (and that no panic leaked to stderr).
+fn assert_unified_input_error(args: &[&str]) {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("experiments binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "{args:?} must exit 1, got {:?}\nstderr: {stderr}",
+        output.status.code()
+    );
+    assert!(
+        stderr.contains(&format!("cannot load {MISSING}:")),
+        "{args:?} must report the unified message, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} must fail cleanly, not panic: {stderr}"
+    );
+}
+
+#[test]
+fn generic_experiment_reports_missing_input_uniformly() {
+    assert_unified_input_error(&["table1", "--scale", "tiny", "--input", MISSING]);
+}
+
+#[test]
+fn parbench_reports_missing_input_uniformly() {
+    assert_unified_input_error(&["parbench", "--repeats", "1", "--input", MISSING]);
+}
+
+#[test]
+fn thetasweep_reports_missing_input_uniformly() {
+    assert_unified_input_error(&["thetasweep", "--repeats", "1", "--input", MISSING]);
+}
+
+#[test]
+fn serve_oneshot_reports_missing_input_uniformly() {
+    let out = std::env::temp_dir().join("cli_errors_serve_out.json");
+    assert_unified_input_error(&[
+        "serve",
+        "--oneshot",
+        "--input",
+        MISSING,
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(!out.exists(), "a failed run must not write a report");
+}
+
+#[test]
+fn serve_resident_reports_missing_input_uniformly() {
+    assert_unified_input_error(&["serve", "--input", MISSING]);
+}

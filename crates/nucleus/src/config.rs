@@ -166,25 +166,40 @@ pub fn validate_theta_grid(thetas: &[f64]) -> Result<()> {
     Ok(())
 }
 
-/// Configuration of a θ-sweep decomposition
-/// ([`ThetaSweep`](crate::local::sweep::ThetaSweep)): one support-structure
-/// build amortized across a whole grid of thresholds.
+/// Configuration of a threshold-sweep decomposition
+/// ([`DecompSweep`](crate::decomp::DecompSweep)): one support build
+/// amortized across a whole grid of thresholds, at any rank of the
+/// (r,s)-nucleus family.
+///
+/// This is the single validated builder behind every sweep surface:
+/// [`ThetaSweep`](crate::local::sweep::ThetaSweep) is the `rank =
+/// nucleus` instance (the constructors default to that rank for
+/// source compatibility), and a single-threshold
+/// [`DecompConfig`](crate::decomp::DecompConfig) expands into one via
+/// [`DecompConfig::sweep`](crate::decomp::DecompConfig::sweep).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
-    /// The θ grid, sorted strictly ascending, every entry in `(0, 1]`.
+    /// The (r,s) instance to sweep.  The grid entries are interpreted as
+    /// this rank's threshold (η, γ or θ).
+    pub rank: crate::decomp::Rank,
+    /// The threshold grid, sorted strictly ascending, every entry in
+    /// `(0, 1]`.
     pub thetas: Vec<f64>,
     /// How support scores are computed (shared by every grid point).
+    /// [`ScoreMethod::Hybrid`] is calibrated for the nucleus rank and
+    /// rejected elsewhere.
     pub method: ScoreMethod,
-    /// Parallelism of the support-structure build and of the per-θ peels
+    /// Parallelism of the support build and of the per-threshold peels
     /// (grids with ≥ 2 points peel grid points concurrently).  Results
     /// are bit-identical for every setting.
     pub parallelism: Parallelism,
 }
 
 impl SweepConfig {
-    /// Exact-DP sweep over the given grid.
+    /// Exact-DP sweep over the given grid, at the nucleus rank.
     pub fn exact(thetas: Vec<f64>) -> Self {
         SweepConfig {
+            rank: crate::decomp::Rank::Nucleus,
             thetas,
             method: ScoreMethod::DynamicProgramming,
             parallelism: Parallelism::Auto,
@@ -192,13 +207,20 @@ impl SweepConfig {
     }
 
     /// Hybrid-approximation sweep with the paper's default
-    /// hyperparameters.
+    /// hyperparameters, at the nucleus rank.
     pub fn approximate(thetas: Vec<f64>) -> Self {
         SweepConfig {
+            rank: crate::decomp::Rank::Nucleus,
             thetas,
             method: ScoreMethod::Hybrid(ApproxThresholds::default()),
             parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Selects the (r,s) instance the grid sweeps.
+    pub fn with_rank(mut self, rank: crate::decomp::Rank) -> Self {
+        self.rank = rank;
+        self
     }
 
     /// Sets the parallelism of the sweep.
@@ -207,22 +229,21 @@ impl SweepConfig {
         self
     }
 
-    /// The per-θ [`LocalConfig`] of grid point `index`, with the given
-    /// inner parallelism (the sweep engine picks sequential scoring when
-    /// it already parallelizes across grid points).
-    pub(crate) fn local_config(&self, index: usize, parallelism: Parallelism) -> LocalConfig {
-        LocalConfig {
-            theta: self.thetas[index],
-            method: self.method,
-            parallelism,
-        }
-    }
-
-    /// Validates the grid ([`validate_theta_grid`]) and the scoring
-    /// method's hyperparameters.
+    /// Validates the grid ([`validate_theta_grid`]), the scoring method's
+    /// hyperparameters, and the method/rank combination (hybrid scoring
+    /// is nucleus-only).
     pub fn validate(&self) -> Result<()> {
         validate_theta_grid(&self.thetas)?;
-        validate_method(&self.method)
+        validate_method(&self.method)?;
+        if self.rank != crate::decomp::Rank::Nucleus
+            && matches!(self.method, ScoreMethod::Hybrid(_))
+        {
+            return Err(NucleusError::UnsupportedMethod {
+                rank: self.rank.as_str(),
+                method: "hybrid",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -363,13 +384,23 @@ mod tests {
     }
 
     #[test]
-    fn sweep_config_local_configs_mirror_the_grid() {
-        let cfg = SweepConfig::approximate(vec![0.1, 0.4]);
-        let local = cfg.local_config(1, Parallelism::Sequential);
-        assert_eq!(local.theta, 0.4);
-        assert_eq!(local.method, cfg.method);
-        assert_eq!(local.parallelism, Parallelism::Sequential);
-        assert!(local.validate().is_ok());
+    fn sweep_config_rank_defaults_to_nucleus_and_is_settable() {
+        use crate::decomp::Rank;
+        assert_eq!(SweepConfig::exact(vec![0.5]).rank, Rank::Nucleus);
+        assert_eq!(SweepConfig::approximate(vec![0.5]).rank, Rank::Nucleus);
+        let c = SweepConfig::exact(vec![0.5]).with_rank(Rank::Truss);
+        assert_eq!(c.rank, Rank::Truss);
+        assert!(c.validate().is_ok());
+        // Hybrid scoring is calibrated for the nucleus rank only.
+        assert_eq!(
+            SweepConfig::approximate(vec![0.5])
+                .with_rank(Rank::Core)
+                .validate(),
+            Err(NucleusError::UnsupportedMethod {
+                rank: "core",
+                method: "hybrid",
+            })
+        );
     }
 
     #[test]

@@ -13,11 +13,15 @@
 //!   errors of [`crate::error`],
 //! * [`Decomposition::compute`] runs one threshold,
 //! * [`DecompSweep::compute`] amortizes one support build across a whole
-//!   threshold grid, for any rank.
+//!   threshold grid, for any rank,
+//! * [`RankSupport`] / [`DecompHandle`] keep a built support resident in
+//!   memory and shareable across threads (`Arc`-based), so a serving
+//!   process can answer many queries off one build.
 //!
 //! Outputs are **bit-identical** to the historical per-rank entry points
 //! (`probdecomp::EtaCoreDecomposition`, `probdecomp::GammaTrussDecomposition`,
-//! [`LocalNucleusDecomposition`]): the supports gather the same floats in
+//! [`LocalNucleusDecomposition`](crate::local::LocalNucleusDecomposition)):
+//! the supports gather the same floats in
 //! the same order, the DP is the same arithmetic, and the deferred peel
 //! reaches the same fixpoint as the frozen eager references (the DP
 //! scorer is monotone under cell removal, which makes the peeling
@@ -27,6 +31,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use ugraph::rs::{self, CoreSupport, PeelStats, RsSupport, TailScratch, TrussSupport};
 use ugraph::{par, Parallelism, UncertainGraph};
@@ -34,7 +39,8 @@ use ugraph::{par, Parallelism, UncertainGraph};
 use crate::approx::ApproxMethod;
 use crate::config::{LocalConfig, ScoreMethod, SweepConfig};
 use crate::error::{NucleusError, Result};
-use crate::local::{LocalNucleusDecomposition, ThetaSweep};
+use crate::local::{self, nuclei};
+use crate::support::SupportStructure;
 
 /// Which member of the (r,s)-nucleus family to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -227,6 +233,234 @@ impl DecompConfig {
             parallelism: self.parallelism,
         }
     }
+
+    /// Expands this single-threshold configuration into a [`SweepConfig`]
+    /// over `grid` (the grid replaces [`threshold`](Self::threshold);
+    /// rank, method and parallelism carry over).  This is the one
+    /// conversion between the two validated builders.
+    pub fn sweep(&self, grid: Vec<f64>) -> SweepConfig {
+        SweepConfig {
+            rank: self.rank,
+            thetas: grid,
+            method: self.method,
+            parallelism: self.parallelism,
+        }
+    }
+}
+
+/// The rank-specific support structure behind a decomposition: the
+/// threshold-independent part of the computation (element/cell
+/// enumeration and completion probabilities), built once and shared —
+/// across grid points by [`DecompSweep`], across threads by
+/// [`DecompHandle`].
+#[derive(Debug, Clone)]
+pub enum RankSupport {
+    /// (1,2): vertices and their incident edges.
+    Core(CoreSupport),
+    /// (2,3): edges and their triangles.
+    Truss(TrussSupport),
+    /// (3,4): triangles and their 4-cliques (the paper's
+    /// [`SupportStructure`]).
+    Nucleus(SupportStructure),
+}
+
+impl RankSupport {
+    /// Builds the support for `rank` with the given parallelism.
+    pub fn build(graph: &UncertainGraph, rank: Rank, parallelism: Parallelism) -> Self {
+        match rank {
+            Rank::Core => RankSupport::Core(CoreSupport::build(graph)),
+            Rank::Truss => RankSupport::Truss(TrussSupport::build(graph, parallelism)),
+            Rank::Nucleus => RankSupport::Nucleus(SupportStructure::build_with(graph, parallelism)),
+        }
+    }
+
+    /// The rank this support was built for.
+    pub fn rank(&self) -> Rank {
+        match self {
+            RankSupport::Core(_) => Rank::Core,
+            RankSupport::Truss(_) => Rank::Truss,
+            RankSupport::Nucleus(_) => Rank::Nucleus,
+        }
+    }
+
+    /// Number of peelable elements (vertices, edges or triangles).
+    pub fn num_elements(&self) -> usize {
+        match self {
+            RankSupport::Core(s) => s.num_elements(),
+            RankSupport::Truss(s) => s.num_elements(),
+            RankSupport::Nucleus(s) => s.num_triangles(),
+        }
+    }
+
+    /// The nucleus-rank [`SupportStructure`], when this is one.
+    pub fn as_nucleus(&self) -> Option<&SupportStructure> {
+        match self {
+            RankSupport::Nucleus(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Everything one threshold produces: the per-point payload shared by
+/// [`Decomposition`] and [`DecompSweep`].
+#[derive(Debug, Clone)]
+struct Point {
+    scores: Vec<u32>,
+    initial_scores: Vec<u32>,
+    method_counts: HashMap<ApproxMethod, usize>,
+    stats: PeelStats,
+}
+
+/// Runs one threshold over a borrowed support.  The nucleus rank runs
+/// the canonical initial-κ + peel sequence of [`crate::local`]; the
+/// other ranks run the generic engine of [`ugraph::rs`].  Either way the
+/// result is bit-identical to the historical per-rank entry points.
+fn compute_point(
+    support: &RankSupport,
+    threshold: f64,
+    method: ScoreMethod,
+    parallelism: Parallelism,
+) -> Point {
+    match support {
+        RankSupport::Nucleus(s) => {
+            let local = LocalConfig {
+                theta: threshold,
+                method,
+                parallelism,
+            };
+            let point = local::decompose_point(s, &local);
+            Point {
+                scores: point.scores,
+                initial_scores: point.initial_scores,
+                method_counts: point.method_counts,
+                stats: point.stats,
+            }
+        }
+        RankSupport::Core(s) => generic_point(s, threshold, parallelism),
+        RankSupport::Truss(s) => generic_point(s, threshold, parallelism),
+    }
+}
+
+/// The generic-engine threshold run: parallel initial DP pass (ordered
+/// merge, so bit-identical for every thread count), then the deferred
+/// bucket-queue peel.
+fn generic_point<S: RsSupport + Sync>(
+    support: &S,
+    threshold: f64,
+    parallelism: Parallelism,
+) -> Point {
+    let n = support.num_elements();
+    let scored: Vec<(u32, usize)> =
+        par::par_map_init(parallelism, n, TailScratch::new, |scratch, t| {
+            let k = scratch.score(support, t as u32, threshold, |_| true);
+            (k, scratch.peak_bytes())
+        });
+    let mut kappa = Vec::with_capacity(n);
+    let mut init_peak = 0usize;
+    for (k, peak) in scored {
+        kappa.push(k);
+        // Per-item values are running per-chunk maxima; the overall
+        // maximum is independent of the chunk partition.
+        init_peak = init_peak.max(peak);
+    }
+    let initial_scores = kappa.clone();
+
+    let mut scratch = TailScratch::new();
+    let (scores, mut stats) = rs::peel_deferred(support, kappa, |t, cell_dead| {
+        scratch.score(support, t, threshold, |c| !cell_dead[c as usize])
+    });
+    stats.peak_scratch_bytes = scratch.peak_bytes().max(init_peak);
+
+    let mut method_counts = HashMap::new();
+    method_counts.insert(ApproxMethod::DynamicProgramming, n);
+    Point {
+        scores,
+        initial_scores,
+        method_counts,
+        stats,
+    }
+}
+
+/// A cheaply clonable, thread-shareable handle to a built
+/// [`RankSupport`]: the resident object a serving process keeps in
+/// memory.  Every computation borrows the shared support — no rebuilds,
+/// no copies — and is bit-identical to a from-scratch run at the same
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct DecompHandle {
+    support: Arc<RankSupport>,
+}
+
+impl DecompHandle {
+    /// Builds the support for `rank` and wraps it in a handle.
+    pub fn build(graph: &UncertainGraph, rank: Rank, parallelism: Parallelism) -> Self {
+        DecompHandle {
+            support: Arc::new(RankSupport::build(graph, rank, parallelism)),
+        }
+    }
+
+    /// Wraps an already-built (and possibly already-shared) support.
+    pub fn from_support(support: Arc<RankSupport>) -> Self {
+        DecompHandle { support }
+    }
+
+    /// The rank the handle's support was built for.
+    pub fn rank(&self) -> Rank {
+        self.support.rank()
+    }
+
+    /// Number of peelable elements.
+    pub fn num_elements(&self) -> usize {
+        self.support.num_elements()
+    }
+
+    /// The shared support.
+    pub fn support(&self) -> &Arc<RankSupport> {
+        &self.support
+    }
+
+    fn check_rank(&self, requested: Rank) -> Result<()> {
+        if requested != self.rank() {
+            return Err(NucleusError::RankMismatch {
+                expected: requested.as_str(),
+                got: self.rank().as_str(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Computes one threshold over the shared support.  Errors with
+    /// [`NucleusError::RankMismatch`] when `config.rank` differs from the
+    /// handle's rank.
+    pub fn compute_at(&self, config: &DecompConfig) -> Result<Decomposition> {
+        config.validate()?;
+        self.check_rank(config.rank)?;
+        let point = compute_point(
+            &self.support,
+            config.threshold,
+            config.method,
+            config.parallelism,
+        );
+        Ok(Decomposition {
+            config: *config,
+            initial_scores: point.initial_scores,
+            scores: point.scores,
+            method_counts: point.method_counts,
+            stats: point.stats,
+        })
+    }
+
+    /// Sweeps a whole grid over the shared support (no new build:
+    /// [`DecompSweep::support_builds`] reports 0).
+    pub fn sweep(&self, config: &SweepConfig) -> Result<DecompSweep> {
+        config.validate()?;
+        self.check_rank(config.rank)?;
+        Ok(DecompSweep::over_support(
+            Arc::clone(&self.support),
+            config,
+            0,
+        ))
+    }
 }
 
 /// Result of a unified (r,s) decomposition: the decomposition number of
@@ -246,65 +480,9 @@ impl Decomposition {
     /// Computes the decomposition selected by `config`, validating the
     /// configuration first.
     pub fn compute(graph: &UncertainGraph, config: &DecompConfig) -> Result<Self> {
+        // Fail fast before the expensive support build.
         config.validate()?;
-        match config.rank {
-            Rank::Nucleus => {
-                let local = LocalNucleusDecomposition::compute(graph, &config.local_config())?;
-                Ok(Decomposition {
-                    config: *config,
-                    initial_scores: local.initial_scores().to_vec(),
-                    scores: local.scores().to_vec(),
-                    method_counts: local.method_counts().clone(),
-                    stats: *local.peel_stats(),
-                })
-            }
-            Rank::Core => {
-                let support = CoreSupport::build(graph);
-                Ok(Self::run_generic(config, &support))
-            }
-            Rank::Truss => {
-                let support = TrussSupport::build(graph, config.parallelism);
-                Ok(Self::run_generic(config, &support))
-            }
-        }
-    }
-
-    /// Runs the generic engine over a prebuilt support: parallel initial
-    /// DP pass (ordered merge, so bit-identical for every thread count),
-    /// then the deferred bucket-queue peel.
-    fn run_generic<S: RsSupport + Sync>(config: &DecompConfig, support: &S) -> Self {
-        let n = support.num_elements();
-        let threshold = config.threshold;
-        let scored: Vec<(u32, usize)> =
-            par::par_map_init(config.parallelism, n, TailScratch::new, |scratch, t| {
-                let k = scratch.score(support, t as u32, threshold, |_| true);
-                (k, scratch.peak_bytes())
-            });
-        let mut kappa = Vec::with_capacity(n);
-        let mut init_peak = 0usize;
-        for (k, peak) in scored {
-            kappa.push(k);
-            // Per-item values are running per-chunk maxima; the overall
-            // maximum is independent of the chunk partition.
-            init_peak = init_peak.max(peak);
-        }
-        let initial_scores = kappa.clone();
-
-        let mut scratch = TailScratch::new();
-        let (scores, mut stats) = rs::peel_deferred(support, kappa, |t, cell_dead| {
-            scratch.score(support, t, threshold, |c| !cell_dead[c as usize])
-        });
-        stats.peak_scratch_bytes = scratch.peak_bytes().max(init_peak);
-
-        let mut method_counts = HashMap::new();
-        method_counts.insert(ApproxMethod::DynamicProgramming, n);
-        Decomposition {
-            config: *config,
-            initial_scores,
-            scores,
-            method_counts,
-            stats,
-        }
+        DecompHandle::build(graph, config.rank, config.parallelism).compute_at(config)
     }
 
     /// The validated configuration the decomposition ran with.
@@ -355,109 +533,84 @@ impl Decomposition {
 }
 
 /// A threshold sweep at any rank: one support build amortized across a
-/// whole grid, per-point scores and [`PeelStats`].
+/// whole grid, per-point scores, method counts and [`PeelStats`],
+/// queryable in O(log grid).
 ///
-/// At [`Rank::Nucleus`] this delegates to [`ThetaSweep`] (the paper's
-/// amortized index); at the other ranks it runs the generic engine per
-/// grid point over the shared support.  Every per-point result is
+/// This is the one sweep engine of the workspace —
+/// [`ThetaSweep`](crate::local::sweep::ThetaSweep) and
+/// [`NucleusIndex`](crate::local::sweep::NucleusIndex) are thin
+/// nucleus-rank wrappers over it.  Every per-point result is
 /// bit-identical to an independent [`Decomposition::compute`] at that
-/// threshold.
+/// threshold, for every parallelism setting.
 #[derive(Debug, Clone)]
 pub struct DecompSweep {
-    rank: Rank,
-    thresholds: Vec<f64>,
-    points: Vec<SweepPoint>,
+    support: Arc<RankSupport>,
+    config: SweepConfig,
+    points: Vec<Point>,
     support_builds: usize,
 }
 
-#[derive(Debug, Clone)]
-struct SweepPoint {
-    scores: Vec<u32>,
-    initial_scores: Vec<u32>,
-    stats: PeelStats,
-}
-
 impl DecompSweep {
-    /// Sweeps `config.thetas` (interpreted as the rank's threshold grid:
-    /// η, γ or θ values) at the given rank.  The grid is validated like a
-    /// θ grid — non-empty, finite, in `(0, 1]`, strictly ascending — and
-    /// the method/rank combination like a [`DecompConfig`].
-    pub fn compute(graph: &UncertainGraph, rank: Rank, config: &SweepConfig) -> Result<Self> {
+    /// Sweeps `config.thetas` (interpreted as `config.rank`'s threshold
+    /// grid: η, γ or θ values).  The grid is validated like a θ grid —
+    /// non-empty, finite, in `(0, 1]`, strictly ascending — and the
+    /// method/rank combination like a [`DecompConfig`].
+    pub fn compute(graph: &UncertainGraph, config: &SweepConfig) -> Result<Self> {
         config.validate()?;
-        if rank != Rank::Nucleus && matches!(config.method, ScoreMethod::Hybrid(_)) {
-            return Err(NucleusError::UnsupportedMethod {
-                rank: rank.as_str(),
-                method: "hybrid",
-            });
-        }
-        match rank {
-            Rank::Nucleus => {
-                let index = ThetaSweep::compute(graph, config)?;
-                let points = (0..index.grid_len())
-                    .map(|gi| SweepPoint {
-                        scores: index.scores_at_index(gi).to_vec(),
-                        initial_scores: index.initial_scores_at_index(gi).to_vec(),
-                        stats: index.peel_stats()[gi],
-                    })
-                    .collect();
-                Ok(DecompSweep {
-                    rank,
-                    thresholds: config.thetas.clone(),
-                    points,
-                    support_builds: index.support_builds(),
-                })
-            }
-            Rank::Core => {
-                let support = CoreSupport::build(graph);
-                Ok(Self::sweep_generic(rank, config, &support))
-            }
-            Rank::Truss => {
-                let support = TrussSupport::build(graph, config.parallelism);
-                Ok(Self::sweep_generic(rank, config, &support))
-            }
-        }
+        let support = Arc::new(RankSupport::build(graph, config.rank, config.parallelism));
+        Ok(Self::over_support(support, config, 1))
     }
 
-    fn sweep_generic<S: RsSupport + Sync>(rank: Rank, config: &SweepConfig, support: &S) -> Self {
+    /// Runs the (already validated) sweep over a shared support.
+    pub(crate) fn over_support(
+        support: Arc<RankSupport>,
+        config: &SweepConfig,
+        support_builds: usize,
+    ) -> Self {
         let grid_len = config.thetas.len();
         // Parallelize across grid points when there are several; inside a
-        // grid-point worker the scoring runs sequentially (mirrors
-        // ThetaSweep's schedule, and results are schedule-independent).
+        // grid-point worker the scoring runs sequentially (nesting
+        // parallel scans would oversubscribe without changing results).
         let inner = if grid_len >= 2 {
             Parallelism::Sequential
         } else {
             config.parallelism
         };
-        let points: Vec<SweepPoint> = par::par_map(config.parallelism, grid_len, |gi| {
-            let point_config = DecompConfig {
-                rank,
-                threshold: config.thetas[gi],
-                method: config.method,
-                parallelism: inner,
-            };
-            let d = Decomposition::run_generic(&point_config, support);
-            SweepPoint {
-                scores: d.scores,
-                initial_scores: d.initial_scores,
-                stats: d.stats,
-            }
+        let points: Vec<Point> = par::par_map(config.parallelism, grid_len, |gi| {
+            compute_point(&support, config.thetas[gi], config.method, inner)
         });
-        DecompSweep {
-            rank,
-            thresholds: config.thetas.clone(),
+        let sweep = DecompSweep {
+            support,
+            config: config.clone(),
             points,
-            support_builds: 1,
+            support_builds,
+        };
+        // The DP scorer is provably monotone in the threshold (a larger
+        // threshold shrinks every tail set); catch any engine regression
+        // early in debug builds.
+        #[cfg(debug_assertions)]
+        if sweep.config.method == ScoreMethod::DynamicProgramming {
+            debug_assert!(
+                sweep.is_monotone_in_threshold(),
+                "exact-DP sweep scores must be non-increasing in the threshold"
+            );
         }
+        sweep
+    }
+
+    /// The configuration the sweep was computed with.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
     }
 
     /// The rank the sweep was computed at.
     pub fn rank(&self) -> Rank {
-        self.rank
+        self.config.rank
     }
 
     /// The threshold grid, sorted ascending.
     pub fn thresholds(&self) -> &[f64] {
-        &self.thresholds
+        &self.config.thetas
     }
 
     /// Number of grid points.
@@ -467,13 +620,49 @@ impl DecompSweep {
 
     /// Number of peeled elements (shared by every grid point).
     pub fn num_elements(&self) -> usize {
-        self.points.first().map_or(0, |p| p.scores.len())
+        self.support.num_elements()
+    }
+
+    /// The shared support.
+    pub fn support(&self) -> &Arc<RankSupport> {
+        &self.support
+    }
+
+    /// The nucleus-rank [`SupportStructure`], when this is a nucleus
+    /// sweep.
+    pub fn nucleus_support(&self) -> Option<&SupportStructure> {
+        self.support.as_nucleus()
     }
 
     /// Support builds the engine performed — pinned to 1 by the CI perf
-    /// gate, the whole point of the sweep.
+    /// gate, the whole point of the sweep.  0 when the support was shared
+    /// through a [`DecompHandle`].
     pub fn support_builds(&self) -> usize {
         self.support_builds
+    }
+
+    /// Grid position of `threshold` (exact match, O(log grid) binary
+    /// search over the sorted grid), or `None` when it is not a grid
+    /// point.
+    pub fn grid_index_of(&self, threshold: f64) -> Option<usize> {
+        self.config
+            .thetas
+            .binary_search_by(|probe| {
+                probe
+                    .partial_cmp(&threshold)
+                    .unwrap_or(std::cmp::Ordering::Less)
+            })
+            .ok()
+    }
+
+    /// Like [`grid_index_of`](Self::grid_index_of), but off-grid lookups
+    /// produce the typed [`NucleusError::ThresholdOffGrid`].
+    pub fn require_grid_index(&self, threshold: f64) -> Result<usize> {
+        self.grid_index_of(threshold)
+            .ok_or(NucleusError::ThresholdOffGrid {
+                name: self.config.rank.threshold_name(),
+                value: threshold,
+            })
     }
 
     /// Decomposition numbers at grid point `index`.
@@ -481,9 +670,43 @@ impl DecompSweep {
         &self.points[index].scores
     }
 
+    /// Decomposition numbers at `threshold`, or `None` off the grid.
+    pub fn scores_at(&self, threshold: f64) -> Option<&[u32]> {
+        self.grid_index_of(threshold)
+            .map(|i| self.scores_at_index(i))
+    }
+
     /// Initial scores at grid point `index`.
     pub fn initial_scores_at_index(&self, index: usize) -> &[u32] {
         &self.points[index].initial_scores
+    }
+
+    /// Initial scores at `threshold`, or `None` off the grid.
+    pub fn initial_scores_at(&self, threshold: f64) -> Option<&[u32]> {
+        self.grid_index_of(threshold)
+            .map(|i| self.initial_scores_at_index(i))
+    }
+
+    /// Evaluation-method counts at grid point `index`.
+    pub fn method_counts_at_index(&self, index: usize) -> &HashMap<ApproxMethod, usize> {
+        &self.points[index].method_counts
+    }
+
+    /// The largest decomposition number at grid point `index`.
+    pub fn max_score_at_index(&self, index: usize) -> u32 {
+        self.points[index].scores.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The largest decomposition number at `threshold`, or `None` off
+    /// the grid.
+    pub fn max_score_at(&self, threshold: f64) -> Option<u32> {
+        self.grid_index_of(threshold)
+            .map(|i| self.max_score_at_index(i))
+    }
+
+    /// Peeling perf counters at grid point `index`.
+    pub fn peel_stats_at_index(&self, index: usize) -> &PeelStats {
+        &self.points[index].stats
     }
 
     /// Peeling perf counters of every grid point, in grid order.
@@ -495,11 +718,46 @@ impl DecompSweep {
     pub fn total_dp_calls(&self) -> usize {
         self.points.iter().map(|p| p.stats.dp_calls).sum()
     }
+
+    /// `true` when every element's score row (final and initial) is
+    /// non-increasing as the threshold grows across the grid.  Always
+    /// holds for the exact-DP scorer at every rank.
+    pub fn is_monotone_in_threshold(&self) -> bool {
+        let n = self.num_elements();
+        self.points.windows(2).all(|w| {
+            (0..n).all(|t| {
+                w[1].scores[t] <= w[0].scores[t] && w[1].initial_scores[t] <= w[0].initial_scores[t]
+            })
+        })
+    }
+
+    /// The maximal ℓ-(k,θ)-nuclei at `threshold` — nucleus-rank sweeps
+    /// only.  Errors with [`NucleusError::RankMismatch`] at other ranks
+    /// and [`NucleusError::ThresholdOffGrid`] off the grid.
+    pub fn k_nuclei_at(
+        &self,
+        graph: &UncertainGraph,
+        threshold: f64,
+        k: u32,
+    ) -> Result<Vec<detdecomp::NucleusSubgraph>> {
+        let support = self.nucleus_support().ok_or(NucleusError::RankMismatch {
+            expected: Rank::Nucleus.as_str(),
+            got: self.config.rank.as_str(),
+        })?;
+        let gi = self.require_grid_index(threshold)?;
+        Ok(nuclei::extract_k_nuclei(
+            graph,
+            support,
+            &self.points[gi].scores,
+            k,
+        ))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::local::LocalNucleusDecomposition;
     use ugraph::GraphBuilder;
 
     fn complete(n: u32, p: f64) -> UncertainGraph {
@@ -639,7 +897,8 @@ mod tests {
         let g = complete(6, 0.7);
         let grid = vec![0.1, 0.3, 0.6, 0.9];
         for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
-            let sweep = DecompSweep::compute(&g, rank, &SweepConfig::exact(grid.clone())).unwrap();
+            let sweep = DecompSweep::compute(&g, &SweepConfig::exact(grid.clone()).with_rank(rank))
+                .unwrap();
             assert_eq!(sweep.rank(), rank);
             assert_eq!(sweep.grid_len(), grid.len());
             assert_eq!(sweep.support_builds(), 1, "{rank}");
@@ -667,32 +926,165 @@ mod tests {
     fn sweep_rejects_malformed_grids_and_methods() {
         let g = complete(4, 0.5);
         assert!(matches!(
-            DecompSweep::compute(&g, Rank::Core, &SweepConfig::exact(vec![])),
+            DecompSweep::compute(&g, &SweepConfig::exact(vec![]).with_rank(Rank::Core)),
             Err(NucleusError::InvalidThetaGrid(_))
         ));
         assert!(matches!(
-            DecompSweep::compute(&g, Rank::Truss, &SweepConfig::exact(vec![0.5, 0.2])),
+            DecompSweep::compute(
+                &g,
+                &SweepConfig::exact(vec![0.5, 0.2]).with_rank(Rank::Truss)
+            ),
             Err(NucleusError::InvalidThetaGrid(_))
         ));
         assert!(matches!(
-            DecompSweep::compute(&g, Rank::Core, &SweepConfig::approximate(vec![0.5])),
+            DecompSweep::compute(
+                &g,
+                &SweepConfig::approximate(vec![0.5]).with_rank(Rank::Core)
+            ),
             Err(NucleusError::UnsupportedMethod {
                 rank: "core",
                 method: "hybrid",
             })
         ));
-        assert!(
-            DecompSweep::compute(&g, Rank::Nucleus, &SweepConfig::approximate(vec![0.5])).is_ok()
+        assert!(DecompSweep::compute(&g, &SweepConfig::approximate(vec![0.5])).is_ok());
+    }
+
+    #[test]
+    fn handle_computations_share_one_support_and_stay_bit_identical() {
+        let g = complete(6, 0.7);
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let handle = DecompHandle::build(&g, rank, Parallelism::Auto);
+            assert_eq!(handle.rank(), rank);
+            assert_eq!(Arc::strong_count(handle.support()), 1);
+            let clone = handle.clone();
+            assert_eq!(Arc::strong_count(handle.support()), 2);
+
+            // Single-threshold runs off the shared support match
+            // from-scratch runs exactly.
+            let at = clone.compute_at(&DecompConfig::new(rank, 0.25)).unwrap();
+            let solo = Decomposition::compute(&g, &DecompConfig::new(rank, 0.25)).unwrap();
+            assert_eq!(at.scores(), solo.scores());
+            assert_eq!(at.initial_scores(), solo.initial_scores());
+            assert_eq!(at.method_counts(), solo.method_counts());
+            assert_eq!(at.peel_stats(), solo.peel_stats());
+
+            // A handle sweep performs zero new builds and matches a
+            // from-scratch sweep exactly.
+            let config = SweepConfig::exact(vec![0.1, 0.4, 0.8]).with_rank(rank);
+            let shared = handle.sweep(&config).unwrap();
+            assert_eq!(shared.support_builds(), 0);
+            let fresh = DecompSweep::compute(&g, &config).unwrap();
+            assert_eq!(fresh.support_builds(), 1);
+            for gi in 0..config.thetas.len() {
+                assert_eq!(shared.scores_at_index(gi), fresh.scores_at_index(gi));
+                assert_eq!(
+                    shared.initial_scores_at_index(gi),
+                    fresh.initial_scores_at_index(gi)
+                );
+                assert_eq!(
+                    shared.method_counts_at_index(gi),
+                    fresh.method_counts_at_index(gi)
+                );
+                assert_eq!(
+                    shared.peel_stats_at_index(gi),
+                    fresh.peel_stats_at_index(gi)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handle_rejects_cross_rank_requests() {
+        let g = complete(5, 0.6);
+        let handle = DecompHandle::build(&g, Rank::Truss, Parallelism::Sequential);
+        assert!(matches!(
+            handle.compute_at(&DecompConfig::core(0.5)),
+            Err(NucleusError::RankMismatch {
+                expected: "core",
+                got: "truss",
+            })
+        ));
+        assert!(matches!(
+            handle.sweep(&SweepConfig::exact(vec![0.5])),
+            Err(NucleusError::RankMismatch {
+                expected: "nucleus",
+                got: "truss",
+            })
+        ));
+    }
+
+    #[test]
+    fn sweep_grid_lookups_and_nuclei_queries() {
+        let g = complete(5, 0.9);
+        let sweep = DecompSweep::compute(&g, &SweepConfig::exact(vec![0.1, 0.5])).unwrap();
+        assert_eq!(sweep.grid_index_of(0.5), Some(1));
+        assert_eq!(sweep.grid_index_of(0.3), None);
+        assert!(sweep.scores_at(0.3).is_none());
+        assert!(sweep.initial_scores_at(0.1).is_some());
+        assert_eq!(
+            sweep.max_score_at(0.1).unwrap(),
+            sweep.max_score_at_index(0)
         );
+        assert_eq!(
+            sweep.require_grid_index(0.3),
+            Err(NucleusError::ThresholdOffGrid {
+                name: "theta",
+                value: 0.3,
+            })
+        );
+        assert!(sweep.nucleus_support().is_some());
+        let solo = LocalNucleusDecomposition::compute(
+            &g,
+            &LocalConfig {
+                theta: 0.1,
+                method: ScoreMethod::DynamicProgramming,
+                parallelism: Parallelism::Auto,
+            },
+        )
+        .unwrap();
+        let nuclei = sweep.k_nuclei_at(&g, 0.1, 1).unwrap();
+        let expected = solo.k_nuclei(&g, 1);
+        assert_eq!(nuclei.len(), expected.len());
+        for (a, b) in nuclei.iter().zip(&expected) {
+            assert_eq!(a.cliques, b.cliques);
+        }
+        assert!(matches!(
+            sweep.k_nuclei_at(&g, 0.3, 1),
+            Err(NucleusError::ThresholdOffGrid { .. })
+        ));
+
+        let truss = DecompSweep::compute(&g, &SweepConfig::exact(vec![0.5]).with_rank(Rank::Truss))
+            .unwrap();
+        assert!(truss.nucleus_support().is_none());
+        assert!(matches!(
+            truss.k_nuclei_at(&g, 0.5, 1),
+            Err(NucleusError::RankMismatch {
+                expected: "nucleus",
+                got: "truss",
+            })
+        ));
+    }
+
+    #[test]
+    fn decomp_config_expands_into_a_sweep_config() {
+        let single = DecompConfig::truss(0.5).with_parallelism(Parallelism::Sequential);
+        let sweep = single.sweep(vec![0.2, 0.5, 0.9]);
+        assert_eq!(sweep.rank, Rank::Truss);
+        assert_eq!(sweep.thetas, vec![0.2, 0.5, 0.9]);
+        assert_eq!(sweep.method, single.method);
+        assert_eq!(sweep.parallelism, Parallelism::Sequential);
+        assert!(sweep.validate().is_ok());
     }
 
     #[test]
     fn scores_monotone_in_threshold_at_every_rank() {
         let g = complete(6, 0.6);
         for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
-            let sweep =
-                DecompSweep::compute(&g, rank, &SweepConfig::exact(vec![0.05, 0.2, 0.5, 0.8]))
-                    .unwrap();
+            let sweep = DecompSweep::compute(
+                &g,
+                &SweepConfig::exact(vec![0.05, 0.2, 0.5, 0.8]).with_rank(rank),
+            )
+            .unwrap();
             for gi in 1..sweep.grid_len() {
                 for t in 0..sweep.num_elements() {
                     assert!(

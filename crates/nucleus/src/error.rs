@@ -82,6 +82,23 @@ pub enum NucleusError {
         /// The rejected scoring method.
         method: &'static str,
     },
+    /// An operation was issued against a support handle, sweep or index
+    /// built for a different rank of the (r,s)-nucleus family (e.g. a
+    /// nucleus extraction against a truss sweep).
+    RankMismatch {
+        /// The rank the operation requires (`core`, `truss`, `nucleus`).
+        expected: &'static str,
+        /// The rank the handle was built for.
+        got: &'static str,
+    },
+    /// A threshold queried on a sweep is not one of its grid points
+    /// (sweep lookups are exact-match only).
+    ThresholdOffGrid {
+        /// Conventional name of the threshold (`eta`, `gamma`, `theta`).
+        name: &'static str,
+        /// The requested off-grid value.
+        value: f64,
+    },
     /// The requested operation needs an exhaustive enumeration of possible
     /// worlds, but the graph has too many edges.
     GraphTooLargeForExact {
@@ -109,6 +126,14 @@ impl fmt::Display for NucleusError {
             NucleusError::UnsupportedMethod { rank, method } => write!(
                 f,
                 "scoring method '{method}' is not supported by the {rank} decomposition"
+            ),
+            NucleusError::RankMismatch { expected, got } => write!(
+                f,
+                "operation requires a {expected}-rank handle, but this one was built for {got}"
+            ),
+            NucleusError::ThresholdOffGrid { name, value } => write!(
+                f,
+                "{name} = {value} is not a grid point of this sweep (lookups are exact-match)"
             ),
             NucleusError::GraphTooLargeForExact {
                 num_edges,
@@ -163,6 +188,20 @@ mod tests {
 
         let g: NucleusError = ugraph::GraphError::SelfLoop { vertex: 4 }.into();
         assert!(g.to_string().contains("graph error"));
+
+        let e = NucleusError::RankMismatch {
+            expected: "nucleus",
+            got: "truss",
+        };
+        assert!(e.to_string().contains("nucleus"));
+        assert!(e.to_string().contains("truss"));
+
+        let e = NucleusError::ThresholdOffGrid {
+            name: "theta",
+            value: 0.33,
+        };
+        assert!(e.to_string().contains("0.33"));
+        assert!(e.to_string().contains("theta"));
     }
 
     #[test]

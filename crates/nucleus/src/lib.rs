@@ -71,7 +71,9 @@ pub mod weakly_global;
 
 pub use approx::ApproxMethod;
 pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod, SweepConfig};
-pub use decomp::{DecompConfig, DecompSweep, Decomposition, Rank, UnknownRankError};
+pub use decomp::{
+    DecompConfig, DecompHandle, DecompSweep, Decomposition, Rank, RankSupport, UnknownRankError,
+};
 pub use error::{NucleusError, Result, ThetaGridError};
 pub use global::{global_nuclei, GlobalConfig, GlobalNucleus};
 pub use local::{LocalNucleusDecomposition, NucleusIndex, PeelStats, ThetaSweep};

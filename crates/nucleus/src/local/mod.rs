@@ -42,6 +42,31 @@ use crate::support::SupportStructure;
 pub use peel::PeelStats;
 pub use sweep::{NucleusIndex, ThetaSweep};
 
+/// One full single-θ decomposition over a borrowed support: the
+/// canonical initial-κ + peel sequence shared by
+/// [`LocalNucleusDecomposition::with_support`] and the sweep engine of
+/// [`crate::decomp::DecompSweep`].  Keeping the sequence in one place is
+/// what makes every surface bit-identical by construction.
+pub(crate) struct PointResult {
+    pub scores: Vec<u32>,
+    pub initial_scores: Vec<u32>,
+    pub method_counts: HashMap<ApproxMethod, usize>,
+    pub stats: PeelStats,
+}
+
+pub(crate) fn decompose_point(support: &SupportStructure, config: &LocalConfig) -> PointResult {
+    let init = peel::initial_scores(support, config);
+    let initial_scores = init.kappa.clone();
+    let (scores, mut stats) = peel::peel(support, config, init.kappa);
+    stats.peak_scratch_bytes = stats.peak_scratch_bytes.max(init.peak_scratch_bytes);
+    PointResult {
+        scores,
+        initial_scores,
+        method_counts: init.method_counts,
+        stats,
+    }
+}
+
 /// Result of the local nucleus decomposition: the ℓ-nucleusness of every
 /// triangle, plus the support structure it was computed over.
 #[derive(Debug, Clone)]
@@ -75,18 +100,15 @@ impl LocalNucleusDecomposition {
     /// parallelism setting and to the [`reference`] engine.
     pub fn with_support(support: SupportStructure, config: &LocalConfig) -> Result<Self> {
         config.validate()?;
-        let init = peel::initial_scores(&support, config);
-        let initial_scores = init.kappa.clone();
-        let (scores, mut stats) = peel::peel(&support, config, init.kappa);
-        stats.peak_scratch_bytes = stats.peak_scratch_bytes.max(init.peak_scratch_bytes);
+        let point = decompose_point(&support, config);
 
         Ok(LocalNucleusDecomposition {
             support,
             config: *config,
-            initial_scores,
-            scores,
-            method_counts: init.method_counts,
-            stats,
+            initial_scores: point.initial_scores,
+            scores: point.scores,
+            method_counts: point.method_counts,
+            stats: point.stats,
         })
     }
 

@@ -6,13 +6,19 @@
 //! θ, yet the paper's experiments (and any serving workload answering
 //! "(θ, k)-nucleus?" queries) recompute all of it per θ.  This module
 //! amortizes the dominant cost: [`ThetaSweep`] builds the
-//! [`SupportStructure`] **exactly once**, then runs the bucket-queue peel
-//! of [`super::peel`] per grid point — concurrently across grid points
-//! via [`ugraph::par`] when the grid has ≥ 2 entries — and packages the
-//! results as a [`NucleusIndex`]: per-θ score vectors, initial scores,
-//! method counts and [`PeelStats`], queryable in O(log grid) by
-//! [`scores_at`](NucleusIndex::scores_at) /
+//! [`SupportStructure`] **exactly once**, then peels every grid point,
+//! and packages the results as a [`NucleusIndex`]: per-θ score vectors,
+//! initial scores, method counts and [`PeelStats`], queryable in O(log
+//! grid) by [`scores_at`](NucleusIndex::scores_at) /
 //! [`k_nuclei_at`](NucleusIndex::k_nuclei_at).
+//!
+//! Since the unified-API redesign, both types are **thin nucleus-rank
+//! wrappers** over [`DecompSweep`] — the one sweep engine of the
+//! workspace, which also sweeps the (1,2) core and (2,3) truss ranks.
+//! New code should prefer [`DecompSweep`] with a
+//! [`SweepConfig`] (whose `rank` defaults to nucleus); this surface is
+//! kept source-compatible for the paper-facing θ vocabulary and the
+//! triangle-specific queries.
 //!
 //! Every per-θ result is **bit-identical** to an independent
 //! [`LocalNucleusDecomposition::compute`](super::LocalNucleusDecomposition::compute)
@@ -30,42 +36,39 @@
 //! to 1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use ugraph::par;
-use ugraph::{Parallelism, Triangle, TriangleIndex, UncertainGraph};
+use ugraph::{Triangle, TriangleIndex, UncertainGraph};
 
 use crate::approx::ApproxMethod;
 use crate::config::SweepConfig;
-use crate::error::Result;
-use crate::local::{nuclei, peel, PeelStats};
+use crate::decomp::{DecompHandle, DecompSweep, Rank, RankSupport};
+use crate::error::{NucleusError, Result};
+use crate::local::{nuclei, PeelStats};
 use crate::support::SupportStructure;
-
-/// The per-θ slice of a sweep: everything a single-θ decomposition
-/// reports, minus the support structure (shared by the whole index).
-#[derive(Debug, Clone)]
-struct GridPoint {
-    /// ℓ-nucleusness ν(△) at this θ, indexed by triangle id.
-    scores: Vec<u32>,
-    /// Initial κ(△) at this θ, indexed by triangle id.
-    initial_scores: Vec<u32>,
-    /// Evaluation method of each triangle's initial κ computation.
-    method_counts: HashMap<ApproxMethod, usize>,
-    /// Deterministic perf counters of this θ's peel.
-    stats: PeelStats,
-}
 
 /// The θ-sweep engine: validates the grid once, then amortizes one
 /// support-structure build across every threshold of the grid.
+///
+/// This is the `rank = nucleus` instance of [`DecompSweep`]; the
+/// configuration's rank must be [`Rank::Nucleus`] (the [`SweepConfig`]
+/// constructors default to it).
 #[derive(Debug, Clone)]
 pub struct ThetaSweep {
     config: SweepConfig,
 }
 
 impl ThetaSweep {
-    /// Creates a sweep engine, validating `config` (grid and scoring
-    /// hyperparameters) up front.
+    /// Creates a sweep engine, validating `config` (grid, scoring
+    /// hyperparameters, and that the rank is nucleus) up front.
     pub fn new(config: SweepConfig) -> Result<Self> {
         config.validate()?;
+        if config.rank != Rank::Nucleus {
+            return Err(NucleusError::RankMismatch {
+                expected: Rank::Nucleus.as_str(),
+                got: config.rank.as_str(),
+            });
+        }
         Ok(ThetaSweep { config })
     }
 
@@ -83,200 +86,150 @@ impl ThetaSweep {
     /// Builds the support structure (exactly once, with
     /// `config.parallelism`) and sweeps the grid over it.
     pub fn run(&self, graph: &UncertainGraph) -> Result<NucleusIndex> {
-        let support = SupportStructure::build_with(graph, self.config.parallelism);
-        let mut index = self.run_with_support(support)?;
-        index.support_builds = 1;
-        Ok(index)
+        Ok(NucleusIndex {
+            sweep: DecompSweep::compute(graph, &self.config)?,
+        })
     }
 
     /// Sweeps the grid over a prebuilt [`SupportStructure`] (the caller
     /// amortized the build; [`NucleusIndex::support_builds`] reports 0).
-    ///
-    /// Grid points are independent, so grids with ≥ 2 entries peel them
-    /// concurrently under `config.parallelism` (each peel then scores
-    /// sequentially); a single-point grid runs one peel whose initial
-    /// pass parallelizes over triangles instead.  Either way every per-θ
-    /// result is bit-identical to an independent per-θ decomposition.
     pub fn run_with_support(&self, support: SupportStructure) -> Result<NucleusIndex> {
-        // `config` is private and only set through `new`, which already
-        // validated it — no error path here today; the Result signature
-        // is kept for parity with the other entry points.
-        let grid_len = self.config.thetas.len();
-        // Parallelize across grid points when there are several; inside a
-        // grid-point worker the scoring runs sequentially (nesting
-        // parallel scans would oversubscribe without changing results).
-        let inner = if grid_len >= 2 {
-            Parallelism::Sequential
-        } else {
-            self.config.parallelism
-        };
-        let points: Vec<GridPoint> = par::par_map(self.config.parallelism, grid_len, |gi| {
-            let local = self.config.local_config(gi, inner);
-            let init = peel::initial_scores(&support, &local);
-            let initial_scores = init.kappa.clone();
-            let (scores, mut stats) = peel::peel(&support, &local, init.kappa);
-            stats.peak_scratch_bytes = stats.peak_scratch_bytes.max(init.peak_scratch_bytes);
-            GridPoint {
-                scores,
-                initial_scores,
-                method_counts: init.method_counts,
-                stats,
-            }
-        });
-
-        let index = NucleusIndex {
-            support,
-            config: self.config.clone(),
-            points,
-            support_builds: 0,
-        };
-        // The DP scorer is provably monotone in θ (larger θ shrinks every
-        // tail set); catch any engine regression early in debug builds.
-        #[cfg(debug_assertions)]
-        if self.config.method == crate::config::ScoreMethod::DynamicProgramming {
-            debug_assert!(
-                index.is_monotone_in_theta(),
-                "exact-DP sweep scores must be non-increasing in theta"
-            );
-        }
-        Ok(index)
+        let handle = DecompHandle::from_support(Arc::new(RankSupport::Nucleus(support)));
+        Ok(NucleusIndex {
+            sweep: handle.sweep(&self.config)?,
+        })
     }
 }
 
 /// A multi-threshold decomposition index: per-triangle score vectors at
 /// every grid point, over one shared [`SupportStructure`].  One build
 /// answers any (θ, k) query on the grid.
+///
+/// A thin wrapper over a nucleus-rank [`DecompSweep`] (see
+/// [`as_sweep`](Self::as_sweep)), kept for the θ vocabulary and the
+/// triangle-specific queries.
 #[derive(Debug, Clone)]
 pub struct NucleusIndex {
-    support: SupportStructure,
-    config: SweepConfig,
-    /// One entry per grid point, aligned with `config.thetas`.
-    points: Vec<GridPoint>,
-    /// Support-structure builds performed by the engine: 1 when built
-    /// through [`ThetaSweep::run`], 0 for a caller-provided structure.
-    /// The CI perf gate pins this to 1 — the whole point of the sweep.
-    support_builds: usize,
+    sweep: DecompSweep,
 }
 
 impl NucleusIndex {
+    /// The underlying rank-generic sweep.
+    pub fn as_sweep(&self) -> &DecompSweep {
+        &self.sweep
+    }
+
     /// The configuration the index was built with.
     pub fn config(&self) -> &SweepConfig {
-        &self.config
+        self.sweep.config()
     }
 
     /// The θ grid, sorted ascending.
     pub fn thetas(&self) -> &[f64] {
-        &self.config.thetas
+        self.sweep.thresholds()
     }
 
     /// Number of grid points.
     pub fn grid_len(&self) -> usize {
-        self.points.len()
+        self.sweep.grid_len()
     }
 
     /// Number of triangles (shared by every grid point).
     pub fn num_triangles(&self) -> usize {
-        self.support.num_triangles()
+        self.sweep.num_elements()
     }
 
     /// The shared support structure.
     pub fn support(&self) -> &SupportStructure {
-        &self.support
+        self.sweep
+            .nucleus_support()
+            .expect("NucleusIndex wraps a nucleus-rank sweep by construction")
     }
 
     /// The shared triangle index.
     pub fn triangle_index(&self) -> &TriangleIndex {
-        self.support.triangle_index()
+        self.support().triangle_index()
     }
 
     /// Support-structure builds the engine performed (1 via
     /// [`ThetaSweep::run`], 0 via [`ThetaSweep::run_with_support`]).
     pub fn support_builds(&self) -> usize {
-        self.support_builds
+        self.sweep.support_builds()
     }
 
     /// Grid position of `theta` (exact match, O(log grid) binary search
     /// over the sorted grid), or `None` when θ is not a grid point.
     pub fn grid_index_of(&self, theta: f64) -> Option<usize> {
-        self.config
-            .thetas
-            .binary_search_by(|probe| {
-                probe
-                    .partial_cmp(&theta)
-                    .unwrap_or(std::cmp::Ordering::Less)
-            })
-            .ok()
+        self.sweep.grid_index_of(theta)
     }
 
     /// ℓ-nucleusness of every triangle at grid point `index` (panics when
     /// out of range; use [`scores_at`](Self::scores_at) for θ lookup).
     pub fn scores_at_index(&self, index: usize) -> &[u32] {
-        &self.points[index].scores
+        self.sweep.scores_at_index(index)
     }
 
     /// ℓ-nucleusness of every triangle at threshold `theta`, or `None`
     /// when θ is not a grid point.
     pub fn scores_at(&self, theta: f64) -> Option<&[u32]> {
-        self.grid_index_of(theta).map(|i| self.scores_at_index(i))
+        self.sweep.scores_at(theta)
     }
 
     /// Initial κ scores at grid point `index`.
     pub fn initial_scores_at_index(&self, index: usize) -> &[u32] {
-        &self.points[index].initial_scores
+        self.sweep.initial_scores_at_index(index)
     }
 
     /// Initial κ scores at threshold `theta`, or `None` off the grid.
     pub fn initial_scores_at(&self, theta: f64) -> Option<&[u32]> {
-        self.grid_index_of(theta)
-            .map(|i| self.initial_scores_at_index(i))
+        self.sweep.initial_scores_at(theta)
     }
 
     /// Per-θ evaluation-method counts at threshold `theta`.
     pub fn method_counts_at(&self, theta: f64) -> Option<&HashMap<ApproxMethod, usize>> {
         self.grid_index_of(theta)
-            .map(|i| &self.points[i].method_counts)
+            .map(|i| self.sweep.method_counts_at_index(i))
     }
 
     /// Per-θ peeling perf counters at threshold `theta`.
     pub fn peel_stats_at(&self, theta: f64) -> Option<&PeelStats> {
-        self.grid_index_of(theta).map(|i| &self.points[i].stats)
+        self.grid_index_of(theta)
+            .map(|i| self.sweep.peel_stats_at_index(i))
     }
 
     /// Peeling perf counters of every grid point, in grid order.
     pub fn peel_stats(&self) -> Vec<PeelStats> {
-        self.points.iter().map(|p| p.stats).collect()
+        self.sweep.peel_stats()
     }
 
     /// Sum of peeling-time score recomputations across the grid.
     pub fn total_dp_calls(&self) -> usize {
-        self.points.iter().map(|p| p.stats.dp_calls).sum()
+        self.sweep.total_dp_calls()
     }
 
     /// The largest ℓ-nucleusness at threshold `theta`, or `None` off the
     /// grid.
     pub fn max_score_at(&self, theta: f64) -> Option<u32> {
-        self.grid_index_of(theta)
-            .map(|i| self.points[i].scores.iter().copied().max().unwrap_or(0))
+        self.sweep.max_score_at(theta)
     }
 
     /// ℓ-nucleusness of `triangle` across the whole grid (one entry per
     /// grid point, non-increasing for the exact-DP scorer), or `None`
     /// when the triangle is not in the graph.
     pub fn scores_across_grid(&self, triangle: &Triangle) -> Option<Vec<u32>> {
-        let t = self.support.triangle_index().id_of(triangle)?;
-        Some(self.points.iter().map(|p| p.scores[t as usize]).collect())
+        let t = self.triangle_index().id_of(triangle)?;
+        Some(
+            (0..self.grid_len())
+                .map(|gi| self.sweep.scores_at_index(gi)[t as usize])
+                .collect(),
+        )
     }
 
     /// `true` when every triangle's score row (final and initial) is
     /// non-increasing as θ grows across the grid.  Always holds for the
     /// exact-DP scorer; the metamorphic test suite asserts it.
     pub fn is_monotone_in_theta(&self) -> bool {
-        let nt = self.num_triangles();
-        self.points.windows(2).all(|w| {
-            (0..nt).all(|t| {
-                w[1].scores[t] <= w[0].scores[t] && w[1].initial_scores[t] <= w[0].initial_scores[t]
-            })
-        })
+        self.sweep.is_monotone_in_threshold()
     }
 
     /// The maximal ℓ-(k,θ)-nuclei at grid point `theta`, or `None` off
@@ -288,8 +241,9 @@ impl NucleusIndex {
         theta: f64,
         k: u32,
     ) -> Option<Vec<detdecomp::NucleusSubgraph>> {
-        self.grid_index_of(theta)
-            .map(|i| nuclei::extract_k_nuclei(graph, &self.support, &self.points[i].scores, k))
+        self.grid_index_of(theta).map(|i| {
+            nuclei::extract_k_nuclei(graph, self.support(), self.sweep.scores_at_index(i), k)
+        })
     }
 
     /// The union of all ℓ-(k,θ)-nuclei edges at grid point `theta`
@@ -300,8 +254,9 @@ impl NucleusIndex {
         theta: f64,
         k: u32,
     ) -> Option<Vec<ugraph::EdgeId>> {
-        self.grid_index_of(theta)
-            .map(|i| nuclei::k_nuclei_union_edges(graph, &self.support, &self.points[i].scores, k))
+        self.grid_index_of(theta).map(|i| {
+            nuclei::k_nuclei_union_edges(graph, self.support(), self.sweep.scores_at_index(i), k)
+        })
     }
 }
 
@@ -311,7 +266,7 @@ mod tests {
     use crate::config::LocalConfig;
     use crate::error::{NucleusError, ThetaGridError};
     use crate::local::LocalNucleusDecomposition;
-    use ugraph::GraphBuilder;
+    use ugraph::{GraphBuilder, Parallelism};
 
     fn complete(n: u32, p: f64) -> UncertainGraph {
         let mut b = GraphBuilder::new();
@@ -359,6 +314,31 @@ mod tests {
                 direct.initial_scores_at_index(gi)
             );
         }
+    }
+
+    #[test]
+    fn theta_sweep_is_the_nucleus_instance_of_decomp_sweep() {
+        let g = complete(6, 0.7);
+        let grid = vec![0.1, 0.4, 0.8];
+        let index = ThetaSweep::compute(&g, &SweepConfig::exact(grid.clone())).unwrap();
+        assert_eq!(index.as_sweep().rank(), Rank::Nucleus);
+        let generic = DecompSweep::compute(&g, &SweepConfig::exact(grid.clone())).unwrap();
+        for gi in 0..grid.len() {
+            assert_eq!(index.scores_at_index(gi), generic.scores_at_index(gi));
+            assert_eq!(
+                index.initial_scores_at_index(gi),
+                generic.initial_scores_at_index(gi)
+            );
+            assert_eq!(index.peel_stats()[gi], *generic.peel_stats_at_index(gi));
+        }
+        // A non-nucleus rank is a typed construction error.
+        assert_eq!(
+            ThetaSweep::new(SweepConfig::exact(vec![0.5]).with_rank(Rank::Truss)).unwrap_err(),
+            NucleusError::RankMismatch {
+                expected: "nucleus",
+                got: "truss",
+            }
+        );
     }
 
     #[test]

@@ -180,15 +180,6 @@ mod tests {
     use ugraph::UncertainGraph;
 
     #[test]
-    fn deprecated_compute_matches_try_compute() {
-        let g = complete(5, 0.8);
-        #[allow(deprecated)]
-        let old = EtaCoreDecomposition::compute(&g, 0.4);
-        let new = EtaCoreDecomposition::try_compute(&g, 0.4).unwrap();
-        assert_eq!(old, new);
-    }
-
-    #[test]
     fn try_compute_matches_frozen_reference() {
         let g = complete(6, 0.6);
         let new = EtaCoreDecomposition::try_compute(&g, 0.3).unwrap();

@@ -192,15 +192,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_compute_matches_try_compute() {
-        let g = complete(5, 0.8);
-        #[allow(deprecated)]
-        let old = GammaTrussDecomposition::compute(&g, 0.4);
-        let new = GammaTrussDecomposition::try_compute(&g, 0.4).unwrap();
-        assert_eq!(old, new);
-    }
-
-    #[test]
     fn try_compute_matches_frozen_reference() {
         let g = complete(6, 0.7);
         let new = GammaTrussDecomposition::try_compute(&g, 0.2).unwrap();

@@ -1,0 +1,232 @@
+//! A blocking client for the nd-server wire protocol.
+//!
+//! Thin by design: one frame out, one frame in, JSON on both sides.
+//! Server-side request failures surface as [`ClientError::Server`] with
+//! the typed code preserved, so callers (tests, the `serve-client`
+//! subcommand) can assert on exact error codes.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{read_frame, write_frame, FrameError, ReadOutcome};
+use crate::json::{Json, JsonError};
+use crate::proto::ErrorCode;
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's frame was malformed or the connection died mid-frame.
+    Frame(FrameError),
+    /// The server's response body was not valid JSON.
+    Json(JsonError),
+    /// The response was JSON but not a response object.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server {
+        /// The wire error code (e.g. `off-grid`).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Json(e) => write!(f, "response parse error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, when this is a typed server error.
+    pub fn server_code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// `true` when the server answered with exactly `code`.
+    pub fn is_code(&self, code: ErrorCode) -> bool {
+        self.server_code() == Some(code.as_str())
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends raw bytes as one frame and reads one response frame —
+    /// the hook malformed-input tests use to speak broken JSON.
+    pub fn call_raw(&mut self, body: &[u8]) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, body)?;
+        self.read_response()
+    }
+
+    /// Reads and parses one response frame.
+    pub fn read_response(&mut self) -> Result<Json, ClientError> {
+        match read_frame(&mut self.stream)? {
+            ReadOutcome::Frame(bytes) => {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| ClientError::Protocol("response is not UTF-8".to_string()))?;
+                Json::parse(&text).map_err(ClientError::Json)
+            }
+            ReadOutcome::Closed | ReadOutcome::Aborted => Err(ClientError::Protocol(
+                "connection closed before a response arrived".to_string(),
+            )),
+        }
+    }
+
+    /// Raw access to the underlying stream (for writing deliberately
+    /// broken frames in tests).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn request_body(id: u64, method: &str, params: &Json, deadline_ms: Option<u64>) -> Json {
+        let mut members = vec![
+            ("id".to_string(), Json::num(id as f64)),
+            ("method".to_string(), Json::str(method)),
+        ];
+        if !matches!(params, Json::Null) {
+            members.push(("params".to_string(), params.clone()));
+        }
+        if let Some(ms) = deadline_ms {
+            members.push(("deadline_ms".to_string(), Json::num(ms as f64)));
+        }
+        Json::Obj(members)
+    }
+
+    fn unwrap_response(response: &Json, expect_id: u64) -> Result<Json, ClientError> {
+        let id = response.get("id").and_then(Json::as_f64);
+        if id != Some(expect_id as f64) {
+            return Err(ClientError::Protocol(format!(
+                "response id {id:?} does not match request id {expect_id}"
+            )));
+        }
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => response
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("missing 'result'".to_string())),
+            Some(false) => {
+                let code = response
+                    .path(&["error", "code"])
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let message = response
+                    .path(&["error", "message"])
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(ClientError::Server { code, message })
+            }
+            None => Err(ClientError::Protocol("missing 'ok'".to_string())),
+        }
+    }
+
+    /// One call; returns the `result` member or the typed server error.
+    pub fn call(&mut self, method: &str, params: Json) -> Result<Json, ClientError> {
+        self.call_with_deadline(method, params, None)
+    }
+
+    /// One call with a server-side deadline.
+    pub fn call_with_deadline(
+        &mut self,
+        method: &str,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        let body = Self::request_body(id, method, &params, deadline_ms).to_json_string();
+        let response = self.call_raw(body.as_bytes())?;
+        Self::unwrap_response(&response, id)
+    }
+
+    /// An ordered batch; per-call outcomes come back in request order.
+    #[allow(clippy::type_complexity)]
+    pub fn call_batch(
+        &mut self,
+        calls: &[(&str, Json)],
+    ) -> Result<Vec<Result<Json, ClientError>>, ClientError> {
+        let ids: Vec<u64> = calls.iter().map(|_| self.fresh_id()).collect();
+        let body = Json::Obj(vec![(
+            "batch".to_string(),
+            Json::Arr(
+                calls
+                    .iter()
+                    .zip(&ids)
+                    .map(|((method, params), &id)| Self::request_body(id, method, params, None))
+                    .collect(),
+            ),
+        )])
+        .to_json_string();
+        let response = self.call_raw(body.as_bytes())?;
+        let items = response
+            .get("batch")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing 'batch' in response".to_string()))?;
+        if items.len() != ids.len() {
+            return Err(ClientError::Protocol(format!(
+                "batch answered {} of {} calls",
+                items.len(),
+                ids.len()
+            )));
+        }
+        Ok(items
+            .iter()
+            .zip(&ids)
+            .map(|(item, &id)| Self::unwrap_response(item, id))
+            .collect())
+    }
+}
+
+/// Builds a `{key: value}` JSON object — terse param construction for
+/// callers.
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}

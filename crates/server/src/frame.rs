@@ -1,0 +1,308 @@
+//! Length-prefixed wire framing.
+//!
+//! Every message on an nd-server connection — request or response — is
+//! one *frame*: a 4-byte little-endian `u32` byte length followed by
+//! exactly that many bytes of UTF-8 JSON.  The prefix makes message
+//! boundaries explicit on a byte stream without requiring incremental
+//! JSON parsing, and lets the server reject absurd allocations up front
+//! ([`MAX_FRAME_LEN`]).
+//!
+//! Reading distinguishes three non-success outcomes a server must treat
+//! differently:
+//!
+//! * clean EOF *between* frames ([`ReadOutcome::Closed`]) — the peer hung
+//!   up politely; not an error,
+//! * EOF *inside* a frame ([`FrameError::Truncated`]) — a protocol error,
+//! * a declared length above the cap ([`FrameError::Oversized`]) — a
+//!   protocol error detected before any allocation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body, in bytes.  Large enough for any response
+/// the server produces (score vectors of millions of elements), small
+/// enough to refuse a hostile 4 GiB allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside the length prefix or the body.
+    Truncated {
+        /// How many of the expected bytes arrived.
+        got: usize,
+        /// How many bytes were expected.
+        expected: usize,
+    },
+    /// The declared body length exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared length.
+        declared: u32,
+    },
+    /// An I/O error other than EOF.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { got, expected } => {
+                write!(f, "truncated frame: got {got} of {expected} bytes")
+            }
+            FrameError::Oversized { declared } => write!(
+                f,
+                "oversized frame: declared length {declared} exceeds the {MAX_FRAME_LEN}-byte cap"
+            ),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Result of one [`read_frame`] / [`read_frame_while`] call.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// `keep_waiting` returned `false` while blocked between frames
+    /// (graceful-shutdown path); no frame bytes were consumed.
+    Aborted,
+}
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds u32::MAX"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking until it is complete.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<ReadOutcome, FrameError> {
+    read_frame_while(r, || true)
+}
+
+/// Reads one frame, re-checking `keep_waiting` whenever the underlying
+/// reader times out (`WouldBlock` / `TimedOut`) — the mechanism that
+/// lets a server thread block on a socket with a short read timeout yet
+/// still notice a shutdown flag.  Partial bytes are preserved across
+/// timeouts, so a slow writer is never mistaken for a truncated frame.
+pub fn read_frame_while<R: Read>(
+    r: &mut R,
+    keep_waiting: impl Fn() -> bool,
+) -> Result<ReadOutcome, FrameError> {
+    let mut prefix = [0u8; 4];
+    match fill(r, &mut prefix, &keep_waiting)? {
+        Fill::Complete => {}
+        Fill::CleanEof => return Ok(ReadOutcome::Closed),
+        Fill::Aborted => return Ok(ReadOutcome::Aborted),
+        Fill::TruncatedAt(got) => return Err(FrameError::Truncated { got, expected: 4 }),
+    }
+    let declared = u32::from_le_bytes(prefix);
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { declared });
+    }
+    let expected = declared as usize;
+    let mut body = vec![0u8; expected];
+    match fill(r, &mut body, &keep_waiting)? {
+        Fill::Complete => Ok(ReadOutcome::Frame(body)),
+        // Once the prefix is in, the peer committed to a body: EOF and
+        // shutdown both leave the frame unfinished.
+        Fill::CleanEof => Err(FrameError::Truncated { got: 0, expected }),
+        Fill::Aborted => Err(FrameError::Truncated { got: 0, expected }),
+        Fill::TruncatedAt(got) => Err(FrameError::Truncated { got, expected }),
+    }
+}
+
+enum Fill {
+    Complete,
+    /// EOF before the first byte.
+    CleanEof,
+    /// EOF after `0 < n < len` bytes.
+    TruncatedAt(usize),
+    /// `keep_waiting` said stop before the first byte.
+    Aborted,
+}
+
+fn fill<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    keep_waiting: &impl Fn() -> bool,
+) -> Result<Fill, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::CleanEof
+                } else {
+                    Fill::TruncatedAt(filled)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A mid-buffer timeout just means the peer is slow; only
+                // abort while nothing has arrived yet.
+                if filled == 0 && !keep_waiting() {
+                    return Ok(Fill::Aborted);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Fill::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, body).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trips_bodies() {
+        for body in [&b""[..], b"x", b"{\"id\":1}", &[0u8; 100_000]] {
+            let bytes = framed(body);
+            assert_eq!(bytes.len(), 4 + body.len());
+            match read_frame(&mut Cursor::new(bytes)).unwrap() {
+                ReadOutcome::Frame(read) => assert_eq!(read, body),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_closed() {
+        assert!(matches!(
+            read_frame(&mut Cursor::new(Vec::new())).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported_with_positions() {
+        // Cut inside the prefix.
+        let e = read_frame(&mut Cursor::new(vec![5u8, 0])).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 2,
+                    expected: 4
+                }
+            ),
+            "{e}"
+        );
+        // Cut inside the body.
+        let mut bytes = framed(b"hello");
+        bytes.truncate(4 + 2);
+        let e = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 2,
+                    expected: 5
+                }
+            ),
+            "{e}"
+        );
+        // Prefix present, body absent entirely.
+        let e = read_frame(&mut Cursor::new(3u32.to_le_bytes().to_vec())).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 0,
+                    expected: 3
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocating() {
+        let mut bytes = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"ignored");
+        let e = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(e, FrameError::Oversized { .. }), "{e}");
+        assert!(e.to_string().contains("oversized"));
+    }
+
+    /// A reader that yields `WouldBlock` between every real chunk,
+    /// emulating a socket with a read timeout.
+    struct Chunked {
+        chunks: Vec<Vec<u8>>,
+        timeouts_first: bool,
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.timeouts_first {
+                self.timeouts_first = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            match self.chunks.first_mut() {
+                None => Ok(0),
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    chunk.drain(..n);
+                    if chunk.is_empty() {
+                        self.chunks.remove(0);
+                    }
+                    self.timeouts_first = true;
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_between_chunks_do_not_truncate() {
+        let bytes = framed(b"slow body");
+        let mut r = Chunked {
+            chunks: bytes.chunks(3).map(<[u8]>::to_vec).collect(),
+            timeouts_first: true,
+        };
+        match read_frame_while(&mut r, || true).unwrap() {
+            ReadOutcome::Frame(read) => assert_eq!(read, b"slow body"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_only_fires_between_frames() {
+        // Nothing buffered: the flag aborts the wait.
+        let mut idle = Chunked {
+            chunks: vec![],
+            timeouts_first: true,
+        };
+        assert!(matches!(
+            read_frame_while(&mut idle, || false).unwrap(),
+            ReadOutcome::Aborted
+        ));
+    }
+}

@@ -1,13 +1,17 @@
-//! Minimal JSON reader for benchmark reports.
+//! Minimal JSON reader/writer shared by the query server and the bench
+//! harness.
 //!
 //! The workspace is offline-only (no serde); the bench harness *writes*
 //! JSON with `format!` and, since `bench-compare`, also needs to *read*
-//! its own `bench-parallel/*` files back.  This is a small
-//! recursive-descent parser covering exactly the JSON the harness emits
-//! plus the standard grammar (escapes, exponents, nesting) so
+//! its own `bench-parallel/*` files back, and the nd-server wire
+//! protocol carries JSON bodies in both directions.  This is a small
+//! recursive-descent parser covering exactly the JSON those components
+//! emit plus the standard grammar (escapes, exponents, nesting) so
 //! hand-edited baselines parse too.  Objects preserve key order in a
 //! `Vec` — iteration is deterministic, duplicate keys resolve to the
-//! first occurrence via [`Json::get`].
+//! first occurrence via [`Json::get`].  [`Json::to_json_string`] is the
+//! matching compact serializer (escaped strings, `null` for non-finite
+//! numbers).
 
 use std::fmt;
 
@@ -109,6 +113,79 @@ impl Json {
             _ => None,
         }
     }
+
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A numeric value (convenience constructor).
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Compact serialization.  Non-finite numbers (which JSON cannot
+    /// represent) become `null`; strings are escaped; object key order
+    /// is preserved.  `Json::parse(v.to_json_string())` round-trips
+    /// every finite value.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_to(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 struct Parser<'a> {
@@ -373,6 +450,39 @@ mod tests {
         assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
         let dup = Json::parse("{\"k\": 1, \"k\": 2}").unwrap();
         assert_eq!(dup.get("k").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn serializer_round_trips_through_the_parser() {
+        let doc = Json::Obj(vec![
+            ("id".to_string(), Json::num(7u32)),
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "text".to_string(),
+                Json::str("quote \" slash \\ nl \n tab \t ctl \u{1} unicode ∅"),
+            ),
+            (
+                "grid".to_string(),
+                Json::Arr(vec![Json::num(0.1), Json::num(0.5), Json::Null]),
+            ),
+            ("nan".to_string(), Json::Num(f64::NAN)),
+        ]);
+        let text = doc.to_json_string();
+        let back = Json::parse(&text).unwrap();
+        // NaN serializes as null; everything else round-trips exactly.
+        assert_eq!(back.get("nan"), Some(&Json::Null));
+        assert_eq!(back.get("id"), doc.get("id"));
+        assert_eq!(back.get("ok"), doc.get("ok"));
+        assert_eq!(back.get("text"), doc.get("text"));
+        assert_eq!(back.get("grid"), doc.get("grid"));
+    }
+
+    #[test]
+    fn serializer_preserves_f64_thresholds_exactly() {
+        for theta in [0.05f64, 0.1, 1.0 / 3.0, 0.7000000000000001, 1.0] {
+            let text = Json::num(theta).to_json_string();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(theta));
+        }
     }
 
     #[test]

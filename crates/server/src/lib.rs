@@ -1,0 +1,49 @@
+//! # nd-server — a resident (r,s)-nucleus query service
+//!
+//! Decompositions are expensive to *build* and cheap to *query*: one
+//! support structure amortizes any number of thresholds
+//! ([`nucleus::DecompSweep`]), and a built [`nucleus::RankSupport`] is
+//! shareable across threads through [`nucleus::DecompHandle`].  This
+//! crate turns that into a process you can keep resident: load a graph
+//! once, build each rank's support at most once, and answer concurrent
+//! queries over a zero-dependency TCP protocol.
+//!
+//! ## Wire protocol
+//!
+//! * [`frame`] — 4-byte little-endian length prefix + UTF-8 JSON body.
+//! * [`proto`] — request/response schema and the typed error codes
+//!   (`off-grid`, `wrong-rank`, `unknown-session`, …).  No input, valid
+//!   or hostile, kills the process.
+//! * [`json`] — the workspace's hand-rolled JSON parser/serializer
+//!   (also re-exported by `nd-bench` for its reports).
+//!
+//! ## Service
+//!
+//! * [`server`] — [`server::ServerCore`] (graph + lazily-built shared
+//!   supports + LRU'd per-θ results + deterministic counters) and
+//!   [`server::Server`] (acceptor + scoped worker pool, graceful
+//!   drain-on-shutdown).
+//! * [`lru`], [`stats`] — the cache and the CI-gated counters.
+//! * [`client`] — a blocking client used by tests and the
+//!   `experiments serve-client` subcommand.
+//! * [`oneshot`] — the scripted self-test behind
+//!   `experiments serve --oneshot` and the CI `serve-smoke` gate:
+//!   every wire answer is compared bit-for-bit against the direct
+//!   library call.
+
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod lru;
+pub mod oneshot;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ClientError};
+pub use frame::{read_frame, write_frame, FrameError, ReadOutcome, MAX_FRAME_LEN};
+pub use json::{Json, JsonError};
+pub use oneshot::{run_oneshot, OneshotOptions, OneshotReport};
+pub use proto::{ErrorCode, RequestError};
+pub use server::{Server, ServerConfig, ServerCore};
+pub use stats::{ServerStats, StatsSnapshot};

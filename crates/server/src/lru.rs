@@ -1,0 +1,139 @@
+//! A small deterministic LRU cache.
+//!
+//! The server keeps materialized per-threshold decomposition points in a
+//! bounded cache so repeated queries against the same (rank, method, θ)
+//! skip the peel entirely.  Recency is tracked with a monotone stamp per
+//! entry; eviction scans for the minimum stamp.  Eviction is O(capacity)
+//! — capacities are tens of entries, and the O(1) bookkeeping of an
+//! intrusive list is not worth its complexity here.  Behaviour is fully
+//! deterministic: the same operation sequence always hits, misses and
+//! evicts identically, which is what lets CI gate the counters exactly.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map with least-recently-used eviction.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (`capacity`
+    /// 0 caches nothing: every insert immediately evicts the entry).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(key) {
+            Some((value, stamp)) => {
+                *stamp = clock;
+                Some(&*value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when the
+    /// cache is full.  Returns the number of entries evicted (0 or 1;
+    /// also 1 when `capacity` is 0 and the fresh entry itself is
+    /// dropped).
+    pub fn insert(&mut self, key: K, value: V) -> usize {
+        self.clock += 1;
+        if self.capacity == 0 {
+            return 1;
+        }
+        let mut evicted = 0;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(key, (value, self.clock));
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_the_least_recently_used_entry() {
+        let mut cache = LruCache::new(2);
+        assert_eq!(cache.insert("a", 1), 0);
+        assert_eq!(cache.insert("b", 2), 0);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.insert("c", 3), 1);
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.insert("a", 10), 0);
+        assert_eq!(cache.get(&"a"), Some(&10));
+        assert_eq!(cache.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn capacity_one_thrashing_is_deterministic() {
+        let mut cache = LruCache::new(1);
+        let mut evictions = 0;
+        let mut hits = 0;
+        for key in ["x", "y", "x", "y"] {
+            if cache.get(&key).is_some() {
+                hits += 1;
+            } else {
+                evictions += cache.insert(key, ());
+            }
+        }
+        assert_eq!(hits, 0);
+        assert_eq!(evictions, 3);
+    }
+
+    #[test]
+    fn capacity_zero_caches_nothing() {
+        let mut cache = LruCache::new(0);
+        assert_eq!(cache.insert("a", 1), 1);
+        assert_eq!(cache.get(&"a"), None);
+        assert!(cache.is_empty());
+    }
+}

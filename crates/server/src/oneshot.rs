@@ -1,0 +1,416 @@
+//! Scripted self-test: boot a server, drive it over real TCP, compare
+//! every answer bit-for-bit against direct library calls.
+//!
+//! This is what `experiments serve --oneshot` (and the CI `serve-smoke`
+//! job) runs.  The script is fixed, so every [`ServerStats`] counter it
+//! produces is a deterministic function of the graph and θ grid —
+//! `bench-compare` gates them at tolerance 0.  The script deliberately
+//! sends **no** malformed frames: `protocol_errors` must end at 0, which
+//! is itself one of the gates.
+
+use std::sync::Arc;
+
+use nucleus::{DecompSweep, SweepConfig};
+use ugraph::{Parallelism, UncertainGraph};
+
+use crate::client::{obj, Client, ClientError};
+use crate::json::Json;
+use crate::proto::ErrorCode;
+use crate::server::{Server, ServerConfig, ServerCore};
+use crate::stats::StatsSnapshot;
+
+/// Options of a oneshot run.
+#[derive(Debug, Clone)]
+pub struct OneshotOptions {
+    /// The θ grid the scripted session pins (needs ≥ 2 points).
+    pub thetas: Vec<f64>,
+    /// LRU capacity of the server under test.
+    pub cache_capacity: usize,
+    /// Worker-pool size and support-build parallelism.
+    pub parallelism: Parallelism,
+}
+
+impl Default for OneshotOptions {
+    fn default() -> Self {
+        OneshotOptions {
+            thetas: vec![0.1, 0.3],
+            cache_capacity: 32,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// Outcome of a oneshot run.
+#[derive(Debug, Clone)]
+pub struct OneshotReport {
+    /// Vertices of the served graph.
+    pub vertices: usize,
+    /// Edges of the served graph.
+    pub edges: usize,
+    /// The θ grid the script used.
+    pub thetas: Vec<f64>,
+    /// `true` when every wire answer matched the direct library call
+    /// bit-for-bit.
+    pub bit_identical: bool,
+    /// Names of failed checks (empty on success).
+    pub failures: Vec<String>,
+    /// Final deterministic counters of the drained server.
+    pub stats: StatsSnapshot,
+}
+
+impl OneshotReport {
+    /// `true` when the self-test passed end to end.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+struct Checker {
+    failures: Vec<String>,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool) {
+        if !ok {
+            self.failures.push(name.to_string());
+        }
+    }
+}
+
+fn scores_from_json(result: &Json) -> Option<Vec<u32>> {
+    result
+        .get("scores")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_f64().map(|n| n as u32))
+        .collect()
+}
+
+/// Runs the scripted session against a freshly booted server and
+/// returns the verdicts plus final counters.
+pub fn run_oneshot(
+    graph: &UncertainGraph,
+    options: &OneshotOptions,
+) -> Result<OneshotReport, ClientError> {
+    assert!(
+        options.thetas.len() >= 2,
+        "the oneshot script needs a grid of at least 2 thetas"
+    );
+
+    // Ground truth: one sweep over the same grid, straight through the
+    // library.  The server must reproduce it bit-for-bit.
+    let sweep_config = SweepConfig::exact(options.thetas.clone());
+    let sweep = DecompSweep::compute(graph, &sweep_config).expect("oneshot grid must be valid");
+    let theta0 = options.thetas[0];
+    let theta1 = options.thetas[1];
+
+    let core = ServerCore::new(
+        graph.clone(),
+        ServerConfig {
+            cache_capacity: options.cache_capacity,
+            parallelism: options.parallelism,
+            ..ServerConfig::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&core)).map_err(ClientError::Io)?;
+    let addr = server.local_addr().map_err(ClientError::Io)?;
+
+    let (checker, stats) = std::thread::scope(|s| {
+        let runner = s.spawn(|| server.run());
+        let script = run_script(addr, &sweep, graph, theta0, theta1);
+        // Belt and braces: the script's last call is `shutdown`, but if
+        // it errored out early the server must still come down.
+        core.request_shutdown();
+        let stats = runner.join().expect("server thread must not panic");
+        script.map(|checker| (checker, stats))
+    })?;
+
+    let bit_identical = !checker
+        .failures
+        .iter()
+        .any(|f| f.starts_with("bit-identity"));
+    Ok(OneshotReport {
+        vertices: graph.num_vertices(),
+        edges: graph.num_edges(),
+        thetas: options.thetas.clone(),
+        bit_identical,
+        failures: checker.failures,
+        stats,
+    })
+}
+
+fn run_script(
+    addr: std::net::SocketAddr,
+    sweep: &DecompSweep,
+    graph: &UncertainGraph,
+    theta0: f64,
+    theta1: f64,
+) -> Result<Checker, ClientError> {
+    let mut c = Checker {
+        failures: Vec::new(),
+    };
+    let mut client = Client::connect(addr)?;
+
+    // 1: liveness.
+    let pong = client.call("ping", Json::Null)?;
+    c.check(
+        "ping",
+        pong.get("pong").and_then(Json::as_bool) == Some(true),
+    );
+
+    // 2: the server describes the graph it loaded.
+    let info = client.call("info", Json::Null)?;
+    c.check(
+        "info",
+        info.get("vertices").and_then(Json::as_f64) == Some(graph.num_vertices() as f64)
+            && info.get("edges").and_then(Json::as_f64) == Some(graph.num_edges() as f64),
+    );
+
+    // 3: open the session (first support build).
+    let opened = client.call(
+        "open",
+        obj(vec![
+            ("rank", Json::str("nucleus")),
+            (
+                "thetas",
+                Json::Arr(sweep.thresholds().iter().map(|&t| Json::num(t)).collect()),
+            ),
+        ]),
+    )?;
+    let session = opened
+        .get("session")
+        .and_then(Json::as_f64)
+        .expect("open returns a session id");
+    c.check(
+        "open",
+        opened.get("num_elements").and_then(Json::as_f64) == Some(sweep.num_elements() as f64),
+    );
+    let with_session = |extra: Vec<(&str, Json)>| {
+        let mut members = vec![("session", Json::num(session))];
+        members.extend(extra);
+        obj(members)
+    };
+
+    // 4-6: two misses, then a hit; all bit-identical to the sweep.
+    let wire0 = client.call(
+        "scores_at",
+        with_session(vec![("theta", Json::num(theta0))]),
+    )?;
+    c.check(
+        "bit-identity: scores theta0",
+        scores_from_json(&wire0).as_deref() == sweep.scores_at(theta0),
+    );
+    let wire0_again = client.call(
+        "scores_at",
+        with_session(vec![("theta", Json::num(theta0))]),
+    )?;
+    c.check("cache: repeat query equal", wire0 == wire0_again);
+    let wire1 = client.call(
+        "scores_at",
+        with_session(vec![("theta", Json::num(theta1))]),
+    )?;
+    c.check(
+        "bit-identity: scores theta1",
+        scores_from_json(&wire1).as_deref() == sweep.scores_at(theta1),
+    );
+
+    // 7: max score.
+    let max0 = client.call(
+        "max_score_at",
+        with_session(vec![("theta", Json::num(theta0))]),
+    )?;
+    c.check(
+        "bit-identity: max_score theta0",
+        max0.get("max_score").and_then(Json::as_f64) == sweep.max_score_at(theta0).map(f64::from),
+    );
+
+    // 8: a batch answered in order (a max-score and an element subset).
+    let batch = client.call_batch(&[
+        (
+            "max_score_at",
+            with_session(vec![("theta", Json::num(theta1))]),
+        ),
+        (
+            "scores_at",
+            with_session(vec![
+                ("theta", Json::num(theta0)),
+                ("elements", Json::Arr(vec![Json::num(0.0)])),
+            ]),
+        ),
+    ])?;
+    let batch_max_ok = matches!(
+        batch[0].as_ref(),
+        Ok(r) if r.get("max_score").and_then(Json::as_f64)
+            == sweep.max_score_at(theta1).map(f64::from)
+    );
+    let expected_first = sweep.scores_at(theta0).and_then(|s| s.first().copied());
+    let batch_subset_ok = matches!(
+        batch[1].as_ref(),
+        Ok(r) if scores_from_json(r).as_deref().and_then(|s| s.first().copied())
+            == expected_first
+    );
+    c.check("bit-identity: batch max_score theta1", batch_max_ok);
+    c.check("bit-identity: batch element subset", batch_subset_ok);
+
+    // 9: nuclei extraction matches the library.
+    let lib_nuclei = sweep
+        .k_nuclei_at(graph, theta0, 1)
+        .expect("nucleus sweep extracts nuclei");
+    let wire_nuclei = client.call(
+        "k_nuclei_at",
+        with_session(vec![("theta", Json::num(theta0)), ("k", Json::num(1.0))]),
+    )?;
+    c.check(
+        "bit-identity: k_nuclei count",
+        wire_nuclei.get("count").and_then(Json::as_f64) == Some(lib_nuclei.len() as f64),
+    );
+
+    // 10-11: the ranked/denominated views answer without error.
+    let top = client.call(
+        "top_nuclei",
+        with_session(vec![
+            ("theta", Json::num(theta0)),
+            ("limit", Json::num(3.0)),
+        ]),
+    )?;
+    c.check(
+        "top_nuclei",
+        top.get("nuclei").and_then(Json::as_array).is_some(),
+    );
+    let community = client.call(
+        "community",
+        with_session(vec![
+            ("theta", Json::num(theta0)),
+            ("vertex", Json::num(0.0)),
+        ]),
+    )?;
+    c.check(
+        "community",
+        community.get("found").and_then(Json::as_bool).is_some(),
+    );
+
+    // 12: typed errors, none of which may kill the connection.
+    let off_grid = client
+        .call(
+            "scores_at",
+            with_session(vec![("theta", Json::num(0.987654))]),
+        )
+        .expect_err("off-grid theta must fail");
+    c.check("error: off-grid", off_grid.is_code(ErrorCode::OffGrid));
+    let unknown_method = client
+        .call("frobnicate", Json::Null)
+        .expect_err("unknown method must fail");
+    c.check(
+        "error: unknown-method",
+        unknown_method.is_code(ErrorCode::UnknownMethod),
+    );
+    let unknown_session = client
+        .call(
+            "scores_at",
+            obj(vec![
+                ("session", Json::num(999_999.0)),
+                ("theta", Json::num(theta0)),
+            ]),
+        )
+        .expect_err("unknown session must fail");
+    c.check(
+        "error: unknown-session",
+        unknown_session.is_code(ErrorCode::UnknownSession),
+    );
+    let deadline = client
+        .call_with_deadline("ping", Json::Null, Some(0))
+        .expect_err("a zero deadline must fail");
+    c.check(
+        "error: deadline-exceeded",
+        deadline.is_code(ErrorCode::DeadlineExceeded),
+    );
+
+    // 13-14: a second session shares the support (no new build) and its
+    // queries hit the warm cache.
+    let opened2 = client.call(
+        "open",
+        obj(vec![
+            ("rank", Json::str("nucleus")),
+            (
+                "thetas",
+                Json::Arr(sweep.thresholds().iter().map(|&t| Json::num(t)).collect()),
+            ),
+        ]),
+    )?;
+    let session2 = opened2
+        .get("session")
+        .and_then(Json::as_f64)
+        .expect("open returns a session id");
+    let warm = client.call(
+        "scores_at",
+        obj(vec![
+            ("session", Json::num(session2)),
+            ("theta", Json::num(theta0)),
+        ]),
+    )?;
+    c.check("cache: second session warm", warm == wire0);
+
+    // 15: close both sessions.
+    for id in [session, session2] {
+        let closed = client.call("close", obj(vec![("session", Json::num(id))]))?;
+        c.check(
+            "close",
+            closed.get("closed").and_then(Json::as_bool) == Some(true),
+        );
+    }
+
+    // 16: counters over the wire (exact values are gated via the final
+    // snapshot; here just require the call to answer).
+    let stats = client.call("stats", Json::Null)?;
+    c.check(
+        "stats: protocol errors zero",
+        stats.get("protocol_errors").and_then(Json::as_f64) == Some(0.0),
+    );
+
+    // 17: graceful shutdown.
+    let bye = client.call("shutdown", Json::Null)?;
+    c.check(
+        "shutdown",
+        bye.get("shutting_down").and_then(Json::as_bool) == Some(true),
+    );
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::GraphBuilder;
+
+    fn clique(n: u32, p: f64) -> UncertainGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn oneshot_passes_on_a_clique_and_counts_deterministically() {
+        let graph = clique(6, 0.8);
+        let report = run_oneshot(&graph, &OneshotOptions::default()).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.bit_identical);
+        let stats = report.stats;
+        assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+        assert_eq!(stats.support_builds, 1, "{stats:?}");
+        assert_eq!(stats.sessions_opened, 2, "{stats:?}");
+        assert_eq!(stats.sessions_closed, 2, "{stats:?}");
+        assert_eq!(stats.cache_misses, 2, "{stats:?}");
+        assert!(stats.cache_hits >= 5, "{stats:?}");
+        assert_eq!(stats.deadlines_exceeded, 1, "{stats:?}");
+        assert_eq!(stats.batches, 1, "{stats:?}");
+        assert_eq!(stats.request_errors, 4, "{stats:?}");
+
+        // The whole script is deterministic: a second run lands on the
+        // exact same counters.
+        let report2 = run_oneshot(&graph, &OneshotOptions::default()).unwrap();
+        assert_eq!(report2.stats, stats);
+    }
+}

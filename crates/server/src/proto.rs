@@ -1,0 +1,334 @@
+//! Request/response schema of the nd-server wire protocol.
+//!
+//! Bodies are JSON (see [`crate::frame`] for the framing).  A request is
+//! either one call:
+//!
+//! ```json
+//! { "id": 1, "method": "scores_at", "params": { "session": 0, "theta": 0.2 } }
+//! ```
+//!
+//! or a batch, answered in order as `{ "batch": [ ... ] }`:
+//!
+//! ```json
+//! { "batch": [ { "id": 1, "method": "ping" }, { "id": 2, "method": "stats" } ] }
+//! ```
+//!
+//! Responses are `{ "id": …, "ok": true, "result": … }` or
+//! `{ "id": …, "ok": false, "error": { "code": …, "message": … } }`.
+//! Every failure mode has a stable machine-readable [`ErrorCode`]; no
+//! request — however malformed — kills the server process.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Machine-readable error codes of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself violated the framing rules (declared length
+    /// above the cap).  Counted as a protocol error; the connection
+    /// closes after the error response because the stream cannot be
+    /// resynchronized.
+    BadFrame,
+    /// The frame body was not valid JSON (counted as a protocol error).
+    BadJson,
+    /// The JSON was not a request object (missing `id`/`method`).
+    BadRequest,
+    /// The method name is not part of the protocol.
+    UnknownMethod,
+    /// Parameters are missing, of the wrong type, or out of range.
+    InvalidParams,
+    /// The referenced session id is not open.
+    UnknownSession,
+    /// The request needs a different rank than the session was opened
+    /// for (e.g. nucleus extraction on a truss session).
+    WrongRank,
+    /// The requested threshold is not a grid point of the session.
+    OffGrid,
+    /// The request's `deadline_ms` elapsed before the result was ready.
+    DeadlineExceeded,
+    /// The server is draining and no longer accepts new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownMethod => "unknown-method",
+            ErrorCode::InvalidParams => "invalid-params",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::WrongRank => "wrong-rank",
+            ErrorCode::OffGrid => "off-grid",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request-level failure: code plus human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl RequestError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        RequestError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// One parsed call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Method name.
+    pub method: String,
+    /// Parameter object (`Json::Null` when absent).
+    pub params: Json,
+    /// Optional per-request deadline in milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed request body: a single call or an ordered batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One call.
+    Single(Call),
+    /// An ordered batch of calls, answered in order.
+    Batch(Vec<Call>),
+}
+
+/// Parses a request body.  `Err` carries the code to respond with
+/// (`id` 0, since no id could be recovered).
+pub fn parse_request(body: &Json) -> Result<Request, RequestError> {
+    if let Some(batch) = body.get("batch") {
+        let items = batch
+            .as_array()
+            .ok_or_else(|| RequestError::new(ErrorCode::BadRequest, "'batch' must be an array"))?;
+        if items.is_empty() {
+            return Err(RequestError::new(
+                ErrorCode::BadRequest,
+                "'batch' must not be empty",
+            ));
+        }
+        let calls = items.iter().map(parse_call).collect::<Result<_, _>>()?;
+        return Ok(Request::Batch(calls));
+    }
+    Ok(Request::Single(parse_call(body)?))
+}
+
+fn parse_call(body: &Json) -> Result<Call, RequestError> {
+    if !matches!(body, Json::Obj(_)) {
+        return Err(RequestError::new(
+            ErrorCode::BadRequest,
+            "request must be a JSON object",
+        ));
+    }
+    let id = read_u64(body, "id")?
+        .ok_or_else(|| RequestError::new(ErrorCode::BadRequest, "missing 'id'"))?;
+    let method = body
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| RequestError::new(ErrorCode::BadRequest, "missing 'method'"))?
+        .to_string();
+    let params = body.get("params").cloned().unwrap_or(Json::Null);
+    let deadline_ms = read_u64(body, "deadline_ms")?;
+    Ok(Call {
+        id,
+        method,
+        params,
+        deadline_ms,
+    })
+}
+
+/// Reads an optional non-negative integer member.
+pub fn read_u64(obj: &Json, key: &str) -> Result<Option<u64>, RequestError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Ok(Some(*n as u64))
+        }
+        Some(_) => Err(RequestError::new(
+            ErrorCode::InvalidParams,
+            format!("'{key}' must be a non-negative integer"),
+        )),
+    }
+}
+
+/// Reads a required non-negative integer member.
+pub fn require_u64(obj: &Json, key: &str) -> Result<u64, RequestError> {
+    read_u64(obj, key)?
+        .ok_or_else(|| RequestError::new(ErrorCode::InvalidParams, format!("missing '{key}'")))
+}
+
+/// Reads a required finite number member.
+pub fn require_f64(obj: &Json, key: &str) -> Result<f64, RequestError> {
+    match obj.get(key) {
+        Some(Json::Num(n)) if n.is_finite() => Ok(*n),
+        Some(_) => Err(RequestError::new(
+            ErrorCode::InvalidParams,
+            format!("'{key}' must be a finite number"),
+        )),
+        None => Err(RequestError::new(
+            ErrorCode::InvalidParams,
+            format!("missing '{key}'"),
+        )),
+    }
+}
+
+/// A successful response body.
+pub fn ok_response(id: u64, result: Json) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(id as f64)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("result".to_string(), result),
+    ])
+}
+
+/// A failed response body.
+pub fn err_response(id: u64, error: &RequestError) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(id as f64)),
+        ("ok".to_string(), Json::Bool(false)),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("code".to_string(), Json::str(error.code.as_str())),
+                ("message".to_string(), Json::str(error.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_calls_with_and_without_extras() {
+        let body = Json::parse(r#"{"id": 3, "method": "ping"}"#).unwrap();
+        match parse_request(&body).unwrap() {
+            Request::Single(call) => {
+                assert_eq!(call.id, 3);
+                assert_eq!(call.method, "ping");
+                assert_eq!(call.params, Json::Null);
+                assert_eq!(call.deadline_ms, None);
+            }
+            other => panic!("expected single, got {other:?}"),
+        }
+        let body = Json::parse(
+            r#"{"id": 4, "method": "scores_at", "deadline_ms": 250,
+                "params": {"session": 0, "theta": 0.2}}"#,
+        )
+        .unwrap();
+        match parse_request(&body).unwrap() {
+            Request::Single(call) => {
+                assert_eq!(call.deadline_ms, Some(250));
+                assert_eq!(call.params.get("theta").and_then(Json::as_f64), Some(0.2));
+            }
+            other => panic!("expected single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_batches_in_order() {
+        let body = Json::parse(
+            r#"{"batch": [
+                {"id": 1, "method": "ping"},
+                {"id": 2, "method": "stats"}
+            ]}"#,
+        )
+        .unwrap();
+        match parse_request(&body).unwrap() {
+            Request::Batch(calls) => {
+                assert_eq!(calls.len(), 2);
+                assert_eq!(calls[0].method, "ping");
+                assert_eq!(calls[1].id, 2);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_bad_request() {
+        for bad in [
+            "17",
+            "[]",
+            r#"{"method": "ping"}"#,
+            r#"{"id": 1}"#,
+            r#"{"id": -1, "method": "ping"}"#,
+            r#"{"id": 1.5, "method": "ping"}"#,
+            r#"{"batch": []}"#,
+            r#"{"batch": 7}"#,
+            r#"{"batch": [{"id": 1}]}"#,
+        ] {
+            let body = Json::parse(bad).unwrap();
+            let e = parse_request(&body).unwrap_err();
+            assert!(
+                matches!(e.code, ErrorCode::BadRequest | ErrorCode::InvalidParams),
+                "{bad} -> {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_builders_emit_the_wire_shape() {
+        let ok = ok_response(9, Json::Obj(vec![("pong".to_string(), Json::Bool(true))]));
+        assert_eq!(
+            ok.to_json_string(),
+            r#"{"id":9,"ok":true,"result":{"pong":true}}"#
+        );
+        let err = err_response(2, &RequestError::new(ErrorCode::OffGrid, "theta = 0.3"));
+        let parsed = Json::parse(&err.to_json_string()).unwrap();
+        assert_eq!(
+            parsed.path(&["error", "code"]).and_then(Json::as_str),
+            Some("off-grid")
+        );
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn error_codes_have_stable_spellings() {
+        let all = [
+            (ErrorCode::BadFrame, "bad-frame"),
+            (ErrorCode::BadJson, "bad-json"),
+            (ErrorCode::BadRequest, "bad-request"),
+            (ErrorCode::UnknownMethod, "unknown-method"),
+            (ErrorCode::InvalidParams, "invalid-params"),
+            (ErrorCode::UnknownSession, "unknown-session"),
+            (ErrorCode::WrongRank, "wrong-rank"),
+            (ErrorCode::OffGrid, "off-grid"),
+            (ErrorCode::DeadlineExceeded, "deadline-exceeded"),
+            (ErrorCode::ShuttingDown, "shutting-down"),
+        ];
+        for (code, text) in all {
+            assert_eq!(code.to_string(), text);
+        }
+    }
+}

@@ -1,0 +1,774 @@
+//! The resident query service.
+//!
+//! [`ServerCore`] owns the loaded graph and everything derived from it:
+//! one lazily-built [`RankSupport`] per rank ever queried (shared by all
+//! sessions through [`DecompHandle`]s — `support_builds` counts exactly
+//! one build per rank for the life of the process), an LRU cache of
+//! materialized per-threshold decomposition points, the open sessions
+//! and the deterministic [`ServerStats`].  It is transport-independent:
+//! [`ServerCore::handle_body`] maps one request frame body to one
+//! response body, so tests can drive it without sockets.
+//!
+//! [`Server`] is the TCP layer: a non-blocking acceptor plus a worker
+//! pool (sized by the workspace-wide [`Parallelism`] knob) under
+//! [`std::thread::scope`].  Workers block on sockets with a short read
+//! timeout so a shutdown request drains naturally: every in-flight frame
+//! is answered, then connections close, the scope joins and
+//! [`Server::run`] returns.  No request — malformed framing included —
+//! ever panics the process.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nucleus::{
+    ApproxThresholds, DecompConfig, DecompHandle, Rank, RankSupport, ScoreMethod, SweepConfig,
+};
+use ugraph::{Parallelism, UncertainGraph};
+
+use crate::frame::{read_frame_while, write_frame, FrameError, ReadOutcome};
+use crate::json::Json;
+use crate::proto::{
+    err_response, ok_response, parse_request, require_f64, require_u64, Call, ErrorCode, Request,
+    RequestError,
+};
+use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Tunables of a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Capacity of the per-threshold result cache (entries).
+    pub cache_capacity: usize,
+    /// Sizes the connection worker pool and the support builds.
+    /// Per-point peels run sequentially — concurrency comes from serving
+    /// connections in parallel, and results are bit-identical either
+    /// way.
+    pub parallelism: Parallelism,
+    /// Socket read timeout; bounds how long a drain can lag behind a
+    /// shutdown request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 32,
+            parallelism: Parallelism::Auto,
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One open session: a pinned rank, scoring method and exact-match
+/// threshold grid over the shared support.
+#[derive(Debug, Clone)]
+struct Session {
+    rank: Rank,
+    method: ScoreMethod,
+    method_tag: u8,
+    grid: Arc<Vec<f64>>,
+    handle: DecompHandle,
+}
+
+/// A materialized decomposition at one (rank, method, threshold) point.
+#[derive(Debug)]
+struct CachedPoint {
+    scores: Vec<u32>,
+    max_score: u32,
+}
+
+/// Cache key: rank + method + exact threshold bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PointKey {
+    rank: Rank,
+    method_tag: u8,
+    theta_bits: u64,
+}
+
+/// The transport-independent heart of the service.
+pub struct ServerCore {
+    graph: UncertainGraph,
+    config: ServerConfig,
+    supports: Mutex<HashMap<Rank, Arc<RankSupport>>>,
+    cache: Mutex<crate::lru::LruCache<PointKey, Arc<CachedPoint>>>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+/// Per-request deadline, measured from receipt.
+struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    fn new(deadline_ms: Option<u64>) -> Self {
+        Deadline {
+            at: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// Errors once the deadline has passed.  `deadline_ms: 0` fails the
+    /// first check deterministically.
+    fn check(&self) -> Result<(), RequestError> {
+        match self.at {
+            Some(at) if Instant::now() >= at => Err(RequestError::new(
+                ErrorCode::DeadlineExceeded,
+                "request deadline elapsed",
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl ServerCore {
+    /// Wraps a loaded graph into a resident service.  Supports are built
+    /// lazily on the first session of each rank.
+    pub fn new(graph: UncertainGraph, config: ServerConfig) -> Arc<Self> {
+        let cache = crate::lru::LruCache::new(config.cache_capacity);
+        Arc::new(ServerCore {
+            graph,
+            config,
+            supports: Mutex::new(HashMap::new()),
+            cache: Mutex::new(cache),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The graph the server answers queries about.
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.graph
+    }
+
+    /// The deterministic counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// `true` once a `shutdown` request was served.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful shutdown (also reachable via the `shutdown`
+    /// method on the wire).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The shared support for `rank`, built on first use.  Building
+    /// happens under the map lock, so concurrent sessions of the same
+    /// rank still count exactly one build.
+    fn support_for(&self, rank: Rank) -> Arc<RankSupport> {
+        let mut map = self.supports.lock().unwrap();
+        Arc::clone(map.entry(rank).or_insert_with(|| {
+            ServerStats::bump(&self.stats.support_builds);
+            Arc::new(RankSupport::build(
+                &self.graph,
+                rank,
+                self.config.parallelism,
+            ))
+        }))
+    }
+
+    fn session(&self, params: &Json) -> Result<Session, RequestError> {
+        let id = require_u64(params, "session")?;
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| {
+                RequestError::new(
+                    ErrorCode::UnknownSession,
+                    format!("session {id} is not open"),
+                )
+            })
+    }
+
+    /// Exact-match position of `theta` on the session grid.
+    fn grid_index(session: &Session, theta: f64) -> Result<usize, RequestError> {
+        session
+            .grid
+            .binary_search_by(|probe| {
+                probe
+                    .partial_cmp(&theta)
+                    .unwrap_or(std::cmp::Ordering::Less)
+            })
+            .map_err(|_| {
+                RequestError::new(
+                    ErrorCode::OffGrid,
+                    format!(
+                        "{} = {theta} is not a grid point of this session \
+                         (lookups are exact-match)",
+                        session.rank.threshold_name()
+                    ),
+                )
+            })
+    }
+
+    /// The materialized point for (session, theta), served from the LRU
+    /// cache when possible.  Misses compute over the session's shared
+    /// support — never a rebuild — and results are bit-identical to a
+    /// direct [`nucleus::Decomposition::compute`] at the same
+    /// configuration.  The compute runs under the cache lock so the
+    /// hit/miss/eviction counters are deterministic even under
+    /// concurrent sessions.
+    fn point(&self, session: &Session, theta: f64) -> Result<Arc<CachedPoint>, RequestError> {
+        Self::grid_index(session, theta)?;
+        let key = PointKey {
+            rank: session.rank,
+            method_tag: session.method_tag,
+            theta_bits: theta.to_bits(),
+        };
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(point) = cache.get(&key) {
+            ServerStats::bump(&self.stats.cache_hits);
+            return Ok(Arc::clone(point));
+        }
+        ServerStats::bump(&self.stats.cache_misses);
+        let config = DecompConfig {
+            rank: session.rank,
+            threshold: theta,
+            method: session.method,
+            parallelism: Parallelism::Sequential,
+        };
+        let decomp = session
+            .handle
+            .compute_at(&config)
+            .map_err(|e| RequestError::new(ErrorCode::InvalidParams, e.to_string()))?;
+        let point = Arc::new(CachedPoint {
+            max_score: decomp.max_score(),
+            scores: decomp.scores().to_vec(),
+        });
+        for _ in 0..cache.insert(key, Arc::clone(&point)) {
+            ServerStats::bump(&self.stats.cache_evictions);
+        }
+        Ok(point)
+    }
+
+    /// Maps one frame body to one response body.  Never panics; the
+    /// response is always a well-formed frame-able JSON document.
+    pub fn handle_body(&self, body: &[u8]) -> Vec<u8> {
+        let response = self.handle_text(body);
+        response.to_json_string().into_bytes()
+    }
+
+    fn handle_text(&self, body: &[u8]) -> Json {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => {
+                ServerStats::bump(&self.stats.protocol_errors);
+                return err_response(
+                    0,
+                    &RequestError::new(ErrorCode::BadJson, "frame body is not UTF-8"),
+                );
+            }
+        };
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                ServerStats::bump(&self.stats.protocol_errors);
+                return err_response(0, &RequestError::new(ErrorCode::BadJson, e.to_string()));
+            }
+        };
+        match parse_request(&doc) {
+            Ok(Request::Single(call)) => self.serve_call(&call),
+            Ok(Request::Batch(calls)) => {
+                ServerStats::bump(&self.stats.batches);
+                let responses = calls.iter().map(|call| self.serve_call(call)).collect();
+                Json::Obj(vec![("batch".to_string(), Json::Arr(responses))])
+            }
+            Err(e) => {
+                ServerStats::bump(&self.stats.request_errors);
+                err_response(0, &e)
+            }
+        }
+    }
+
+    fn serve_call(&self, call: &Call) -> Json {
+        ServerStats::bump(&self.stats.requests);
+        match self.dispatch(call) {
+            Ok(result) => ok_response(call.id, result),
+            Err(e) => {
+                if e.code == ErrorCode::DeadlineExceeded {
+                    ServerStats::bump(&self.stats.deadlines_exceeded);
+                }
+                ServerStats::bump(&self.stats.request_errors);
+                err_response(call.id, &e)
+            }
+        }
+    }
+
+    fn dispatch(&self, call: &Call) -> Result<Json, RequestError> {
+        let deadline = Deadline::new(call.deadline_ms);
+        deadline.check()?;
+        let params = &call.params;
+        match call.method.as_str() {
+            // Calls already decoded when the shutdown fired are drained;
+            // anything sequenced after a shutdown call is refused.
+            _ if self.is_shutdown() && call.method != "stats" => Err(RequestError::new(
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            )),
+            "ping" => Ok(Json::Obj(vec![("pong".to_string(), Json::Bool(true))])),
+            "info" => self.do_info(),
+            "open" => self.do_open(params),
+            "close" => self.do_close(params),
+            "stats" => Ok(self.stats.snapshot().to_json()),
+            "scores_at" => self.do_scores_at(params, &deadline),
+            "max_score_at" => self.do_max_score_at(params, &deadline),
+            "k_nuclei_at" => self.do_k_nuclei_at(params, &deadline),
+            "top_nuclei" => self.do_top_nuclei(params, &deadline),
+            "community" => self.do_community(params, &deadline),
+            "shutdown" => {
+                self.request_shutdown();
+                Ok(Json::Obj(vec![(
+                    "shutting_down".to_string(),
+                    Json::Bool(true),
+                )]))
+            }
+            other => Err(RequestError::new(
+                ErrorCode::UnknownMethod,
+                format!("unknown method '{other}'"),
+            )),
+        }
+    }
+
+    fn do_info(&self) -> Result<Json, RequestError> {
+        Ok(Json::Obj(vec![
+            (
+                "vertices".to_string(),
+                Json::num(self.graph.num_vertices() as f64),
+            ),
+            (
+                "edges".to_string(),
+                Json::num(self.graph.num_edges() as f64),
+            ),
+            (
+                "sessions".to_string(),
+                Json::num(self.sessions.lock().unwrap().len() as f64),
+            ),
+            (
+                "cache_capacity".to_string(),
+                Json::num(self.config.cache_capacity as f64),
+            ),
+        ]))
+    }
+
+    fn do_open(&self, params: &Json) -> Result<Json, RequestError> {
+        let rank: Rank = params
+            .get("rank")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorCode::InvalidParams, "missing 'rank'"))?
+            .parse()
+            .map_err(|e: nucleus::UnknownRankError| {
+                RequestError::new(ErrorCode::InvalidParams, e.to_string())
+            })?;
+        let thetas: Vec<f64> = params
+            .get("thetas")
+            .and_then(Json::as_array)
+            .ok_or_else(|| {
+                RequestError::new(ErrorCode::InvalidParams, "'thetas' must be an array")
+            })?
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    RequestError::new(ErrorCode::InvalidParams, "'thetas' entries must be numbers")
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let (method, method_tag) = match params.get("method").and_then(Json::as_str) {
+            None | Some("exact") => (ScoreMethod::DynamicProgramming, 0u8),
+            Some("approx") => (ScoreMethod::Hybrid(ApproxThresholds::default()), 1u8),
+            Some(other) => {
+                return Err(RequestError::new(
+                    ErrorCode::InvalidParams,
+                    format!("unknown method '{other}' (expected 'exact' or 'approx')"),
+                ))
+            }
+        };
+        // One validated builder guards both the library and the wire.
+        let sweep_config = SweepConfig {
+            rank,
+            thetas: thetas.clone(),
+            method,
+            parallelism: self.config.parallelism,
+        };
+        sweep_config
+            .validate()
+            .map_err(|e| RequestError::new(ErrorCode::InvalidParams, e.to_string()))?;
+
+        let handle = DecompHandle::from_support(self.support_for(rank));
+        let session = Session {
+            rank,
+            method,
+            method_tag,
+            grid: Arc::new(thetas),
+            handle,
+        };
+        let id = self.next_session.fetch_add(1, Ordering::SeqCst);
+        let grid_len = session.grid.len();
+        let num_elements = session.handle.num_elements();
+        self.sessions.lock().unwrap().insert(id, session);
+        ServerStats::bump(&self.stats.sessions_opened);
+        Ok(Json::Obj(vec![
+            ("session".to_string(), Json::num(id as f64)),
+            ("rank".to_string(), Json::str(rank.as_str())),
+            ("grid_len".to_string(), Json::num(grid_len as f64)),
+            ("num_elements".to_string(), Json::num(num_elements as f64)),
+        ]))
+    }
+
+    fn do_close(&self, params: &Json) -> Result<Json, RequestError> {
+        let id = require_u64(params, "session")?;
+        match self.sessions.lock().unwrap().remove(&id) {
+            Some(_) => {
+                ServerStats::bump(&self.stats.sessions_closed);
+                Ok(Json::Obj(vec![("closed".to_string(), Json::Bool(true))]))
+            }
+            None => Err(RequestError::new(
+                ErrorCode::UnknownSession,
+                format!("session {id} is not open"),
+            )),
+        }
+    }
+
+    fn do_scores_at(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let session = self.session(params)?;
+        let theta = require_f64(params, "theta")?;
+        deadline.check()?;
+        let point = self.point(&session, theta)?;
+        deadline.check()?;
+        let scores: Vec<Json> = match params.get("elements") {
+            None | Some(Json::Null) => point.scores.iter().map(|&s| Json::num(s as f64)).collect(),
+            Some(list) => {
+                let ids = list.as_array().ok_or_else(|| {
+                    RequestError::new(ErrorCode::InvalidParams, "'elements' must be an array")
+                })?;
+                let mut subset = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let id = id
+                        .as_f64()
+                        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| {
+                            RequestError::new(
+                                ErrorCode::InvalidParams,
+                                "'elements' entries must be non-negative integers",
+                            )
+                        })?;
+                    let score = point.scores.get(id).ok_or_else(|| {
+                        RequestError::new(
+                            ErrorCode::InvalidParams,
+                            format!(
+                                "element {id} out of range ({} {})",
+                                point.scores.len(),
+                                session.rank.element_name()
+                            ),
+                        )
+                    })?;
+                    subset.push(Json::num(*score as f64));
+                }
+                subset
+            }
+        };
+        Ok(Json::Obj(vec![
+            ("theta".to_string(), Json::num(theta)),
+            ("scores".to_string(), Json::Arr(scores)),
+        ]))
+    }
+
+    fn do_max_score_at(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let session = self.session(params)?;
+        let theta = require_f64(params, "theta")?;
+        deadline.check()?;
+        let point = self.point(&session, theta)?;
+        Ok(Json::Obj(vec![
+            ("theta".to_string(), Json::num(theta)),
+            ("max_score".to_string(), Json::num(point.max_score as f64)),
+        ]))
+    }
+
+    /// The nucleus-rank support of a session, or the typed wrong-rank
+    /// error mirroring [`nucleus::NucleusError::RankMismatch`].
+    fn nucleus_session(session: &Session) -> Result<&nucleus::SupportStructure, RequestError> {
+        session.handle.support().as_nucleus().ok_or_else(|| {
+            RequestError::new(
+                ErrorCode::WrongRank,
+                format!(
+                    "operation requires a nucleus-rank session, but this one was \
+                     opened for {}",
+                    session.rank.as_str()
+                ),
+            )
+        })
+    }
+
+    fn nucleus_summary(nucleus: &detdecomp::NucleusSubgraph) -> Json {
+        let mut vertices: Vec<u32> = nucleus.subgraph.original_vertices().to_vec();
+        vertices.sort_unstable();
+        Json::Obj(vec![
+            ("k".to_string(), Json::num(nucleus.k as f64)),
+            (
+                "num_vertices".to_string(),
+                Json::num(nucleus.num_vertices() as f64),
+            ),
+            (
+                "num_edges".to_string(),
+                Json::num(nucleus.num_edges() as f64),
+            ),
+            (
+                "vertices".to_string(),
+                Json::Arr(vertices.into_iter().map(|v| Json::num(v as f64)).collect()),
+            ),
+        ])
+    }
+
+    fn do_k_nuclei_at(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let session = self.session(params)?;
+        let support = Self::nucleus_session(&session)?;
+        let theta = require_f64(params, "theta")?;
+        let k = u32::try_from(require_u64(params, "k")?)
+            .map_err(|_| RequestError::new(ErrorCode::InvalidParams, "'k' does not fit u32"))?;
+        deadline.check()?;
+        let point = self.point(&session, theta)?;
+        deadline.check()?;
+        let nuclei =
+            nucleus::local::nuclei::extract_k_nuclei(&self.graph, support, &point.scores, k);
+        Ok(Json::Obj(vec![
+            ("theta".to_string(), Json::num(theta)),
+            ("k".to_string(), Json::num(k as f64)),
+            ("count".to_string(), Json::num(nuclei.len() as f64)),
+            (
+                "nuclei".to_string(),
+                Json::Arr(nuclei.iter().map(Self::nucleus_summary).collect()),
+            ),
+        ]))
+    }
+
+    /// The densest maximal nuclei at `theta` across every `k`, sorted by
+    /// descending edge density (`num_edges / num_vertices`), ties broken
+    /// by higher `k`, then more edges, then the smallest vertex id — a
+    /// total, deterministic order.
+    fn do_top_nuclei(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let session = self.session(params)?;
+        let support = Self::nucleus_session(&session)?;
+        let theta = require_f64(params, "theta")?;
+        let limit = require_u64(params, "limit")? as usize;
+        deadline.check()?;
+        let point = self.point(&session, theta)?;
+        let mut ranked: Vec<(f64, u32, usize, u32, Json)> = Vec::new();
+        for k in 1..=point.max_score {
+            deadline.check()?;
+            for nucleus in
+                nucleus::local::nuclei::extract_k_nuclei(&self.graph, support, &point.scores, k)
+            {
+                let density = nucleus.num_edges() as f64 / nucleus.num_vertices() as f64;
+                let first_vertex = nucleus
+                    .subgraph
+                    .original_vertices()
+                    .iter()
+                    .copied()
+                    .min()
+                    .unwrap_or(0);
+                ranked.push((
+                    density,
+                    k,
+                    nucleus.num_edges(),
+                    first_vertex,
+                    Self::nucleus_summary(&nucleus),
+                ));
+            }
+        }
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.1.cmp(&a.1))
+                .then(b.2.cmp(&a.2))
+                .then(a.3.cmp(&b.3))
+        });
+        ranked.truncate(limit);
+        let nuclei: Vec<Json> = ranked
+            .into_iter()
+            .map(|(density, _, _, _, mut summary)| {
+                if let Json::Obj(members) = &mut summary {
+                    members.push(("density".to_string(), Json::num(density)));
+                }
+                summary
+            })
+            .collect();
+        Ok(Json::Obj(vec![
+            ("theta".to_string(), Json::num(theta)),
+            ("count".to_string(), Json::num(nuclei.len() as f64)),
+            ("nuclei".to_string(), Json::Arr(nuclei)),
+        ]))
+    }
+
+    /// The most cohesive community of a vertex at `theta`: the maximal
+    /// nucleus containing the vertex with the largest `k` (ties broken
+    /// by the extraction order, which is deterministic).
+    fn do_community(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let session = self.session(params)?;
+        let support = Self::nucleus_session(&session)?;
+        let theta = require_f64(params, "theta")?;
+        let vertex = u32::try_from(require_u64(params, "vertex")?).map_err(|_| {
+            RequestError::new(ErrorCode::InvalidParams, "'vertex' does not fit u32")
+        })?;
+        if (vertex as usize) >= self.graph.num_vertices() {
+            return Err(RequestError::new(
+                ErrorCode::InvalidParams,
+                format!(
+                    "vertex {vertex} out of range ({} vertices)",
+                    self.graph.num_vertices()
+                ),
+            ));
+        }
+        deadline.check()?;
+        let point = self.point(&session, theta)?;
+        for k in (1..=point.max_score).rev() {
+            deadline.check()?;
+            let nuclei =
+                nucleus::local::nuclei::extract_k_nuclei(&self.graph, support, &point.scores, k);
+            if let Some(home) = nuclei
+                .iter()
+                .find(|n| n.subgraph.original_vertices().contains(&vertex))
+            {
+                return Ok(Json::Obj(vec![
+                    ("theta".to_string(), Json::num(theta)),
+                    ("vertex".to_string(), Json::num(vertex as f64)),
+                    ("found".to_string(), Json::Bool(true)),
+                    ("community".to_string(), Self::nucleus_summary(home)),
+                ]));
+            }
+        }
+        Ok(Json::Obj(vec![
+            ("theta".to_string(), Json::num(theta)),
+            ("vertex".to_string(), Json::num(vertex as f64)),
+            ("found".to_string(), Json::Bool(false)),
+        ]))
+    }
+}
+
+/// The TCP layer around a [`ServerCore`].
+pub struct Server {
+    core: Arc<ServerCore>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, core: Arc<ServerCore>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { core, listener })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &Arc<ServerCore> {
+        &self.core
+    }
+
+    /// Serves until a `shutdown` request (or
+    /// [`ServerCore::request_shutdown`]), then drains: in-flight frames
+    /// are answered, workers join, and the final counters are returned.
+    pub fn run(&self) -> StatsSnapshot {
+        let core = &self.core;
+        let pool = core.config.parallelism.num_threads().max(1);
+        let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
+        let ready = Condvar::new();
+
+        std::thread::scope(|s| {
+            for _ in 0..pool {
+                s.spawn(|| loop {
+                    let stream = {
+                        let mut q = queue.lock().unwrap();
+                        loop {
+                            if let Some(stream) = q.pop_front() {
+                                break Some(stream);
+                            }
+                            if core.is_shutdown() {
+                                break None;
+                            }
+                            let (guard, _) =
+                                ready.wait_timeout(q, Duration::from_millis(20)).unwrap();
+                            q = guard;
+                        }
+                    };
+                    match stream {
+                        Some(stream) => serve_connection(core, stream),
+                        None => break,
+                    }
+                });
+            }
+
+            // Acceptor: non-blocking so the shutdown flag is observed
+            // within one polling interval.
+            while !core.is_shutdown() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        queue.lock().unwrap().push_back(stream);
+                        ready.notify_one();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            ready.notify_all();
+        });
+        core.stats.snapshot()
+    }
+}
+
+/// Serves one connection until the peer hangs up, an unrecoverable
+/// protocol error occurs, or the server drains.
+fn serve_connection(core: &Arc<ServerCore>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(core.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_frame_while(&mut stream, || !core.is_shutdown()) {
+            Ok(ReadOutcome::Frame(body)) => {
+                // Drain semantics: a frame that arrived is answered even
+                // if the shutdown flag was raised while reading it.
+                let response = core.handle_body(&body);
+                if write_frame(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Aborted) => break,
+            Err(FrameError::Oversized { declared }) => {
+                // The declared body will never be read, so the stream
+                // cannot be resynchronized: answer once, then close.
+                ServerStats::bump(&core.stats.protocol_errors);
+                let error = RequestError::new(
+                    ErrorCode::BadFrame,
+                    format!("declared frame length {declared} exceeds the cap"),
+                );
+                let body = err_response(0, &error).to_json_string().into_bytes();
+                let _ = write_frame(&mut stream, &body);
+                break;
+            }
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => {
+                // The peer broke the stream mid-frame; nothing can be
+                // answered reliably.
+                ServerStats::bump(&core.stats.protocol_errors);
+                break;
+            }
+        }
+    }
+    let _ = stream.flush();
+}

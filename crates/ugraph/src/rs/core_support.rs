@@ -18,6 +18,7 @@ use super::RsSupport;
 /// probability — the same float, in the same order, as the reference
 /// implementation's `neighbor_entries` gather, so DP scores are
 /// bit-identical.
+#[derive(Debug, Clone)]
 pub struct CoreSupport {
     /// Incident edge ids of every vertex, flattened; slice `v` is
     /// `cells[offsets[v]..offsets[v + 1]]`, in adjacency order.

@@ -21,6 +21,7 @@ use super::RsSupport;
 /// `{u, v}` the cell list is ordered by ascending third vertex `w`,
 /// exactly the `common_neighbors(u, v)` order the frozen reference
 /// implementation gathers in.  DP scores are therefore bit-identical.
+#[derive(Debug, Clone)]
 pub struct TrussSupport {
     /// Existence probability of every edge (`1.0` in the deterministic
     /// variant).

@@ -28,6 +28,12 @@
 //! let local = LocalNucleusDecomposition::compute(&graph, &LocalConfig::exact(0.2)).unwrap();
 //! assert_eq!(local.max_score(), 2);
 //! ```
+//!
+//! The facade refuses deprecated decomposition entry points: every caller
+//! that goes through this crate is guaranteed to be on the fallible
+//! `try_compute` / [`Decomposition::compute`] surface.
+
+#![deny(deprecated)]
 
 pub use detdecomp;
 pub use nd_datasets;
@@ -42,4 +48,4 @@ pub use ugraph::Parallelism;
 /// Convenience re-exports of the unified (r,s)-decomposition surface: one
 /// builder-style config and one engine covering the (k,η)-core, local
 /// (k,γ)-truss and ℓ-nucleus decompositions plus their threshold sweeps.
-pub use nucleus::{DecompConfig, DecompSweep, Decomposition, Rank};
+pub use nucleus::{DecompConfig, DecompHandle, DecompSweep, Decomposition, Rank, RankSupport};

@@ -152,7 +152,7 @@ proptest! {
     fn sweeps_match_independent_runs(g in arb_graph(10, 0.6)) {
         let grid = vec![0.05, 0.2, 0.5, 0.8];
         for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
-            let sweep = DecompSweep::compute(&g, rank, &SweepConfig::exact(grid.clone()))
+            let sweep = DecompSweep::compute(&g, &SweepConfig::exact(grid.clone()).with_rank(rank))
                 .expect("valid sweep");
             for (i, &threshold) in grid.iter().enumerate() {
                 let config = match rank {
