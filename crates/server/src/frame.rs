@@ -89,20 +89,36 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
 
 /// Reads one frame, blocking until it is complete.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<ReadOutcome, FrameError> {
-    read_frame_while(r, || true)
+    read_frame_while(r, || true, None)
 }
 
 /// Reads one frame, re-checking `keep_waiting` whenever the underlying
 /// reader times out (`WouldBlock` / `TimedOut`) — the mechanism that
 /// lets a server thread block on a socket with a short read timeout yet
 /// still notice a shutdown flag.  Partial bytes are preserved across
-/// timeouts, so a slow writer is never mistaken for a truncated frame.
+/// timeouts, so a slow-but-live writer is never mistaken for a
+/// truncated frame; but once `keep_waiting` turns false a stalled
+/// partial frame is reported as [`FrameError::Truncated`] rather than
+/// waited on forever — a peer that sends two prefix bytes and then goes
+/// silent must not be able to pin a worker past a shutdown request.
+///
+/// `stall_patience` additionally bounds how many *consecutive* timeouts
+/// are tolerated mid-frame (any byte of the prefix received, or the
+/// whole prefix in and the body pending) even while `keep_waiting`
+/// holds; the count resets whenever bytes arrive.  Exceeding it reports
+/// the frame truncated, so a peer that starts a frame and then goes
+/// silent cannot pin a worker indefinitely — which matters when the
+/// worker pool has a single thread and the shutdown request itself
+/// would need that worker.  Waiting *between* frames (no prefix byte
+/// yet) is never bounded: idle sessions are legitimate.  `None` waits
+/// mid-frame as long as `keep_waiting` allows.
 pub fn read_frame_while<R: Read>(
     r: &mut R,
     keep_waiting: impl Fn() -> bool,
+    stall_patience: Option<u32>,
 ) -> Result<ReadOutcome, FrameError> {
     let mut prefix = [0u8; 4];
-    match fill(r, &mut prefix, &keep_waiting)? {
+    match fill(r, &mut prefix, &keep_waiting, stall_patience, false)? {
         Fill::Complete => {}
         Fill::CleanEof => return Ok(ReadOutcome::Closed),
         Fill::Aborted => return Ok(ReadOutcome::Aborted),
@@ -114,7 +130,8 @@ pub fn read_frame_while<R: Read>(
     }
     let expected = declared as usize;
     let mut body = vec![0u8; expected];
-    match fill(r, &mut body, &keep_waiting)? {
+    // `committed`: the prefix is in, so even 0 body bytes is mid-frame.
+    match fill(r, &mut body, &keep_waiting, stall_patience, true)? {
         Fill::Complete => Ok(ReadOutcome::Frame(body)),
         // Once the prefix is in, the peer committed to a body: EOF and
         // shutdown both leave the frame unfinished.
@@ -128,38 +145,65 @@ enum Fill {
     Complete,
     /// EOF before the first byte.
     CleanEof,
-    /// EOF after `0 < n < len` bytes.
+    /// EOF — or `keep_waiting` saying stop — after `0 < n < len` bytes.
     TruncatedAt(usize),
     /// `keep_waiting` said stop before the first byte.
     Aborted,
 }
 
+/// `committed` marks a fill that is mid-frame even at 0 bytes (the body
+/// after a complete prefix); it controls whether `stall_patience`
+/// applies from the first timeout and whether giving up is a truncation
+/// rather than a clean abort.
 fn fill<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     keep_waiting: &impl Fn() -> bool,
+    stall_patience: Option<u32>,
+    committed: bool,
 ) -> Result<Fill, FrameError> {
     let mut filled = 0;
+    let mut stalled = 0u32;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
-                return Ok(if filled == 0 {
+                return Ok(if filled == 0 && !committed {
                     Fill::CleanEof
                 } else {
                     Fill::TruncatedAt(filled)
                 });
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalled = 0;
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                // A mid-buffer timeout just means the peer is slow; only
-                // abort while nothing has arrived yet.
-                if filled == 0 && !keep_waiting() {
-                    return Ok(Fill::Aborted);
+                // A mid-buffer timeout just means the peer is slow —
+                // keep reading while `keep_waiting` holds.  Once it
+                // turns false, an untouched frame is a clean abort (no
+                // frame bytes consumed) while a partial one is a
+                // truncation: the peer committed to bytes it never
+                // delivered, and waiting longer would stall the drain.
+                if !keep_waiting() {
+                    return Ok(if filled == 0 && !committed {
+                        Fill::Aborted
+                    } else {
+                        Fill::TruncatedAt(filled)
+                    });
+                }
+                // Mid-frame, a silent peer also runs out of patience:
+                // without this bound a partial frame would pin the
+                // worker until shutdown.
+                if committed || filled > 0 {
+                    stalled += 1;
+                    if stall_patience.is_some_and(|max| stalled >= max) {
+                        return Ok(Fill::TruncatedAt(filled));
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -252,10 +296,13 @@ mod tests {
     }
 
     /// A reader that yields `WouldBlock` between every real chunk,
-    /// emulating a socket with a read timeout.
+    /// emulating a socket with a read timeout.  With `stall_when_empty`
+    /// it keeps timing out once the chunks run dry instead of signalling
+    /// EOF — a peer that went silent without hanging up.
     struct Chunked {
         chunks: Vec<Vec<u8>>,
         timeouts_first: bool,
+        stall_when_empty: bool,
     }
 
     impl Read for Chunked {
@@ -265,6 +312,9 @@ mod tests {
                 return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
             }
             match self.chunks.first_mut() {
+                None if self.stall_when_empty => {
+                    Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+                }
                 None => Ok(0),
                 Some(chunk) => {
                     let n = chunk.len().min(buf.len());
@@ -286,8 +336,9 @@ mod tests {
         let mut r = Chunked {
             chunks: bytes.chunks(3).map(<[u8]>::to_vec).collect(),
             timeouts_first: true,
+            stall_when_empty: false,
         };
-        match read_frame_while(&mut r, || true).unwrap() {
+        match read_frame_while(&mut r, || true, None).unwrap() {
             ReadOutcome::Frame(read) => assert_eq!(read, b"slow body"),
             other => panic!("expected frame, got {other:?}"),
         }
@@ -299,10 +350,134 @@ mod tests {
         let mut idle = Chunked {
             chunks: vec![],
             timeouts_first: true,
+            stall_when_empty: false,
         };
         assert!(matches!(
-            read_frame_while(&mut idle, || false).unwrap(),
+            read_frame_while(&mut idle, || false, None).unwrap(),
             ReadOutcome::Aborted
         ));
+    }
+
+    /// `keep_waiting` that stays patient for `n` timeouts, then stops —
+    /// a shutdown flag flipping partway through a read.
+    fn patience(n: u32) -> impl Fn() -> bool {
+        let left = std::cell::Cell::new(n);
+        move || {
+            let remaining = left.get();
+            left.set(remaining.saturating_sub(1));
+            remaining > 0
+        }
+    }
+
+    #[test]
+    fn stalled_partial_prefix_truncates_once_waiting_stops() {
+        // Two prefix bytes arrive, then the peer goes silent without
+        // hanging up.  Once `keep_waiting` turns false the read must
+        // report truncation instead of looping on timeouts forever.
+        let mut r = Chunked {
+            chunks: vec![vec![5, 0]],
+            timeouts_first: false,
+            stall_when_empty: true,
+        };
+        let e = read_frame_while(&mut r, patience(3), None).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 2,
+                    expected: 4
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn stall_patience_bounds_a_mid_frame_stall_even_while_waiting_holds() {
+        // Partial prefix, then silence, `keep_waiting` forever true: the
+        // patience bound alone must end the read as a truncation.
+        let mut r = Chunked {
+            chunks: vec![vec![5, 0]],
+            timeouts_first: false,
+            stall_when_empty: true,
+        };
+        let e = read_frame_while(&mut r, || true, Some(4)).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 2,
+                    expected: 4
+                }
+            ),
+            "{e}"
+        );
+        // Prefix complete, body never arrives: bounded too (mid-frame
+        // even though the body buffer holds 0 bytes).
+        let mut r = Chunked {
+            chunks: vec![3u32.to_le_bytes().to_vec()],
+            timeouts_first: false,
+            stall_when_empty: true,
+        };
+        let e = read_frame_while(&mut r, || true, Some(4)).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 0,
+                    expected: 3
+                }
+            ),
+            "{e}"
+        );
+        // Between frames (no prefix byte yet) the bound does not apply:
+        // the idle timeout before the prefix is not counted, so with a
+        // patience of 2 only the single mid-frame timeout (between the
+        // prefix and body reads of the chunked reader) is — if idling
+        // counted, the total of 2 would truncate this frame.
+        let bytes = framed(b"late");
+        let mut r = Chunked {
+            chunks: vec![bytes],
+            timeouts_first: true,
+            stall_when_empty: false,
+        };
+        match read_frame_while(&mut r, || true, Some(2)).unwrap() {
+            ReadOutcome::Frame(read) => assert_eq!(read, b"late"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // Progress resets the count: 3-byte chunks with a timeout before
+        // each stay under a patience of 2 all the way to completion.
+        let bytes = framed(b"slow but steady");
+        let mut r = Chunked {
+            chunks: bytes.chunks(3).map(<[u8]>::to_vec).collect(),
+            timeouts_first: true,
+            stall_when_empty: false,
+        };
+        match read_frame_while(&mut r, || true, Some(2)).unwrap() {
+            ReadOutcome::Frame(read) => assert_eq!(read, b"slow but steady"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_partial_body_truncates_once_waiting_stops() {
+        let mut bytes = framed(b"hello");
+        bytes.truncate(4 + 2); // full prefix, then 2 of 5 body bytes
+        let mut r = Chunked {
+            chunks: vec![bytes],
+            timeouts_first: false,
+            stall_when_empty: true,
+        };
+        let e = read_frame_while(&mut r, patience(3), None).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FrameError::Truncated {
+                    got: 2,
+                    expected: 5
+                }
+            ),
+            "{e}"
+        );
     }
 }

@@ -15,6 +15,13 @@
 
 use std::fmt;
 
+/// Maximum container nesting depth the parser accepts.  The parser is
+/// recursive descent, so unbounded nesting would translate attacker
+/// -controlled input (a frame of `[[[[…`) into unbounded stack growth;
+/// deeper documents fail with a regular [`JsonError`] instead.  Real
+/// protocol bodies nest fewer than ten levels.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -57,6 +64,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -191,6 +199,10 @@ fn write_escaped(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by
+    /// [`MAX_NESTING_DEPTH`] to keep hostile input from overflowing the
+    /// stack.
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -243,12 +255,26 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the nesting depth on entering a container; errors past
+    /// [`MAX_NESTING_DEPTH`].  A parse error aborts the whole document,
+    /// so the counter only needs rewinding on the success paths.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.error(format!("nesting deeper than {MAX_NESTING_DEPTH} levels")))
+        } else {
+            Ok(())
+        }
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -264,6 +290,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -272,11 +299,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -287,6 +316,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -442,6 +472,36 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_overflowing() {
+        // At the limit: parses fine.
+        let deep_ok = format!(
+            "{}42{}",
+            "[".repeat(MAX_NESTING_DEPTH),
+            "]".repeat(MAX_NESTING_DEPTH)
+        );
+        assert!(Json::parse(&deep_ok).is_ok());
+        // One past the limit: a regular parse error.
+        let deep_bad = format!(
+            "{}42{}",
+            "[".repeat(MAX_NESTING_DEPTH + 1),
+            "]".repeat(MAX_NESTING_DEPTH + 1)
+        );
+        let e = Json::parse(&deep_bad).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // The hostile case from the wire: ~50 KB of '[' must error, not
+        // recurse 50 000 frames deep and abort the process.
+        let bomb = "[".repeat(50_000);
+        assert!(Json::parse(&bomb).is_err());
+        // Mixed containers count toward the same bound.
+        let mixed = "{\"a\":[".repeat(80) + "0" + &"]}".repeat(80);
+        let e = Json::parse(&mixed).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // Depth is nesting, not sibling count: wide documents are fine.
+        let wide = format!("[{}]", vec!["[0]"; 5_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -171,7 +171,11 @@ fn parse_call(body: &Json) -> Result<Call, RequestError> {
 pub fn read_u64(obj: &Json, key: &str) -> Result<Option<u64>, RequestError> {
     match obj.get(key) {
         None | Some(Json::Null) => Ok(None),
-        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+        // Strict upper bound: `u64::MAX as f64` rounds up to 2^64, so
+        // `<=` would accept 18446744073709551616 and saturate it to
+        // `u64::MAX`.  Every f64 integer strictly below 2^64 converts
+        // exactly.
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
             Ok(Some(*n as u64))
         }
         Some(_) => Err(RequestError::new(
@@ -284,6 +288,8 @@ mod tests {
             r#"{"id": 1}"#,
             r#"{"id": -1, "method": "ping"}"#,
             r#"{"id": 1.5, "method": "ping"}"#,
+            // 2^64: one past u64::MAX, must not silently saturate.
+            r#"{"id": 18446744073709551616, "method": "ping"}"#,
             r#"{"batch": []}"#,
             r#"{"batch": 7}"#,
             r#"{"batch": [{"id": 1}]}"#,
@@ -295,6 +301,19 @@ mod tests {
                 "{bad} -> {e}"
             );
         }
+    }
+
+    #[test]
+    fn read_u64_bounds_are_strict_at_two_to_the_sixty_four() {
+        // Largest f64 integer below 2^64 (2^64 - 2048): converts exactly.
+        let body = Json::parse(r#"{"big": 18446744073709549568}"#).unwrap();
+        assert_eq!(read_u64(&body, "big").unwrap(), Some(18446744073709549568));
+        // 2^64 itself would saturate to u64::MAX under `as`: rejected.
+        let body = Json::parse(r#"{"big": 18446744073709551616}"#).unwrap();
+        assert_eq!(
+            read_u64(&body, "big").unwrap_err().code,
+            ErrorCode::InvalidParams
+        );
     }
 
     #[test]

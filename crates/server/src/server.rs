@@ -17,7 +17,7 @@
 //! [`Server::run`] returns.  No request — malformed framing included —
 //! ever panics the process.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +50,14 @@ pub struct ServerConfig {
     /// Socket read timeout; bounds how long a drain can lag behind a
     /// shutdown request.
     pub read_timeout: Duration,
+    /// Upper bound on how long a peer may stall *mid-frame* (a partial
+    /// length prefix, or a prefix whose body never arrives) before the
+    /// connection is dropped as a protocol error.  Keeps a silent or
+    /// hostile peer from pinning a worker indefinitely — with a
+    /// single-worker pool that worker is also the one a wire `shutdown`
+    /// request would need.  Idle time *between* frames is not limited;
+    /// sessions may be long-lived.
+    pub frame_stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -58,7 +66,17 @@ impl Default for ServerConfig {
             cache_capacity: 32,
             parallelism: Parallelism::Auto,
             read_timeout: Duration::from_millis(25),
+            frame_stall_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+impl ServerConfig {
+    /// `frame_stall_timeout` expressed as a count of consecutive
+    /// `read_timeout` expiries (at least 1).
+    fn stall_patience(&self) -> u32 {
+        let reads = self.frame_stall_timeout.as_millis() / self.read_timeout.as_millis().max(1);
+        u32::try_from(reads).unwrap_or(u32::MAX).max(1)
     }
 }
 
@@ -88,12 +106,25 @@ struct PointKey {
     theta_bits: u64,
 }
 
+/// The LRU of materialized points plus the set of keys currently being
+/// computed, guarded by one lock so the hit/miss/eviction counters stay
+/// deterministic per key: for any key, the first arrival is the miss
+/// and every concurrent or later arrival is a hit, while *unrelated*
+/// keys compute outside the lock in parallel.
+struct PointCache {
+    lru: crate::lru::LruCache<PointKey, Arc<CachedPoint>>,
+    inflight: HashSet<PointKey>,
+}
+
 /// The transport-independent heart of the service.
 pub struct ServerCore {
     graph: UncertainGraph,
     config: ServerConfig,
     supports: Mutex<HashMap<Rank, Arc<RankSupport>>>,
-    cache: Mutex<crate::lru::LruCache<PointKey, Arc<CachedPoint>>>,
+    cache: Mutex<PointCache>,
+    /// Signalled whenever an in-flight compute finishes (successfully
+    /// or not), waking requests that wait on the same key.
+    cache_ready: Condvar,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session: AtomicU64,
     stats: ServerStats,
@@ -129,12 +160,16 @@ impl ServerCore {
     /// Wraps a loaded graph into a resident service.  Supports are built
     /// lazily on the first session of each rank.
     pub fn new(graph: UncertainGraph, config: ServerConfig) -> Arc<Self> {
-        let cache = crate::lru::LruCache::new(config.cache_capacity);
+        let cache = PointCache {
+            lru: crate::lru::LruCache::new(config.cache_capacity),
+            inflight: HashSet::new(),
+        };
         Arc::new(ServerCore {
             graph,
             config,
             supports: Mutex::new(HashMap::new()),
             cache: Mutex::new(cache),
+            cache_ready: Condvar::new(),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             stats: ServerStats::default(),
@@ -218,9 +253,15 @@ impl ServerCore {
     /// cache when possible.  Misses compute over the session's shared
     /// support — never a rebuild — and results are bit-identical to a
     /// direct [`nucleus::Decomposition::compute`] at the same
-    /// configuration.  The compute runs under the cache lock so the
-    /// hit/miss/eviction counters are deterministic even under
-    /// concurrent sessions.
+    /// configuration.
+    ///
+    /// The compute itself runs *outside* the cache lock: the first
+    /// request for a key marks it in-flight (and is the one counted
+    /// miss), concurrent requests for the same key wait on
+    /// [`Self::cache_ready`] and then take the counted hit, and
+    /// requests for unrelated keys compute in parallel.  This keeps the
+    /// hit/miss/eviction counters deterministic per key without
+    /// serializing every peel across all connections.
     fn point(&self, session: &Session, theta: f64) -> Result<Arc<CachedPoint>, RequestError> {
         Self::grid_index(session, theta)?;
         let key = PointKey {
@@ -229,26 +270,44 @@ impl ServerCore {
             theta_bits: theta.to_bits(),
         };
         let mut cache = self.cache.lock().unwrap();
-        if let Some(point) = cache.get(&key) {
-            ServerStats::bump(&self.stats.cache_hits);
-            return Ok(Arc::clone(point));
+        loop {
+            if let Some(point) = cache.lru.get(&key) {
+                ServerStats::bump(&self.stats.cache_hits);
+                return Ok(Arc::clone(point));
+            }
+            if !cache.inflight.contains(&key) {
+                break;
+            }
+            // Someone else is computing this key: wait for it instead of
+            // duplicating the peel.  On the (capacity-starved) chance the
+            // result was already evicted when we wake, the loop falls
+            // through to computing it ourselves.
+            cache = self.cache_ready.wait(cache).unwrap();
         }
         ServerStats::bump(&self.stats.cache_misses);
+        cache.inflight.insert(key.clone());
+        drop(cache);
+
         let config = DecompConfig {
             rank: session.rank,
             threshold: theta,
             method: session.method,
             parallelism: Parallelism::Sequential,
         };
-        let decomp = session
-            .handle
-            .compute_at(&config)
-            .map_err(|e| RequestError::new(ErrorCode::InvalidParams, e.to_string()))?;
+        let computed = session.handle.compute_at(&config);
+
+        let mut cache = self.cache.lock().unwrap();
+        cache.inflight.remove(&key);
+        self.cache_ready.notify_all();
+        let decomp = match computed {
+            Ok(decomp) => decomp,
+            Err(e) => return Err(RequestError::new(ErrorCode::InvalidParams, e.to_string())),
+        };
         let point = Arc::new(CachedPoint {
             max_score: decomp.max_score(),
             scores: decomp.scores().to_vec(),
         });
-        for _ in 0..cache.insert(key, Arc::clone(&point)) {
+        for _ in 0..cache.lru.insert(key, Arc::clone(&point)) {
             ServerStats::bump(&self.stats.cache_evictions);
         }
         Ok(point)
@@ -739,8 +798,9 @@ impl Server {
 fn serve_connection(core: &Arc<ServerCore>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(core.config.read_timeout));
     let _ = stream.set_nodelay(true);
+    let patience = Some(core.config.stall_patience());
     loop {
-        match read_frame_while(&mut stream, || !core.is_shutdown()) {
+        match read_frame_while(&mut stream, || !core.is_shutdown(), patience) {
             Ok(ReadOutcome::Frame(body)) => {
                 // Drain semantics: a frame that arrived is answered even
                 // if the shutdown flag was raised while reading it.

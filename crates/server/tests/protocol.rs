@@ -24,7 +24,7 @@ use nd_server::{
     StatsSnapshot, MAX_FRAME_LEN,
 };
 use nucleus::{DecompSweep, Rank, SweepConfig};
-use ugraph::{GraphBuilder, UncertainGraph};
+use ugraph::{GraphBuilder, Parallelism, UncertainGraph};
 
 fn clique(n: u32, p: f64) -> UncertainGraph {
     let mut b = GraphBuilder::new();
@@ -187,6 +187,86 @@ fn oversized_declared_length_gets_bad_frame_then_close() {
     assert_eq!(stats.requests, 1);
 }
 
+/// ~50 KB of '[' is a well-formed frame far under the length cap whose
+/// body would recurse tens of thousands of levels deep in an unbounded
+/// parser.  It must come back as a typed `bad-json` answer on a live
+/// connection — not overflow the worker stack and abort the process.
+#[test]
+fn deeply_nested_json_body_is_typed_not_a_stack_overflow() {
+    let graph = clique(4, 0.9);
+    let ((), stats) = with_server(&graph, ServerConfig::default(), |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let bomb = "[".repeat(50_000).into_bytes();
+        let response = client.call_raw(&bomb).expect("typed answer");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            response.path(&["error", "code"]).and_then(Json::as_str),
+            Some(ErrorCode::BadJson.as_str())
+        );
+        client.call("ping", Json::Null).expect("connection alive");
+    });
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.requests, 1);
+}
+
+/// A peer that sends two prefix bytes and then goes silent (without
+/// hanging up) must not pin a worker past a shutdown request: the drain
+/// counts it as a protocol error and `Server::run` still returns.
+#[test]
+fn stalled_partial_frame_does_not_hang_the_drain() {
+    let graph = clique(4, 0.9);
+    let core = ServerCore::new(graph, ServerConfig::default());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&core)).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    {
+        use std::io::Write;
+        raw.write_all(&[7, 0]).expect("partial header");
+        // Keep `raw` open: no EOF ever arrives on the server side.
+    }
+    let stats = std::thread::scope(|s| {
+        let runner = s.spawn(|| server.run());
+        // Let the acceptor hand the stalled connection to a worker.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        core.request_shutdown();
+        runner.join().expect("server thread must not panic")
+    });
+    drop(raw);
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.requests, 0);
+}
+
+/// With a single-worker pool, a peer that starts a frame and goes
+/// silent would otherwise pin the only worker — and with it the ability
+/// to even *request* a shutdown over the wire.  The frame-stall bound
+/// must free the worker (counting a protocol error) so a later client
+/// is served without any shutdown being involved.
+#[test]
+fn stalled_mid_frame_peer_cannot_pin_a_single_worker_pool() {
+    let graph = clique(4, 0.9);
+    let config = ServerConfig {
+        parallelism: Parallelism::fixed(1),
+        read_timeout: std::time::Duration::from_millis(5),
+        frame_stall_timeout: std::time::Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let ((), stats) = with_server(&graph, config, |addr, _| {
+        use std::io::Write;
+        let mut stall = TcpStream::connect(addr).expect("connect");
+        stall.write_all(&[7, 0]).expect("partial header");
+        // Keep `stall` open and silent: no EOF, no further bytes.  The
+        // ping below can only be answered once the worker gives up on
+        // the stalled frame.
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .call("ping", Json::Null)
+            .expect("the stall bound must free the only worker");
+        drop(stall);
+    });
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.requests, 1);
+}
+
 #[test]
 fn invalid_json_is_typed_and_does_not_kill_the_connection() {
     let graph = clique(4, 0.9);
@@ -286,8 +366,9 @@ fn concurrent_sessions_are_bit_identical_to_library_calls() {
     assert_eq!(stats.support_builds, 3);
     assert_eq!(stats.sessions_opened, 6);
     // 3 ranks x 2 thetas distinct cache keys; the second connection of
-    // each rank hits on both points (computes run under the cache lock,
-    // so the split is deterministic even under races).
+    // each rank hits on both points (the first arrival marks the key
+    // in-flight and is the counted miss, a racing arrival waits and
+    // takes the hit, so the split is deterministic even under races).
     assert_eq!(stats.cache_misses, 6);
     assert_eq!(stats.cache_hits, 6);
 }
