@@ -16,6 +16,10 @@
 //!                        [--seed N] [--thetas GRID] [--repeats R] [--out PATH]
 //!                        [--input PATH [--format F] [--prob-model M]]
 //!
+//! experiments updates [--rank core|truss|nucleus] [--edges M] [--vertices N]
+//!                     [--seed N] [--thetas GRID] [--batch B] [--out PATH]
+//!                     [--input PATH [--format F] [--prob-model M]]
+//!
 //! experiments gen [--edges M] [--vertices N] [--seed N] --out PATH
 //!                 [--snapshot PATH]
 //!
@@ -42,7 +46,7 @@ use nd_bench::json::Json;
 use nd_bench::runner::ExperimentContext;
 use nd_bench::{
     ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, serve, table1, table2, table3,
-    thetasweep,
+    thetasweep, updates,
 };
 use nd_datasets::{ExternalDataset, PaperDataset, Scale};
 use ugraph::io::EdgeProbabilityModel;
@@ -61,6 +65,10 @@ fn main() {
     }
     if id == "thetasweep" {
         run_thetasweep(&args);
+        return;
+    }
+    if id == "updates" {
+        run_updates(&args);
         return;
     }
     if id == "gen" {
@@ -162,13 +170,23 @@ fn print_usage() {
          \x20   grid at the core/truss ranks); emits bench-parallel/v5 JSON\n\
          \x20   with rank + support_builds + amortization\n\
          \n\
+         experiments updates [--rank core|truss|nucleus] [--edges M]\n\
+         \x20                [--vertices N] [--seed N]\n\
+         \x20                [--thetas 0.02,0.05,0.1,0.25,0.5] [--batch B]\n\
+         \x20                [--out BENCH_updates.json]\n\
+         \x20                [--input PATH [--format F] [--prob-model M]]\n\
+         \x20   apply a seeded edge-update batch through the incremental\n\
+         \x20   repair path, verify bit-identity against a full rebuild and\n\
+         \x20   emit bench-updates/v1 JSON with repair-vs-rebuild dp_calls\n\
+         \n\
          experiments gen [--edges M] [--vertices N] [--seed N] --out PATH\n\
          \x20            [--snapshot PATH]\n\
          \n\
          experiments bench-compare OLD.json NEW.json [--tolerance F]\n\
-         \x20   diffs two bench-parallel/* or bench-serve/* reports; exits 1 when\n\
-         \x20   a deterministic counter (dp_calls, counts, reload_speedup, server\n\
-         \x20   stats) regresses beyond the relative tolerance (default 0).\n\
+         \x20   diffs two bench-parallel/*, bench-serve/* or bench-updates/*\n\
+         \x20   reports; exits 1 when a deterministic counter (dp_calls, counts,\n\
+         \x20   reload_speedup, server stats, repair work) regresses beyond the\n\
+         \x20   relative tolerance (default 0).\n\
          \x20   Wall times are never gated.\n\
          \n\
          experiments serve [--port P] [--cache N] [--threads N]\n\
@@ -177,7 +195,8 @@ fn print_usage() {
          \x20              [--oneshot [--out BENCH_serve.json]]\n\
          \x20   resident (r,s)-nucleus query service over TCP; with --oneshot,\n\
          \x20   runs the scripted self-test (every wire answer compared\n\
-         \x20   bit-for-bit against the library) and emits bench-serve/v1 JSON\n\
+         \x20   bit-for-bit against the library, including across an\n\
+         \x20   apply_updates batch) and emits bench-serve/v2 JSON\n\
          \n\
          experiments serve-client --addr HOST:PORT [--call METHOD]\n\
          \x20                     [--params JSON] [--deadline-ms N]\n\
@@ -376,6 +395,60 @@ fn run_thetasweep(args: &[String]) {
     println!("wrote {out_path}");
 }
 
+/// Runs the incremental-update benchmark at the requested rank and
+/// writes the `bench-updates/v1` JSON report.
+fn run_updates(args: &[String]) {
+    let mut config = updates::UpdateBenchConfig::default();
+    if let Some(spec) = parse_flag(args, "--rank") {
+        config.rank = spec
+            .parse::<nucleus::Rank>()
+            .unwrap_or_else(|e| fail(&format!("updates: {e}")));
+    }
+    if let Some(m) = parse_num_flag(args, "--edges") {
+        config.edges = m;
+        // Keep the default density (average degree 50) unless --vertices
+        // overrides it below.
+        config.vertices = (m / 25).max(4);
+    }
+    if let Some(n) = parse_num_flag(args, "--vertices") {
+        config.vertices = n;
+    }
+    if let Some(seed) = parse_num_flag(args, "--seed") {
+        config.seed = seed;
+    }
+    if let Some(b) = parse_num_flag(args, "--batch") {
+        config.batch = b;
+    }
+    if let Some(thetas) = parse_thetas(args) {
+        config.thetas = thetas;
+    }
+    if let Err(e) = nucleus::ThetaSweep::new(nucleus::SweepConfig::exact(config.thetas.clone())) {
+        fail(&format!("updates: {e}"));
+    }
+    config.input = parse_input(args);
+    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_updates.json".to_string());
+
+    match &config.input {
+        Some(input) => println!(
+            "# experiment: updates  rank: {}  input: {} ({})  grid: {:?}  batch: {}\n",
+            config.rank,
+            input.path.display(),
+            input.format,
+            config.thetas,
+            config.batch
+        ),
+        None => println!(
+            "# experiment: updates  rank: {}  vertices: {}  edges: {}  grid: {:?}  batch: {}  seed: {}\n",
+            config.rank, config.vertices, config.edges, config.thetas, config.batch, config.seed
+        ),
+    }
+    let report = updates::run(&config).unwrap_or_else(|e| fail(&e.to_string()));
+    println!("{}", report.format());
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!("wrote {out_path}");
+}
+
 /// Generates a seeded benchmark graph and writes it as a text edge list
 /// (and optionally a `.ugsnap` snapshot).
 fn run_gen(args: &[String]) {
@@ -418,7 +491,7 @@ fn parse_thetas(args: &[String]) -> Option<Vec<f64>> {
 
 /// Boots the resident query service — or, with `--oneshot`, runs the
 /// scripted self-test against a freshly booted server and writes the
-/// `bench-serve/v1` report (the CI `serve-smoke` surface).
+/// `bench-serve/v2` report (the CI `serve-smoke` surface).
 fn run_serve(args: &[String]) {
     let mut config = serve::ServeBenchConfig::default();
     if let Some(m) = parse_num_flag(args, "--edges") {

@@ -32,6 +32,13 @@
 //! all Exact, since the scripted session is fixed.  Comparing across
 //! schema *families* (a parallel bench against a serve smoke) is
 //! refused for the same reason as cross-rank compares.
+//!
+//! `bench-updates/*` reports (`experiments updates`) gate the
+//! incremental-maintenance counters: batch composition and repair sizes
+//! are Exact, `repair.repair_dp_calls` must not increase, and
+//! `repair.dp_calls_excess` — score evaluations the repair spent *beyond*
+//! what a full rebuild would have — is Exact with a committed baseline of
+//! 0, so CI enforces repair ≤ rebuild at tolerance 0.
 
 use crate::json::Json;
 use crate::runner::format_table;
@@ -174,6 +181,26 @@ const TRACKED: &[(&[&str], Gate)] = &[
     (&["stats", "sessions_opened"], Gate::Exact),
     (&["stats", "sessions_closed"], Gate::Exact),
     (&["stats", "deadlines_exceeded"], Gate::Exact),
+    // Incremental-update counters, shared by bench-serve/v2 (the
+    // scripted session applies one batch) and bench-updates/v1 reports.
+    (&["stats", "updates_applied"], Gate::Exact),
+    (&["stats", "supports_repaired"], Gate::Exact),
+    (&["stats", "cache_invalidations"], Gate::Exact),
+    // Repair-vs-rebuild counters (bench-updates/v1, `experiments
+    // updates`).  The batch and the damage region are pure functions of
+    // the seeded graph and batch: Exact.  `repair_dp_calls` is the work
+    // the repair actually spent; `dp_calls_excess` is how far it exceeded
+    // a full rebuild (0 in every committed baseline), so gating it Exact
+    // at tolerance 0 *is* the "repair never does more work than rebuild"
+    // guarantee.
+    (&["batch", "inserts"], Gate::Exact),
+    (&["batch", "deletes"], Gate::Exact),
+    (&["batch", "reweights"], Gate::Exact),
+    (&["repair", "affected_elements"], Gate::Exact),
+    (&["repair", "region_elements"], Gate::Exact),
+    (&["repair", "repair_dp_calls"], Gate::LowerIsBetter),
+    (&["repair", "rebuild_dp_calls"], Gate::ReportOnly),
+    (&["repair", "dp_calls_excess"], Gate::Exact),
 ];
 
 /// The explicit `rank` field of a report, when present (v5+).
@@ -185,7 +212,7 @@ fn rank_of(doc: &Json) -> Option<String> {
 /// families (a parallel bench vs a serve smoke) share no gated counters
 /// and describe different artifacts, so comparing across them is
 /// refused rather than silently reporting "everything skipped, OK".
-const FAMILIES: &[&str] = &["bench-parallel", "bench-serve"];
+const FAMILIES: &[&str] = &["bench-parallel", "bench-serve", "bench-updates"];
 
 fn schema_of(doc: &Json, which: &str) -> Result<(String, String), String> {
     let schema = doc
@@ -195,7 +222,8 @@ fn schema_of(doc: &Json, which: &str) -> Result<(String, String), String> {
     let family = schema.split('/').next().unwrap_or(schema);
     if !FAMILIES.contains(&family) {
         return Err(format!(
-            "{which} report has schema \"{schema}\", expected bench-parallel/* or bench-serve/*"
+            "{which} report has schema \"{schema}\", expected bench-parallel/*, \
+             bench-serve/* or bench-updates/*"
         ));
     }
     Ok((family.to_string(), schema.to_string()))
@@ -607,7 +635,7 @@ mod tests {
         assert!(compare(&v2(1), &missing, 0.0).is_err());
     }
 
-    fn serve(hits: u64, builds: u64, protocol_errors: u64) -> Json {
+    fn serve_v1(hits: u64, builds: u64, protocol_errors: u64) -> Json {
         Json::parse(&format!(
             r#"{{ "schema": "bench-serve/v1",
                   "source": {{ "kind": "generated" }},
@@ -622,16 +650,50 @@ mod tests {
         .unwrap()
     }
 
+    fn serve(hits: u64, builds: u64, protocol_errors: u64) -> Json {
+        serve_with_updates(hits, builds, protocol_errors, 1, 2)
+    }
+
+    fn serve_with_updates(
+        hits: u64,
+        builds: u64,
+        protocol_errors: u64,
+        repaired: u64,
+        invalidations: u64,
+    ) -> Json {
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-serve/v2",
+                  "source": {{ "kind": "generated" }},
+                  "oneshot": {{ "passed": true, "bit_identical": true, "failures": [ ] }},
+                  "stats": {{ "requests": 33, "batches": 1,
+                              "protocol_errors": {protocol_errors},
+                              "request_errors": 6, "cache_hits": {hits},
+                              "cache_misses": 4, "cache_evictions": 0,
+                              "support_builds": {builds}, "sessions_opened": 2,
+                              "sessions_closed": 2, "deadlines_exceeded": 1,
+                              "updates_applied": 1,
+                              "supports_repaired": {repaired},
+                              "cache_invalidations": {invalidations} }} }}"#
+        ))
+        .unwrap()
+    }
+
     #[test]
     fn serve_reports_gate_every_counter_exactly() {
         let ok = compare(&serve(8, 1, 0), &serve(8, 1, 0), 0.0).unwrap();
         assert!(ok.regressions().is_empty(), "{}", ok.format());
-        // A second support build, a lost cache hit, or any protocol
-        // error each trips its own exact gate.
+        // A second support build, a lost cache hit, any protocol error,
+        // a rebuild instead of a repair, or a drifted invalidation count
+        // each trips its own exact gate.
         for (drifted, expect) in [
             (serve(8, 2, 0), "stats.support_builds"),
             (serve(7, 1, 0), "stats.cache_hits"),
             (serve(8, 1, 1), "stats.protocol_errors"),
+            (serve_with_updates(8, 1, 0, 0, 2), "stats.supports_repaired"),
+            (
+                serve_with_updates(8, 1, 0, 1, 3),
+                "stats.cache_invalidations",
+            ),
         ] {
             let report = compare(&serve(8, 1, 0), &drifted, 0.0).unwrap();
             let failing: Vec<_> = report
@@ -641,6 +703,120 @@ mod tests {
                 .collect();
             assert_eq!(failing, vec![expect]);
         }
+    }
+
+    #[test]
+    fn serve_v1_baseline_skips_update_counters_with_a_note() {
+        // A pre-update v1 baseline gates the shared counters it carries
+        // and skips the v2 update counters (its cache_misses differ —
+        // the v2 script queries after its update batch — so those rows
+        // regress loudly rather than being silently reconciled).
+        let report = compare(&serve_v1(8, 1, 0), &serve(8, 1, 0), 0.0).unwrap();
+        let failing: Vec<_> = report
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(
+            failing,
+            vec![
+                "stats.requests",
+                "stats.request_errors",
+                "stats.cache_misses"
+            ]
+        );
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("schema bump bench-serve/v1 -> bench-serve/v2")));
+        let repaired = report
+            .rows
+            .iter()
+            .find(|r| r.name == "stats.supports_repaired")
+            .unwrap();
+        assert_eq!(repaired.old, None);
+        assert_eq!(repaired.verdict, "skipped");
+    }
+
+    fn updates(repair: u64, rebuild: u64, region: u64) -> Json {
+        let excess = repair.saturating_sub(rebuild);
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-updates/v1",
+                  "rank": "truss",
+                  "source": {{ "kind": "generated" }},
+                  "batch": {{ "inserts": 64, "deletes": 64, "reweights": 64 }},
+                  "repair": {{ "affected_elements": 900,
+                               "region_elements": {region},
+                               "repair_dp_calls": {repair},
+                               "rebuild_dp_calls": {rebuild},
+                               "dp_calls_excess": {excess} }} }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn updates_reports_gate_repair_never_exceeding_rebuild() {
+        let ok = compare(
+            &updates(5_000, 60_000, 1_200),
+            &updates(5_000, 60_000, 1_200),
+            0.0,
+        )
+        .unwrap();
+        assert!(ok.regressions().is_empty(), "{}", ok.format());
+        // More repair work (still under rebuild) fails LowerIsBetter…
+        let slower = compare(
+            &updates(5_000, 60_000, 1_200),
+            &updates(6_000, 60_000, 1_200),
+            0.0,
+        )
+        .unwrap();
+        let failing: Vec<_> = slower
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["repair.repair_dp_calls"]);
+        // …and a repair that exceeds the rebuild breaks the Exact
+        // dp_calls_excess gate on top (baseline excess is 0).
+        let exceeded = compare(
+            &updates(5_000, 60_000, 1_200),
+            &updates(61_000, 60_000, 1_200),
+            0.0,
+        )
+        .unwrap();
+        let failing: Vec<_> = exceeded
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(
+            failing,
+            vec!["repair.repair_dp_calls", "repair.dp_calls_excess"]
+        );
+        // A grown damage region is an algorithm change, not noise.
+        let wider = compare(
+            &updates(5_000, 60_000, 1_200),
+            &updates(5_000, 60_000, 1_300),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(wider.regressions()[0].name, "repair.region_elements");
+    }
+
+    #[test]
+    fn updates_reports_refuse_cross_rank_and_cross_family() {
+        let mut core = updates(5_000, 60_000, 1_200);
+        if let Json::Obj(members) = &mut core {
+            for (k, v) in members.iter_mut() {
+                if k == "rank" {
+                    *v = Json::Str("core".to_string());
+                }
+            }
+        }
+        let err = compare(&updates(5_000, 60_000, 1_200), &core, 0.0).unwrap_err();
+        assert!(err.contains("rank mismatch"), "{err}");
+        let err = compare(&updates(5_000, 60_000, 1_200), &serve(8, 1, 0), 0.0).unwrap_err();
+        assert!(err.contains("schema family mismatch"), "{err}");
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! | [`parbench`] | (extra) | parallel-substrate speedups + peeling-engine perf counters, emitted as machine-readable `BENCH_parallel.json` |
 //! | [`thetasweep`] | (extra) | θ-sweep amortization: one support build vs per-θ rebuilds, `support_builds` + per-θ counters as `bench-parallel/v4` JSON |
 //! | [`compare`] | (extra) | `bench-compare`: diff two bench JSONs, gate CI on deterministic counters |
-//! | [`serve`] | (extra) | `nd-server` smoke: scripted TCP session vs direct library calls, counters as `bench-serve/v1` JSON |
+//! | [`serve`] | (extra) | `nd-server` smoke: scripted TCP session vs direct library calls, counters as `bench-serve/v2` JSON |
+//! | [`updates`] | (extra) | incremental edge-update maintenance: repair vs rebuild work counters as `bench-updates/v1` JSON |
 //!
 //! Run them through the `experiments` binary:
 //!
@@ -41,6 +42,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod thetasweep;
+pub mod updates;
 
 /// The workspace's JSON reader/writer now lives with the wire protocol
 /// in `nd-server`; this re-export keeps `nd_bench::json` paths working.

@@ -3,23 +3,27 @@
 //!
 //! Boots an [`nd_server::Server`] on a loopback port, drives the fixed
 //! [`nd_server::oneshot`] script over real TCP, and emits a
-//! `bench-serve/v1` report.  The script is deterministic, so every
+//! `bench-serve/v2` report.  The script is deterministic, so every
 //! [`nd_server::StatsSnapshot`] counter it produces is a pure function
 //! of the script — `bench-compare` gates them all at tolerance 0 (the
 //! interesting invariants: `support_builds == 1` no matter how many
-//! sessions open, repeated-θ queries land as `cache_hits`, and
+//! sessions open, repeated-θ queries land as `cache_hits`,
 //! `protocol_errors == 0` because the script never sends a malformed
-//! frame).
+//! frame, and since v2 the `apply_updates` counters: exactly one batch
+//! applied, exactly one support repaired — never rebuilt — and the
+//! exact number of cached points invalidated).
 //!
 //! ```json
 //! {
-//!   "schema": "bench-serve/v1",
+//!   "schema": "bench-serve/v2",
 //!   "source": { "kind": "generated", ... },
 //!   "vertices": 2000, "edges": 50000, "seed": 42,
 //!   "thetas": [ 0.100000, 0.300000 ],
 //!   "oneshot": { "passed": true, "bit_identical": true, "failures": [ ] },
-//!   "stats": { "requests": 22, "batches": 1, "protocol_errors": 0,
-//!              "cache_hits": 8, "cache_misses": 2, "support_builds": 1, ... }
+//!   "stats": { "requests": 28, "batches": 1, "protocol_errors": 0,
+//!              "cache_hits": 9, "cache_misses": 4, "support_builds": 1,
+//!              "updates_applied": 1, "supports_repaired": 1,
+//!              "cache_invalidations": 2, ... }
 //! }
 //! ```
 //!
@@ -111,7 +115,7 @@ impl ServeBenchReport {
         self.oneshot.passed()
     }
 
-    /// Serializes the report to the `bench-serve/v1` JSON schema.
+    /// Serializes the report to the `bench-serve/v2` JSON schema.
     ///
     /// Ingest timings ([`ServeBenchReport::ingest`]) are deliberately
     /// not serialized: they are wall-clock measurements, and this
@@ -132,7 +136,7 @@ impl ServeBenchReport {
             .map(|f| format!("\"{}\"", json_escape(f)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"bench-serve/v1\",\n  \"source\": {},\n  \
+            "{{\n  \"schema\": \"bench-serve/v2\",\n  \"source\": {},\n  \
              \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \
              \"thetas\": [ {} ],\n  \
              \"oneshot\": {{ \"passed\": {}, \"bit_identical\": {}, \"failures\": [ {} ] }},\n  \
@@ -168,7 +172,8 @@ impl ServeBenchReport {
              verdict: {verdict} (bit-identical to library calls: {})\n\
              requests: {} ({} batch), typed request errors: {}, protocol errors: {}\n\
              cache: {} hits / {} misses / {} evictions; support builds: {}\n\
-             sessions: {} opened / {} closed; deadline hits: {}",
+             sessions: {} opened / {} closed; deadline hits: {}\n\
+             updates: {} applied; supports repaired: {}; cache invalidations: {}",
             self.oneshot.vertices,
             self.oneshot.edges,
             self.oneshot.thetas,
@@ -184,6 +189,9 @@ impl ServeBenchReport {
             stats.sessions_opened,
             stats.sessions_closed,
             stats.deadlines_exceeded,
+            stats.updates_applied,
+            stats.supports_repaired,
+            stats.cache_invalidations,
         )
     }
 }
@@ -229,12 +237,12 @@ mod tests {
     }
 
     #[test]
-    fn report_passes_and_has_v1_schema() {
+    fn report_passes_and_has_v2_schema() {
         let report = run(&tiny_config()).unwrap();
         assert!(report.passed(), "failures: {:?}", report.oneshot.failures);
         assert!(report.oneshot.bit_identical);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-serve/v1\""));
+        assert!(json.contains("\"schema\": \"bench-serve/v2\""));
         assert!(json.contains("\"kind\": \"generated\""));
         let doc = Json::parse(&json).expect("report JSON parses");
         assert_eq!(
@@ -251,11 +259,29 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(0.0)
         );
+        // The v2 script queries both θ before and after its update batch:
+        // 2 pre-update misses, 2 post-update misses on the repaired rank.
         assert_eq!(
             doc.path(&["stats", "cache_misses"]).and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            doc.path(&["stats", "updates_applied"])
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.path(&["stats", "supports_repaired"])
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.path(&["stats", "cache_invalidations"])
+                .and_then(Json::as_f64),
             Some(2.0)
         );
         assert!(report.format().contains("PASSED"));
+        assert!(report.format().contains("supports repaired: 1"));
     }
 
     #[test]

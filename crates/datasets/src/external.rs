@@ -90,13 +90,13 @@ impl ExternalDataset {
         io::xxh64(config.as_bytes(), 0)
     }
 
-    fn cache_path(&self, content_hash: u64) -> PathBuf {
+    fn cache_path_for(&self, fingerprint: u64) -> PathBuf {
         let mut name = self
             .path
             .file_name()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "graph".to_string());
-        name.push_str(&format!(".{:016x}.ugsnap", self.fingerprint(content_hash)));
+        name.push_str(&format!(".{fingerprint:016x}.ugsnap"));
         self.path.with_file_name(name)
     }
 
@@ -107,7 +107,7 @@ impl ExternalDataset {
         let content_hash = std::fs::read(&self.path)
             .map(|bytes| io::xxh64(&bytes, 0))
             .unwrap_or(0);
-        self.cache_path(content_hash)
+        self.cache_path_for(self.fingerprint(content_hash))
     }
 
     /// Loads through the snapshot cache: reuses the cached snapshot
@@ -122,17 +122,27 @@ impl ExternalDataset {
     /// read-only dataset directory must not break ingestion).
     /// Snapshot-format sources are already in their fastest form and load
     /// directly.
+    ///
+    /// The cache snapshot is written with the fingerprint as its source
+    /// tag and the tag is verified on reload: a snapshot that merely
+    /// *sits at* the cache path without having been derived from this
+    /// source — e.g. an updated in-memory graph persisted there with the
+    /// plain snapshot writer — fails the tag check and the source is
+    /// re-parsed instead of silently serving the impostor.
     pub fn load_cached(&self) -> ugraph::Result<UncertainGraph> {
         if self.format == InputFormat::Snapshot {
             return self.load();
         }
         let bytes = std::fs::read(&self.path)?;
-        let cache = self.cache_path(io::xxh64(&bytes, 0));
-        if let Ok(graph) = io::read_snapshot_file(&cache) {
-            return Ok(graph);
+        let fingerprint = self.fingerprint(io::xxh64(&bytes, 0));
+        let cache = self.cache_path_for(fingerprint);
+        if let Ok((graph, tag)) = io::read_snapshot_file_tagged(&cache) {
+            if tag == fingerprint {
+                return Ok(graph);
+            }
         }
         let graph = self.parse_bytes(&bytes)?;
-        let _ = io::write_snapshot_file(&graph, &cache);
+        let _ = io::write_snapshot_file_tagged(&graph, &cache, fingerprint);
         Ok(graph)
     }
 }
@@ -280,6 +290,37 @@ mod tests {
         assert_ne!(first, second);
         assert_eq!(second.edge_probability(0, 1), Some(0.9));
         assert_ne!(ds.snapshot_cache_path(), first_cache, "content-addressed");
+    }
+
+    #[test]
+    fn untagged_snapshot_at_the_cache_path_is_not_served() {
+        // A snapshot written at the cache path by something other than
+        // the cache layer (e.g. an updated in-memory graph persisted
+        // with the plain writer) must not be mistaken for the parse of
+        // the source.
+        let tmp = TempDir::new("impostor");
+        let ds = ExternalDataset::new(
+            write_sample(&tmp.0),
+            InputFormat::Snap,
+            EdgeProbabilityModel::Column,
+        );
+        let original = ds.load_cached().unwrap();
+        let cache = ds.snapshot_cache_path();
+        assert!(cache.exists());
+
+        // Overwrite the cache with a *different* graph, untagged.
+        let mut b = ugraph::GraphBuilder::new();
+        b.add_edge(0, 1, 0.123).unwrap();
+        let impostor = b.build();
+        ugraph::io::write_snapshot_file(&impostor, &cache).unwrap();
+
+        let reloaded = ds.load_cached().unwrap();
+        assert_eq!(reloaded, original, "tag mismatch must force a re-parse");
+        assert_ne!(reloaded, impostor);
+        // And the cache is healed with a properly tagged snapshot.
+        let (healed, tag) = ugraph::io::read_snapshot_file_tagged(&cache).unwrap();
+        assert_eq!(healed, original);
+        assert_ne!(tag, ugraph::io::UNTAGGED);
     }
 
     #[test]

@@ -34,7 +34,8 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use ugraph::rs::{self, CoreSupport, PeelStats, RsSupport, TailScratch, TrussSupport};
-use ugraph::{par, Parallelism, UncertainGraph};
+use ugraph::update::GraphDelta;
+use ugraph::{apply_edge_updates, par, EdgeUpdate, Parallelism, UncertainGraph};
 
 use crate::approx::ApproxMethod;
 use crate::config::{LocalConfig, ScoreMethod, SweepConfig};
@@ -299,6 +300,145 @@ impl RankSupport {
             _ => None,
         }
     }
+
+    /// Repairs the support after an edge-update batch instead of
+    /// rebuilding it, and computes the damage region of the bounded
+    /// re-peel.
+    ///
+    /// `old_graph` must be the graph this support was built from and
+    /// `delta` the result of [`apply_edge_updates`] on it.  The repaired
+    /// support is bit-identical to `RankSupport::build(&delta.graph, …)`;
+    /// `affected` / `region` are the seed set and its component closure
+    /// as computed by [`rs::affected_elements`] and
+    /// [`rs::component_closure`].
+    pub fn repair(
+        &self,
+        old_graph: &UncertainGraph,
+        delta: &GraphDelta,
+        parallelism: Parallelism,
+    ) -> SupportRepair {
+        match self {
+            RankSupport::Core(old) => {
+                // The (1,2) support is a plain scan of the edge table —
+                // rebuilding it is as cheap as any repair.  Elements are
+                // vertices and the vertex set is fixed, so the element
+                // map is the identity.
+                let new = CoreSupport::build(&delta.graph);
+                let new_to_old: Vec<Option<u32>> =
+                    (0..new.num_elements() as u32).map(Some).collect();
+                let affected = rs::affected_elements(old, &new, &new_to_old);
+                let region = rs::component_closure(&new, &affected);
+                SupportRepair {
+                    support: RankSupport::Core(new),
+                    new_to_old,
+                    affected,
+                    region,
+                }
+            }
+            RankSupport::Truss(old) => {
+                let new = old.repair(old_graph, &delta.graph, &delta.inserted, parallelism);
+                // (2,3) elements are edges: the delta's edge remap is the
+                // element map.
+                let new_to_old = delta.new_to_old.clone();
+                let affected = rs::affected_elements(old, &new, &new_to_old);
+                let region = rs::component_closure(&new, &affected);
+                SupportRepair {
+                    support: RankSupport::Truss(new),
+                    new_to_old,
+                    affected,
+                    region,
+                }
+            }
+            RankSupport::Nucleus(old) => {
+                let new = old.repair(&delta.graph, &delta.inserted, parallelism);
+                // (3,4) elements are triangles: map through the old
+                // triangle index (triangles keep their vertex triple).
+                let new_to_old: Vec<Option<u32>> = (0..new.num_triangles() as u32)
+                    .map(|t| old.triangle_index().id_of(&new.triangle(t)))
+                    .collect();
+                let affected = rs::affected_elements(old, &new, &new_to_old);
+                let region = rs::component_closure(&new, &affected);
+                SupportRepair {
+                    support: RankSupport::Nucleus(new),
+                    new_to_old,
+                    affected,
+                    region,
+                }
+            }
+        }
+    }
+}
+
+/// Result of [`RankSupport::repair`]: the repaired support plus the
+/// bounded re-peel's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SupportRepair {
+    /// The repaired support, bit-identical to a fresh build on the
+    /// updated graph.
+    pub support: RankSupport,
+    /// For every new element id: its old id, or `None` for elements the
+    /// batch created.
+    pub new_to_old: Vec<Option<u32>>,
+    /// Elements whose initial score may differ from the old run (sorted
+    /// new ids) — the seed set `D`.
+    pub affected: Vec<u32>,
+    /// Component closure `R` of the seed set: the elements the bounded
+    /// re-peel actually re-scores (sorted new ids).  Scores outside `R`
+    /// carry over bitwise.
+    pub region: Vec<u32>,
+}
+
+/// Deterministic counters of one [`DecompSweep::apply_updates`] /
+/// [`DecompHandle::apply_updates`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Net-inserted edges of the batch.
+    pub inserted_edges: usize,
+    /// Net-removed edges of the batch.
+    pub removed_edges: usize,
+    /// Surviving edges whose probability changed.
+    pub reweighted_edges: usize,
+    /// Size of the affected seed set `D`.
+    pub affected_elements: usize,
+    /// Size of the re-peeled region `R`.
+    pub region_elements: usize,
+    /// Score evaluations the update performed across all grid points:
+    /// initial-score evaluations plus peeling re-evaluations.  A full
+    /// rebuild would have spent `grid · num_elements` initial
+    /// evaluations plus the full-peel `dp_calls`; the repair path spends
+    /// `grid · |D|` plus the region-peel `dp_calls`.
+    pub repair_dp_calls: usize,
+    /// Grid points refreshed through the bounded re-peel.
+    pub repaired_points: usize,
+    /// Grid points recomputed from scratch (the hybrid scorer's
+    /// approximations are not monotone under cell removal, so its points
+    /// cannot be repaired regionally).
+    pub recomputed_points: usize,
+}
+
+/// Result of [`DecompSweep::apply_updates`]: the updated graph (the
+/// caller's graph is borrowed immutably and replaced by this one) plus
+/// the update's counters.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The post-update graph, to be used for subsequent queries and
+    /// further update batches.
+    pub graph: UncertainGraph,
+    /// Deterministic repair counters.
+    pub report: UpdateReport,
+}
+
+/// Result of [`DecompHandle::apply_updates`]: a new handle over the
+/// repaired support plus the updated graph.
+#[derive(Debug, Clone)]
+pub struct HandleUpdate {
+    /// Handle over the repaired support.
+    pub handle: DecompHandle,
+    /// The post-update graph.
+    pub graph: UncertainGraph,
+    /// Batch and repair-size counters (the point counters are zero: a
+    /// handle holds no computed points).
+    pub report: UpdateReport,
 }
 
 /// Everything one threshold produces: the per-point payload shared by
@@ -371,14 +511,129 @@ fn generic_point<S: RsSupport + Sync>(
     });
     stats.peak_scratch_bytes = scratch.peak_bytes().max(init_peak);
 
+    // Counts of elements scored by each method: empty when there is
+    // nothing to score, matching the nucleus rank's per-element tally.
     let mut method_counts = HashMap::new();
-    method_counts.insert(ApproxMethod::DynamicProgramming, n);
+    if n > 0 {
+        method_counts.insert(ApproxMethod::DynamicProgramming, n);
+    }
     Point {
         scores,
         initial_scores,
         method_counts,
         stats,
     }
+}
+
+/// Refreshes every grid point after a support repair through the bounded
+/// re-peel: fresh initial scores for the affected set `D` only, a
+/// [`rs::RegionSupport`] peel over the component closure `R`, and carried
+/// old scores everywhere else.  Returns the new points plus the total
+/// score evaluations spent (`grid · |D|` initial evaluations plus the
+/// region peels' `dp_calls`).
+///
+/// Valid for the exact-DP scorer at every rank: affected elements get the
+/// same float gather as a fresh run, clean elements have bit-identical
+/// inputs, and the peel fixpoint is component-local — so scores and
+/// initial scores are bit-identical to a from-scratch sweep on the
+/// updated graph.  The per-point [`PeelStats`] describe the repair run
+/// itself (deterministic for every thread count), not the fresh peel.
+fn repair_points_generic<S: RsSupport + Sync>(
+    support: &S,
+    new_to_old: &[Option<u32>],
+    affected: &[u32],
+    region: &[u32],
+    old_points: &[Point],
+    thetas: &[f64],
+    parallelism: Parallelism,
+) -> (Vec<Point>, usize) {
+    let n = support.num_elements();
+    let mut affected_mask = vec![false; n];
+    for &t in affected {
+        affected_mask[t as usize] = true;
+    }
+    let mut in_region = vec![false; n];
+    for &t in region {
+        in_region[t as usize] = true;
+    }
+    let region_view = rs::RegionSupport::new(support, region.to_vec());
+
+    let grid_len = thetas.len();
+    // Same nesting rule as `DecompSweep::over_support`: across-grid
+    // parallelism wins when there are several points.
+    let inner = if grid_len >= 2 {
+        Parallelism::Sequential
+    } else {
+        parallelism
+    };
+    let points: Vec<Point> = par::par_map(parallelism, grid_len, |gi| {
+        let threshold = thetas[gi];
+        let old = &old_points[gi];
+
+        // Fresh initial evaluations for the affected elements, over the
+        // full repaired support (same gather as a from-scratch pass).
+        let fresh: Vec<(u32, usize)> =
+            par::par_map_init(inner, affected.len(), TailScratch::new, |scratch, i| {
+                let k = scratch.score(support, affected[i], threshold, |_| true);
+                (k, scratch.peak_bytes())
+            });
+        let mut initial_scores: Vec<u32> = (0..n)
+            .map(|t| {
+                if affected_mask[t] {
+                    0 // overwritten below
+                } else {
+                    // Clean elements always have an old counterpart.
+                    old.initial_scores[new_to_old[t].unwrap() as usize]
+                }
+            })
+            .collect();
+        let mut init_peak = 0usize;
+        for (i, &(k, peak)) in fresh.iter().enumerate() {
+            initial_scores[affected[i] as usize] = k;
+            init_peak = init_peak.max(peak);
+        }
+
+        // Bounded re-peel of the region off its initial scores.
+        let kappa: Vec<u32> = region.iter().map(|&t| initial_scores[t as usize]).collect();
+        let mut scratch = TailScratch::new();
+        let (region_scores, mut stats) = rs::peel_deferred(&region_view, kappa, |t, cell_dead| {
+            scratch.score(&region_view, t, threshold, |c| !cell_dead[c as usize])
+        });
+        stats.peak_scratch_bytes = scratch.peak_bytes().max(init_peak);
+
+        // Scatter the re-peeled scores; everything outside the region
+        // carries its old final score bitwise.
+        let mut scores: Vec<u32> = (0..n)
+            .map(|t| {
+                if in_region[t] {
+                    0 // overwritten below
+                } else {
+                    old.scores[new_to_old[t].unwrap() as usize]
+                }
+            })
+            .collect();
+        for (i, &t) in region.iter().enumerate() {
+            scores[t as usize] = region_scores[i];
+        }
+
+        // Mirror a fresh compute exactly: no method entry when the
+        // updated grid point has nothing to score.
+        let mut method_counts = HashMap::new();
+        if n > 0 {
+            method_counts.insert(ApproxMethod::DynamicProgramming, n);
+        }
+        Point {
+            scores,
+            initial_scores,
+            method_counts,
+            stats,
+        }
+    });
+    let dp_calls = points
+        .iter()
+        .map(|p| affected.len() + p.stats.dp_calls)
+        .sum();
+    (points, dp_calls)
 }
 
 /// A cheaply clonable, thread-shareable handle to a built
@@ -460,6 +715,39 @@ impl DecompHandle {
             config,
             0,
         ))
+    }
+
+    /// Applies an edge-update batch: validates it against `graph` (which
+    /// must be the graph this handle's support was built from), repairs
+    /// the support incrementally and returns a new handle over it
+    /// together with the updated graph.  The batch is atomic — on any
+    /// [`NucleusError::Update`] nothing is modified — and the repaired
+    /// support is bit-identical to a fresh build on the updated graph.
+    pub fn apply_updates(
+        &self,
+        graph: &UncertainGraph,
+        updates: &[EdgeUpdate],
+        parallelism: Parallelism,
+    ) -> Result<HandleUpdate> {
+        let delta = apply_edge_updates(graph, updates)?;
+        let repair = self.support.repair(graph, &delta, parallelism);
+        let report = UpdateReport {
+            inserted_edges: delta.inserted.len(),
+            removed_edges: delta.removed,
+            reweighted_edges: delta.reweighted,
+            affected_elements: repair.affected.len(),
+            region_elements: repair.region.len(),
+            repair_dp_calls: 0,
+            repaired_points: 0,
+            recomputed_points: 0,
+        };
+        Ok(HandleUpdate {
+            handle: DecompHandle {
+                support: Arc::new(repair.support),
+            },
+            graph: delta.graph,
+            report,
+        })
     }
 }
 
@@ -728,6 +1016,108 @@ impl DecompSweep {
             (0..n).all(|t| {
                 w[1].scores[t] <= w[0].scores[t] && w[1].initial_scores[t] <= w[0].initial_scores[t]
             })
+        })
+    }
+
+    /// Applies an edge-update batch to the sweep in place.
+    ///
+    /// `graph` must be the graph this sweep was computed from; `updates`
+    /// is validated against it atomically (on [`NucleusError::Update`]
+    /// the sweep is untouched).  The support is repaired incrementally
+    /// ([`RankSupport::repair`]) and every grid point is refreshed
+    /// through the bounded re-peel: only the affected elements are
+    /// re-scored and only their components re-peeled, yet scores,
+    /// initial scores and method counts are bit-identical to a
+    /// from-scratch [`DecompSweep::compute`] on the updated graph.  The
+    /// per-point [`PeelStats`] afterwards describe the repair run (still
+    /// deterministic for every thread count).
+    ///
+    /// The hybrid scorer's statistical approximations are not monotone
+    /// under cell removal, so hybrid sweeps recompute every point on the
+    /// repaired support instead ([`UpdateReport::recomputed_points`]).
+    ///
+    /// Returns the updated graph (use it for subsequent queries and
+    /// further batches) and the deterministic repair counters.
+    pub fn apply_updates(
+        &mut self,
+        graph: &UncertainGraph,
+        updates: &[EdgeUpdate],
+    ) -> Result<UpdateOutcome> {
+        let delta = apply_edge_updates(graph, updates)?;
+        let parallelism = self.config.parallelism;
+        let repair = self.support.repair(graph, &delta, parallelism);
+        let grid_len = self.config.thetas.len();
+
+        let hybrid = matches!(self.config.method, ScoreMethod::Hybrid(_));
+        let (points, repair_dp_calls) = if hybrid {
+            let support = &repair.support;
+            let inner = if grid_len >= 2 {
+                Parallelism::Sequential
+            } else {
+                parallelism
+            };
+            let points: Vec<Point> = par::par_map(parallelism, grid_len, |gi| {
+                compute_point(support, self.config.thetas[gi], self.config.method, inner)
+            });
+            let n = support.num_elements();
+            let calls = points.iter().map(|p| n + p.stats.dp_calls).sum();
+            (points, calls)
+        } else {
+            match &repair.support {
+                RankSupport::Core(s) => repair_points_generic(
+                    s,
+                    &repair.new_to_old,
+                    &repair.affected,
+                    &repair.region,
+                    &self.points,
+                    &self.config.thetas,
+                    parallelism,
+                ),
+                RankSupport::Truss(s) => repair_points_generic(
+                    s,
+                    &repair.new_to_old,
+                    &repair.affected,
+                    &repair.region,
+                    &self.points,
+                    &self.config.thetas,
+                    parallelism,
+                ),
+                RankSupport::Nucleus(s) => repair_points_generic(
+                    s,
+                    &repair.new_to_old,
+                    &repair.affected,
+                    &repair.region,
+                    &self.points,
+                    &self.config.thetas,
+                    parallelism,
+                ),
+            }
+        };
+
+        let report = UpdateReport {
+            inserted_edges: delta.inserted.len(),
+            removed_edges: delta.removed,
+            reweighted_edges: delta.reweighted,
+            affected_elements: repair.affected.len(),
+            region_elements: repair.region.len(),
+            repair_dp_calls,
+            repaired_points: if hybrid { 0 } else { grid_len },
+            recomputed_points: if hybrid { grid_len } else { 0 },
+        };
+        self.support = Arc::new(repair.support);
+        self.points = points;
+        // The repaired sweep must satisfy the same invariant a fresh
+        // exact-DP sweep does.
+        #[cfg(debug_assertions)]
+        if self.config.method == ScoreMethod::DynamicProgramming {
+            debug_assert!(
+                self.is_monotone_in_threshold(),
+                "repaired exact-DP sweep scores must be non-increasing in the threshold"
+            );
+        }
+        Ok(UpdateOutcome {
+            graph: delta.graph,
+            report,
         })
     }
 
@@ -1074,6 +1464,208 @@ mod tests {
         assert_eq!(sweep.method, single.method);
         assert_eq!(sweep.parallelism, Parallelism::Sequential);
         assert!(sweep.validate().is_ok());
+    }
+
+    #[test]
+    fn apply_updates_matches_a_fresh_sweep_at_every_rank() {
+        // Two K4s sharing a vertex plus a pendant edge: several
+        // components, triangles and one 4-clique per block.
+        let mut b = GraphBuilder::new();
+        for &(u, v, p) in &[
+            (0u32, 1u32, 0.9),
+            (0, 2, 0.8),
+            (0, 3, 0.7),
+            (1, 2, 0.6),
+            (1, 3, 0.5),
+            (2, 3, 0.4),
+            (3, 4, 0.9),
+            (3, 5, 0.8),
+            (4, 5, 0.7),
+            (4, 6, 0.6),
+            (5, 6, 0.5),
+            (0, 7, 0.9),
+        ] {
+            b.add_edge(u, v, p).unwrap();
+        }
+        let g = b.build();
+        let batch = [
+            EdgeUpdate::Insert {
+                u: 3,
+                v: 6,
+                p: 0.45,
+            },
+            EdgeUpdate::Delete { u: 2, v: 3 },
+            EdgeUpdate::Reweight {
+                u: 0,
+                v: 1,
+                p: 0.15,
+            },
+        ];
+        let grid = vec![0.05, 0.2, 0.5];
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let config = SweepConfig::exact(grid.clone()).with_rank(rank);
+            let mut sweep = DecompSweep::compute(&g, &config).unwrap();
+            let outcome = sweep.apply_updates(&g, &batch).unwrap();
+            let report = outcome.report;
+            assert_eq!(report.inserted_edges, 1, "{rank}");
+            assert_eq!(report.removed_edges, 1);
+            assert_eq!(report.reweighted_edges, 1);
+            assert_eq!(report.repaired_points, grid.len());
+            assert_eq!(report.recomputed_points, 0);
+            assert!(report.affected_elements <= report.region_elements);
+
+            let fresh = DecompSweep::compute(&outcome.graph, &config).unwrap();
+            for (gi, theta) in grid.iter().enumerate() {
+                assert_eq!(
+                    sweep.scores_at_index(gi),
+                    fresh.scores_at_index(gi),
+                    "{rank} @ {theta}"
+                );
+                assert_eq!(
+                    sweep.initial_scores_at_index(gi),
+                    fresh.initial_scores_at_index(gi)
+                );
+                assert_eq!(
+                    sweep.method_counts_at_index(gi),
+                    fresh.method_counts_at_index(gi)
+                );
+            }
+
+            // The repair path must beat a rebuild on score evaluations:
+            // a rebuild spends grid·n initial evaluations plus the full
+            // peels' dp_calls.
+            let rebuild_calls: usize = grid.len() * fresh.num_elements()
+                + fresh.peel_stats().iter().map(|s| s.dp_calls).sum::<usize>();
+            assert!(
+                report.repair_dp_calls <= rebuild_calls,
+                "{rank}: repair {} > rebuild {rebuild_calls}",
+                report.repair_dp_calls
+            );
+
+            // A second batch applies on top of the updated graph.
+            let undo = [EdgeUpdate::Insert { u: 2, v: 3, p: 0.4 }];
+            let outcome2 = sweep.apply_updates(&outcome.graph, &undo).unwrap();
+            let fresh2 = DecompSweep::compute(&outcome2.graph, &config).unwrap();
+            for gi in 0..grid.len() {
+                assert_eq!(sweep.scores_at_index(gi), fresh2.scores_at_index(gi));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_updates_is_thread_count_independent() {
+        let g = complete(7, 0.65);
+        let batch = [
+            EdgeUpdate::Delete { u: 0, v: 1 },
+            EdgeUpdate::Reweight { u: 2, v: 3, p: 0.2 },
+        ];
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let config = SweepConfig::exact(vec![0.1, 0.4]).with_rank(rank);
+            let mut base = DecompSweep::compute(
+                &g,
+                &SweepConfig {
+                    parallelism: Parallelism::Sequential,
+                    ..config.clone()
+                },
+            )
+            .unwrap();
+            let base_outcome = base.apply_updates(&g, &batch).unwrap();
+            for threads in [2, 8] {
+                let mut par_sweep = DecompSweep::compute(
+                    &g,
+                    &SweepConfig {
+                        parallelism: Parallelism::fixed(threads),
+                        ..config.clone()
+                    },
+                )
+                .unwrap();
+                let outcome = par_sweep.apply_updates(&g, &batch).unwrap();
+                assert_eq!(outcome.report, base_outcome.report, "{rank} x{threads}");
+                for gi in 0..2 {
+                    assert_eq!(
+                        par_sweep.scores_at_index(gi),
+                        base.scores_at_index(gi),
+                        "{rank} x{threads}"
+                    );
+                    assert_eq!(
+                        par_sweep.peel_stats_at_index(gi),
+                        base.peel_stats_at_index(gi),
+                        "{rank} x{threads}: repair PeelStats must be deterministic"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_updates_rejects_bad_batches_atomically() {
+        let g = complete(5, 0.6);
+        let config = SweepConfig::exact(vec![0.3]).with_rank(Rank::Truss);
+        let mut sweep = DecompSweep::compute(&g, &config).unwrap();
+        let before: Vec<u32> = sweep.scores_at_index(0).to_vec();
+        // Second entry references an off-graph vertex: the whole batch
+        // must be rejected with the typed error and index.
+        let batch = [
+            EdgeUpdate::Delete { u: 0, v: 1 },
+            EdgeUpdate::Insert {
+                u: 0,
+                v: 99,
+                p: 0.5,
+            },
+        ];
+        match sweep.apply_updates(&g, &batch) {
+            Err(NucleusError::Update(ugraph::UpdateError::OffGraphEndpoint {
+                index: 1,
+                vertex: 99,
+                ..
+            })) => {}
+            other => panic!("expected OffGraphEndpoint, got {other:?}"),
+        }
+        assert_eq!(sweep.scores_at_index(0), &before[..], "sweep untouched");
+    }
+
+    #[test]
+    fn hybrid_sweeps_recompute_points_on_update() {
+        let g = complete(6, 0.7);
+        let config = SweepConfig::approximate(vec![0.2, 0.6]);
+        let mut sweep = DecompSweep::compute(&g, &config).unwrap();
+        let batch = [EdgeUpdate::Delete { u: 0, v: 1 }];
+        let outcome = sweep.apply_updates(&g, &batch).unwrap();
+        assert_eq!(outcome.report.repaired_points, 0);
+        assert_eq!(outcome.report.recomputed_points, 2);
+        let fresh = DecompSweep::compute(&outcome.graph, &config).unwrap();
+        for gi in 0..2 {
+            assert_eq!(sweep.scores_at_index(gi), fresh.scores_at_index(gi));
+            assert_eq!(
+                sweep.method_counts_at_index(gi),
+                fresh.method_counts_at_index(gi)
+            );
+            assert_eq!(
+                sweep.peel_stats_at_index(gi),
+                fresh.peel_stats_at_index(gi),
+                "recomputed points carry full-run stats"
+            );
+        }
+    }
+
+    #[test]
+    fn handle_updates_produce_a_repaired_handle() {
+        let g = complete(6, 0.7);
+        let handle = DecompHandle::build(&g, Rank::Truss, Parallelism::Sequential);
+        let batch = [EdgeUpdate::Delete { u: 0, v: 1 }];
+        let update = handle
+            .apply_updates(&g, &batch, Parallelism::Sequential)
+            .unwrap();
+        assert_eq!(update.report.removed_edges, 1);
+        assert_eq!(update.report.repaired_points, 0);
+        assert_eq!(update.graph.num_edges(), g.num_edges() - 1);
+        // Queries off the repaired handle match a fresh build.
+        let config = DecompConfig::truss(0.3);
+        let repaired = update.handle.compute_at(&config).unwrap();
+        let fresh = Decomposition::compute(&update.graph, &config).unwrap();
+        assert_eq!(repaired.scores(), fresh.scores());
+        assert_eq!(repaired.initial_scores(), fresh.initial_scores());
+        assert_eq!(repaired.peel_stats(), fresh.peel_stats());
     }
 
     #[test]

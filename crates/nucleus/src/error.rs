@@ -114,6 +114,8 @@ pub enum NucleusError {
     },
     /// Propagated graph error.
     Graph(ugraph::GraphError),
+    /// An edge-update batch was rejected before any state was modified.
+    Update(ugraph::UpdateError),
 }
 
 impl fmt::Display for NucleusError {
@@ -148,6 +150,7 @@ impl fmt::Display for NucleusError {
                 vertices[0], vertices[1], vertices[2]
             ),
             NucleusError::Graph(e) => write!(f, "graph error: {e}"),
+            NucleusError::Update(e) => write!(f, "update rejected: {e}"),
         }
     }
 }
@@ -157,6 +160,12 @@ impl std::error::Error for NucleusError {}
 impl From<ugraph::GraphError> for NucleusError {
     fn from(e: ugraph::GraphError) -> Self {
         NucleusError::Graph(e)
+    }
+}
+
+impl From<ugraph::UpdateError> for NucleusError {
+    fn from(e: ugraph::UpdateError) -> Self {
+        NucleusError::Update(e)
     }
 }
 
@@ -202,6 +211,14 @@ mod tests {
         };
         assert!(e.to_string().contains("0.33"));
         assert!(e.to_string().contains("theta"));
+
+        let u: NucleusError = ugraph::UpdateError::EdgeMissing {
+            index: 3,
+            edge: (1, 2),
+        }
+        .into();
+        assert!(u.to_string().starts_with("update rejected:"));
+        assert!(u.to_string().contains('3'));
     }
 
     #[test]

@@ -72,10 +72,13 @@ pub mod weakly_global;
 pub use approx::ApproxMethod;
 pub use config::{ApproxThresholds, LocalConfig, SamplingConfig, ScoreMethod, SweepConfig};
 pub use decomp::{
-    DecompConfig, DecompHandle, DecompSweep, Decomposition, Rank, RankSupport, UnknownRankError,
+    DecompConfig, DecompHandle, DecompSweep, Decomposition, HandleUpdate, Rank, RankSupport,
+    SupportRepair, UnknownRankError, UpdateOutcome, UpdateReport,
 };
 pub use error::{NucleusError, Result, ThetaGridError};
 pub use global::{global_nuclei, GlobalConfig, GlobalNucleus};
 pub use local::{LocalNucleusDecomposition, NucleusIndex, PeelStats, ThetaSweep};
 pub use support::SupportStructure;
+// Re-exported so update callers don't need a direct `ugraph` dependency.
+pub use ugraph::{EdgeUpdate, UpdateError};
 pub use weakly_global::{weakly_global_nuclei, WeaklyGlobalNucleus};

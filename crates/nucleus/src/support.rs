@@ -73,6 +73,61 @@ impl SupportStructure {
     /// count.
     pub fn build_with(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
         let index = TriangleIndex::build_with(graph, parallelism);
+        let raw_cliques = FourCliqueEnumerator::with_parallelism(graph, parallelism).into_cliques();
+        Self::assemble(graph, index, raw_cliques, parallelism)
+    }
+
+    /// Repairs the structure after an edge-update batch, reusing every
+    /// triangle and 4-clique untouched by the batch instead of
+    /// re-enumerating the whole graph.
+    ///
+    /// `new_graph` is the post-update graph and `inserted` the canonical
+    /// `(u, v)` pairs of the net-inserted edges (as reported by
+    /// [`ugraph::update::GraphDelta::inserted`]).  Surviving triangles and
+    /// cliques are those whose edges all still exist; new ones can only
+    /// contain an inserted edge, so a local enumeration around `inserted`
+    /// completes the set.  Both runs are sorted and disjoint, so a merge
+    /// reproduces the global enumeration order and the result is
+    /// bit-identical to `SupportStructure::build_with(new_graph, _)`.
+    pub fn repair(
+        &self,
+        new_graph: &UncertainGraph,
+        inserted: &[(u32, u32)],
+        parallelism: Parallelism,
+    ) -> Self {
+        let index = self.index.repair(new_graph, inserted);
+
+        let survivors = self
+            .cliques
+            .iter()
+            .map(|r| r.clique)
+            .filter(|q| q.edges().iter().all(|&(u, v)| new_graph.has_edge(u, v)));
+        let additions = ugraph::cliques::four_cliques_containing_edges(new_graph, inserted);
+        // Survivors existed before the batch, additions contain a
+        // net-inserted edge: the sorted runs are disjoint.
+        let mut raw_cliques = Vec::with_capacity(self.cliques.len() + additions.len());
+        let mut add = additions.into_iter().peekable();
+        for q in survivors {
+            while add.peek().is_some_and(|a| *a < q) {
+                raw_cliques.push(add.next().unwrap());
+            }
+            raw_cliques.push(q);
+        }
+        raw_cliques.extend(add);
+
+        Self::assemble(new_graph, index, raw_cliques, parallelism)
+    }
+
+    /// Shared tail of [`SupportStructure::build_with`] and
+    /// [`SupportStructure::repair`]: computes triangle probabilities and
+    /// clique records over an already-enumerated (sorted) triangle index
+    /// and 4-clique list.
+    fn assemble(
+        graph: &UncertainGraph,
+        index: TriangleIndex,
+        raw_cliques: Vec<FourClique>,
+        parallelism: Parallelism,
+    ) -> Self {
         let triangles = index.triangles();
         let triangle_probs: Vec<f64> = par::par_map(parallelism, triangles.len(), |i| {
             triangles[i]
@@ -80,7 +135,6 @@ impl SupportStructure {
                 .expect("indexed triangle exists")
         });
 
-        let raw_cliques = FourCliqueEnumerator::with_parallelism(graph, parallelism).into_cliques();
         let cliques: Vec<CliqueRecord> = par::par_map(parallelism, raw_cliques.len(), |ci| {
             let clique = raw_cliques[ci];
             let tris = clique.triangles();
@@ -444,6 +498,106 @@ mod tests {
         }
         for c in 0..s.num_cliques() as u32 {
             assert_eq!(RsSupport::cell_elements(&s, c), &s.clique(c).triangles);
+        }
+    }
+
+    #[test]
+    fn repair_is_bit_identical_to_a_fresh_build() {
+        use ugraph::{apply_edge_updates, EdgeUpdate};
+        // Two K4s sharing vertex 3, plus a pendant edge.
+        let mut b = GraphBuilder::new();
+        for &(u, v, p) in &[
+            (0, 1, 0.9),
+            (0, 2, 0.8),
+            (0, 3, 0.7),
+            (1, 2, 0.6),
+            (1, 3, 0.5),
+            (2, 3, 0.4),
+            (3, 4, 0.9),
+            (3, 5, 0.8),
+            (4, 5, 0.7),
+            (4, 6, 0.6),
+            (5, 6, 0.5),
+            (0, 7, 0.9),
+        ] {
+            b.add_edge(u, v, p).unwrap();
+        }
+        let g = b.build();
+        let s = SupportStructure::build(&g);
+
+        let batches: Vec<Vec<EdgeUpdate>> = vec![
+            // Inserts completing a new 4-clique (3,4,5,6) and a clique on
+            // the first K4's fringe.
+            vec![
+                EdgeUpdate::Insert {
+                    u: 3,
+                    v: 6,
+                    p: 0.45,
+                },
+                EdgeUpdate::Insert {
+                    u: 1,
+                    v: 7,
+                    p: 0.35,
+                },
+                EdgeUpdate::Insert {
+                    u: 0,
+                    v: 4,
+                    p: 0.25,
+                },
+            ],
+            // Deletes destroying cliques/triangles.
+            vec![
+                EdgeUpdate::Delete { u: 2, v: 3 },
+                EdgeUpdate::Delete { u: 4, v: 5 },
+            ],
+            // Mixed batch with netting (insert then delete the same edge).
+            vec![
+                EdgeUpdate::Insert {
+                    u: 2,
+                    v: 4,
+                    p: 0.55,
+                },
+                EdgeUpdate::Reweight {
+                    u: 0,
+                    v: 1,
+                    p: 0.15,
+                },
+                EdgeUpdate::Insert {
+                    u: 6,
+                    v: 7,
+                    p: 0.65,
+                },
+                EdgeUpdate::Delete { u: 6, v: 7 },
+            ],
+        ];
+
+        for batch in batches {
+            let delta = apply_edge_updates(&g, &batch).unwrap();
+            let fresh = SupportStructure::build(&delta.graph);
+            for threads in [1, 2, 8] {
+                let repaired = s.repair(&delta.graph, &delta.inserted, Parallelism::fixed(threads));
+                assert_eq!(repaired.num_triangles(), fresh.num_triangles());
+                assert_eq!(repaired.num_cliques(), fresh.num_cliques());
+                for t in 0..fresh.num_triangles() as TriangleId {
+                    assert_eq!(repaired.triangle(t), fresh.triangle(t));
+                    assert_eq!(
+                        repaired.triangle_prob(t).to_bits(),
+                        fresh.triangle_prob(t).to_bits()
+                    );
+                    assert_eq!(repaired.cliques_of(t), fresh.cliques_of(t));
+                }
+                for c in 0..fresh.num_cliques() as u32 {
+                    let (a, b) = (repaired.clique(c), fresh.clique(c));
+                    assert_eq!(a.clique, b.clique);
+                    assert_eq!(a.triangles, b.triangles);
+                    for slot in 0..4 {
+                        assert_eq!(
+                            a.completion_probs[slot].to_bits(),
+                            b.completion_probs[slot].to_bits()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -83,6 +83,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.entries.insert(key, (value, self.clock));
         evicted
     }
+
+    /// Removes every entry whose key fails `keep`, returning how many
+    /// entries were removed.  Recency stamps of the survivors are
+    /// untouched, so the eviction order among them is preserved.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|key, _| keep(key));
+        before - self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +136,19 @@ mod tests {
         }
         assert_eq!(hits, 0);
         assert_eq!(evictions, 3);
+    }
+
+    #[test]
+    fn retain_removes_exactly_the_failing_keys_and_keeps_recency() {
+        let mut cache = LruCache::new(3);
+        cache.insert(("a", 1), ());
+        cache.insert(("b", 1), ());
+        cache.insert(("a", 2), ());
+        assert_eq!(cache.retain(|(name, _)| *name != "a"), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&("b", 1)), Some(&()));
+        assert_eq!(cache.get(&("a", 1)), None);
+        assert_eq!(cache.retain(|_| true), 0);
     }
 
     #[test]

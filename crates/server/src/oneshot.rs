@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use nucleus::{DecompSweep, SweepConfig};
-use ugraph::{Parallelism, UncertainGraph};
+use ugraph::{apply_edge_updates, EdgeUpdate, Parallelism, UncertainGraph};
 
 use crate::client::{obj, Client, ClientError};
 use crate::json::Json;
@@ -104,6 +104,42 @@ pub fn run_oneshot(
     let theta0 = options.thetas[0];
     let theta1 = options.thetas[1];
 
+    // The update leg: a deterministic batch derived from the graph
+    // itself (reweight the first edge, delete the last one), with a
+    // fresh sweep over the updated graph as its ground truth.
+    let edges = graph.edges();
+    assert!(
+        !edges.is_empty(),
+        "the oneshot script needs a graph with at least one edge"
+    );
+    let first = edges[0];
+    let mut batch = vec![EdgeUpdate::Reweight {
+        u: first.u,
+        v: first.v,
+        p: first.p * 0.5,
+    }];
+    if edges.len() > 1 {
+        let last = edges[edges.len() - 1];
+        batch.push(EdgeUpdate::Delete {
+            u: last.u,
+            v: last.v,
+        });
+    }
+    let delta = apply_edge_updates(graph, &batch).expect("scripted update batch is valid");
+    let post_sweep =
+        DecompSweep::compute(&delta.graph, &sweep_config).expect("post-update grid must be valid");
+    let truth = UpdateTruth {
+        batch: &batch,
+        removed: delta.removed,
+        reweighted: delta.reweighted,
+        edges_after: delta.graph.num_edges(),
+        // Both scripted grid points are resident when the update lands
+        // (unless the capacity cannot hold them), and the update touches
+        // the only resident rank, so exactly those entries drop.
+        expected_invalidations: options.cache_capacity.min(2),
+        post_sweep: &post_sweep,
+    };
+
     let core = ServerCore::new(
         graph.clone(),
         ServerConfig {
@@ -117,7 +153,7 @@ pub fn run_oneshot(
 
     let (checker, stats) = std::thread::scope(|s| {
         let runner = s.spawn(|| server.run());
-        let script = run_script(addr, &sweep, graph, theta0, theta1);
+        let script = run_script(addr, &sweep, graph, &truth, theta0, theta1);
         // Belt and braces: the script's last call is `shutdown`, but if
         // it errored out early the server must still come down.
         core.request_shutdown();
@@ -139,10 +175,45 @@ pub fn run_oneshot(
     })
 }
 
+/// The scripted update batch plus everything its outcome is checked
+/// against: the library-side net effect and a fresh sweep over the
+/// updated graph.
+struct UpdateTruth<'a> {
+    batch: &'a [EdgeUpdate],
+    removed: usize,
+    reweighted: usize,
+    edges_after: usize,
+    expected_invalidations: usize,
+    post_sweep: &'a DecompSweep,
+}
+
+fn update_json(update: &EdgeUpdate) -> Json {
+    match *update {
+        EdgeUpdate::Insert { u, v, p } => obj(vec![
+            ("op", Json::str("insert")),
+            ("u", Json::num(u as f64)),
+            ("v", Json::num(v as f64)),
+            ("p", Json::num(p)),
+        ]),
+        EdgeUpdate::Delete { u, v } => obj(vec![
+            ("op", Json::str("delete")),
+            ("u", Json::num(u as f64)),
+            ("v", Json::num(v as f64)),
+        ]),
+        EdgeUpdate::Reweight { u, v, p } => obj(vec![
+            ("op", Json::str("reweight")),
+            ("u", Json::num(u as f64)),
+            ("v", Json::num(v as f64)),
+            ("p", Json::num(p)),
+        ]),
+    }
+}
+
 fn run_script(
     addr: std::net::SocketAddr,
     sweep: &DecompSweep,
     graph: &UncertainGraph,
+    truth: &UpdateTruth<'_>,
     theta0: f64,
     theta1: f64,
 ) -> Result<Checker, ClientError> {
@@ -350,7 +421,100 @@ fn run_script(
     )?;
     c.check("cache: second session warm", warm == wire0);
 
-    // 15: close both sessions.
+    // 15: a semantically invalid batch (deleting the same edge twice)
+    // is rejected atomically with the typed update-rejected error.
+    let (du, dv) = truth.batch[0].endpoints();
+    let double_delete = obj(vec![
+        ("op", Json::str("delete")),
+        ("u", Json::num(du as f64)),
+        ("v", Json::num(dv as f64)),
+    ]);
+    let rejected = client
+        .call(
+            "apply_updates",
+            obj(vec![(
+                "updates",
+                Json::Arr(vec![double_delete.clone(), double_delete]),
+            )]),
+        )
+        .expect_err("an invalid batch must be rejected");
+    c.check(
+        "error: update-rejected",
+        rejected.is_code(ErrorCode::UpdateRejected),
+    );
+
+    // 16: a malformed update body (unknown op) is the typed parameter
+    // error, not a rejection and not a dead process.
+    let malformed = client
+        .call(
+            "apply_updates",
+            obj(vec![(
+                "updates",
+                Json::Arr(vec![obj(vec![
+                    ("op", Json::str("smite")),
+                    ("u", Json::num(0.0)),
+                    ("v", Json::num(1.0)),
+                ])]),
+            )]),
+        )
+        .expect_err("a malformed update body must fail");
+    c.check(
+        "error: update invalid-params",
+        malformed.is_code(ErrorCode::InvalidParams),
+    );
+
+    // 17: neither refusal changed the world: θ0 still answers with the
+    // pre-update scores (from the still-warm cache).
+    let still = client.call(
+        "scores_at",
+        with_session(vec![("theta", Json::num(theta0))]),
+    )?;
+    c.check("update: rejection left the world untouched", still == wire0);
+
+    // 18: the valid batch applies; its echoed net effect and cache
+    // invalidation count are deterministic.
+    let applied = client.call(
+        "apply_updates",
+        obj(vec![(
+            "updates",
+            Json::Arr(truth.batch.iter().map(update_json).collect()),
+        )]),
+    )?;
+    c.check(
+        "update: applied with the expected net effect",
+        applied.get("applied").and_then(Json::as_bool) == Some(true)
+            && applied.get("removed").and_then(Json::as_f64) == Some(truth.removed as f64)
+            && applied.get("reweighted").and_then(Json::as_f64) == Some(truth.reweighted as f64)
+            && applied.get("edges").and_then(Json::as_f64) == Some(truth.edges_after as f64)
+            && applied.get("repaired_ranks").and_then(Json::as_f64) == Some(1.0),
+    );
+    c.check(
+        "update: exact cache invalidation count",
+        applied.get("cache_invalidations").and_then(Json::as_f64)
+            == Some(truth.expected_invalidations as f64),
+    );
+
+    // 19-20: the sessions opened before the update now answer about the
+    // updated graph, bit-identical to a fresh sweep over it.
+    let post0 = client.call(
+        "scores_at",
+        with_session(vec![("theta", Json::num(theta0))]),
+    )?;
+    c.check(
+        "bit-identity: post-update scores theta0",
+        scores_from_json(&post0).as_deref() == truth.post_sweep.scores_at(theta0),
+    );
+    let post_max1 = client.call(
+        "max_score_at",
+        with_session(vec![("theta", Json::num(theta1))]),
+    )?;
+    c.check(
+        "bit-identity: post-update max_score theta1",
+        post_max1.get("max_score").and_then(Json::as_f64)
+            == truth.post_sweep.max_score_at(theta1).map(f64::from),
+    );
+
+    // 21: close both sessions.
     for id in [session, session2] {
         let closed = client.call("close", obj(vec![("session", Json::num(id))]))?;
         c.check(
@@ -359,7 +523,7 @@ fn run_script(
         );
     }
 
-    // 16: counters over the wire (exact values are gated via the final
+    // 22: counters over the wire (exact values are gated via the final
     // snapshot; here just require the call to answer).
     let stats = client.call("stats", Json::Null)?;
     c.check(
@@ -367,7 +531,7 @@ fn run_script(
         stats.get("protocol_errors").and_then(Json::as_f64) == Some(0.0),
     );
 
-    // 17: graceful shutdown.
+    // 23: graceful shutdown.
     let bye = client.call("shutdown", Json::Null)?;
     c.check(
         "shutdown",
@@ -402,11 +566,19 @@ mod tests {
         assert_eq!(stats.support_builds, 1, "{stats:?}");
         assert_eq!(stats.sessions_opened, 2, "{stats:?}");
         assert_eq!(stats.sessions_closed, 2, "{stats:?}");
-        assert_eq!(stats.cache_misses, 2, "{stats:?}");
+        // 2 pre-update misses, then the update drops both resident
+        // points and the 2 post-update queries miss again.
+        assert_eq!(stats.cache_misses, 4, "{stats:?}");
         assert!(stats.cache_hits >= 5, "{stats:?}");
         assert_eq!(stats.deadlines_exceeded, 1, "{stats:?}");
         assert_eq!(stats.batches, 1, "{stats:?}");
-        assert_eq!(stats.request_errors, 4, "{stats:?}");
+        assert_eq!(stats.request_errors, 6, "{stats:?}");
+        // One applied batch repaired the single resident rank in place
+        // (support_builds stays 1) and invalidated exactly the resident
+        // per-θ entries.
+        assert_eq!(stats.updates_applied, 1, "{stats:?}");
+        assert_eq!(stats.supports_repaired, 1, "{stats:?}");
+        assert_eq!(stats.cache_invalidations, 2, "{stats:?}");
 
         // The whole script is deterministic: a second run lands on the
         // exact same counters.

@@ -47,6 +47,11 @@ pub enum ErrorCode {
     OffGrid,
     /// The request's `deadline_ms` elapsed before the result was ready.
     DeadlineExceeded,
+    /// An `apply_updates` batch was well-formed on the wire but invalid
+    /// against the resident graph (missing edge, duplicate insert,
+    /// off-graph endpoint, bad probability).  The batch is rejected
+    /// atomically: the resident world is unchanged.
+    UpdateRejected,
     /// The server is draining and no longer accepts new work.
     ShuttingDown,
 }
@@ -64,6 +69,7 @@ impl ErrorCode {
             ErrorCode::WrongRank => "wrong-rank",
             ErrorCode::OffGrid => "off-grid",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::UpdateRejected => "update-rejected",
             ErrorCode::ShuttingDown => "shutting-down",
         }
     }
@@ -344,6 +350,7 @@ mod tests {
             (ErrorCode::WrongRank, "wrong-rank"),
             (ErrorCode::OffGrid, "off-grid"),
             (ErrorCode::DeadlineExceeded, "deadline-exceeded"),
+            (ErrorCode::UpdateRejected, "update-rejected"),
             (ErrorCode::ShuttingDown, "shutting-down"),
         ];
         for (code, text) in all {

@@ -1,13 +1,20 @@
 //! The resident query service.
 //!
-//! [`ServerCore`] owns the loaded graph and everything derived from it:
-//! one lazily-built [`RankSupport`] per rank ever queried (shared by all
-//! sessions through [`DecompHandle`]s — `support_builds` counts exactly
-//! one build per rank for the life of the process), an LRU cache of
-//! materialized per-threshold decomposition points, the open sessions
-//! and the deterministic [`ServerStats`].  It is transport-independent:
-//! [`ServerCore::handle_body`] maps one request frame body to one
-//! response body, so tests can drive it without sockets.
+//! [`ServerCore`] owns a *world*: the loaded graph plus one lazily-built
+//! [`RankSupport`] per rank ever queried, each carrying a generation
+//! counter (`support_builds` counts exactly one build per rank for the
+//! life of the process).  Around the world sit an LRU cache of
+//! materialized per-threshold decomposition points (keyed by rank,
+//! method, θ *and* generation), the open sessions and the deterministic
+//! [`ServerStats`].  The `apply_updates` method mutates the world in
+//! one atomic transition: the graph is swapped, every resident support
+//! is repaired incrementally (never rebuilt), and exactly the cache
+//! entries whose rank the batch actually changed are invalidated.
+//! Queries resolve graph, support and generation under a single lock
+//! acquisition, so no request can ever observe a half-applied update.
+//! It is transport-independent: [`ServerCore::handle_body`] maps one
+//! request frame body to one response body, so tests can drive it
+//! without sockets.
 //!
 //! [`Server`] is the TCP layer: a non-blocking acceptor plus a worker
 //! pool (sized by the workspace-wide [`Parallelism`] knob) under
@@ -27,7 +34,7 @@ use std::time::{Duration, Instant};
 use nucleus::{
     ApproxThresholds, DecompConfig, DecompHandle, Rank, RankSupport, ScoreMethod, SweepConfig,
 };
-use ugraph::{Parallelism, UncertainGraph};
+use ugraph::{apply_edge_updates, EdgeUpdate, Parallelism, UncertainGraph};
 
 use crate::frame::{read_frame_while, write_frame, FrameError, ReadOutcome};
 use crate::json::Json;
@@ -81,14 +88,15 @@ impl ServerConfig {
 }
 
 /// One open session: a pinned rank, scoring method and exact-match
-/// threshold grid over the shared support.
+/// threshold grid.  Sessions do *not* pin a support: each query resolves
+/// the current world's support for the rank, so sessions opened before
+/// an `apply_updates` transparently answer about the updated graph.
 #[derive(Debug, Clone)]
 struct Session {
     rank: Rank,
     method: ScoreMethod,
     method_tag: u8,
     grid: Arc<Vec<f64>>,
-    handle: DecompHandle,
 }
 
 /// A materialized decomposition at one (rank, method, threshold) point.
@@ -98,12 +106,16 @@ struct CachedPoint {
     max_score: u32,
 }
 
-/// Cache key: rank + method + exact threshold bits.
+/// Cache key: rank + method + exact threshold bits + the rank's world
+/// generation.  The generation keeps a compute that started before an
+/// `apply_updates` from poisoning the post-update cache: its result is
+/// filed under the old generation, which no post-update query asks for.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PointKey {
     rank: Rank,
     method_tag: u8,
     theta_bits: u64,
+    generation: u64,
 }
 
 /// The LRU of materialized points plus the set of keys currently being
@@ -116,11 +128,37 @@ struct PointCache {
     inflight: HashSet<PointKey>,
 }
 
+/// One rank's slice of the world: its current support and the
+/// generation the support (and every cache entry derived from it)
+/// belongs to.
+struct RankState {
+    support: Arc<RankSupport>,
+    generation: u64,
+}
+
+/// Everything `apply_updates` swaps atomically: the graph and the
+/// resident per-rank supports.  Guarded by one lock so queries resolve
+/// a consistent (graph, support, generation) triple.
+struct WorldState {
+    graph: Arc<UncertainGraph>,
+    ranks: HashMap<Rank, RankState>,
+}
+
+/// A consistent read of the world for one rank, captured under a single
+/// lock acquisition.  Everything a query touches — the graph it
+/// describes, the support it peels and the generation its cache entries
+/// file under — comes from the same world, so a concurrent
+/// `apply_updates` is observed entirely or not at all.
+struct ResolvedRank {
+    graph: Arc<UncertainGraph>,
+    support: Arc<RankSupport>,
+    generation: u64,
+}
+
 /// The transport-independent heart of the service.
 pub struct ServerCore {
-    graph: UncertainGraph,
+    world: Mutex<WorldState>,
     config: ServerConfig,
-    supports: Mutex<HashMap<Rank, Arc<RankSupport>>>,
     cache: Mutex<PointCache>,
     /// Signalled whenever an in-flight compute finishes (successfully
     /// or not), waking requests that wait on the same key.
@@ -165,9 +203,11 @@ impl ServerCore {
             inflight: HashSet::new(),
         };
         Arc::new(ServerCore {
-            graph,
+            world: Mutex::new(WorldState {
+                graph: Arc::new(graph),
+                ranks: HashMap::new(),
+            }),
             config,
-            supports: Mutex::new(HashMap::new()),
             cache: Mutex::new(cache),
             cache_ready: Condvar::new(),
             sessions: Mutex::new(HashMap::new()),
@@ -177,9 +217,10 @@ impl ServerCore {
         })
     }
 
-    /// The graph the server answers queries about.
-    pub fn graph(&self) -> &UncertainGraph {
-        &self.graph
+    /// The graph the server currently answers queries about
+    /// (`apply_updates` swaps it).
+    pub fn graph(&self) -> Arc<UncertainGraph> {
+        Arc::clone(&self.world.lock().unwrap().graph)
     }
 
     /// The deterministic counters.
@@ -198,19 +239,25 @@ impl ServerCore {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// The shared support for `rank`, built on first use.  Building
-    /// happens under the map lock, so concurrent sessions of the same
-    /// rank still count exactly one build.
-    fn support_for(&self, rank: Rank) -> Arc<RankSupport> {
-        let mut map = self.supports.lock().unwrap();
-        Arc::clone(map.entry(rank).or_insert_with(|| {
+    /// A consistent view of the world for `rank`, building the support
+    /// on first use.  Building happens under the world lock, so
+    /// concurrent sessions of the same rank still count exactly one
+    /// build.
+    fn resolve(&self, rank: Rank) -> ResolvedRank {
+        let mut world = self.world.lock().unwrap();
+        let graph = Arc::clone(&world.graph);
+        let state = world.ranks.entry(rank).or_insert_with(|| {
             ServerStats::bump(&self.stats.support_builds);
-            Arc::new(RankSupport::build(
-                &self.graph,
-                rank,
-                self.config.parallelism,
-            ))
-        }))
+            RankState {
+                support: Arc::new(RankSupport::build(&graph, rank, self.config.parallelism)),
+                generation: 0,
+            }
+        });
+        ResolvedRank {
+            graph,
+            support: Arc::clone(&state.support),
+            generation: state.generation,
+        }
     }
 
     fn session(&self, params: &Json) -> Result<Session, RequestError> {
@@ -249,11 +296,11 @@ impl ServerCore {
             })
     }
 
-    /// The materialized point for (session, theta), served from the LRU
-    /// cache when possible.  Misses compute over the session's shared
-    /// support — never a rebuild — and results are bit-identical to a
-    /// direct [`nucleus::Decomposition::compute`] at the same
-    /// configuration.
+    /// The materialized point for (session, theta) against the resolved
+    /// world view, served from the LRU cache when possible.  Misses
+    /// compute over the view's shared support — never a rebuild — and
+    /// results are bit-identical to a direct
+    /// [`nucleus::Decomposition::compute`] at the same configuration.
     ///
     /// The compute itself runs *outside* the cache lock: the first
     /// request for a key marks it in-flight (and is the one counted
@@ -262,12 +309,18 @@ impl ServerCore {
     /// requests for unrelated keys compute in parallel.  This keeps the
     /// hit/miss/eviction counters deterministic per key without
     /// serializing every peel across all connections.
-    fn point(&self, session: &Session, theta: f64) -> Result<Arc<CachedPoint>, RequestError> {
+    fn point(
+        &self,
+        session: &Session,
+        theta: f64,
+        view: &ResolvedRank,
+    ) -> Result<Arc<CachedPoint>, RequestError> {
         Self::grid_index(session, theta)?;
         let key = PointKey {
             rank: session.rank,
             method_tag: session.method_tag,
             theta_bits: theta.to_bits(),
+            generation: view.generation,
         };
         let mut cache = self.cache.lock().unwrap();
         loop {
@@ -294,7 +347,7 @@ impl ServerCore {
             method: session.method,
             parallelism: Parallelism::Sequential,
         };
-        let computed = session.handle.compute_at(&config);
+        let computed = DecompHandle::from_support(Arc::clone(&view.support)).compute_at(&config);
 
         let mut cache = self.cache.lock().unwrap();
         cache.inflight.remove(&key);
@@ -382,6 +435,7 @@ impl ServerCore {
             "open" => self.do_open(params),
             "close" => self.do_close(params),
             "stats" => Ok(self.stats.snapshot().to_json()),
+            "apply_updates" => self.do_apply_updates(params),
             "scores_at" => self.do_scores_at(params, &deadline),
             "max_score_at" => self.do_max_score_at(params, &deadline),
             "k_nuclei_at" => self.do_k_nuclei_at(params, &deadline),
@@ -402,15 +456,13 @@ impl ServerCore {
     }
 
     fn do_info(&self) -> Result<Json, RequestError> {
+        let (vertices, edges) = {
+            let world = self.world.lock().unwrap();
+            (world.graph.num_vertices(), world.graph.num_edges())
+        };
         Ok(Json::Obj(vec![
-            (
-                "vertices".to_string(),
-                Json::num(self.graph.num_vertices() as f64),
-            ),
-            (
-                "edges".to_string(),
-                Json::num(self.graph.num_edges() as f64),
-            ),
+            ("vertices".to_string(), Json::num(vertices as f64)),
+            ("edges".to_string(), Json::num(edges as f64)),
             (
                 "sessions".to_string(),
                 Json::num(self.sessions.lock().unwrap().len() as f64),
@@ -465,17 +517,16 @@ impl ServerCore {
             .validate()
             .map_err(|e| RequestError::new(ErrorCode::InvalidParams, e.to_string()))?;
 
-        let handle = DecompHandle::from_support(self.support_for(rank));
+        let view = self.resolve(rank);
         let session = Session {
             rank,
             method,
             method_tag,
             grid: Arc::new(thetas),
-            handle,
         };
         let id = self.next_session.fetch_add(1, Ordering::SeqCst);
         let grid_len = session.grid.len();
-        let num_elements = session.handle.num_elements();
+        let num_elements = view.support.num_elements();
         self.sessions.lock().unwrap().insert(id, session);
         ServerStats::bump(&self.stats.sessions_opened);
         Ok(Json::Obj(vec![
@@ -504,7 +555,8 @@ impl ServerCore {
         let session = self.session(params)?;
         let theta = require_f64(params, "theta")?;
         deadline.check()?;
-        let point = self.point(&session, theta)?;
+        let view = self.resolve(session.rank);
+        let point = self.point(&session, theta, &view)?;
         deadline.check()?;
         let scores: Vec<Json> = match params.get("elements") {
             None | Some(Json::Null) => point.scores.iter().map(|&s| Json::num(s as f64)).collect(),
@@ -549,23 +601,27 @@ impl ServerCore {
         let session = self.session(params)?;
         let theta = require_f64(params, "theta")?;
         deadline.check()?;
-        let point = self.point(&session, theta)?;
+        let view = self.resolve(session.rank);
+        let point = self.point(&session, theta, &view)?;
         Ok(Json::Obj(vec![
             ("theta".to_string(), Json::num(theta)),
             ("max_score".to_string(), Json::num(point.max_score as f64)),
         ]))
     }
 
-    /// The nucleus-rank support of a session, or the typed wrong-rank
-    /// error mirroring [`nucleus::NucleusError::RankMismatch`].
-    fn nucleus_session(session: &Session) -> Result<&nucleus::SupportStructure, RequestError> {
-        session.handle.support().as_nucleus().ok_or_else(|| {
+    /// The nucleus-rank support of a resolved view, or the typed
+    /// wrong-rank error mirroring [`nucleus::NucleusError::RankMismatch`].
+    fn nucleus_support(
+        view: &ResolvedRank,
+        rank: Rank,
+    ) -> Result<&nucleus::SupportStructure, RequestError> {
+        view.support.as_nucleus().ok_or_else(|| {
             RequestError::new(
                 ErrorCode::WrongRank,
                 format!(
                     "operation requires a nucleus-rank session, but this one was \
                      opened for {}",
-                    session.rank.as_str()
+                    rank.as_str()
                 ),
             )
         })
@@ -593,15 +649,16 @@ impl ServerCore {
 
     fn do_k_nuclei_at(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
         let session = self.session(params)?;
-        let support = Self::nucleus_session(&session)?;
+        let view = self.resolve(session.rank);
+        let support = Self::nucleus_support(&view, session.rank)?;
         let theta = require_f64(params, "theta")?;
         let k = u32::try_from(require_u64(params, "k")?)
             .map_err(|_| RequestError::new(ErrorCode::InvalidParams, "'k' does not fit u32"))?;
         deadline.check()?;
-        let point = self.point(&session, theta)?;
+        let point = self.point(&session, theta, &view)?;
         deadline.check()?;
         let nuclei =
-            nucleus::local::nuclei::extract_k_nuclei(&self.graph, support, &point.scores, k);
+            nucleus::local::nuclei::extract_k_nuclei(&view.graph, support, &point.scores, k);
         Ok(Json::Obj(vec![
             ("theta".to_string(), Json::num(theta)),
             ("k".to_string(), Json::num(k as f64)),
@@ -619,16 +676,17 @@ impl ServerCore {
     /// total, deterministic order.
     fn do_top_nuclei(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
         let session = self.session(params)?;
-        let support = Self::nucleus_session(&session)?;
+        let view = self.resolve(session.rank);
+        let support = Self::nucleus_support(&view, session.rank)?;
         let theta = require_f64(params, "theta")?;
         let limit = require_u64(params, "limit")? as usize;
         deadline.check()?;
-        let point = self.point(&session, theta)?;
+        let point = self.point(&session, theta, &view)?;
         let mut ranked: Vec<(f64, u32, usize, u32, Json)> = Vec::new();
         for k in 1..=point.max_score {
             deadline.check()?;
             for nucleus in
-                nucleus::local::nuclei::extract_k_nuclei(&self.graph, support, &point.scores, k)
+                nucleus::local::nuclei::extract_k_nuclei(&view.graph, support, &point.scores, k)
             {
                 let density = nucleus.num_edges() as f64 / nucleus.num_vertices() as f64;
                 let first_vertex = nucleus
@@ -676,26 +734,27 @@ impl ServerCore {
     /// by the extraction order, which is deterministic).
     fn do_community(&self, params: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
         let session = self.session(params)?;
-        let support = Self::nucleus_session(&session)?;
+        let view = self.resolve(session.rank);
+        let support = Self::nucleus_support(&view, session.rank)?;
         let theta = require_f64(params, "theta")?;
         let vertex = u32::try_from(require_u64(params, "vertex")?).map_err(|_| {
             RequestError::new(ErrorCode::InvalidParams, "'vertex' does not fit u32")
         })?;
-        if (vertex as usize) >= self.graph.num_vertices() {
+        if (vertex as usize) >= view.graph.num_vertices() {
             return Err(RequestError::new(
                 ErrorCode::InvalidParams,
                 format!(
                     "vertex {vertex} out of range ({} vertices)",
-                    self.graph.num_vertices()
+                    view.graph.num_vertices()
                 ),
             ));
         }
         deadline.check()?;
-        let point = self.point(&session, theta)?;
+        let point = self.point(&session, theta, &view)?;
         for k in (1..=point.max_score).rev() {
             deadline.check()?;
             let nuclei =
-                nucleus::local::nuclei::extract_k_nuclei(&self.graph, support, &point.scores, k);
+                nucleus::local::nuclei::extract_k_nuclei(&view.graph, support, &point.scores, k);
             if let Some(home) = nuclei
                 .iter()
                 .find(|n| n.subgraph.original_vertices().contains(&vertex))
@@ -712,6 +771,170 @@ impl ServerCore {
             ("theta".to_string(), Json::num(theta)),
             ("vertex".to_string(), Json::num(vertex as f64)),
             ("found".to_string(), Json::Bool(false)),
+        ]))
+    }
+
+    /// Prefixes a parameter error with the position of the offending
+    /// update, mirroring how [`ugraph::UpdateError`] reports indices.
+    fn update_field(index: usize, e: RequestError) -> RequestError {
+        RequestError::new(e.code, format!("update {index}: {}", e.message))
+    }
+
+    /// One endpoint of an update item, range-checked to `u32`.
+    fn update_vertex(item: &Json, key: &str, index: usize) -> Result<u32, RequestError> {
+        let raw = require_u64(item, key).map_err(|e| Self::update_field(index, e))?;
+        u32::try_from(raw).map_err(|_| {
+            RequestError::new(
+                ErrorCode::InvalidParams,
+                format!("update {index}: '{key}' does not fit u32"),
+            )
+        })
+    }
+
+    /// Decodes the `updates` array of an `apply_updates` call.  Shape
+    /// problems (wrong types, unknown ops, missing fields) are
+    /// `invalid-params`; semantic problems against the resident graph
+    /// surface later as `update-rejected`.
+    fn parse_updates(params: &Json) -> Result<Vec<EdgeUpdate>, RequestError> {
+        let items = params
+            .get("updates")
+            .and_then(Json::as_array)
+            .ok_or_else(|| {
+                RequestError::new(ErrorCode::InvalidParams, "'updates' must be an array")
+            })?;
+        if items.is_empty() {
+            return Err(RequestError::new(
+                ErrorCode::InvalidParams,
+                "'updates' must not be empty",
+            ));
+        }
+        let mut updates = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            let op = item.get("op").and_then(Json::as_str).ok_or_else(|| {
+                RequestError::new(
+                    ErrorCode::InvalidParams,
+                    format!("update {index}: missing 'op'"),
+                )
+            })?;
+            let u = Self::update_vertex(item, "u", index)?;
+            let v = Self::update_vertex(item, "v", index)?;
+            let update = match op {
+                "insert" => EdgeUpdate::Insert {
+                    u,
+                    v,
+                    p: require_f64(item, "p").map_err(|e| Self::update_field(index, e))?,
+                },
+                "delete" => EdgeUpdate::Delete { u, v },
+                "reweight" => EdgeUpdate::Reweight {
+                    u,
+                    v,
+                    p: require_f64(item, "p").map_err(|e| Self::update_field(index, e))?,
+                },
+                other => {
+                    return Err(RequestError::new(
+                        ErrorCode::InvalidParams,
+                        format!(
+                            "update {index}: unknown op '{other}' \
+                             (expected insert | delete | reweight)"
+                        ),
+                    ))
+                }
+            };
+            updates.push(update);
+        }
+        Ok(updates)
+    }
+
+    /// Applies a batch of edge updates to the resident world.  The whole
+    /// transition — validate, swap the graph, repair every resident
+    /// support incrementally, invalidate exactly the affected cache
+    /// entries — happens under the world lock, so every query observes
+    /// either the pre-update or the post-update world, never a mix.  A
+    /// rank whose repair proves the batch did not touch it (identical
+    /// element set, empty repair region) keeps its generation and its
+    /// cached points.
+    fn do_apply_updates(&self, params: &Json) -> Result<Json, RequestError> {
+        let updates = Self::parse_updates(params)?;
+        let mut world = self.world.lock().unwrap();
+        let delta = apply_edge_updates(&world.graph, &updates)
+            .map_err(|e| RequestError::new(ErrorCode::UpdateRejected, e.to_string()))?;
+        let inserted = delta.inserted.len();
+        let (removed, reweighted) = (delta.removed, delta.reweighted);
+
+        let mut repaired_ranks = 0usize;
+        let mut affected_elements = 0usize;
+        let mut region_elements = 0usize;
+        let mut invalidated = 0usize;
+        let mut ranks = HashMap::with_capacity(world.ranks.len());
+        for (&rank, state) in &world.ranks {
+            let repair = state
+                .support
+                .repair(&world.graph, &delta, self.config.parallelism);
+            ServerStats::bump(&self.stats.supports_repaired);
+            repaired_ranks += 1;
+            affected_elements += repair.affected.len();
+            region_elements += repair.region.len();
+            // Cached points of this rank survive only when the repair
+            // proves them still bit-exact: every element carried over in
+            // place and none re-peeled.
+            let untouched = repair.region.is_empty()
+                && repair.new_to_old.len() == state.support.num_elements()
+                && repair
+                    .new_to_old
+                    .iter()
+                    .enumerate()
+                    .all(|(i, mapped)| *mapped == Some(i as u32));
+            let generation = if untouched {
+                state.generation
+            } else {
+                let stale = self
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .lru
+                    .retain(|key| key.rank != rank);
+                for _ in 0..stale {
+                    ServerStats::bump(&self.stats.cache_invalidations);
+                }
+                invalidated += stale;
+                state.generation + 1
+            };
+            ranks.insert(
+                rank,
+                RankState {
+                    support: Arc::new(repair.support),
+                    generation,
+                },
+            );
+        }
+        world.graph = Arc::new(delta.graph);
+        world.ranks = ranks;
+        ServerStats::bump(&self.stats.updates_applied);
+        let edges = world.graph.num_edges();
+        drop(world);
+
+        Ok(Json::Obj(vec![
+            ("applied".to_string(), Json::Bool(true)),
+            ("inserted".to_string(), Json::num(inserted as f64)),
+            ("removed".to_string(), Json::num(removed as f64)),
+            ("reweighted".to_string(), Json::num(reweighted as f64)),
+            ("edges".to_string(), Json::num(edges as f64)),
+            (
+                "repaired_ranks".to_string(),
+                Json::num(repaired_ranks as f64),
+            ),
+            (
+                "affected_elements".to_string(),
+                Json::num(affected_elements as f64),
+            ),
+            (
+                "region_elements".to_string(),
+                Json::num(region_elements as f64),
+            ),
+            (
+                "cache_invalidations".to_string(),
+                Json::num(invalidated as f64),
+            ),
         ]))
     }
 }

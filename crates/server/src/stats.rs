@@ -39,6 +39,18 @@ pub struct ServerStats {
     pub sessions_closed: AtomicU64,
     /// Requests that hit their `deadline_ms` before completing.
     pub deadlines_exceeded: AtomicU64,
+    /// `apply_updates` batches accepted and applied (rejected batches
+    /// count as `request_errors`, never here).
+    pub updates_applied: AtomicU64,
+    /// Resident rank supports repaired incrementally by an update batch
+    /// — the streaming analogue of `support_builds`; one per resident
+    /// rank per applied batch, never a rebuild.
+    pub supports_repaired: AtomicU64,
+    /// Cached per-threshold points dropped because an update changed
+    /// their rank's support.  A rank an update provably did not touch
+    /// keeps its cached points, so this counts *exactly* the affected
+    /// entries.
+    pub cache_invalidations: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -66,6 +78,12 @@ pub struct StatsSnapshot {
     pub sessions_closed: u64,
     /// See [`ServerStats::deadlines_exceeded`].
     pub deadlines_exceeded: u64,
+    /// See [`ServerStats::updates_applied`].
+    pub updates_applied: u64,
+    /// See [`ServerStats::supports_repaired`].
+    pub supports_repaired: u64,
+    /// See [`ServerStats::cache_invalidations`].
+    pub cache_invalidations: u64,
 }
 
 impl ServerStats {
@@ -88,6 +106,9 @@ impl ServerStats {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            supports_repaired: self.supports_repaired.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -95,7 +116,7 @@ impl ServerStats {
 impl StatsSnapshot {
     /// The counter fields as (name, value) pairs, in wire order — one
     /// place to keep the JSON shape and the gate list in sync.
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("requests", self.requests),
             ("batches", self.batches),
@@ -108,6 +129,9 @@ impl StatsSnapshot {
             ("sessions_opened", self.sessions_opened),
             ("sessions_closed", self.sessions_closed),
             ("deadlines_exceeded", self.deadlines_exceeded),
+            ("updates_applied", self.updates_applied),
+            ("supports_repaired", self.supports_repaired),
+            ("cache_invalidations", self.cache_invalidations),
         ]
     }
 

@@ -24,7 +24,7 @@ use nd_server::{
     StatsSnapshot, MAX_FRAME_LEN,
 };
 use nucleus::{DecompSweep, Rank, SweepConfig};
-use ugraph::{GraphBuilder, Parallelism, UncertainGraph};
+use ugraph::{apply_edge_updates, EdgeUpdate, GraphBuilder, Parallelism, UncertainGraph};
 
 fn clique(n: u32, p: f64) -> UncertainGraph {
     let mut b = GraphBuilder::new();
@@ -90,6 +90,32 @@ fn scores_at(client: &mut Client, session: f64, theta: f64) -> Json {
             ]),
         )
         .expect("scores_at succeeds")
+}
+
+fn wire_scores(response: &Json) -> Vec<u32> {
+    response
+        .get("scores")
+        .and_then(Json::as_array)
+        .expect("scores array")
+        .iter()
+        .map(|v| v.as_f64().unwrap() as u32)
+        .collect()
+}
+
+fn update_item(op: &str, u: u32, v: u32, p: Option<f64>) -> Json {
+    let mut members = vec![
+        ("op", Json::str(op)),
+        ("u", Json::num(u as f64)),
+        ("v", Json::num(v as f64)),
+    ];
+    if let Some(p) = p {
+        members.push(("p", Json::num(p)));
+    }
+    obj(members)
+}
+
+fn apply_updates(client: &mut Client, items: Vec<Json>) -> Result<Json, nd_server::ClientError> {
+    client.call("apply_updates", obj(vec![("updates", Json::Arr(items))]))
 }
 
 proptest! {
@@ -431,4 +457,153 @@ fn batches_answer_in_request_order_and_drain_past_shutdown() {
     assert_eq!(stats.batches, 1);
     assert_eq!(stats.requests, 3);
     assert_eq!(stats.request_errors, 1);
+}
+
+/// An update batch racing a pack of query threads: every answer must be
+/// bit-identical to the pre-update sweep or to the post-update sweep —
+/// never a mix of the two worlds, never a torn vector — and once every
+/// thread has joined, fresh queries answer about the updated graph.
+#[test]
+fn concurrent_updates_and_queries_are_never_torn() {
+    let graph = clique(6, 0.8);
+    let thetas = vec![0.1, 0.3];
+    let batch = vec![EdgeUpdate::Delete { u: 4, v: 5 }];
+    let post_graph = apply_edge_updates(&graph, &batch).unwrap().graph;
+    let pre = DecompSweep::compute(&graph, &SweepConfig::exact(thetas.clone())).unwrap();
+    let post = DecompSweep::compute(&post_graph, &SweepConfig::exact(thetas.clone())).unwrap();
+
+    let ((), stats) = with_server(&graph, ServerConfig::default(), |addr, _| {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (pre, post, thetas) = (&pre, &post, &thetas);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let session = open_session(&mut client, "nucleus", thetas);
+                    for round in 0..30 {
+                        let theta = thetas[round % thetas.len()];
+                        let wire = wire_scores(&scores_at(&mut client, session, theta));
+                        let pre_scores = pre.scores_at(theta).unwrap();
+                        let post_scores = post.scores_at(theta).unwrap();
+                        assert!(
+                            wire.as_slice() == pre_scores || wire.as_slice() == post_scores,
+                            "torn answer at theta {theta}: {wire:?}"
+                        );
+                    }
+                });
+            }
+            s.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                apply_updates(&mut client, vec![update_item("delete", 4, 5, None)])
+                    .expect("the update batch applies");
+            });
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let session = open_session(&mut client, "nucleus", &thetas);
+        let settled = wire_scores(&scores_at(&mut client, session, thetas[0]));
+        assert_eq!(settled.as_slice(), post.scores_at(thetas[0]).unwrap());
+    });
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.updates_applied, 1);
+    assert_eq!(stats.supports_repaired, 1);
+    assert_eq!(stats.support_builds, 1);
+}
+
+/// Sequential updates invalidate exactly the resident cache entries of
+/// the rank they touch, with counts echoed in the response and in the
+/// drained stats at tolerance 0.
+#[test]
+fn cache_invalidation_counts_are_deterministic() {
+    let graph = clique(5, 0.8);
+    let ((), stats) = with_server(&graph, ServerConfig::default(), |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let session = open_session(&mut client, "truss", &[0.1, 0.3]);
+        // Two misses make both grid points resident.
+        scores_at(&mut client, session, 0.1);
+        scores_at(&mut client, session, 0.3);
+        // The first update drops both resident points.
+        let applied = apply_updates(&mut client, vec![update_item("reweight", 0, 1, Some(0.4))])
+            .expect("reweight applies");
+        assert_eq!(
+            applied.get("cache_invalidations").and_then(Json::as_f64),
+            Some(2.0),
+            "{applied:?}"
+        );
+        assert_eq!(
+            applied.get("repaired_ranks").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Re-materialize one point; the second update drops exactly it.
+        scores_at(&mut client, session, 0.1);
+        let applied = apply_updates(&mut client, vec![update_item("delete", 0, 1, None)])
+            .expect("delete applies");
+        assert_eq!(
+            applied.get("cache_invalidations").and_then(Json::as_f64),
+            Some(1.0),
+            "{applied:?}"
+        );
+        // Both points recompute against the twice-updated world.
+        scores_at(&mut client, session, 0.1);
+        scores_at(&mut client, session, 0.3);
+    });
+    assert_eq!(stats.cache_misses, 5);
+    assert_eq!(stats.cache_invalidations, 3);
+    assert_eq!(stats.updates_applied, 2);
+    assert_eq!(stats.supports_repaired, 2);
+    assert_eq!(stats.support_builds, 1);
+    assert_eq!(stats.request_errors, 0);
+}
+
+/// Malformed update bodies are typed `invalid-params`, semantically
+/// invalid batches are typed `update-rejected`, and neither kills the
+/// connection, mutates the world, or counts a repair.
+#[test]
+fn malformed_update_bodies_are_typed_and_the_server_survives() {
+    let graph = clique(4, 0.9);
+    let ((), stats) = with_server(&graph, ServerConfig::default(), |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        // Shape problems: invalid-params.
+        let shape_errors = [
+            client
+                .call("apply_updates", Json::Null)
+                .expect_err("missing updates"),
+            client
+                .call("apply_updates", obj(vec![("updates", Json::num(7.0))]))
+                .expect_err("updates not an array"),
+            apply_updates(&mut client, vec![]).expect_err("empty batch"),
+            apply_updates(&mut client, vec![obj(vec![("u", Json::num(0.0))])])
+                .expect_err("missing op"),
+            apply_updates(&mut client, vec![update_item("insert", 0, 2, None)])
+                .expect_err("insert without p"),
+            apply_updates(&mut client, vec![update_item("smite", 0, 1, None)])
+                .expect_err("unknown op"),
+        ];
+        for e in shape_errors {
+            assert!(e.is_code(ErrorCode::InvalidParams), "{e}");
+        }
+        // Semantic problems against the resident graph: update-rejected.
+        let semantic_errors = [
+            apply_updates(&mut client, vec![update_item("insert", 0, 1, Some(0.5))])
+                .expect_err("edge exists"),
+            apply_updates(&mut client, vec![update_item("delete", 0, 99, None)])
+                .expect_err("off-graph endpoint"),
+            apply_updates(&mut client, vec![update_item("delete", 2, 2, None)])
+                .expect_err("self-loop"),
+            apply_updates(&mut client, vec![update_item("insert", 0, 1, Some(0.0))])
+                .expect_err("zero probability"),
+        ];
+        for e in semantic_errors {
+            assert!(e.is_code(ErrorCode::UpdateRejected), "{e}");
+        }
+        // The connection and the world both survive: a normal session
+        // still answers over the unchanged graph.
+        client.call("ping", Json::Null).expect("connection alive");
+        let session = open_session(&mut client, "core", &[0.2, 0.5]);
+        scores_at(&mut client, session, 0.2);
+    });
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.request_errors, 10);
+    assert_eq!(stats.updates_applied, 0);
+    assert_eq!(stats.supports_repaired, 0);
+    assert_eq!(stats.cache_invalidations, 0);
 }

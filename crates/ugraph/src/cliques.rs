@@ -150,6 +150,38 @@ impl FourCliqueEnumerator {
     }
 }
 
+/// Enumerates the 4-cliques of `graph` that contain at least one of the
+/// given edges, sorted and deduplicated — the incremental counterpart of
+/// [`FourCliqueEnumerator`] used by the support-repair paths: after an
+/// edge-update batch, the new graph's 4-cliques are exactly the old ones
+/// whose six edges all survived plus the cliques containing a
+/// net-inserted edge, which this function finds without rescanning the
+/// whole edge set.
+///
+/// Unlike the full enumeration there is no `w > v` / `z > w` canonical
+/// restriction: the given edge can be any of a clique's six edges, so
+/// every pair of common neighbours is taken and duplicates (cliques
+/// containing two of the given edges) are removed by the sort + dedup.
+pub fn four_cliques_containing_edges(
+    graph: &UncertainGraph,
+    edges: &[(VertexId, VertexId)],
+) -> Vec<FourClique> {
+    let mut cliques = Vec::new();
+    for &(u, v) in edges {
+        let common_uv = graph.common_neighbors(u, v);
+        for (wi, &w) in common_uv.iter().enumerate() {
+            for &z in &common_uv[wi + 1..] {
+                if graph.has_edge(w, z) {
+                    cliques.push(FourClique::new(u, v, w, z));
+                }
+            }
+        }
+    }
+    cliques.sort_unstable();
+    cliques.dedup();
+    cliques
+}
+
 /// Counts all 4-cliques of `graph` without materializing them (same
 /// traversal as [`FourCliqueEnumerator`]).
 pub fn count_four_cliques(graph: &UncertainGraph) -> usize {
@@ -329,6 +361,28 @@ mod tests {
                 sequential.len()
             );
         }
+    }
+
+    #[test]
+    fn cliques_containing_edges_match_filtered_full_enumeration() {
+        let g = complete_graph(6, 0.8);
+        // Every 4-clique of K6 contains at least one of the probed edges.
+        let probes = [(0u32, 1u32), (2, 3), (4, 5)];
+        let incremental = four_cliques_containing_edges(&g, &probes);
+        let expected: Vec<FourClique> = FourCliqueEnumerator::new(&g)
+            .cliques()
+            .iter()
+            .copied()
+            .filter(|c| probes.iter().any(|&(u, v)| c.contains(u) && c.contains(v)))
+            .collect();
+        assert_eq!(incremental, expected);
+        // A single probe edge finds each containing clique exactly once,
+        // in sorted order.
+        let single = four_cliques_containing_edges(&g, &[(1, 4)]);
+        assert_eq!(single.len(), binomial(4, 2));
+        assert!(single.windows(2).all(|w| w[0] < w[1]));
+        // Edges outside any clique contribute nothing.
+        assert!(four_cliques_containing_edges(&g, &[]).is_empty());
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub use hash::xxh64;
 pub use konect::{read_konect, read_konect_file};
 pub use prob_model::EdgeProbabilityModel;
 pub use snapshot::{
-    read_snapshot, read_snapshot_bytes, read_snapshot_file, write_snapshot, write_snapshot_file,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    read_snapshot, read_snapshot_bytes, read_snapshot_bytes_tagged, read_snapshot_file,
+    read_snapshot_file_tagged, write_snapshot, write_snapshot_file, write_snapshot_file_tagged,
+    write_snapshot_tagged, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, UNTAGGED,
 };
 
 use std::fmt;

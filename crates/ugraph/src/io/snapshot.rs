@@ -10,15 +10,26 @@
 //! offset  size          field
 //! 0       8             magic "UGSNAP\r\n" (CRLF guards against
 //!                       text-mode transfer mangling, as in PNG)
-//! 8       4             format version (u32, currently 1)
-//! 12      8             num_vertices n (u64)
-//! 20      8             num_edges m (u64)
-//! 28      8·(n+1)       CSR offsets (u64 each)
+//! 8       4             format version (u32, currently 2)
+//! 12      8             source tag (u64, 0 = untagged)
+//! 20      8             num_vertices n (u64)
+//! 28      8             num_edges m (u64)
+//! 36      8·(n+1)       CSR offsets (u64 each)
 //! …       4·2m          CSR neighbour ids (u32 each)
 //! …       4·2m          CSR neighbour edge ids (u32 each)
 //! …       16·m          edge table: u (u32), v (u32), p (f64 bits)
 //! end−8   8             XXH64 checksum (seed 0) of every preceding byte
 //! ```
+//!
+//! The **source tag** (new in version 2) binds a snapshot to whatever it
+//! was derived from.  Cache layers store a fingerprint of the source
+//! there ([`write_snapshot_tagged`]) and refuse snapshots whose tag does
+//! not match on reload ([`read_snapshot_bytes_tagged`]): a cache file
+//! overwritten with a snapshot of a *different* graph — say, an
+//! in-memory graph mutated by edge updates and persisted at the cached
+//! path — no longer masquerades as the parse of the original source.
+//! Plain [`write_snapshot`] writes tag 0 and plain [`read_snapshot`]
+//! ignores the tag, so untagged round-trips are unaffected.
 //!
 //! Per-neighbour probabilities are *not* stored: they are recovered from
 //! the edge table through the neighbour edge ids during validation, which
@@ -41,25 +52,42 @@ use crate::Result;
 
 /// The eight magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"UGSNAP\r\n";
-/// The snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build reads and writes.  Version 2
+/// added the 8-byte source tag; version-1 files are rejected with
+/// [`SnapshotError::UnsupportedVersion`] (cache layers fall back to
+/// re-parsing the source).
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// The source tag of snapshots not bound to any source.
+pub const UNTAGGED: u64 = 0;
 /// Seed of the XXH64 trailer checksum.
 const CHECKSUM_SEED: u64 = 0;
-/// Bytes of magic + version + vertex/edge counts.
-const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+/// Bytes of magic + version + source tag + vertex/edge counts.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 fn snapshot_len(n: usize, m: usize) -> usize {
     HEADER_LEN + 8 * (n + 1) + (4 + 4) * 2 * m + 16 * m + 8
 }
 
-/// Serializes `graph` as a `.ugsnap` snapshot into `writer`.
+/// Serializes `graph` as an untagged `.ugsnap` snapshot into `writer`
+/// (source tag [`UNTAGGED`]).
 pub fn write_snapshot<W: Write>(graph: &UncertainGraph, writer: W) -> Result<()> {
+    write_snapshot_tagged(graph, writer, UNTAGGED)
+}
+
+/// Serializes `graph` with an explicit source tag, binding the snapshot
+/// to the source the tag fingerprints.
+pub fn write_snapshot_tagged<W: Write>(
+    graph: &UncertainGraph,
+    writer: W,
+    source_tag: u64,
+) -> Result<()> {
     let (offsets, neighbors, _probs, edge_ids) = graph.csr_parts();
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let mut payload = Vec::with_capacity(snapshot_len(n, m) - 8);
     payload.extend_from_slice(&SNAPSHOT_MAGIC);
     payload.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    payload.extend_from_slice(&source_tag.to_le_bytes());
     payload.extend_from_slice(&(n as u64).to_le_bytes());
     payload.extend_from_slice(&(m as u64).to_le_bytes());
     for &o in offsets {
@@ -84,18 +112,37 @@ pub fn write_snapshot<W: Write>(graph: &UncertainGraph, writer: W) -> Result<()>
     Ok(())
 }
 
-/// Writes a `.ugsnap` snapshot to a file path.
+/// Writes an untagged `.ugsnap` snapshot to a file path.
 pub fn write_snapshot_file<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<()> {
     let file = File::create(path)?;
     write_snapshot(graph, file)
+}
+
+/// Writes a source-tagged `.ugsnap` snapshot to a file path.
+pub fn write_snapshot_file_tagged<P: AsRef<Path>>(
+    graph: &UncertainGraph,
+    path: P,
+    source_tag: u64,
+) -> Result<()> {
+    let file = File::create(path)?;
+    write_snapshot_tagged(graph, file, source_tag)
 }
 
 fn corrupt(message: impl Into<String>) -> GraphError {
     GraphError::Snapshot(SnapshotError::Corrupt(message.into()))
 }
 
-/// Deserializes a `.ugsnap` snapshot from a byte slice.
+/// Deserializes a `.ugsnap` snapshot from a byte slice, ignoring the
+/// source tag.
 pub fn read_snapshot_bytes(data: &[u8]) -> Result<UncertainGraph> {
+    read_snapshot_bytes_tagged(data).map(|(graph, _)| graph)
+}
+
+/// Deserializes a `.ugsnap` snapshot from a byte slice, returning the
+/// graph together with its source tag so cache layers can verify the
+/// snapshot really derives from the source they are about to stand in
+/// for.
+pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> {
     if data.len() < HEADER_LEN + 8 {
         return Err(SnapshotError::Truncated {
             expected: HEADER_LEN + 8,
@@ -110,8 +157,9 @@ pub fn read_snapshot_bytes(data: &[u8]) -> Result<UncertainGraph> {
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version).into());
     }
-    let n = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
-    let m = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes"));
+    let source_tag = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+    let n = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes"));
+    let m = u64::from_le_bytes(data[28..36].try_into().expect("8 bytes"));
     // Bound the counts by what the input could possibly hold before
     // allocating anything, so a corrupt header cannot trigger an OOM.
     let max_conceivable = (data.len() as u64).saturating_add(1);
@@ -169,12 +217,9 @@ pub fn read_snapshot_bytes(data: &[u8]) -> Result<UncertainGraph> {
 
     let neighbor_probs =
         validate_and_recover_probs(n, m, &offsets, &neighbors, &neighbor_edges, &edges)?;
-    Ok(UncertainGraph::from_csr(
-        offsets,
-        neighbors,
-        neighbor_probs,
-        neighbor_edges,
-        edges,
+    Ok((
+        UncertainGraph::from_csr(offsets, neighbors, neighbor_probs, neighbor_edges, edges),
+        source_tag,
     ))
 }
 
@@ -256,6 +301,13 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<UncertainGraph> {
 pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<UncertainGraph> {
     let file = File::open(path)?;
     read_snapshot(file)
+}
+
+/// Reads a `.ugsnap` snapshot and its source tag from a file path.
+pub fn read_snapshot_file_tagged<P: AsRef<Path>>(path: P) -> Result<(UncertainGraph, u64)> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    read_snapshot_bytes_tagged(&data)
 }
 
 #[cfg(test)]
@@ -414,8 +466,51 @@ mod tests {
 
         // Implausible vertex count must not allocate.
         let mut bad = buf;
-        bad[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        bad[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_snapshot_bytes(&resign(bad)).is_err());
+    }
+
+    #[test]
+    fn source_tags_round_trip_and_plain_writes_are_untagged() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_snapshot_tagged(&g, &mut buf, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        let (g2, tag) = read_snapshot_bytes_tagged(&buf).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(tag, 0xDEAD_BEEF_CAFE_F00D);
+        // The untagged reader still accepts tagged snapshots.
+        assert_eq!(read_snapshot_bytes(&buf).unwrap(), g);
+
+        let (_, plain_tag) = read_snapshot_bytes_tagged(&encode(&g)).unwrap();
+        assert_eq!(plain_tag, UNTAGGED);
+
+        let path = std::env::temp_dir().join("ugraph_snapshot_tagged.ugsnap");
+        write_snapshot_file_tagged(&g, &path, 7).unwrap();
+        let (g3, tag3) = read_snapshot_file_tagged(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g3, g);
+        assert_eq!(tag3, 7);
+    }
+
+    #[test]
+    fn version_one_snapshots_are_rejected_not_misread() {
+        // Hand-build a version-1 snapshot (no source tag field): the
+        // reader must fail with UnsupportedVersion, never reinterpret
+        // the old n/m fields through the v2 layout.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&SNAPSHOT_MAGIC);
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes()); // n
+        payload.extend_from_slice(&0u64.to_le_bytes()); // m
+        for _ in 0..3 {
+            payload.extend_from_slice(&0u64.to_le_bytes()); // offsets
+        }
+        let sum = xxh64(&payload, CHECKSUM_SEED);
+        payload.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_snapshot_bytes(&payload).unwrap_err(),
+            GraphError::Snapshot(SnapshotError::UnsupportedVersion(1))
+        ));
     }
 
     #[test]

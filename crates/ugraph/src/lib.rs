@@ -29,6 +29,10 @@
 //! * Random generators ([`generators`]) and ingestion/persistence
 //!   ([`io`]) — SNAP edge lists, Konect TSV, versioned `.ugsnap` binary
 //!   snapshots with checksums, and pluggable edge-probability models.
+//! * Edge updates ([`update`]) — atomic, typed-error batches of
+//!   insert/delete/re-weight mutations producing a new graph plus the
+//!   edge-id [`update::GraphDelta`] the incremental support-repair
+//!   paths consume.
 //!
 //! The crate is deliberately free of any decomposition logic; it is the
 //! substrate shared by `detdecomp`, `probdecomp` and `nucleus`.
@@ -46,6 +50,7 @@ pub mod possible_world;
 pub mod rs;
 pub mod subgraph;
 pub mod triangles;
+pub mod update;
 
 pub use builder::GraphBuilder;
 pub use cliques::{FourClique, FourCliqueEnumerator};
@@ -57,6 +62,7 @@ pub use par::Parallelism;
 pub use possible_world::{PossibleWorld, WorldSampler};
 pub use subgraph::EdgeSubgraph;
 pub use triangles::{Triangle, TriangleId, TriangleIndex};
+pub use update::{apply_edge_updates, EdgeUpdate, GraphDelta, UpdateError};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

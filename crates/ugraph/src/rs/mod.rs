@@ -26,6 +26,10 @@
 //!   implementations (the (3,4) one is `nucleus::SupportStructure`).
 //! * [`peel_deferred`] — the deferred bucket-queue peel, generic over the
 //!   support and the (monotone) rescoring function.
+//! * [`region`] — the bounded re-peel machinery for incremental edge
+//!   updates: affected-set diffing, component closure and the
+//!   [`RegionSupport`] adapter that re-peels only the touched region on
+//!   this same engine.
 //! * [`TailScratch`] — the reusable Poisson-binomial tail scorer.
 //! * [`PeelStats`] — deterministic perf counters, identical for every
 //!   thread count, gated in CI via committed bench baselines.
@@ -38,10 +42,12 @@
 
 pub mod core_support;
 pub mod dp;
+pub mod region;
 pub mod truss_support;
 
 pub use core_support::CoreSupport;
 pub use dp::DpScratch;
+pub use region::{affected_elements, component_closure, RegionSupport};
 pub use truss_support::TrussSupport;
 
 /// The support structure of one (r,s) rank: for every r-clique *element*

@@ -9,14 +9,14 @@
 
 use crate::graph::UncertainGraph;
 use crate::par::Parallelism;
-use crate::triangles::TriangleIndex;
 
 use super::RsSupport;
 
 /// Support structure of the (2,3) rank: elements are edges, cells are
 /// triangles.
 ///
-/// Triangles are enumerated through [`TriangleIndex`], whose id order is
+/// Triangles are enumerated like [`crate::triangles::TriangleIndex`],
+/// whose id order is
 /// lexicographic on the sorted vertex triple — so for a fixed edge
 /// `{u, v}` the cell list is ordered by ascending third vertex `w`,
 /// exactly the `common_neighbors(u, v)` order the frozen reference
@@ -54,10 +54,89 @@ impl TrussSupport {
     }
 
     fn build_inner(graph: &UncertainGraph, parallelism: Parallelism, deterministic: bool) -> Self {
-        let index = TriangleIndex::build_with(graph, parallelism);
-        let triangles = index.triangles();
-        let nt = triangles.len();
+        let mut triangles = crate::triangles::enumerate_triangles_with(graph, parallelism);
+        // Global lexicographic order — the same cell-id order
+        // `TriangleIndex::build_with` assigns.
+        triangles.sort_unstable();
+        Self::assemble(graph, &triangles, parallelism, deterministic)
+    }
 
+    /// Repairs the support after an edge-update batch: `old_graph` is
+    /// the graph this support was built from, `new_graph` and `inserted`
+    /// come from the batch's [`crate::update::GraphDelta`].  Surviving
+    /// triangles are carried over, new ones are enumerated around the
+    /// inserted edges only, and the records are recomputed from
+    /// `new_graph` — the same arithmetic on the same floats as a fresh
+    /// [`TrussSupport::build`], so the result is bit-identical to one.
+    ///
+    /// Only supports built by [`build`](Self::build) (probabilistic
+    /// completion probabilities) are repairable; the
+    /// [`deterministic`](Self::deterministic) variant is rebuilt by its
+    /// owners instead.
+    pub fn repair(
+        &self,
+        old_graph: &UncertainGraph,
+        new_graph: &UncertainGraph,
+        inserted: &[(u32, u32)],
+        parallelism: Parallelism,
+    ) -> Self {
+        // Reconstruct the old triangle triples from the stored member
+        // edges (cells are in lexicographic triple order already).
+        let survivors = self.cell_elements.iter().filter_map(|&[eab, eac, _]| {
+            let e1 = old_graph.edge(eab);
+            let e2 = old_graph.edge(eac);
+            let third = if e2.u == e1.u || e2.u == e1.v {
+                e2.v
+            } else {
+                e2.u
+            };
+            let t = crate::triangles::Triangle::new(e1.u, e1.v, third);
+            t.edges()
+                .iter()
+                .all(|&(a, b)| new_graph.has_edge(a, b))
+                .then_some(t)
+        });
+
+        let mut added: Vec<crate::triangles::Triangle> = Vec::new();
+        for &(u, v) in inserted {
+            for w in new_graph.common_neighbors(u, v) {
+                added.push(crate::triangles::Triangle::new(u, v, w));
+            }
+        }
+        added.sort_unstable();
+        added.dedup();
+
+        // Merge the two sorted, disjoint runs (survivors have all-old
+        // edges, additions contain an inserted one) back into global
+        // lexicographic order.
+        let mut triangles = Vec::with_capacity(self.cell_elements.len() + added.len());
+        let mut add_iter = added.into_iter().peekable();
+        for t in survivors {
+            while let Some(&a) = add_iter.peek() {
+                if a < t {
+                    triangles.push(a);
+                    add_iter.next();
+                } else {
+                    break;
+                }
+            }
+            triangles.push(t);
+        }
+        triangles.extend(add_iter);
+
+        Self::assemble(new_graph, &triangles, parallelism, false)
+    }
+
+    /// Builds the records over an explicit, lexicographically sorted
+    /// triangle list — shared by the fresh build (full enumeration) and
+    /// the incremental repair (merged survivor/addition list).
+    fn assemble(
+        graph: &UncertainGraph,
+        triangles: &[crate::triangles::Triangle],
+        parallelism: Parallelism,
+        deterministic: bool,
+    ) -> Self {
+        let nt = triangles.len();
         let records: Vec<([u32; 3], [f64; 3])> = crate::par::par_map(parallelism, nt, |ti| {
             let [a, b, c] = triangles[ti].vertices();
             let eab = graph.edge_id(a, b).expect("triangle edge {a,b} exists");
@@ -196,6 +275,36 @@ mod tests {
         assert_eq!(seq.cells_of, par.cells_of);
         assert_eq!(seq.cell_elements, par.cell_elements);
         assert_eq!(seq.completion, par.completion);
+    }
+
+    #[test]
+    fn repair_is_bit_identical_to_a_fresh_build() {
+        use crate::update::{apply_edge_updates, EdgeUpdate};
+        let g = bowtie();
+        let s = TrussSupport::build(&g, Parallelism::Sequential);
+        let batches: Vec<Vec<EdgeUpdate>> = vec![
+            vec![EdgeUpdate::Insert { u: 0, v: 3, p: 0.4 }],
+            vec![EdgeUpdate::Delete { u: 1, v: 2 }],
+            vec![
+                EdgeUpdate::Reweight { u: 0, v: 1, p: 0.2 },
+                EdgeUpdate::Insert { u: 0, v: 3, p: 0.4 },
+                EdgeUpdate::Delete { u: 2, v: 3 },
+            ],
+        ];
+        for batch in batches {
+            let delta = apply_edge_updates(&g, &batch).unwrap();
+            let repaired = s.repair(&g, &delta.graph, &delta.inserted, Parallelism::Sequential);
+            let fresh = TrussSupport::build(&delta.graph, Parallelism::Sequential);
+            assert_eq!(repaired.cells_of, fresh.cells_of);
+            assert_eq!(repaired.cell_elements, fresh.cell_elements);
+            let bits = |v: &Vec<f64>| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&repaired.element_probs), bits(&fresh.element_probs));
+            for (a, b) in repaired.completion.iter().zip(&fresh.completion) {
+                for i in 0..3 {
+                    assert_eq!(a[i].to_bits(), b[i].to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -178,6 +178,64 @@ impl TriangleIndex {
         self.id_of(&Triangle::new(a, b, c))
     }
 
+    /// Repairs the index after an edge-update batch: surviving triangles
+    /// are kept (a triangle survives iff all three of its edges are still
+    /// present in `new_graph`), and the triangles created by the
+    /// net-inserted edges (`inserted`, canonical pairs as reported by
+    /// [`crate::update::GraphDelta::inserted`]) are enumerated around
+    /// those edges only.  The result is identical — same triangles, same
+    /// ids — to [`TriangleIndex::build`] on `new_graph`, at a cost
+    /// proportional to the old index plus the inserted edges'
+    /// neighbourhoods instead of the whole edge set.
+    ///
+    /// The incremental enumeration takes *every* common neighbour of an
+    /// inserted edge (no `w > v` restriction): the inserted edge can be
+    /// any of a new triangle's three edges, so the canonical smallest-edge
+    /// reporting of the full enumeration does not apply.  Duplicates
+    /// (a triangle containing two inserted edges) are removed by the
+    /// sort + dedup before the merge.
+    pub fn repair(&self, new_graph: &UncertainGraph, inserted: &[(VertexId, VertexId)]) -> Self {
+        let survivors = self
+            .triangles
+            .iter()
+            .copied()
+            .filter(|t| t.edges().iter().all(|&(a, b)| new_graph.has_edge(a, b)));
+
+        let mut added: Vec<Triangle> = Vec::new();
+        for &(u, v) in inserted {
+            for w in new_graph.common_neighbors(u, v) {
+                added.push(Triangle::new(u, v, w));
+            }
+        }
+        added.sort_unstable();
+        added.dedup();
+
+        // Survivors (sorted, all-old edges) and additions (sorted, each
+        // contains an inserted edge) are disjoint; one merge restores the
+        // global lexicographic id order of a fresh build.
+        let mut triangles = Vec::with_capacity(self.triangles.len() + added.len());
+        let mut add_iter = added.into_iter().peekable();
+        for t in survivors {
+            while let Some(&a) = add_iter.peek() {
+                if a < t {
+                    triangles.push(a);
+                    add_iter.next();
+                } else {
+                    break;
+                }
+            }
+            triangles.push(t);
+        }
+        triangles.extend(add_iter);
+
+        let ids = triangles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i as TriangleId))
+            .collect();
+        TriangleIndex { triangles, ids }
+    }
+
     /// Iterator over `(id, triangle)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TriangleId, Triangle)> + '_ {
         self.triangles
@@ -327,6 +385,66 @@ mod tests {
             assert_eq!(par, sequential, "threads = {threads}");
             let idx = TriangleIndex::build_with(&g, Parallelism::fixed(threads));
             assert_eq!(idx.triangles(), TriangleIndex::build(&g).triangles());
+        }
+    }
+
+    #[test]
+    fn repair_matches_fresh_build_after_updates() {
+        use crate::update::{apply_edge_updates, EdgeUpdate};
+        // Dense-ish 7-vertex graph so updates create and destroy
+        // triangles in bulk.
+        let mut b = GraphBuilder::new();
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (1, 4),
+            (0, 5),
+            (2, 5),
+            (5, 6),
+        ];
+        for &(u, v) in &edges {
+            b.add_edge(u, v, 0.8).unwrap();
+        }
+        let g = b.build();
+        let idx = TriangleIndex::build(&g);
+
+        let batches: Vec<Vec<EdgeUpdate>> = vec![
+            // Pure inserts creating new triangles (including at the
+            // previously triangle-free vertex 6).
+            vec![
+                EdgeUpdate::Insert { u: 4, v: 6, p: 0.5 },
+                EdgeUpdate::Insert { u: 4, v: 0, p: 0.5 },
+            ],
+            // Pure deletes destroying triangles.
+            vec![
+                EdgeUpdate::Delete { u: 1, v: 2 },
+                EdgeUpdate::Delete { u: 3, v: 4 },
+            ],
+            // Mixed batch with a re-weight (structure-neutral) and an
+            // insert-then-delete that nets out.
+            vec![
+                EdgeUpdate::Reweight { u: 0, v: 1, p: 0.3 },
+                EdgeUpdate::Insert { u: 3, v: 5, p: 0.9 },
+                EdgeUpdate::Delete { u: 0, v: 2 },
+                EdgeUpdate::Insert { u: 0, v: 6, p: 0.2 },
+                EdgeUpdate::Delete { u: 0, v: 6 },
+            ],
+        ];
+        for batch in batches {
+            let delta = apply_edge_updates(&g, &batch).unwrap();
+            let repaired = idx.repair(&delta.graph, &delta.inserted);
+            let fresh = TriangleIndex::build(&delta.graph);
+            assert_eq!(repaired.triangles(), fresh.triangles());
+            for (id, t) in fresh.iter() {
+                assert_eq!(repaired.id_of(&t), Some(id));
+            }
         }
     }
 

@@ -173,6 +173,48 @@ fn malformed_konect_inputs_are_typed_errors() {
     ));
 }
 
+/// Regression: an updated in-memory graph persisted at the dataset cache
+/// path must not round-trip through a cache fingerprint that matches the
+/// pre-update snapshot.  The v2 source tag makes the cache layer reject
+/// the impostor and re-parse the source.
+#[test]
+fn updated_graph_written_at_cache_path_does_not_poison_load_cached() {
+    use prob_nucleus_repro::nd_datasets::ExternalDataset;
+    use prob_nucleus_repro::nucleus::EdgeUpdate;
+    use prob_nucleus_repro::ugraph::io::EdgeProbabilityModel as Model;
+    use prob_nucleus_repro::ugraph::io::{write_snapshot_file, InputFormat};
+    use prob_nucleus_repro::ugraph::{apply_edge_updates, io};
+
+    let dir = std::env::temp_dir().join("nd_io_roundtrip_update_staleness");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("graph.txt");
+    std::fs::write(&source, "0 1 0.5\n1 2 0.75\n0 2 1\n").unwrap();
+
+    let ds = ExternalDataset::new(&source, InputFormat::Snap, Model::Column);
+    let original = ds.load_cached().unwrap();
+    let cache = ds.snapshot_cache_path();
+    assert!(cache.exists());
+
+    // Apply an update batch and persist the updated graph at the cache
+    // path — exactly the stale-write hazard.
+    let delta =
+        apply_edge_updates(&original, &[EdgeUpdate::Reweight { u: 0, v: 1, p: 0.1 }]).unwrap();
+    write_snapshot_file(&delta.graph, &cache).unwrap();
+
+    // The source file is unchanged, so its fingerprint (and thus the
+    // cache *name*) still matches — but the tag does not, so the cache
+    // layer must re-parse the original source.
+    let reloaded = ds.load_cached().unwrap();
+    assert_eq!(reloaded, original);
+    assert_eq!(reloaded.edge_probability(0, 1), Some(0.5));
+
+    // The healed cache carries the fingerprint tag again.
+    let (_, tag) = io::read_snapshot_file_tagged(&cache).unwrap();
+    assert_ne!(tag, io::UNTAGGED);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn snapshot_header_failures_are_typed_errors() {
     let mut b = GraphBuilder::new();

@@ -14,15 +14,22 @@
 //!
 //! Hand-built fixtures pin the small worked examples; proptest sweeps
 //! random tiny graphs (scale the case count with `PROPTEST_CASES`).
+//!
+//! The same oracle also pins the incremental-update path: a sweep built
+//! on one tiny graph, repaired through
+//! [`DecompSweep::apply_updates`](prob_nucleus_repro::nucleus::DecompSweep::apply_updates),
+//! must report exactly the scores the exhaustive distribution of the
+//! *updated* graph demands — the repair is checked against ground truth,
+//! not just against a from-scratch run of the same code.
 
 use proptest::prelude::*;
 
 use prob_nucleus_repro::nucleus::local::dp;
 use prob_nucleus_repro::nucleus::{
-    DecompConfig, Decomposition, LocalConfig, LocalNucleusDecomposition, SupportStructure,
-    SweepConfig, ThetaSweep,
+    DecompConfig, DecompSweep, Decomposition, LocalConfig, LocalNucleusDecomposition, Rank,
+    SupportStructure, SweepConfig, ThetaSweep,
 };
-use prob_nucleus_repro::ugraph::{EdgeId, GraphBuilder, TriangleId, UncertainGraph};
+use prob_nucleus_repro::ugraph::{EdgeId, EdgeUpdate, GraphBuilder, TriangleId, UncertainGraph};
 
 const TOL: f64 = 1e-9;
 
@@ -432,6 +439,198 @@ fn two_cliques_sharing_a_triangle_match_brute_force() {
     check_graph(&g, &[0.001, 0.01, 0.1, 0.4]);
 }
 
+/// Applies `batch` through the incremental path at the nucleus and truss
+/// ranks and verifies the *repaired* sweeps against the exhaustive
+/// possible-world distribution of the updated graph — brute-force ground
+/// truth, independent of every analytic code path the repair shares with
+/// a fresh compute.
+fn check_updated_sweep(graph: &UncertainGraph, batch: &[EdgeUpdate], thetas: &[f64]) {
+    // Nucleus rank: repaired initial scores are the largest k whose
+    // exhaustive tail Pr[△ ∧ ζ ≥ k] clears θ.
+    let config = SweepConfig::exact(thetas.to_vec()).with_rank(Rank::Nucleus);
+    let mut sweep = DecompSweep::compute(graph, &config).expect("valid sweep config");
+    let outcome = sweep
+        .apply_updates(graph, batch)
+        .expect("fixture batches are valid");
+    let updated = outcome.graph;
+    assert!(updated.num_edges() <= 12, "keep updated graphs exhaustible");
+    let oracle = brute_force(&updated);
+    assert_eq!(sweep.num_elements(), oracle.tail.len());
+    for (gi, &theta) in thetas.iter().enumerate() {
+        let initial = sweep.initial_scores_at_index(gi);
+        let scores = sweep.scores_at_index(gi);
+        for (t, tail) in oracle.tail.iter().enumerate() {
+            let brute_initial = (0..tail.len())
+                .rev()
+                .find(|&k| tail[k] >= theta)
+                .unwrap_or(0) as u32;
+            assert_eq!(
+                initial[t], brute_initial,
+                "repaired initial score of triangle {t} at theta {theta}"
+            );
+            assert!(
+                scores[t] <= initial[t],
+                "peeling must not raise repaired scores"
+            );
+        }
+    }
+
+    // Truss rank: repaired initial scores against the exhaustive
+    // triangle-count tails of the updated graph's edges.
+    let config = SweepConfig::exact(thetas.to_vec()).with_rank(Rank::Truss);
+    let mut sweep = DecompSweep::compute(graph, &config).expect("valid sweep config");
+    let outcome = sweep
+        .apply_updates(graph, batch)
+        .expect("fixture batches are valid");
+    let tail = truss_world_tails(&outcome.graph);
+    assert_eq!(sweep.num_elements(), tail.len());
+    for (gi, &gamma) in thetas.iter().enumerate() {
+        let initial = sweep.initial_scores_at_index(gi);
+        let scores = sweep.scores_at_index(gi);
+        for (e, edge_tail) in tail.iter().enumerate() {
+            let brute_initial = (0..edge_tail.len())
+                .rev()
+                .find(|&k| edge_tail[k] >= gamma)
+                .unwrap_or(0) as u32;
+            assert_eq!(
+                initial[e], brute_initial,
+                "repaired gamma-support of edge {e} at gamma {gamma}"
+            );
+            assert!(
+                scores[e] <= initial[e],
+                "peeling must not raise repaired scores"
+            );
+        }
+    }
+}
+
+#[test]
+fn updated_fixtures_match_brute_force() {
+    // K4(0.5) plus a pendant at vertex 4, reshaped around that vertex:
+    // one chord deleted, one edge reweighted, three inserts forming
+    // fresh triangles — the updated graph (9 edges) has a different
+    // clique structure than the fixture.  Inserts may only touch
+    // existing vertices, hence the pendant.
+    let mut b = GraphBuilder::new();
+    for &(u, v) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)] {
+        b.add_edge(u, v, 0.5).unwrap();
+    }
+    let batch = vec![
+        EdgeUpdate::Delete { u: 2, v: 3 },
+        EdgeUpdate::Reweight { u: 0, v: 1, p: 0.9 },
+        EdgeUpdate::Insert { u: 0, v: 4, p: 0.8 },
+        EdgeUpdate::Insert { u: 1, v: 4, p: 0.7 },
+        EdgeUpdate::Insert { u: 2, v: 4, p: 0.6 },
+    ];
+    check_updated_sweep(&b.build(), &batch, &[0.01, 0.05, 0.3]);
+
+    // Bowtie: reweights only — same structure, different distribution.
+    let mut b = GraphBuilder::new();
+    for &(u, v, p) in &[
+        (0u32, 1u32, 0.9),
+        (0, 2, 0.8),
+        (1, 2, 0.7),
+        (1, 3, 0.6),
+        (2, 3, 0.5),
+    ] {
+        b.add_edge(u, v, p).unwrap();
+    }
+    let batch = vec![
+        EdgeUpdate::Reweight {
+            u: 1,
+            v: 2,
+            p: 0.35,
+        },
+        EdgeUpdate::Reweight {
+            u: 2,
+            v: 3,
+            p: 0.95,
+        },
+    ];
+    check_updated_sweep(&b.build(), &batch, &[0.05, 0.25, 0.5]);
+
+    // Triangle-free path closed into a fan: inserts create the first
+    // triangles the sweep has ever seen.
+    let mut b = GraphBuilder::new();
+    for i in 0..4u32 {
+        b.add_edge(i, i + 1, 0.6).unwrap();
+    }
+    let batch = vec![
+        EdgeUpdate::Insert { u: 0, v: 2, p: 0.8 },
+        EdgeUpdate::Insert { u: 1, v: 3, p: 0.7 },
+        EdgeUpdate::Insert { u: 2, v: 4, p: 0.9 },
+    ];
+    check_updated_sweep(&b.build(), &batch, &[0.1, 0.5]);
+
+    // Deleting down to triangle-free: the repaired nucleus sweep must
+    // agree with an oracle that has no triangles left.
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1, 0.9).unwrap();
+    b.add_edge(1, 2, 0.8).unwrap();
+    b.add_edge(0, 2, 0.7).unwrap();
+    b.add_edge(2, 3, 0.6).unwrap();
+    let batch = vec![EdgeUpdate::Delete { u: 0, v: 1 }];
+    check_updated_sweep(&b.build(), &batch, &[0.1, 0.5]);
+}
+
+/// Strategy: a tiny graph plus a random valid batch whose application
+/// keeps the updated graph within the exhaustive-enumeration budget.
+fn arb_tiny_graph_and_batch() -> impl Strategy<Value = (UncertainGraph, Vec<EdgeUpdate>)> {
+    arb_tiny_graph(6, 0.6).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        let present: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let absent: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .filter(|p| !present.contains(p))
+            .collect();
+        let m = g.num_edges();
+        let k = absent.len();
+        // Nested pairs of triples: the vendored proptest implements
+        // Strategy for tuples only up to arity 5.
+        (
+            (
+                Just(g),
+                Just(absent),
+                proptest::collection::vec(0.0f64..1.0, m.max(1)),
+            ),
+            (
+                proptest::collection::vec(0.01f64..=1.0, m.max(1)),
+                proptest::collection::vec(0.0f64..1.0, k.max(1)),
+                proptest::collection::vec(0.01f64..=1.0, k.max(1)),
+            ),
+        )
+            .prop_map(|((g, absent, action), (new_p, ins_coin, ins_p))| {
+                let mut batch = Vec::new();
+                let mut deletes = 0usize;
+                for (i, e) in g.edges().iter().enumerate() {
+                    if action[i] < 0.25 {
+                        batch.push(EdgeUpdate::Delete { u: e.u, v: e.v });
+                        deletes += 1;
+                    } else if action[i] < 0.5 {
+                        batch.push(EdgeUpdate::Reweight {
+                            u: e.u,
+                            v: e.v,
+                            p: new_p[i],
+                        });
+                    }
+                }
+                // Inserts fill up to the 12-edge budget of the oracle.
+                let mut budget = 12usize.saturating_sub(g.num_edges() - deletes);
+                for (j, &(u, v)) in absent.iter().enumerate() {
+                    if budget == 0 {
+                        break;
+                    }
+                    if ins_coin[j] < 0.3 {
+                        batch.push(EdgeUpdate::Insert { u, v, p: ins_p[j] });
+                        budget -= 1;
+                    }
+                }
+                (g, batch)
+            })
+    })
+}
+
 /// Strategy: a random probabilistic graph on up to `max_v` vertices whose
 /// edge count stays within the exhaustive-enumeration budget.
 fn arb_tiny_graph(max_v: u32, density: f64) -> impl Strategy<Value = UncertainGraph> {
@@ -485,5 +684,19 @@ proptest! {
     ) {
         prop_assume!(g.num_edges() <= 12);
         check_truss_rank(&g, &[gamma]);
+    }
+
+    /// Repaired sweeps after a random update batch match the exhaustive
+    /// possible-world distribution of the *updated* graph — the
+    /// incremental path is pinned to ground truth, not merely to a
+    /// from-scratch run of the same analytic code.
+    #[test]
+    fn random_update_batches_match_brute_force(
+        case in arb_tiny_graph_and_batch(),
+        theta in 0.02f64..0.8,
+    ) {
+        let (g, batch) = case;
+        prop_assume!(g.num_edges() <= 12);
+        check_updated_sweep(&g, &batch, &[0.01, theta]);
     }
 }

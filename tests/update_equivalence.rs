@@ -1,0 +1,408 @@
+//! Differential test suite for incremental edge-update maintenance.
+//!
+//! The contract under test: [`DecompSweep::apply_updates`] — validate a
+//! batch, repair the support, refresh every grid point through the
+//! bounded re-peel — must be **bit-identical** to throwing the sweep
+//! away and recomputing from scratch on the updated graph.  Enforced on
+//! random graphs with random valid-by-construction batches (mixes of
+//! inserts, deletes and reweights, including the empty batch):
+//!
+//! * at every rank — (1,2) core, (2,3) truss, (3,4) nucleus — with the
+//!   exact-DP scorer, at 1, 2 and 8 worker threads: scores, initial
+//!   scores and method counts per grid point, plus the repair's own
+//!   [`UpdateReport`] and per-point [`PeelStats`] identical across
+//!   thread counts (the repair is deterministic, not just its results);
+//! * for the hybrid scorer at the nucleus rank (whose points are
+//!   recomputed on the repaired support rather than regionally
+//!   repaired, but must match a fresh hybrid sweep bit for bit);
+//! * through [`DecompHandle::apply_updates`], the resident-service
+//!   entry point, whose repaired handle must answer per-threshold
+//!   queries identically to a handle built fresh on the updated graph.
+//!
+//! Adversarial deterministic cases ride along: a batch that deletes
+//! every edge, a rejected batch that must leave the sweep untouched,
+//! and the empty batch as a true noop.
+//!
+//! Case counts scale with `PROPTEST_CASES` (64 locally, 1024 in the
+//! thorough CI job).
+
+use proptest::prelude::*;
+
+use prob_nucleus_repro::nucleus::{
+    DecompConfig, DecompHandle, DecompSweep, NucleusError, Rank, SweepConfig,
+};
+use prob_nucleus_repro::ugraph::{
+    EdgeUpdate, GraphBuilder, Parallelism, UncertainGraph, UpdateError,
+};
+
+/// Thread counts every property is exercised at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The grid every sweep maintains across its update.
+const GRID: [f64; 3] = [0.15, 0.5, 0.9];
+
+/// A random probabilistic graph dense enough to grow 4-cliques.
+fn arb_graph(max_v: u32, density: f64) -> impl Strategy<Value = UncertainGraph> {
+    (4..=max_v)
+        .prop_flat_map(move |n| {
+            let pairs: Vec<(u32, u32)> = (0..n)
+                .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+                .collect();
+            let m = pairs.len();
+            (
+                Just(pairs),
+                proptest::collection::vec(0.0f64..1.0, m),
+                proptest::collection::vec(0.01f64..=1.0, m),
+            )
+        })
+        .prop_map(move |(pairs, coin, probs)| {
+            let mut b = GraphBuilder::new();
+            for (i, (u, v)) in pairs.into_iter().enumerate() {
+                if coin[i] < density {
+                    b.add_edge(u, v, probs[i]).unwrap();
+                }
+            }
+            b.build()
+        })
+}
+
+/// A graph plus a valid-by-construction update batch: every existing
+/// edge is independently deleted (p≈0.2) or reweighted (p≈0.2), every
+/// absent pair independently inserted (p≈0.25).  Each pair appears at
+/// most once, so the batch is valid in any order; the empty batch (a
+/// noop) occurs naturally.
+fn arb_graph_and_batch(
+    max_v: u32,
+    density: f64,
+) -> impl Strategy<Value = (UncertainGraph, Vec<EdgeUpdate>)> {
+    arb_graph(max_v, density).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        let present: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let absent: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .filter(|p| !present.contains(p))
+            .collect();
+        let m = g.num_edges();
+        let k = absent.len();
+        // Nested pairs of triples: the vendored proptest implements
+        // Strategy for tuples only up to arity 5.
+        (
+            (
+                Just(g),
+                Just(absent),
+                proptest::collection::vec(0.0f64..1.0, m.max(1)),
+            ),
+            (
+                proptest::collection::vec(0.01f64..=1.0, m.max(1)),
+                proptest::collection::vec(0.0f64..1.0, k.max(1)),
+                proptest::collection::vec(0.01f64..=1.0, k.max(1)),
+            ),
+        )
+            .prop_map(|((g, absent, action), (new_p, ins_coin, ins_p))| {
+                let mut batch = Vec::new();
+                for (i, e) in g.edges().iter().enumerate() {
+                    if action[i] < 0.2 {
+                        batch.push(EdgeUpdate::Delete { u: e.u, v: e.v });
+                    } else if action[i] < 0.4 {
+                        batch.push(EdgeUpdate::Reweight {
+                            u: e.u,
+                            v: e.v,
+                            p: new_p[i],
+                        });
+                    }
+                }
+                for (j, &(u, v)) in absent.iter().enumerate() {
+                    if ins_coin[j] < 0.25 {
+                        batch.push(EdgeUpdate::Insert { u, v, p: ins_p[j] });
+                    }
+                }
+                (g, batch)
+            })
+    })
+}
+
+/// The differential check at one rank: apply the batch incrementally at
+/// every thread count, recompute from scratch on the updated graph, and
+/// demand bit-identity of every observable — plus determinism of the
+/// repair's own counters across thread counts.
+fn assert_update_matches_recompute(
+    g: &UncertainGraph,
+    batch: &[EdgeUpdate],
+    config_for: impl Fn(Vec<f64>) -> SweepConfig,
+) {
+    let base = config_for(GRID.to_vec());
+    let mut reference: Option<(prob_nucleus_repro::nucleus::UpdateReport, Vec<_>)> = None;
+    for threads in THREAD_COUNTS {
+        let config = base.clone().with_parallelism(Parallelism::fixed(threads));
+        let mut sweep = DecompSweep::compute(g, &config).expect("valid sweep config");
+        let outcome = sweep.apply_updates(g, batch).expect("batch is valid");
+
+        // The from-scratch oracle runs sequentially; fresh results are
+        // thread-count-independent anyway (tests/parallel_equivalence.rs).
+        let fresh = DecompSweep::compute(
+            &outcome.graph,
+            &base.clone().with_parallelism(Parallelism::Sequential),
+        )
+        .expect("valid sweep config");
+        prop_assert_eq!(sweep.num_elements(), fresh.num_elements());
+        for (gi, theta) in GRID.iter().enumerate() {
+            prop_assert_eq!(
+                sweep.scores_at_index(gi),
+                fresh.scores_at_index(gi),
+                "scores at threshold {} diverged from the rebuild ({} threads, batch {:?})",
+                theta,
+                threads,
+                batch
+            );
+            prop_assert_eq!(
+                sweep.initial_scores_at_index(gi),
+                fresh.initial_scores_at_index(gi),
+                "initial scores at threshold {} diverged ({} threads)",
+                theta,
+                threads
+            );
+            prop_assert_eq!(
+                sweep.method_counts_at_index(gi),
+                fresh.method_counts_at_index(gi)
+            );
+        }
+
+        // The repair itself is deterministic: identical counters and
+        // per-point peel stats at every thread count.
+        let stats = sweep.peel_stats();
+        match &reference {
+            None => reference = Some((outcome.report, stats)),
+            Some((report, ref_stats)) => {
+                prop_assert_eq!(report, &outcome.report, "UpdateReport varies with threads");
+                prop_assert_eq!(ref_stats, &stats, "repair PeelStats vary with threads");
+            }
+        }
+    }
+}
+
+proptest! {
+    // 64 cases by default, scaled up via PROPTEST_CASES in CI's thorough
+    // job.
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Exact-DP incremental updates are bit-identical to a from-scratch
+    /// sweep at the core rank, for every thread count.
+    #[test]
+    fn dp_core_update_bit_identical_to_recompute(
+        case in arb_graph_and_batch(10, 0.6),
+    ) {
+        let (g, batch) = case;
+        assert_update_matches_recompute(&g, &batch, |thetas| {
+            SweepConfig::exact(thetas).with_rank(Rank::Core)
+        });
+    }
+
+    /// Same contract at the truss rank (elements are edges: the batch
+    /// creates and destroys elements, exercising the id remap).
+    #[test]
+    fn dp_truss_update_bit_identical_to_recompute(
+        case in arb_graph_and_batch(10, 0.65),
+    ) {
+        let (g, batch) = case;
+        assert_update_matches_recompute(&g, &batch, |thetas| {
+            SweepConfig::exact(thetas).with_rank(Rank::Truss)
+        });
+    }
+
+    /// Same contract at the nucleus rank (elements are triangles, cells
+    /// are 4-cliques — the deepest structural repair).
+    #[test]
+    fn dp_nucleus_update_bit_identical_to_recompute(
+        case in arb_graph_and_batch(9, 0.75),
+    ) {
+        let (g, batch) = case;
+        assert_update_matches_recompute(&g, &batch, |thetas| {
+            SweepConfig::exact(thetas).with_rank(Rank::Nucleus)
+        });
+    }
+
+    /// Hybrid-scorer sweeps recompute their points on the repaired
+    /// support; the result must still match a fresh hybrid sweep on the
+    /// updated graph bit for bit.
+    #[test]
+    fn hybrid_nucleus_update_bit_identical_to_recompute(
+        case in arb_graph_and_batch(8, 0.8),
+    ) {
+        let (g, batch) = case;
+        let mut sweep = DecompSweep::compute(&g, &SweepConfig::approximate(GRID.to_vec()))
+            .expect("valid sweep config");
+        let outcome = sweep.apply_updates(&g, &batch).expect("batch is valid");
+        prop_assert_eq!(outcome.report.repaired_points, 0);
+        prop_assert_eq!(outcome.report.recomputed_points, GRID.len());
+        let fresh = DecompSweep::compute(&outcome.graph, &SweepConfig::approximate(GRID.to_vec()))
+            .expect("valid sweep config");
+        for gi in 0..GRID.len() {
+            prop_assert_eq!(sweep.scores_at_index(gi), fresh.scores_at_index(gi));
+            prop_assert_eq!(
+                sweep.initial_scores_at_index(gi),
+                fresh.initial_scores_at_index(gi)
+            );
+            prop_assert_eq!(
+                sweep.method_counts_at_index(gi),
+                fresh.method_counts_at_index(gi)
+            );
+        }
+    }
+
+    /// The resident-service entry point: a handle repaired by
+    /// [`DecompHandle::apply_updates`] answers per-threshold queries
+    /// identically to a handle built fresh on the updated graph.
+    #[test]
+    fn handle_update_answers_like_a_fresh_handle(
+        case in arb_graph_and_batch(10, 0.65),
+    ) {
+        let (g, batch) = case;
+        for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+            let handle = DecompHandle::build(&g, rank, Parallelism::Sequential);
+            let updated = handle
+                .apply_updates(&g, &batch, Parallelism::Sequential)
+                .expect("batch is valid");
+            let fresh = DecompHandle::build(&updated.graph, rank, Parallelism::Sequential);
+            prop_assert_eq!(updated.handle.num_elements(), fresh.num_elements());
+            for &theta in &GRID {
+                let config = DecompConfig {
+                    rank,
+                    ..DecompConfig::core(theta)
+                };
+                let a = updated.handle.compute_at(&config).expect("valid config");
+                let b = fresh.compute_at(&config).expect("valid config");
+                prop_assert_eq!(
+                    a.scores(),
+                    b.scores(),
+                    "{} handle diverged at threshold {}",
+                    rank,
+                    theta
+                );
+                prop_assert_eq!(a.initial_scores(), b.initial_scores());
+            }
+        }
+    }
+
+    /// A rejected batch must leave the sweep untouched — same scores,
+    /// same grid, usable for further updates.
+    #[test]
+    fn rejected_batches_leave_the_sweep_untouched(
+        case in arb_graph_and_batch(9, 0.65),
+    ) {
+        let (g, mut batch) = case;
+        // Poison the tail of an otherwise valid batch.
+        batch.push(EdgeUpdate::Delete { u: 0, v: 999 });
+        let config = SweepConfig::exact(GRID.to_vec()).with_rank(Rank::Truss);
+        let mut sweep = DecompSweep::compute(&g, &config).expect("valid sweep config");
+        let before: Vec<Vec<u32>> = (0..GRID.len())
+            .map(|gi| sweep.scores_at_index(gi).to_vec())
+            .collect();
+        match sweep.apply_updates(&g, &batch) {
+            Err(NucleusError::Update(UpdateError::OffGraphEndpoint { vertex: 999, .. })) => {}
+            other => prop_assert!(false, "expected OffGraphEndpoint, got {:?}", other.err()),
+        }
+        for (gi, old) in before.iter().enumerate() {
+            prop_assert_eq!(sweep.scores_at_index(gi), &old[..]);
+        }
+        // Still fully functional: the valid prefix applies cleanly.
+        batch.pop();
+        let outcome = sweep.apply_updates(&g, &batch).expect("valid prefix applies");
+        let fresh = DecompSweep::compute(&outcome.graph, &config).expect("valid sweep config");
+        for gi in 0..GRID.len() {
+            prop_assert_eq!(sweep.scores_at_index(gi), fresh.scores_at_index(gi));
+        }
+    }
+}
+
+/// Builds the deterministic 6-clique fixture the adversarial cases use.
+fn clique(n: u32, p: f64) -> UncertainGraph {
+    let mut b = GraphBuilder::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v, p).unwrap();
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn deleting_every_edge_empties_every_rank() {
+    let g = clique(6, 0.8);
+    let batch: Vec<EdgeUpdate> = g
+        .edges()
+        .iter()
+        .map(|e| EdgeUpdate::Delete { u: e.u, v: e.v })
+        .collect();
+    for rank in [Rank::Core, Rank::Truss, Rank::Nucleus] {
+        let config = SweepConfig::exact(GRID.to_vec()).with_rank(rank);
+        let mut sweep = DecompSweep::compute(&g, &config).expect("valid sweep config");
+        let outcome = sweep
+            .apply_updates(&g, &batch)
+            .expect("full deletion is valid");
+        assert_eq!(outcome.graph.num_edges(), 0);
+        assert_eq!(outcome.report.removed_edges, 15);
+        let fresh = DecompSweep::compute(&outcome.graph, &config).expect("valid sweep config");
+        assert_eq!(sweep.num_elements(), fresh.num_elements(), "{rank}");
+        for gi in 0..GRID.len() {
+            assert_eq!(
+                sweep.scores_at_index(gi),
+                fresh.scores_at_index(gi),
+                "{rank}"
+            );
+        }
+        // Core elements survive (vertices are fixed) with score 0; the
+        // edge and triangle ranks lose every element.
+        match rank {
+            Rank::Core => {
+                assert_eq!(sweep.num_elements(), 6);
+                assert!(sweep.scores_at_index(0).iter().all(|&s| s == 0));
+            }
+            _ => assert_eq!(sweep.num_elements(), 0),
+        }
+    }
+}
+
+#[test]
+fn empty_batch_is_a_true_noop() {
+    let g = clique(5, 0.7);
+    let config = SweepConfig::exact(GRID.to_vec()).with_rank(Rank::Nucleus);
+    let mut sweep = DecompSweep::compute(&g, &config).expect("valid sweep config");
+    let before: Vec<Vec<u32>> = (0..GRID.len())
+        .map(|gi| sweep.scores_at_index(gi).to_vec())
+        .collect();
+    let outcome = sweep.apply_updates(&g, &[]).expect("empty batch is valid");
+    assert_eq!(outcome.report.inserted_edges, 0);
+    assert_eq!(outcome.report.removed_edges, 0);
+    assert_eq!(outcome.report.reweighted_edges, 0);
+    assert_eq!(outcome.report.affected_elements, 0);
+    assert_eq!(outcome.report.region_elements, 0);
+    assert_eq!(outcome.graph.num_edges(), 5 * 4 / 2);
+    for (gi, old) in before.iter().enumerate() {
+        assert_eq!(sweep.scores_at_index(gi), &old[..]);
+    }
+}
+
+#[test]
+fn conflicting_batches_are_rejected_atomically() {
+    let g = clique(5, 0.7);
+    let config = SweepConfig::exact(GRID.to_vec()).with_rank(Rank::Truss);
+    let mut sweep = DecompSweep::compute(&g, &config).expect("valid sweep config");
+    let before = sweep.scores_at_index(0).to_vec();
+    // Double delete of the same edge: the second one hits a missing edge.
+    let batch = [
+        EdgeUpdate::Delete { u: 0, v: 1 },
+        EdgeUpdate::Delete { u: 0, v: 1 },
+    ];
+    match sweep.apply_updates(&g, &batch) {
+        Err(NucleusError::Update(UpdateError::EdgeMissing { index: 1, .. })) => {}
+        other => panic!("expected EdgeMissing at index 1, got {:?}", other.err()),
+    }
+    // Insert of an edge that already exists.
+    let batch = [EdgeUpdate::Insert { u: 0, v: 1, p: 0.5 }];
+    match sweep.apply_updates(&g, &batch) {
+        Err(NucleusError::Update(UpdateError::EdgeExists { index: 0, .. })) => {}
+        other => panic!("expected EdgeExists at index 0, got {:?}", other.err()),
+    }
+    assert_eq!(sweep.scores_at_index(0), &before[..]);
+}
