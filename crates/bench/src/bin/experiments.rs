@@ -20,10 +20,14 @@
 //!                     [--seed N] [--thetas GRID] [--batch B] [--out PATH]
 //!                     [--input PATH [--format F] [--prob-model M]]
 //!
-//! experiments gen [--edges M] [--vertices N] [--seed N] --out PATH
-//!                 [--snapshot PATH]
+//! experiments gen [--gen gnm|ba] [--edges M] [--vertices N] [--seed N]
+//!                 [--attach K] --out PATH [--snapshot PATH]
+//!
+//! experiments million [--vertices N] [--attach K] [--seed N] [--threads T]
+//!                     [--chunk-edges C] [--thetas GRID] [--out PATH]
 //!
 //! experiments bench-compare OLD.json NEW.json [--tolerance F]
+//!                           [--deny-generation-skew]
 //!
 //! experiments serve [--port P] [--cache N] [--threads N] [--thetas GRID]
 //!                   [--edges M] [--vertices N] [--seed N]
@@ -45,8 +49,8 @@
 use nd_bench::json::Json;
 use nd_bench::runner::ExperimentContext;
 use nd_bench::{
-    ablation, compare, fig4, fig5, fig6, fig7, fig8, parbench, serve, table1, table2, table3,
-    thetasweep, updates,
+    ablation, compare, fig4, fig5, fig6, fig7, fig8, million, parbench, serve, table1, table2,
+    table3, thetasweep, updates,
 };
 use nd_datasets::{ExternalDataset, PaperDataset, Scale};
 use ugraph::io::EdgeProbabilityModel;
@@ -73,6 +77,10 @@ fn main() {
     }
     if id == "gen" {
         run_gen(&args);
+        return;
+    }
+    if id == "million" {
+        run_million(&args);
         return;
     }
     if id == "bench-compare" {
@@ -167,7 +175,7 @@ fn print_usage() {
          \x20                   [--input PATH [--format F] [--prob-model M]]\n\
          \x20   one sweep index build vs independent per-threshold runs at the\n\
          \x20   chosen (r,s) rank (default nucleus; the grid is the eta/gamma\n\
-         \x20   grid at the core/truss ranks); emits bench-parallel/v5 JSON\n\
+         \x20   grid at the core/truss ranks); emits bench-parallel/v6 JSON\n\
          \x20   with rank + support_builds + amortization\n\
          \n\
          experiments updates [--rank core|truss|nucleus] [--edges M]\n\
@@ -179,14 +187,26 @@ fn print_usage() {
          \x20   repair path, verify bit-identity against a full rebuild and\n\
          \x20   emit bench-updates/v1 JSON with repair-vs-rebuild dp_calls\n\
          \n\
-         experiments gen [--edges M] [--vertices N] [--seed N] --out PATH\n\
-         \x20            [--snapshot PATH]\n\
+         experiments gen [--gen gnm|ba] [--edges M] [--vertices N] [--seed N]\n\
+         \x20            [--attach K] --out PATH [--snapshot PATH]\n\
+         \x20   --gen ba is the power-law Barabasi-Albert generator of the\n\
+         \x20   million-edge baseline (reaches 1M+ edges from --edges 1000000)\n\
+         \n\
+         experiments million [--vertices N] [--attach K] [--seed N]\n\
+         \x20                [--threads T] [--chunk-edges C] [--thetas 0.1,0.5]\n\
+         \x20                [--out BENCH_million.json]\n\
+         \x20   million-edge memory-scaling baseline: seeded BA graph, snapshot\n\
+         \x20   mmap-vs-owned reload (bit-identity asserted), 1-vs-T-thread\n\
+         \x20   triangle phase, streaming index build, truss sweep; emits\n\
+         \x20   bench-million/v1 JSON with peak_rss_bytes\n\
          \n\
          experiments bench-compare OLD.json NEW.json [--tolerance F]\n\
-         \x20   diffs two bench-parallel/*, bench-serve/* or bench-updates/*\n\
-         \x20   reports; exits 1 when a deterministic counter (dp_calls, counts,\n\
-         \x20   reload_speedup, server stats, repair work) regresses beyond the\n\
-         \x20   relative tolerance (default 0).\n\
+         \x20                      [--deny-generation-skew]\n\
+         \x20   diffs two bench-parallel/*, bench-serve/*, bench-updates/* or\n\
+         \x20   bench-million/* reports; exits 1 when a deterministic counter\n\
+         \x20   (dp_calls, counts, reload_speedup, server stats, repair work)\n\
+         \x20   regresses beyond the relative tolerance (default 0), or — with\n\
+         \x20   --deny-generation-skew — when the two schema generations differ.\n\
          \x20   Wall times are never gated.\n\
          \n\
          experiments serve [--port P] [--cache N] [--threads N]\n\
@@ -212,6 +232,7 @@ fn run_bench_compare(args: &[String]) {
     // `--tolerance 0.1` may appear before, between or after the files.
     let mut files: Vec<&str> = Vec::new();
     let mut tolerance = 0.0f64;
+    let mut deny_skew = false;
     let mut args_iter = args[1..].iter();
     while let Some(arg) = args_iter.next() {
         if arg == "--tolerance" {
@@ -221,6 +242,8 @@ fn run_bench_compare(args: &[String]) {
             tolerance = spec
                 .parse::<f64>()
                 .unwrap_or_else(|_| fail(&format!("invalid --tolerance '{spec}'")));
+        } else if arg == "--deny-generation-skew" {
+            deny_skew = true;
         } else if arg.starts_with("--") {
             fail(&format!("bench-compare: unknown flag '{arg}'"));
         } else {
@@ -240,6 +263,17 @@ fn run_bench_compare(args: &[String]) {
         compare::compare(&read(old_path), &read(new_path), tolerance).unwrap_or_else(|e| fail(&e));
     println!("# bench-compare  old: {old_path}  new: {new_path}  tolerance: {tolerance}\n");
     println!("{}", report.format());
+    if let Some(skew) = report.generation_skew() {
+        if deny_skew {
+            eprintln!(
+                "generation skew denied: {skew}\n\
+                 committed baselines must share one schema generation — regenerate \
+                 the stale baseline so every gated counter is live"
+            );
+            std::process::exit(1);
+        }
+        println!("generation skew: {skew} (allowed; pass --deny-generation-skew to refuse)");
+    }
     if !report.regressions().is_empty() {
         std::process::exit(1);
     }
@@ -450,19 +484,54 @@ fn run_updates(args: &[String]) {
 }
 
 /// Generates a seeded benchmark graph and writes it as a text edge list
-/// (and optionally a `.ugsnap` snapshot).
+/// (and optionally a `.ugsnap` snapshot).  `--gen gnm` (the default) is
+/// the uniform G(n, m) of the 50k benches; `--gen ba` is the power-law
+/// Barabási–Albert generator of the million-edge baseline, which reaches
+/// 1M+ edges from `--edges 1000000` (or `--vertices`/`--attach`).
 fn run_gen(args: &[String]) {
-    let edges: usize = parse_num_flag(args, "--edges").unwrap_or(50_000);
-    let vertices: usize = parse_num_flag(args, "--vertices").unwrap_or((edges / 25).max(4));
+    let generator = parse_flag(args, "--gen").unwrap_or_else(|| "gnm".to_string());
     let seed: u64 = parse_num_flag(args, "--seed").unwrap_or(42);
     let Some(out) = parse_flag(args, "--out") else {
         fail("gen requires --out PATH");
     };
-    let graph = parbench::generate_graph(vertices, edges, seed);
+    let graph = match generator.as_str() {
+        "gnm" => {
+            let edges: usize = parse_num_flag(args, "--edges").unwrap_or(50_000);
+            let vertices: usize = parse_num_flag(args, "--vertices").unwrap_or((edges / 25).max(4));
+            parbench::generate_graph(vertices, edges, seed)
+        }
+        "ba" => {
+            let attach: usize = parse_num_flag(args, "--attach").unwrap_or(5);
+            if attach == 0 {
+                fail("gen: --attach must be at least 1");
+            }
+            // --vertices wins; otherwise derive the vertex count that
+            // reaches the requested edge count (clique on attach+1 seed
+            // vertices plus `attach` edges per later vertex).
+            let vertices: usize = match parse_num_flag(args, "--vertices") {
+                Some(n) => n,
+                None => {
+                    let edges: usize = parse_num_flag(args, "--edges").unwrap_or(1_000_000);
+                    let clique = attach * (attach + 1) / 2;
+                    edges.saturating_sub(clique).div_ceil(attach) + attach + 1
+                }
+            };
+            let config = million::MillionBenchConfig {
+                vertices,
+                attach,
+                seed,
+                ..million::MillionBenchConfig::default()
+            };
+            million::generate_million_graph(&config)
+        }
+        other => fail(&format!(
+            "gen: unknown --gen '{other}' (expected gnm or ba)"
+        )),
+    };
     ugraph::io::write_edge_list_file(&graph, &out)
         .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     println!(
-        "wrote {out}: {} vertices, {} edges (seed {seed})",
+        "wrote {out}: {} vertices, {} edges ({generator}, seed {seed})",
         graph.num_vertices(),
         graph.num_edges()
     );
@@ -471,6 +540,57 @@ fn run_gen(args: &[String]) {
             .unwrap_or_else(|e| fail(&format!("cannot write {snap}: {e}")));
         println!("wrote {snap} (ugsnap v{})", ugraph::io::SNAPSHOT_VERSION);
     }
+}
+
+/// Runs the million-edge memory-scaling baseline and writes the
+/// `bench-million/v1` JSON report.
+fn run_million(args: &[String]) {
+    let mut config = million::MillionBenchConfig::default();
+    if let Some(n) = parse_num_flag(args, "--vertices") {
+        config.vertices = n;
+    }
+    if let Some(k) = parse_num_flag::<usize>(args, "--attach") {
+        if k == 0 {
+            fail("million: --attach must be at least 1");
+        }
+        config.attach = k;
+    }
+    if let Some(seed) = parse_num_flag(args, "--seed") {
+        config.seed = seed;
+    }
+    if let Some(t) = parse_num_flag::<usize>(args, "--threads") {
+        if t == 0 {
+            fail("million: --threads must be at least 1");
+        }
+        config.threads = t;
+    }
+    if let Some(c) = parse_num_flag::<usize>(args, "--chunk-edges") {
+        if c == 0 {
+            fail("million: --chunk-edges must be at least 1");
+        }
+        config.streaming_chunk_edges = c;
+    }
+    if let Some(thetas) = parse_thetas(args) {
+        config.thetas = thetas;
+    }
+    if let Err(e) = nucleus::ThetaSweep::new(nucleus::SweepConfig::exact(config.thetas.clone())) {
+        fail(&format!("million: {e}"));
+    }
+    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_million.json".to_string());
+    println!(
+        "# experiment: million  vertices: {}  attach: {}  (~{} edges)  threads: {}  grid: {:?}  seed: {}\n",
+        config.vertices,
+        config.attach,
+        config.expected_edges(),
+        config.threads,
+        config.thetas,
+        config.seed
+    );
+    let report = million::run(&config);
+    println!("{}", report.format());
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!("wrote {out_path}");
 }
 
 /// Parses the shared `--thetas 0.1,0.3` grid flag.

@@ -39,6 +39,19 @@
 //! `repair.dp_calls_excess` — score evaluations the repair spent *beyond*
 //! what a full rebuild would have — is Exact with a committed baseline of
 //! 0, so CI enforces repair ≤ rebuild at tolerance 0.
+//!
+//! `bench-million/*` reports (`experiments million`) gate the seeded
+//! graph shape, triangle count and snapshot size exactly; the mmap and
+//! thread-scaling wall figures are reported only, and the process-wide
+//! `peak_rss_bytes` probe uses the bounded-factor gate (fails only past
+//! 2x the baseline, and is skipped when the baseline host lacked the
+//! probe entirely).
+//!
+//! Committed baselines are expected to share one schema *generation*
+//! (all regenerated together when a schema bumps), otherwise one-sided
+//! counters silently drop out of the gate.  [`CompareReport::generation_skew`]
+//! detects the condition, and `experiments bench-compare
+//! --deny-generation-skew` (used by CI) turns it into a hard failure.
 
 use crate::json::Json;
 use crate::runner::format_table;
@@ -52,6 +65,11 @@ enum Gate {
     LowerIsBetter,
     /// An observed ratio; a decrease beyond tolerance fails.
     HigherIsBetter,
+    /// An environment probe (peak RSS): only gross growth fails — the
+    /// gate trips when `new > old * factor`.  `--tolerance` does not
+    /// apply, and a zero baseline (recorded on a platform without the
+    /// probe) skips the gate instead of failing every nonzero reading.
+    WithinFactor(u32),
     /// Reported for context only (wall clock and derived figures).
     ReportOnly,
 }
@@ -91,6 +109,28 @@ impl CompareReport {
             .iter()
             .filter(|r| r.regression.is_some())
             .collect()
+    }
+
+    /// `Some(description)` when the two reports belong to different
+    /// schema generations.  Cross-generation compares degrade gracefully
+    /// (one-sided counters are skipped with a note), which is right for
+    /// a one-off local diff but wrong for committed baselines — those
+    /// should all be regenerated at one generation so every gate is
+    /// live.  `experiments bench-compare --deny-generation-skew` turns
+    /// this condition into a hard failure.
+    pub fn generation_skew(&self) -> Option<String> {
+        if self.old_schema == self.new_schema {
+            return None;
+        }
+        let describe = |s: &str| match generation_of(s) {
+            Some(g) => format!("{s} (generation {g})"),
+            None => s.to_string(),
+        };
+        Some(format!(
+            "{} vs {}",
+            describe(&self.old_schema),
+            describe(&self.new_schema)
+        ))
     }
 
     /// Renders the comparison as a table plus notes.
@@ -144,11 +184,20 @@ const TRACKED: &[(&[&str], Gate)] = &[
     (&["peel", "reference_dp_calls"], Gate::ReportOnly),
     (&["peel", "recompute_skips"], Gate::ReportOnly),
     (&["peel", "buckets_touched"], Gate::ReportOnly),
-    (&["peel", "peak_scratch_bytes"], Gate::ReportOnly),
+    // Deterministic scratch accounting of the peeling engine: growth is
+    // a real algorithmic change, so it gates (bench-parallel/v6 onward;
+    // earlier baselines carry the counter and gate identically).
+    (&["peel", "peak_scratch_bytes"], Gate::LowerIsBetter),
+    // The kernel's VmHWM probe: noisy across allocators and hosts, so
+    // only gross growth (2x) fails.
+    (&["peel", "peak_rss_bytes"], Gate::WithinFactor(2)),
     (
         &["source", "ingest", "reload_speedup"],
         Gate::HigherIsBetter,
     ),
+    // Wall-derived mmap figures: printed for context, gated by CI on a
+    // fresh run rather than against baselines from other hardware.
+    (&["source", "ingest", "mmap_speedup"], Gate::ReportOnly),
     (&["baseline", "total_s"], Gate::ReportOnly),
     (&["peel", "peel_s"], Gate::ReportOnly),
     (&["peel", "reference_peel_s"], Gate::ReportOnly),
@@ -201,6 +250,25 @@ const TRACKED: &[(&[&str], Gate)] = &[
     (&["repair", "repair_dp_calls"], Gate::LowerIsBetter),
     (&["repair", "rebuild_dp_calls"], Gate::ReportOnly),
     (&["repair", "dp_calls_excess"], Gate::Exact),
+    // Million-edge memory-scaling baseline (bench-million/v1,
+    // `experiments million`).  The generator is seeded, so the graph
+    // shape, triangle count (gated through the shared `counts` paths)
+    // and snapshot size are Exact; the reload/mmap wall numbers are
+    // reported only — CI gates those on a fresh run, never against a
+    // baseline measured on other hardware — and the RSS probe gets the
+    // bounded-factor gate.
+    (&["million", "vertices"], Gate::Exact),
+    (&["million", "edges"], Gate::Exact),
+    (&["million", "snapshot_bytes"], Gate::Exact),
+    (&["million", "streaming_chunk_edges"], Gate::Exact),
+    (&["million", "snapshot_write_s"], Gate::ReportOnly),
+    (&["million", "owned_reload_s"], Gate::ReportOnly),
+    (&["million", "mmap_open_s"], Gate::ReportOnly),
+    (&["million", "mmap_speedup"], Gate::ReportOnly),
+    (&["million", "triangles_1t_s"], Gate::ReportOnly),
+    (&["million", "triangles_nt_s"], Gate::ReportOnly),
+    (&["million", "triangle_speedup"], Gate::ReportOnly),
+    (&["million", "peak_rss_bytes"], Gate::WithinFactor(2)),
 ];
 
 /// The explicit `rank` field of a report, when present (v5+).
@@ -212,7 +280,12 @@ fn rank_of(doc: &Json) -> Option<String> {
 /// families (a parallel bench vs a serve smoke) share no gated counters
 /// and describe different artifacts, so comparing across them is
 /// refused rather than silently reporting "everything skipped, OK".
-const FAMILIES: &[&str] = &["bench-parallel", "bench-serve", "bench-updates"];
+const FAMILIES: &[&str] = &[
+    "bench-parallel",
+    "bench-serve",
+    "bench-updates",
+    "bench-million",
+];
 
 fn schema_of(doc: &Json, which: &str) -> Result<(String, String), String> {
     let schema = doc
@@ -222,11 +295,21 @@ fn schema_of(doc: &Json, which: &str) -> Result<(String, String), String> {
     let family = schema.split('/').next().unwrap_or(schema);
     if !FAMILIES.contains(&family) {
         return Err(format!(
-            "{which} report has schema \"{schema}\", expected bench-parallel/*, \
-             bench-serve/* or bench-updates/*"
+            "{which} report has schema \"{schema}\", expected one of: {}",
+            FAMILIES
+                .iter()
+                .map(|f| format!("{f}/*"))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
     }
     Ok((family.to_string(), schema.to_string()))
+}
+
+/// The numeric generation of a `family/vN` schema string — `6` for
+/// `bench-parallel/v6`, `None` when the suffix is not of that shape.
+pub fn generation_of(schema: &str) -> Option<u64> {
+    schema.rsplit('/').next()?.strip_prefix('v')?.parse().ok()
 }
 
 /// Compares two parsed reports.  `tolerance` is a relative fraction
@@ -368,6 +451,22 @@ fn judge(
                 )
             } else if new_v > old_v {
                 (None, "improved".to_string())
+            } else {
+                (None, "ok".to_string())
+            }
+        }
+        Gate::WithinFactor(factor) => {
+            if old_v == 0.0 {
+                // The baseline host lacked the probe (e.g. no
+                // /proc/self/status): nothing meaningful to gate against.
+                (None, "skipped".to_string())
+            } else if new_v > old_v * factor as f64 {
+                (
+                    Some(format!(
+                        "grew past {factor}x the baseline (old {old_v}, new {new_v})"
+                    )),
+                    "REGRESSED".to_string(),
+                )
             } else {
                 (None, "ok".to_string())
             }
@@ -825,5 +924,96 @@ mod tests {
         assert!(err.contains("schema family mismatch"), "{err}");
         let err = compare(&serve(8, 1, 0), &v5("nucleus", 1, 400, 20821), 0.0).unwrap_err();
         assert!(err.contains("schema family mismatch"), "{err}");
+    }
+
+    fn million(edges: u64, snapshot_bytes: u64, rss: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-million/v1",
+                  "rank": "truss",
+                  "source": {{ "kind": "generated" }},
+                  "counts": {{ "triangles": 3100000 }},
+                  "million": {{ "vertices": 200005, "edges": {edges},
+                                "snapshot_bytes": {snapshot_bytes},
+                                "streaming_chunk_edges": 65536,
+                                "snapshot_write_s": 0.9, "owned_reload_s": 0.08,
+                                "mmap_open_s": 0.002, "mmap_speedup": 40.0,
+                                "triangles_1t_s": 2.0, "triangles_nt_s": 0.7,
+                                "triangle_speedup": 2.8,
+                                "peak_rss_bytes": {rss} }},
+                  "sweep": {{ "grid_size": 2, "support_builds": 1,
+                              "dp_calls_total": 5000000, "sweep_s": 30.0 }} }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn million_reports_gate_shape_exactly_and_walls_not_at_all() {
+        let base = million(1_000_025, 48_001_296, 3_000_000_000);
+        let ok = compare(&base, &million(1_000_025, 48_001_296, 3_000_000_000), 0.0).unwrap();
+        assert!(ok.regressions().is_empty(), "{}", ok.format());
+        // A drifted edge count or snapshot size is an algorithm/format
+        // change; a wildly different mmap_speedup is just another host.
+        let drifted = compare(&base, &million(1_000_026, 48_001_296, 3_000_000_000), 0.0).unwrap();
+        assert_eq!(drifted.regressions()[0].name, "million.edges");
+        let bigger = compare(&base, &million(1_000_025, 48_999_999, 3_000_000_000), 0.0).unwrap();
+        assert_eq!(bigger.regressions()[0].name, "million.snapshot_bytes");
+    }
+
+    #[test]
+    fn rss_gate_fails_only_past_the_factor_and_skips_zero_baselines() {
+        let base = million(1_000_025, 48_001_296, 3_000_000_000);
+        // 1.9x growth passes, 2.1x fails, shrinking is fine.
+        assert!(
+            compare(&base, &million(1_000_025, 48_001_296, 5_700_000_000), 0.0)
+                .unwrap()
+                .regressions()
+                .is_empty()
+        );
+        let report = compare(&base, &million(1_000_025, 48_001_296, 6_300_000_000), 0.0).unwrap();
+        assert_eq!(report.regressions()[0].name, "million.peak_rss_bytes");
+        assert!(report.format().contains("grew past 2x"));
+        assert!(
+            compare(&base, &million(1_000_025, 48_001_296, 1_000_000), 0.0)
+                .unwrap()
+                .regressions()
+                .is_empty()
+        );
+        // A baseline recorded without the probe (0) gates nothing.
+        let blind = million(1_000_025, 48_001_296, 0);
+        let report = compare(&blind, &base, 0.0).unwrap();
+        assert!(report.regressions().is_empty(), "{}", report.format());
+        let rss_row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "million.peak_rss_bytes")
+            .unwrap();
+        assert_eq!(rss_row.verdict, "skipped");
+    }
+
+    #[test]
+    fn million_vs_parallel_compares_are_refused() {
+        let err = compare(
+            &million(1_000_025, 48_001_296, 0),
+            &v3(100, 20821, None),
+            0.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("schema family mismatch"), "{err}");
+    }
+
+    #[test]
+    fn generation_skew_is_detected_and_parses_versions() {
+        assert_eq!(generation_of("bench-parallel/v6"), Some(6));
+        assert_eq!(generation_of("bench-serve/v2"), Some(2));
+        assert_eq!(generation_of("bench-parallel"), None);
+        assert_eq!(generation_of("bench-parallel/beta"), None);
+        // Same schema: no skew.
+        let same = compare(&v3(100, 20821, None), &v3(100, 20821, None), 0.0).unwrap();
+        assert_eq!(same.generation_skew(), None);
+        // Cross-generation: flagged with both versions spelled out.
+        let skewed = compare(&v3(100, 20821, None), &v4(1, 400, 20821), 0.0).unwrap();
+        let msg = skewed.generation_skew().expect("skew detected");
+        assert!(msg.contains("bench-parallel/v3 (generation 3)"), "{msg}");
+        assert!(msg.contains("bench-parallel/v4 (generation 4)"), "{msg}");
     }
 }

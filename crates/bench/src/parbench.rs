@@ -8,11 +8,13 @@
 //! of the substrate becomes a tracked, diffable artifact instead of a
 //! number in a PR description.
 //!
-//! The JSON schema (`bench-parallel/v3`):
+//! The JSON schema (`bench-parallel/v6` — the documented field-by-field
+//! reference of every bench report family lives in
+//! `docs/BENCH_SCHEMAS.md`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench-parallel/v3",
+//!   "schema": "bench-parallel/v6",
 //!   "source": { "kind": "generated", "generator": "gnm-uniform",
 //!               "requested_vertices": 2000, "requested_edges": 50000,
 //!               "seed": 42 },
@@ -21,6 +23,7 @@
 //!   "counts": { "triangles": 16500, "four_cliques": 120 },
 //!   "peel": { "theta": 0.1, "dp_calls": 8, "recompute_skips": 120,
 //!             "buckets_touched": 3, "peak_scratch_bytes": 1840,
+//!             "peak_rss_bytes": 73400320,
 //!             "reference_dp_calls": 150, "dp_calls_saved_pct": 94.7,
 //!             "max_score": 2,
 //!             "method_counts": [ { "method": "DP", "count": 16500 } ],
@@ -51,7 +54,9 @@
 //!             "prob_model": "column",
 //!             "ingest": { "parse_s": 1.21, "snapshot_write_s": 0.05,
 //!                         "snapshot_reload_s": 0.07,
-//!                         "reload_speedup": 17.3 } }
+//!                         "reload_speedup": 17.3,
+//!                         "snapshot_mmap_s": 0.004, "mmap_speedup": 17.5,
+//!                         "mmap_used": true } }
 //! ```
 //!
 //! Timings are best-of-`repeats` wall-clock seconds per phase; `speedup`
@@ -162,8 +167,17 @@ pub struct IngestTimings {
     pub parse_s: f64,
     /// Seconds to write the `.ugsnap` snapshot cache.
     pub snapshot_write_s: f64,
-    /// Seconds to reload the graph from that snapshot.
+    /// Seconds to reload the graph from that snapshot through the owned
+    /// byte-copying decoder.
     pub snapshot_reload_s: f64,
+    /// Seconds to open the same snapshot through
+    /// [`ugraph::io::open_snapshot`], which memory-maps and borrows the
+    /// sections in place when the platform allows it.
+    pub snapshot_mmap_s: f64,
+    /// Whether the open actually took the zero-copy mapped path (`false`
+    /// means the platform or file forced the owned fallback, so
+    /// `snapshot_mmap_s` measures a second owned decode).
+    pub mmap_used: bool,
 }
 
 impl IngestTimings {
@@ -171,6 +185,12 @@ impl IngestTimings {
     /// the figure of merit of the snapshot cache.
     pub fn reload_speedup(&self) -> f64 {
         self.parse_s / self.snapshot_reload_s.max(1e-9)
+    }
+
+    /// How much faster the zero-copy open is than the owned decode —
+    /// the figure of merit of the mmap reader.
+    pub fn mmap_speedup(&self) -> f64 {
+        self.snapshot_reload_s / self.snapshot_mmap_s.max(1e-9)
     }
 }
 
@@ -437,12 +457,29 @@ pub(crate) fn ingest(
         "snapshot reload of {} diverged from the parsed graph",
         input.path.display()
     );
+    // Differential check of the zero-copy path: the mapped graph must be
+    // bit-identical to the parsed one, and its open time is the tracked
+    // figure of merit of the mmap reader.
+    let (mapped, mmap_t) = Timing::measure(|| io::open_snapshot(&cache));
+    let mapped = mapped.map_err(|error| IngestError::SnapshotReload {
+        path: cache.clone(),
+        error,
+    })?;
+    let mmap_used = mapped.is_mapped();
+    assert_eq!(
+        graph,
+        *mapped.graph(),
+        "zero-copy snapshot open of {} diverged from the parsed graph",
+        cache.display()
+    );
     Ok((
         graph,
         Some(IngestTimings {
             parse_s: parse_t.seconds(),
             snapshot_write_s: write_t.seconds(),
             snapshot_reload_s: reload_t.seconds(),
+            snapshot_mmap_s: mmap_t.seconds(),
+            mmap_used,
         }),
     ))
 }
@@ -559,14 +596,19 @@ pub(crate) fn json_source_object(
             "{{ \"kind\": \"file\", \"path\": \"{}\", \"format\": \"{}\", \
                  \"prob_model\": \"{}\",\n             \"ingest\": {{ \"parse_s\": {:.6}, \
                  \"snapshot_write_s\": {:.6}, \"snapshot_reload_s\": {:.6}, \
-                 \"reload_speedup\": {:.3} }} }}",
+                 \"reload_speedup\": {:.3},\n                         \
+                 \"snapshot_mmap_s\": {:.6}, \"mmap_speedup\": {:.3}, \
+                 \"mmap_used\": {} }} }}",
             json_escape(&input.path.display().to_string()),
             input.format,
             json_escape(&input.probability.to_string()),
             t.parse_s,
             t.snapshot_write_s,
             t.snapshot_reload_s,
-            t.reload_speedup()
+            t.reload_speedup(),
+            t.snapshot_mmap_s,
+            t.mmap_speedup(),
+            t.mmap_used
         ),
         // Snapshot sources (or an unwritable cache) have no ingest
         // timings, but the provenance is still the file.
@@ -615,7 +657,8 @@ impl ParBenchReport {
             .collect();
         format!(
             "{{ \"theta\": {:.6}, \"dp_calls\": {}, \"recompute_skips\": {}, \
-             \"buckets_touched\": {}, \"peak_scratch_bytes\": {},\n            \
+             \"buckets_touched\": {}, \"peak_scratch_bytes\": {}, \
+             \"peak_rss_bytes\": {},\n            \
              \"reference_dp_calls\": {}, \"dp_calls_saved_pct\": {:.3}, \"max_score\": {},\n            \
              \"method_counts\": [ {} ],\n            \
              \"peel_s\": {:.6}, \"reference_peel_s\": {:.6} }}",
@@ -624,6 +667,7 @@ impl ParBenchReport {
             self.peel.stats.recompute_skips,
             self.peel.stats.buckets_touched,
             self.peel.stats.peak_scratch_bytes,
+            self.peel.stats.peak_rss_bytes,
             self.peel.reference_dp_calls,
             self.peel.dp_calls_saved_pct(),
             self.peel.max_score,
@@ -633,7 +677,7 @@ impl ParBenchReport {
         )
     }
 
-    /// Serializes the report to the `bench-parallel/v3` JSON schema.
+    /// Serializes the report to the `bench-parallel/v6` JSON schema.
     pub fn to_json(&self) -> String {
         let runs: Vec<String> = self
             .runs
@@ -641,7 +685,7 @@ impl ParBenchReport {
             .map(|r| format!("    {}", json_run(r)))
             .collect();
         format!(
-            "{{\n  \"schema\": \"bench-parallel/v3\",\n  \"source\": {},\n  \
+            "{{\n  \"schema\": \"bench-parallel/v6\",\n  \"source\": {},\n  \
              \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"repeats\": {},\n  \
              \"available_parallelism\": {},\n  \"counts\": {{ \"triangles\": {}, \
              \"four_cliques\": {} }},\n  \"peel\": {},\n  \"baseline\": {},\n  \
@@ -677,14 +721,18 @@ impl ParBenchReport {
         let source = match (&self.config.input, &self.ingest) {
             (Some(input), Some(t)) => format!(
                 "\ningest: {} ({}, {}) — parse {:.3}s, snapshot write {:.3}s, \
-                 reload {:.3}s ({:.1}x faster than parsing)",
+                 reload {:.3}s ({:.1}x faster than parsing), \
+                 mmap open {:.3}s ({:.1}x faster than the owned reload{})",
                 input.path.display(),
                 input.format,
                 input.probability,
                 t.parse_s,
                 t.snapshot_write_s,
                 t.snapshot_reload_s,
-                t.reload_speedup()
+                t.reload_speedup(),
+                t.snapshot_mmap_s,
+                t.mmap_speedup(),
+                if t.mmap_used { "" } else { "; owned fallback" }
             ),
             (Some(input), None) => format!(
                 "\ningest: {} ({}, {})",
@@ -769,7 +817,7 @@ mod tests {
     fn json_has_schema_and_parses_shape() {
         let report = run(&tiny_config()).unwrap();
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-parallel/v3\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v6\""));
         assert!(json.contains("\"kind\": \"generated\""));
         assert!(json.contains("\"counts\""));
         assert!(json.contains("\"peel\""));
@@ -787,6 +835,11 @@ mod tests {
             doc.path(&["peel", "dp_calls"])
                 .and_then(crate::json::Json::as_f64),
             Some(report.peel.stats.dp_calls as f64)
+        );
+        assert_eq!(
+            doc.path(&["peel", "peak_rss_bytes"])
+                .and_then(crate::json::Json::as_f64),
+            Some(report.peel.stats.peak_rss_bytes as f64)
         );
         assert_eq!(
             doc.path(&["peel", "reference_dp_calls"])
@@ -856,6 +909,11 @@ mod tests {
         let ingest = report.ingest.expect("input mode records ingest timings");
         assert!(ingest.parse_s > 0.0);
         assert!(ingest.snapshot_reload_s > 0.0);
+        assert!(ingest.snapshot_mmap_s > 0.0);
+        // Linux hosts must exercise the zero-copy path, not the fallback.
+        if cfg!(target_os = "linux") {
+            assert!(ingest.mmap_used, "mmap open fell back to the owned path");
+        }
         // The measured graph is the file's, not the generator's.
         assert_eq!(report.actual_edges, 400);
 
@@ -864,7 +922,9 @@ mod tests {
         assert!(json.contains("\"format\": \"snap\""));
         assert!(json.contains("\"prob_model\": \"column\""));
         assert!(json.contains("\"reload_speedup\""));
-        assert!(json.contains("\"schema\": \"bench-parallel/v3\""));
+        assert!(json.contains("\"mmap_speedup\""));
+        assert!(json.contains("\"mmap_used\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v6\""));
         assert!(report.format().contains("ingest:"));
         assert!(report.format().contains("peel (theta"));
         std::fs::remove_dir_all(&dir).ok();

@@ -13,8 +13,8 @@
 //!   elsewhere), then runs an **independent** decomposition per
 //!   threshold (support rebuilt each time, exactly what a caller without
 //!   the index would do), asserts every per-threshold result is
-//!   bit-identical, and emits a `bench-parallel/v5` JSON report: the
-//!   shared `counts`/`source` objects of the v3 schema plus a top-level
+//!   bit-identical, and emits a `bench-parallel/v6` JSON report: the
+//!   shared `counts`/`source` objects of the parbench schema plus a top-level
 //!   `rank` string and a `sweep` object with `support_builds` (gated
 //!   `== 1` in CI), per-threshold peel counters, the summed
 //!   `dp_calls_total` vs `independent_dp_calls_total`, and the measured
@@ -175,7 +175,7 @@ impl SweepBenchReport {
         }
     }
 
-    /// Serializes the report to the `bench-parallel/v5` JSON schema.
+    /// Serializes the report to the `bench-parallel/v6` JSON schema.
     pub fn to_json(&self) -> String {
         let grid: Vec<String> = self
             .per_theta
@@ -188,20 +188,22 @@ impl SweepBenchReport {
             .map(|p| {
                 format!(
                     "      {{ \"theta\": {:.6}, \"dp_calls\": {}, \"recompute_skips\": {}, \
-                     \"buckets_touched\": {}, \"peak_scratch_bytes\": {}, \"max_score\": {}, \
+                     \"buckets_touched\": {}, \"peak_scratch_bytes\": {}, \
+                     \"peak_rss_bytes\": {}, \"max_score\": {}, \
                      \"independent_dp_calls\": {} }}",
                     p.theta,
                     p.stats.dp_calls,
                     p.stats.recompute_skips,
                     p.stats.buckets_touched,
                     p.stats.peak_scratch_bytes,
+                    p.stats.peak_rss_bytes,
                     p.max_score,
                     p.independent_dp_calls
                 )
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"bench-parallel/v5\",\n  \"rank\": \"{}\",\n  \
+            "{{\n  \"schema\": \"bench-parallel/v6\",\n  \"rank\": \"{}\",\n  \
              \"source\": {},\n  \
              \"vertices\": {},\n  \"edges\": {},\n  \"seed\": {},\n  \"repeats\": {},\n  \
              \"available_parallelism\": {},\n  \"counts\": {},\n  \
@@ -653,10 +655,10 @@ mod tests {
     }
 
     #[test]
-    fn json_has_v5_schema_and_parses_shape() {
+    fn json_has_v6_schema_and_parses_shape() {
         let report = run_bench(&tiny_config()).unwrap();
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v6\""));
         assert!(json.contains("\"rank\": \"nucleus\""));
         assert!(json.contains("\"kind\": \"generated\""));
         let doc = crate::json::Json::parse(&json).expect("report JSON parses");
@@ -680,6 +682,9 @@ mod tests {
                 .and_then(crate::json::Json::as_f64),
             Some(report.num_triangles.unwrap() as f64)
         );
+        // Every per-theta row carries the RSS probe next to the
+        // deterministic scratch peak.
+        assert!(json.contains("\"peak_rss_bytes\""));
     }
 
     #[test]
@@ -727,7 +732,7 @@ mod tests {
         assert_eq!(report.actual_edges, 400);
         let json = report.to_json();
         assert!(json.contains("\"kind\": \"file\""));
-        assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v6\""));
         assert!(report.format().contains("amortization"));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -748,7 +753,7 @@ mod tests {
             assert!(w[1].max_score <= w[0].max_score);
         }
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bench-parallel/v5\""));
+        assert!(json.contains("\"schema\": \"bench-parallel/v6\""));
         assert!(json.contains("\"rank\": \"truss\""));
         assert!(json.contains("\"triangles\""));
         assert!(!json.contains("four_cliques"));

@@ -136,9 +136,9 @@ impl ExternalDataset {
         let bytes = std::fs::read(&self.path)?;
         let fingerprint = self.fingerprint(io::xxh64(&bytes, 0));
         let cache = self.cache_path_for(fingerprint);
-        if let Ok((graph, tag)) = io::read_snapshot_file_tagged(&cache) {
+        if let Ok((source, tag)) = io::open_snapshot_tagged(&cache) {
             if tag == fingerprint {
-                return Ok(graph);
+                return Ok(source.into_graph());
             }
         }
         let graph = self.parse_bytes(&bytes)?;

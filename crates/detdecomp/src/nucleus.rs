@@ -74,6 +74,12 @@ impl NucleusDecomposition {
         // reverse triangle → cliques adjacency.
         let mut cliques: Vec<[TriangleId; 4]> = Vec::with_capacity(clique_vertices.len());
         let mut cliques_of: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
+        // Clique indices are packed into `u32` ids; narrow through the
+        // checked constructor so a count past 2^32 fails typed.
+        if let Some(last) = clique_vertices.len().checked_sub(1) {
+            ugraph::error::checked_id("4-clique", last)
+                .expect("4-clique count exceeds the packed 32-bit id space");
+        }
         for (ci, clique) in clique_vertices.iter().enumerate() {
             let mut ids = [0 as TriangleId; 4];
             for (slot, t) in clique.triangles().iter().enumerate() {

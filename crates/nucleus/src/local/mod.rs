@@ -15,7 +15,7 @@
 //! The peeling itself runs on the engine of [`peel`]: a monotone bucket
 //! queue with deferred, batched DP recomputation and reusable scratch
 //! buffers, emitting deterministic [`PeelStats`] perf counters.  The
-//! original eager heap engine survives as [`reference`] (tests and the
+//! original eager heap engine survives as [`mod@reference`] (tests and the
 //! `reference-peel` feature) and the two are property-tested to produce
 //! bit-identical results.
 //!
@@ -97,7 +97,7 @@ impl LocalNucleusDecomposition {
     /// The initial κ pass runs in parallel chunks under
     /// `config.parallelism` with an ordered merge, the peeling runs on
     /// the engine of [`peel`]; results are bit-identical for every
-    /// parallelism setting and to the [`reference`] engine.
+    /// parallelism setting and to the [`mod@reference`] engine.
     pub fn with_support(support: SupportStructure, config: &LocalConfig) -> Result<Self> {
         config.validate()?;
         let point = decompose_point(&support, config);

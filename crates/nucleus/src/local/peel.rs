@@ -30,7 +30,7 @@
 //!   bound `min(κ, alive)` cannot exceed the current level, because the
 //!   clamped score is then pinned to the level no matter what the DP
 //!   would say.
-//! * **Scratch arena** ([`ScoreScratch`]): the probability gather buffer
+//! * **Scratch arena** (`ScoreScratch`): the probability gather buffer
 //!   and the DP pmf/tail tables are reused across evaluations, so the
 //!   steady state allocates nothing.
 //!
@@ -269,6 +269,7 @@ fn peel_eager(
     }
 
     stats.peak_scratch_bytes = scratch.peak_bytes;
+    stats.peak_rss_bytes = ugraph::metrics::peak_rss_bytes();
     (scores, stats)
 }
 

@@ -166,7 +166,13 @@ impl SupportStructure {
 
         // The reverse index is a cheap sequential fill: O(4 · #cliques)
         // pushes into per-triangle lists, ordered by clique id exactly as
-        // in the sequential build.
+        // in the sequential build.  Clique indices are packed into `u32`
+        // ids; the narrowing goes through the checked constructor so a
+        // count past 2^32 fails typed instead of wrapping.
+        if let Some(last) = cliques.len().checked_sub(1) {
+            ugraph::error::checked_id("4-clique", last)
+                .expect("4-clique count exceeds the packed 32-bit id space");
+        }
         let mut cliques_of: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
         for (record_id, record) in cliques.iter().enumerate() {
             for &t in &record.triangles {

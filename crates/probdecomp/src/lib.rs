@@ -19,7 +19,7 @@
 //! surface (`DecompConfig::core(eta)` / `DecompConfig::truss(gamma)`);
 //! these wrappers remain for the baseline-flavoured accessors
 //! (`vertices_in_core`, `edges_in_truss`, subgraph extraction).  The
-//! pre-redesign eager peels are frozen verbatim in [`reference`] and
+//! pre-redesign eager peels are frozen verbatim in [`mod@reference`] and
 //! pinned bit-identical to the generic engine by the differential tests.
 
 pub mod poisson_binomial;

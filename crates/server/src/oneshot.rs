@@ -2,7 +2,8 @@
 //! every answer bit-for-bit against direct library calls.
 //!
 //! This is what `experiments serve --oneshot` (and the CI `serve-smoke`
-//! job) runs.  The script is fixed, so every [`ServerStats`] counter it
+//! job) runs.  The script is fixed, so every [`crate::ServerStats`]
+//! counter it
 //! produces is a deterministic function of the graph and θ grid —
 //! `bench-compare` gates them at tolerance 0.  The script deliberately
 //! sends **no** malformed frames: `protocol_errors` must end at 0, which

@@ -45,8 +45,55 @@ pub enum GraphError {
     },
     /// A binary `.ugsnap` snapshot could not be decoded.
     Snapshot(SnapshotError),
+    /// A structure count overflowed the packed 32-bit id space.
+    IdOverflow(IdOverflow),
     /// Wrapper around I/O failures while reading or writing edge lists.
     Io(String),
+}
+
+/// A structure count exceeded the 32-bit id space the packed records
+/// use.
+///
+/// Triangles, 4-cliques and edges are addressed by dense `u32` ids
+/// (half the memory of `usize` on 64-bit targets — the difference
+/// between fitting a million-edge index in RAM or not).  The narrowing
+/// from `usize` counts happens only through [`checked_id`], which
+/// produces this typed error instead of silently wrapping past `2^32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// What kind of id overflowed (`"triangle"`, `"4-clique"`, …).
+    pub kind: &'static str,
+    /// The index that did not fit.
+    pub value: u64,
+}
+
+impl fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} index {} exceeds the 32-bit id space",
+            self.kind, self.value
+        )
+    }
+}
+
+impl std::error::Error for IdOverflow {}
+
+impl From<IdOverflow> for GraphError {
+    fn from(err: IdOverflow) -> Self {
+        GraphError::IdOverflow(err)
+    }
+}
+
+/// Checked narrowing of a `usize` index into a dense `u32` id.
+///
+/// The single gate every packed-id constructor goes through: returns
+/// [`IdOverflow`] for indices past `u32::MAX` instead of truncating.
+pub fn checked_id(kind: &'static str, index: usize) -> Result<u32, IdOverflow> {
+    u32::try_from(index).map_err(|_| IdOverflow {
+        kind,
+        value: index as u64,
+    })
 }
 
 /// Reasons a `.ugsnap` binary snapshot is rejected by
@@ -127,6 +174,7 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Snapshot(err) => write!(f, "snapshot error: {err}"),
+            GraphError::IdOverflow(err) => write!(f, "id overflow: {err}"),
             GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -225,6 +273,21 @@ mod tests {
             assert!(text.contains(needle), "{text}");
             assert!(text.contains("snapshot"));
         }
+    }
+
+    #[test]
+    fn checked_id_narrows_and_overflows_typed() {
+        assert_eq!(checked_id("triangle", 0), Ok(0));
+        assert_eq!(checked_id("triangle", u32::MAX as usize), Ok(u32::MAX));
+        let err = checked_id("4-clique", u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(err.kind, "4-clique");
+        assert_eq!(err.value, u32::MAX as u64 + 1);
+        let wrapped: GraphError = err.into();
+        let text = wrapped.to_string();
+        assert!(
+            text.contains("4-clique") && text.contains("32-bit"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! probability) is never duplicated as the source of truth.
 
 use crate::error::GraphError;
+use crate::mem::Section;
 use crate::Result;
 
 /// Identifier of a vertex; vertices are densely numbered `0..num_vertices`.
@@ -20,6 +21,11 @@ pub type EdgeId = u32;
 
 /// A single undirected probabilistic edge with canonical orientation
 /// `u < v`.
+///
+/// `#[repr(C)]` pins the layout to 16 bytes without padding (`u` at 0,
+/// `v` at 4, `p` at 8) so the binary snapshot format can persist the
+/// edge table verbatim and the zero-copy reader can borrow it in place.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Smaller endpoint.
@@ -76,15 +82,15 @@ impl Edge {
 pub struct UncertainGraph {
     /// CSR offsets: the neighbours of vertex `v` live at
     /// `neighbors[offsets[v]..offsets[v+1]]`.
-    offsets: Vec<usize>,
+    offsets: Section<usize>,
     /// Flattened adjacency lists, each sorted by neighbour id.
-    neighbors: Vec<VertexId>,
+    neighbors: Section<VertexId>,
     /// Probability of the edge to the corresponding neighbour.
-    neighbor_probs: Vec<f64>,
+    neighbor_probs: Section<f64>,
     /// Canonical edge id of the edge to the corresponding neighbour.
-    neighbor_edges: Vec<EdgeId>,
+    neighbor_edges: Section<EdgeId>,
     /// Canonical edge table (one entry per undirected edge, `u < v`).
-    edges: Vec<Edge>,
+    edges: Section<Edge>,
 }
 
 impl UncertainGraph {
@@ -99,6 +105,25 @@ impl UncertainGraph {
         neighbor_edges: Vec<EdgeId>,
         edges: Vec<Edge>,
     ) -> Self {
+        Self::from_sections(
+            offsets.into(),
+            neighbors.into(),
+            neighbor_probs.into(),
+            neighbor_edges.into(),
+            edges.into(),
+        )
+    }
+
+    /// Constructs a graph from already-wrapped sections — the zero-copy
+    /// snapshot reader hands in [`Section::Mapped`] windows here.  The
+    /// same invariants as [`Self::from_csr`] must hold.
+    pub(crate) fn from_sections(
+        offsets: Section<usize>,
+        neighbors: Section<VertexId>,
+        neighbor_probs: Section<f64>,
+        neighbor_edges: Section<EdgeId>,
+        edges: Section<Edge>,
+    ) -> Self {
         debug_assert_eq!(neighbors.len(), neighbor_probs.len());
         debug_assert_eq!(neighbors.len(), neighbor_edges.len());
         debug_assert_eq!(neighbors.len(), edges.len() * 2);
@@ -109,6 +134,16 @@ impl UncertainGraph {
             neighbor_edges,
             edges,
         }
+    }
+
+    /// `true` when any of the graph's arrays borrow a memory-mapped
+    /// snapshot instead of owning heap buffers.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.offsets.is_mapped()
+            || self.neighbors.is_mapped()
+            || self.neighbor_probs.is_mapped()
+            || self.neighbor_edges.is_mapped()
+            || self.edges.is_mapped()
     }
 
     /// The raw CSR arrays `(offsets, neighbors, neighbor_probs,
@@ -125,13 +160,13 @@ impl UncertainGraph {
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        UncertainGraph {
-            offsets: vec![0; n + 1],
-            neighbors: Vec::new(),
-            neighbor_probs: Vec::new(),
-            neighbor_edges: Vec::new(),
-            edges: Vec::new(),
-        }
+        UncertainGraph::from_csr(
+            vec![0; n + 1],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     /// Number of vertices (including isolated ones).

@@ -9,7 +9,7 @@
 //!
 //! The parser is streaming (line-at-a-time over any [`Read`]) and strict
 //! by default: self-loops and repeated edges are rejected with typed
-//! [`GraphError`](crate::error::GraphError) variants instead of being
+//! [`GraphError`] variants instead of being
 //! silently dropped or overridden.  Because many published SNAP datasets
 //! are *directed* lists carrying both orientations of every edge,
 //! [`DuplicatePolicy::MergeIdentical`] (what the ingestion dispatcher

@@ -33,9 +33,10 @@ pub use hash::xxh64;
 pub use konect::{read_konect, read_konect_file};
 pub use prob_model::EdgeProbabilityModel;
 pub use snapshot::{
-    read_snapshot, read_snapshot_bytes, read_snapshot_bytes_tagged, read_snapshot_file,
-    read_snapshot_file_tagged, write_snapshot, write_snapshot_file, write_snapshot_file_tagged,
-    write_snapshot_tagged, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, UNTAGGED,
+    open_snapshot, open_snapshot_tagged, read_snapshot, read_snapshot_bytes,
+    read_snapshot_bytes_tagged, read_snapshot_file, read_snapshot_file_tagged, write_snapshot,
+    write_snapshot_file, write_snapshot_file_tagged, write_snapshot_tagged, SnapshotSource,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION, UNTAGGED,
 };
 
 use std::fmt;
@@ -117,7 +118,9 @@ pub fn read_graph_file<P: AsRef<Path>>(
             read_edge_list_with_policy(file, model, DuplicatePolicy::MergeIdentical)
         }
         InputFormat::Konect => read_konect_file(path, model),
-        InputFormat::Snapshot => read_snapshot_file(path),
+        // Snapshots open through the fastest path the platform offers
+        // (zero-copy mmap where available, owned decode otherwise).
+        InputFormat::Snapshot => open_snapshot(path).map(SnapshotSource::into_graph),
     }
 }
 

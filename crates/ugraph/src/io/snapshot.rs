@@ -3,25 +3,42 @@
 //! Parsing a large text edge list costs integer/float decoding plus a
 //! full graph rebuild; a snapshot persists the [`UncertainGraph`] exactly
 //! as it sits in memory (CSR arrays + canonical edge table), so reloading
-//! is a handful of bulk reads — in practice well over an order of
-//! magnitude faster than text parsing.  The layout, all little-endian:
+//! is a handful of bulk reads — and, since format version 3, not even
+//! that: every section is 8-byte aligned little-endian, so
+//! [`open_snapshot`] can `mmap` the file and borrow the arrays **in
+//! place** (zero-copy).  The layout, all little-endian:
 //!
 //! ```text
 //! offset  size          field
 //! 0       8             magic "UGSNAP\r\n" (CRLF guards against
 //!                       text-mode transfer mangling, as in PNG)
-//! 8       4             format version (u32, currently 2)
-//! 12      8             source tag (u64, 0 = untagged)
-//! 20      8             num_vertices n (u64)
-//! 28      8             num_edges m (u64)
-//! 36      8·(n+1)       CSR offsets (u64 each)
+//! 8       4             format version (u32, currently 3)
+//! 12      4             reserved, must be zero
+//! 16      8             source tag (u64, 0 = untagged)
+//! 24      8             num_vertices n (u64)
+//! 32      8             num_edges m (u64)
+//! 40      8·(n+1)       CSR offsets (u64 each)
 //! …       4·2m          CSR neighbour ids (u32 each)
 //! …       4·2m          CSR neighbour edge ids (u32 each)
+//! …       8·2m          CSR neighbour probabilities (f64 bits each)
 //! …       16·m          edge table: u (u32), v (u32), p (f64 bits)
 //! end−8   8             XXH64 checksum (seed 0) of every preceding byte
 //! ```
 //!
-//! The **source tag** (new in version 2) binds a snapshot to whatever it
+//! Every section starts at a multiple of 8 from the file start (the
+//! header is 40 bytes and each section's byte length is a multiple of
+//! 8), so a page-aligned mapping makes every section naturally aligned
+//! for its element type.  See `docs/SNAPSHOT_FORMAT.md` for the
+//! byte-level specification and the mmap safety argument.
+//!
+//! [`open_snapshot`] returns a [`SnapshotSource`] that says which path
+//! was taken: `Mapped` when the file could be memory-mapped and borrowed
+//! in place (checksum and structural validation still run once, over
+//! the mapping), `Owned` when the platform lacks mmap or a section would
+//! be misaligned — the reader then falls back to the ordinary decode.
+//! Both paths produce bit-identical graphs.
+//!
+//! The **source tag** (since version 2) binds a snapshot to whatever it
 //! was derived from.  Cache layers store a fingerprint of the source
 //! there ([`write_snapshot_tagged`]) and refuse snapshots whose tag does
 //! not match on reload ([`read_snapshot_bytes_tagged`]): a cache file
@@ -31,41 +48,120 @@
 //! Plain [`write_snapshot`] writes tag 0 and plain [`read_snapshot`]
 //! ignores the tag, so untagged round-trips are unaffected.
 //!
-//! Per-neighbour probabilities are *not* stored: they are recovered from
-//! the edge table through the neighbour edge ids during validation, which
-//! keeps the file a third smaller and the reload correspondingly faster.
+//! Version 3 stores the per-neighbour probability array (versions 1–2
+//! recovered it from the edge table): the mapped reader cannot
+//! materialize anything, so the file carries all five arrays.  The
+//! stored probabilities are still cross-checked bit-for-bit against the
+//! edge table during validation, so a tampered probs section cannot
+//! diverge from the source of truth.  Version 1 and 2 files are
+//! rejected with [`SnapshotError::UnsupportedVersion`]; cache layers
+//! fall back to re-parsing the source and rewrite a v3 cache.
 //!
-//! The reader verifies the magic, version, exact length, checksum, and the
-//! structural invariants of the payload (monotone offsets, sorted
-//! adjacency, canonical edge table, probabilities in `(0, 1]`), returning
-//! a typed [`SnapshotError`] for every failure mode — corrupt input can
-//! never panic or produce an invariant-violating graph.
+//! The reader verifies the magic, version, exact length, checksum, and
+//! the structural invariants of the payload (monotone offsets, sorted
+//! adjacency, canonical edge table, probabilities in `(0, 1]`),
+//! returning a typed [`SnapshotError`] for every failure mode — corrupt
+//! input can never panic, produce an invariant-violating graph, or
+//! reach the zero-copy fast path.
 
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::error::{GraphError, SnapshotError};
 use crate::graph::{Edge, EdgeId, UncertainGraph, VertexId};
 use crate::io::hash::xxh64;
+use crate::mem::{mapped_section, Mapping};
 use crate::Result;
 
 /// The eight magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"UGSNAP\r\n";
-/// The snapshot format version this build reads and writes.  Version 2
-/// added the 8-byte source tag; version-1 files are rejected with
+/// The snapshot format version this build reads and writes.  Version 3
+/// made every section 8-byte aligned (zero-copy mmap) and added the
+/// stored probability section; version 2 added the 8-byte source tag.
+/// Files of earlier versions are rejected with
 /// [`SnapshotError::UnsupportedVersion`] (cache layers fall back to
 /// re-parsing the source).
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// The source tag of snapshots not bound to any source.
 pub const UNTAGGED: u64 = 0;
 /// Seed of the XXH64 trailer checksum.
 const CHECKSUM_SEED: u64 = 0;
-/// Bytes of magic + version + source tag + vertex/edge counts.
-const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+/// Bytes of magic + version + reserved + source tag + vertex/edge
+/// counts.  A multiple of 8 so every section is naturally aligned.
+const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
 
-fn snapshot_len(n: usize, m: usize) -> usize {
-    HEADER_LEN + 8 * (n + 1) + (4 + 4) * 2 * m + 16 * m + 8
+/// Byte offsets of the five data sections and the total file length.
+struct Layout {
+    offsets: usize,
+    neighbors: usize,
+    neighbor_edges: usize,
+    neighbor_probs: usize,
+    edges: usize,
+    total: usize,
+}
+
+fn layout(n: usize, m: usize) -> Layout {
+    let offsets = HEADER_LEN;
+    let neighbors = offsets + 8 * (n + 1);
+    let neighbor_edges = neighbors + 4 * 2 * m;
+    let neighbor_probs = neighbor_edges + 4 * 2 * m;
+    let edges = neighbor_probs + 8 * 2 * m;
+    let total = edges + 16 * m + 8;
+    Layout {
+        offsets,
+        neighbors,
+        neighbor_edges,
+        neighbor_probs,
+        edges,
+        total,
+    }
+}
+
+/// How [`open_snapshot`] materialized the graph.
+///
+/// Both variants hold a fully validated [`UncertainGraph`]; the
+/// distinction is purely where the arrays live.  `Mapped` graphs borrow
+/// the page cache through a read-only file mapping (kept alive by the
+/// graph itself — the file handle may be dropped), `Owned` graphs hold
+/// ordinary heap buffers.
+#[derive(Debug)]
+pub enum SnapshotSource {
+    /// The arrays were decoded into owned heap buffers (no mmap on this
+    /// platform, or a section failed the alignment check).
+    Owned(UncertainGraph),
+    /// The arrays borrow the memory-mapped file in place (zero-copy).
+    Mapped(UncertainGraph),
+}
+
+impl SnapshotSource {
+    /// The graph, however it is backed.
+    pub fn graph(&self) -> &UncertainGraph {
+        match self {
+            SnapshotSource::Owned(g) | SnapshotSource::Mapped(g) => g,
+        }
+    }
+
+    /// Consumes the source, returning the graph.
+    pub fn into_graph(self) -> UncertainGraph {
+        match self {
+            SnapshotSource::Owned(g) | SnapshotSource::Mapped(g) => g,
+        }
+    }
+
+    /// `true` for the zero-copy mapped variant.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SnapshotSource::Mapped(_))
+    }
+
+    /// `"mapped"` or `"owned"`, for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotSource::Owned(_) => "owned",
+            SnapshotSource::Mapped(_) => "mapped",
+        }
+    }
 }
 
 /// Serializes `graph` as an untagged `.ugsnap` snapshot into `writer`
@@ -81,12 +177,13 @@ pub fn write_snapshot_tagged<W: Write>(
     writer: W,
     source_tag: u64,
 ) -> Result<()> {
-    let (offsets, neighbors, _probs, edge_ids) = graph.csr_parts();
+    let (offsets, neighbors, probs, edge_ids) = graph.csr_parts();
     let n = graph.num_vertices();
     let m = graph.num_edges();
-    let mut payload = Vec::with_capacity(snapshot_len(n, m) - 8);
+    let mut payload = Vec::with_capacity(layout(n, m).total - 8);
     payload.extend_from_slice(&SNAPSHOT_MAGIC);
     payload.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes()); // reserved
     payload.extend_from_slice(&source_tag.to_le_bytes());
     payload.extend_from_slice(&(n as u64).to_le_bytes());
     payload.extend_from_slice(&(m as u64).to_le_bytes());
@@ -98,6 +195,9 @@ pub fn write_snapshot_tagged<W: Write>(
     }
     for &e in edge_ids {
         payload.extend_from_slice(&e.to_le_bytes());
+    }
+    for &p in probs {
+        payload.extend_from_slice(&p.to_bits().to_le_bytes());
     }
     for e in graph.edges() {
         payload.extend_from_slice(&e.u.to_le_bytes());
@@ -132,17 +232,10 @@ fn corrupt(message: impl Into<String>) -> GraphError {
     GraphError::Snapshot(SnapshotError::Corrupt(message.into()))
 }
 
-/// Deserializes a `.ugsnap` snapshot from a byte slice, ignoring the
-/// source tag.
-pub fn read_snapshot_bytes(data: &[u8]) -> Result<UncertainGraph> {
-    read_snapshot_bytes_tagged(data).map(|(graph, _)| graph)
-}
-
-/// Deserializes a `.ugsnap` snapshot from a byte slice, returning the
-/// graph together with its source tag so cache layers can verify the
-/// snapshot really derives from the source they are about to stand in
-/// for.
-pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> {
+/// Checks everything about `data` that does not require looking inside
+/// the sections: magic, version, reserved field, count plausibility,
+/// exact length and the trailer checksum.  Returns `(source_tag, n, m)`.
+fn check_envelope(data: &[u8]) -> Result<(u64, usize, usize)> {
     if data.len() < HEADER_LEN + 8 {
         return Err(SnapshotError::Truncated {
             expected: HEADER_LEN + 8,
@@ -157,9 +250,12 @@ pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> 
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version).into());
     }
-    let source_tag = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
-    let n = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes"));
-    let m = u64::from_le_bytes(data[28..36].try_into().expect("8 bytes"));
+    if data[12..16] != [0, 0, 0, 0] {
+        return Err(corrupt("reserved header bytes are nonzero"));
+    }
+    let source_tag = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+    let n = u64::from_le_bytes(data[24..32].try_into().expect("8 bytes"));
+    let m = u64::from_le_bytes(data[32..40].try_into().expect("8 bytes"));
     // Bound the counts by what the input could possibly hold before
     // allocating anything, so a corrupt header cannot trigger an OOM.
     let max_conceivable = (data.len() as u64).saturating_add(1);
@@ -167,7 +263,7 @@ pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> 
         return Err(corrupt(format!("implausible counts n={n} m={m}")));
     }
     let (n, m) = (n as usize, m as usize);
-    let expected = snapshot_len(n, m);
+    let expected = layout(n, m).total;
     if data.len() < expected {
         return Err(SnapshotError::Truncated {
             expected,
@@ -186,27 +282,47 @@ pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> 
     if stored != computed {
         return Err(SnapshotError::ChecksumMismatch { stored, computed }.into());
     }
+    Ok((source_tag, n, m))
+}
 
-    // Bulk little-endian decode, section by section.
-    let mut at = HEADER_LEN;
-    let mut section = |len: usize| {
-        let out = &data[at..at + len];
-        at += len;
-        out
-    };
-    let offsets: Vec<usize> = section(8 * (n + 1))
+/// Deserializes a `.ugsnap` snapshot from a byte slice, ignoring the
+/// source tag.
+pub fn read_snapshot_bytes(data: &[u8]) -> Result<UncertainGraph> {
+    read_snapshot_bytes_tagged(data).map(|(graph, _)| graph)
+}
+
+/// Deserializes a `.ugsnap` snapshot from a byte slice, returning the
+/// graph together with its source tag so cache layers can verify the
+/// snapshot really derives from the source they are about to stand in
+/// for.
+pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> {
+    let (source_tag, n, m) = check_envelope(data)?;
+    let graph = decode_owned(data, n, m)?;
+    Ok((graph, source_tag))
+}
+
+/// Bulk little-endian decode into owned buffers, section by section,
+/// followed by full structural validation.  `check_envelope` must have
+/// passed on `data`.
+fn decode_owned(data: &[u8], n: usize, m: usize) -> Result<UncertainGraph> {
+    let lay = layout(n, m);
+    let offsets: Vec<usize> = data[lay.offsets..lay.neighbors]
         .chunks_exact(8)
         .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")) as usize)
         .collect();
-    let neighbors: Vec<VertexId> = section(4 * 2 * m)
+    let neighbors: Vec<VertexId> = data[lay.neighbors..lay.neighbor_edges]
         .chunks_exact(4)
         .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
         .collect();
-    let neighbor_edges: Vec<EdgeId> = section(4 * 2 * m)
+    let neighbor_edges: Vec<EdgeId> = data[lay.neighbor_edges..lay.neighbor_probs]
         .chunks_exact(4)
         .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
         .collect();
-    let edges: Vec<Edge> = section(16 * m)
+    let neighbor_probs: Vec<f64> = data[lay.neighbor_probs..lay.edges]
+        .chunks_exact(8)
+        .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().expect("8 bytes"))))
+        .collect();
+    let edges: Vec<Edge> = data[lay.edges..lay.total - 8]
         .chunks_exact(16)
         .map(|b| Edge {
             u: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
@@ -214,28 +330,39 @@ pub fn read_snapshot_bytes_tagged(data: &[u8]) -> Result<(UncertainGraph, u64)> 
             p: f64::from_bits(u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"))),
         })
         .collect();
-
-    let neighbor_probs =
-        validate_and_recover_probs(n, m, &offsets, &neighbors, &neighbor_edges, &edges)?;
-    Ok((
-        UncertainGraph::from_csr(offsets, neighbors, neighbor_probs, neighbor_edges, edges),
-        source_tag,
+    validate(
+        n,
+        m,
+        &offsets,
+        &neighbors,
+        &neighbor_edges,
+        &neighbor_probs,
+        &edges,
+    )?;
+    Ok(UncertainGraph::from_csr(
+        offsets,
+        neighbors,
+        neighbor_probs,
+        neighbor_edges,
+        edges,
     ))
 }
 
-/// Structural validation of a decoded payload — everything
-/// [`UncertainGraph`] relies on (binary search, merge intersection, dense
-/// edge ids) must hold even for adversarial inputs with a valid checksum —
-/// fused with the reconstruction of the per-neighbour probability array
-/// from the edge table (the snapshot does not store it).
-fn validate_and_recover_probs(
+/// Structural validation of a decoded (or mapped) payload — everything
+/// [`UncertainGraph`] relies on (binary search, merge intersection,
+/// dense edge ids) must hold even for adversarial inputs with a valid
+/// checksum.  The stored per-neighbour probabilities must agree
+/// **bit-for-bit** with the canonical edge table, so the two copies the
+/// v3 format carries can never diverge.
+fn validate(
     n: usize,
     m: usize,
     offsets: &[usize],
     neighbors: &[VertexId],
     edge_ids: &[EdgeId],
+    probs: &[f64],
     edges: &[Edge],
-) -> Result<Vec<f64>> {
+) -> Result<()> {
     if offsets.first() != Some(&0) || offsets[n] != 2 * m {
         return Err(corrupt("CSR offsets do not span the adjacency arrays"));
     }
@@ -259,7 +386,6 @@ fn validate_and_recover_probs(
             return Err(corrupt("edge table is not sorted lexicographically"));
         }
     }
-    let mut probs = vec![0.0f64; 2 * m];
     for v in 0..n {
         let run = offsets[v]..offsets[v + 1];
         let mut prev: Option<VertexId> = None;
@@ -283,10 +409,93 @@ fn validate_and_recover_probs(
                     "adjacency entry ({v}, {w}) disagrees with edge {eid}"
                 )));
             }
-            probs[i] = e.p;
+            if probs[i].to_bits() != e.p.to_bits() {
+                return Err(corrupt(format!(
+                    "stored probability at adjacency slot {i} disagrees with edge {eid}"
+                )));
+            }
         }
     }
-    Ok(probs)
+    Ok(())
+}
+
+/// Opens a snapshot file through the fastest available path, ignoring
+/// the source tag.  See [`open_snapshot_tagged`].
+pub fn open_snapshot<P: AsRef<Path>>(path: P) -> Result<SnapshotSource> {
+    open_snapshot_tagged(path).map(|(source, _)| source)
+}
+
+/// Opens a snapshot file through the fastest available path and returns
+/// the source tag alongside.
+///
+/// On 64-bit little-endian Unix the file is memory-mapped, the checksum
+/// and the full structural validation run **once** over the mapping,
+/// and the graph's arrays borrow the mapping in place
+/// ([`SnapshotSource::Mapped`]) — no per-element decode, no heap copy
+/// of the payload.  When the platform cannot map, or any section would
+/// be misaligned for its element type, the reader falls back to the
+/// owned decode ([`SnapshotSource::Owned`]).  Every validation failure
+/// is the same typed [`SnapshotError`] the byte reader produces;
+/// corrupt input never reaches the zero-copy fast path.
+pub fn open_snapshot_tagged<P: AsRef<Path>>(path: P) -> Result<(SnapshotSource, u64)> {
+    let mut file = File::open(path)?;
+    match Mapping::map_file(&file) {
+        Ok(map) => {
+            let map = Arc::new(map);
+            let (source_tag, n, m) = check_envelope(map.bytes())?;
+            match mapped_graph(&map, n, m)? {
+                Some(graph) => Ok((SnapshotSource::Mapped(graph), source_tag)),
+                // Misaligned section (cannot happen for files this
+                // module wrote, but the check is what makes the unsafe
+                // view sound): decode from the mapping instead.
+                None => {
+                    let graph = decode_owned(map.bytes(), n, m)?;
+                    Ok((SnapshotSource::Owned(graph), source_tag))
+                }
+            }
+        }
+        // No mmap on this platform (or an empty/unmappable file): read
+        // the bytes and take the owned path, surfacing its typed errors.
+        Err(_) => {
+            let mut data = Vec::new();
+            file.read_to_end(&mut data)?;
+            let (graph, source_tag) = read_snapshot_bytes_tagged(&data)?;
+            Ok((SnapshotSource::Owned(graph), source_tag))
+        }
+    }
+}
+
+/// Builds zero-copy section views over a checksum-verified mapping and
+/// validates them structurally.  Returns `Ok(None)` when any section
+/// fails the alignment check (caller falls back to the owned decode).
+fn mapped_graph(map: &Arc<Mapping>, n: usize, m: usize) -> Result<Option<UncertainGraph>> {
+    let lay = layout(n, m);
+    let offsets = mapped_section::<usize>(map, lay.offsets, n + 1);
+    let neighbors = mapped_section::<VertexId>(map, lay.neighbors, 2 * m);
+    let neighbor_edges = mapped_section::<EdgeId>(map, lay.neighbor_edges, 2 * m);
+    let neighbor_probs = mapped_section::<f64>(map, lay.neighbor_probs, 2 * m);
+    let edges = mapped_section::<Edge>(map, lay.edges, m);
+    let (Some(offsets), Some(neighbors), Some(neighbor_edges), Some(neighbor_probs), Some(edges)) =
+        (offsets, neighbors, neighbor_edges, neighbor_probs, edges)
+    else {
+        return Ok(None);
+    };
+    validate(
+        n,
+        m,
+        &offsets,
+        &neighbors,
+        &neighbor_edges,
+        &neighbor_probs,
+        &edges,
+    )?;
+    Ok(Some(UncertainGraph::from_sections(
+        offsets,
+        neighbors,
+        neighbor_probs,
+        neighbor_edges,
+        edges,
+    )))
 }
 
 /// Deserializes a `.ugsnap` snapshot from any reader.
@@ -297,13 +506,16 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<UncertainGraph> {
     read_snapshot_bytes(&data)
 }
 
-/// Reads a `.ugsnap` snapshot from a file path.
+/// Reads a `.ugsnap` snapshot from a file path into owned buffers.
+/// Prefer [`open_snapshot`] where a borrowed, zero-copy graph is
+/// acceptable.
 pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<UncertainGraph> {
     let file = File::open(path)?;
     read_snapshot(file)
 }
 
-/// Reads a `.ugsnap` snapshot and its source tag from a file path.
+/// Reads a `.ugsnap` snapshot and its source tag from a file path into
+/// owned buffers.
 pub fn read_snapshot_file_tagged<P: AsRef<Path>>(path: P) -> Result<(UncertainGraph, u64)> {
     let mut data = Vec::new();
     File::open(path)?.read_to_end(&mut data)?;
@@ -338,6 +550,10 @@ mod tests {
         buf
     }
 
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ugraph_snapshot_{tag}.ugsnap"))
+    }
+
     #[test]
     fn round_trip_is_bit_identical() {
         let g = sample_graph();
@@ -366,11 +582,127 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let g = sample_graph();
-        let path = std::env::temp_dir().join("ugraph_snapshot_round_trip.ugsnap");
+        let path = temp_path("round_trip");
         write_snapshot_file(&g, &path).unwrap();
         let g2 = read_snapshot_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn sections_are_eight_byte_aligned() {
+        // The alignment guarantee the zero-copy reader relies on: the
+        // header and every section boundary sit at multiples of 8.
+        for (n, m) in [(0usize, 0usize), (1, 0), (7, 13), (40, 150)] {
+            let lay = layout(n, m);
+            for off in [
+                HEADER_LEN,
+                lay.offsets,
+                lay.neighbors,
+                lay.neighbor_edges,
+                lay.neighbor_probs,
+                lay.edges,
+                lay.total,
+            ] {
+                assert_eq!(off % 8, 0, "layout for n={n} m={m} misaligned");
+            }
+        }
+    }
+
+    #[test]
+    fn open_snapshot_maps_and_matches_owned_bit_for_bit() {
+        let g = sample_graph();
+        let path = temp_path("open_mapped");
+        write_snapshot_file(&g, &path).unwrap();
+        let source = open_snapshot(&path).unwrap();
+        // On 64-bit little-endian Unix (all CI targets) the fast path
+        // must actually engage.
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        {
+            assert!(source.is_mapped(), "expected the zero-copy path");
+            assert_eq!(source.kind(), "mapped");
+            assert!(source.graph().is_memory_mapped());
+        }
+        let owned = read_snapshot_file(&path).unwrap();
+        assert!(!owned.is_memory_mapped());
+        assert_eq!(source.graph(), &owned);
+        for (a, b) in source.graph().edges().iter().zip(owned.edges()) {
+            assert_eq!(a.p.to_bits(), b.p.to_bits());
+        }
+        // The mapped graph must behave, not just compare equal — and
+        // keep working after the path is gone (the mapping holds on).
+        std::fs::remove_file(&path).ok();
+        let g2 = source.into_graph();
+        assert_eq!(g.count_triangles(), g2.count_triangles());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn open_snapshot_returns_the_source_tag() {
+        let g = sample_graph();
+        let path = temp_path("open_tagged");
+        write_snapshot_file_tagged(&g, &path, 0xFEED_F00D).unwrap();
+        let (source, tag) = open_snapshot_tagged(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(tag, 0xFEED_F00D);
+        assert_eq!(source.graph(), &g);
+    }
+
+    #[test]
+    fn open_snapshot_rejects_corruption_with_typed_errors() {
+        // Corrupt files must produce the same typed errors through the
+        // mmap path as through the byte reader — and never a graph.
+        let g = sample_graph();
+        let buf = encode(&g);
+        let path = temp_path("open_corrupt");
+
+        // Truncated file.
+        std::fs::write(&path, &buf[..buf.len() / 2]).unwrap();
+        assert!(matches!(
+            open_snapshot(&path).unwrap_err(),
+            GraphError::Snapshot(
+                SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+            )
+        ));
+
+        // Flipped payload byte.
+        let mut bad = buf.clone();
+        bad[HEADER_LEN + 3] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            open_snapshot(&path).unwrap_err(),
+            GraphError::Snapshot(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Old version field.
+        let mut bad = buf.clone();
+        bad[8] = 2;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            open_snapshot(&path).unwrap_err(),
+            GraphError::Snapshot(SnapshotError::UnsupportedVersion(2))
+        ));
+
+        // Missing file is a plain I/O error.
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            open_snapshot(&path).unwrap_err(),
+            GraphError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn open_snapshot_handles_empty_graphs_via_fallback_or_map() {
+        // An empty graph's snapshot is tiny but valid; whatever path the
+        // platform takes must produce the same graph.
+        let empty = UncertainGraph::empty(5);
+        let path = temp_path("open_empty");
+        write_snapshot_file(&empty, &path).unwrap();
+        let source = open_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(source.into_graph(), empty);
     }
 
     #[test]
@@ -459,14 +791,29 @@ mod tests {
             GraphError::Snapshot(SnapshotError::Corrupt(_))
         ));
 
+        // A stored probability that disagrees with the edge table.
+        let lay = layout(g.num_vertices(), g.num_edges());
+        let mut bad = buf.clone();
+        bad[lay.neighbor_probs..lay.neighbor_probs + 8]
+            .copy_from_slice(&0.999f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            read_snapshot_bytes(&resign(bad)).unwrap_err(),
+            GraphError::Snapshot(SnapshotError::Corrupt(_))
+        ));
+
         // Non-monotone offsets.
         let mut bad = buf.clone();
         bad[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_snapshot_bytes(&resign(bad)).is_err());
 
+        // Nonzero reserved bytes.
+        let mut bad = buf.clone();
+        bad[13] = 1;
+        assert!(read_snapshot_bytes(&resign(bad)).is_err());
+
         // Implausible vertex count must not allocate.
         let mut bad = buf;
-        bad[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+        bad[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_snapshot_bytes(&resign(bad)).is_err());
     }
 
@@ -484,7 +831,7 @@ mod tests {
         let (_, plain_tag) = read_snapshot_bytes_tagged(&encode(&g)).unwrap();
         assert_eq!(plain_tag, UNTAGGED);
 
-        let path = std::env::temp_dir().join("ugraph_snapshot_tagged.ugsnap");
+        let path = temp_path("tagged");
         write_snapshot_file_tagged(&g, &path, 7).unwrap();
         let (g3, tag3) = read_snapshot_file_tagged(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -493,13 +840,15 @@ mod tests {
     }
 
     #[test]
-    fn version_one_snapshots_are_rejected_not_misread() {
-        // Hand-build a version-1 snapshot (no source tag field): the
-        // reader must fail with UnsupportedVersion, never reinterpret
-        // the old n/m fields through the v2 layout.
+    fn old_version_snapshots_are_rejected_not_misread() {
+        // Hand-build a version-2 snapshot (36-byte header, no stored
+        // probability section): the reader must fail with
+        // UnsupportedVersion, never reinterpret the old layout through
+        // the v3 offsets.
         let mut payload = Vec::new();
         payload.extend_from_slice(&SNAPSHOT_MAGIC);
-        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes()); // v2 source tag
         payload.extend_from_slice(&2u64.to_le_bytes()); // n
         payload.extend_from_slice(&0u64.to_le_bytes()); // m
         for _ in 0..3 {
@@ -509,7 +858,17 @@ mod tests {
         payload.extend_from_slice(&sum.to_le_bytes());
         assert!(matches!(
             read_snapshot_bytes(&payload).unwrap_err(),
-            GraphError::Snapshot(SnapshotError::UnsupportedVersion(1))
+            GraphError::Snapshot(SnapshotError::UnsupportedVersion(2))
+        ));
+
+        // Same through the mmap open path.
+        let path = temp_path("old_version");
+        std::fs::write(&path, &payload).unwrap();
+        let err = open_snapshot(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            err,
+            GraphError::Snapshot(SnapshotError::UnsupportedVersion(2))
         ));
     }
 

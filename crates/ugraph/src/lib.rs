@@ -36,6 +36,16 @@
 //!
 //! The crate is deliberately free of any decomposition logic; it is the
 //! substrate shared by `detdecomp`, `probdecomp` and `nucleus`.
+//!
+//! # Unsafe-code discipline
+//!
+//! The crate denies `unsafe_code` globally; the single exception is the
+//! private `mem` module, which isolates the `mmap(2)` syscall and the
+//! typed zero-copy views the snapshot reader builds over mapped files.
+//! Everything `unsafe` can be audited in that one file.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod cliques;
@@ -44,6 +54,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub(crate) mod mem;
 pub mod metrics;
 pub mod par;
 pub mod possible_world;
@@ -55,7 +66,7 @@ pub mod update;
 pub use builder::GraphBuilder;
 pub use cliques::{FourClique, FourCliqueEnumerator};
 pub use connectivity::{ConnectedComponents, UnionFind};
-pub use error::{GraphError, SnapshotError};
+pub use error::{GraphError, IdOverflow, SnapshotError};
 pub use graph::{Edge, EdgeId, UncertainGraph, VertexId};
 pub use io::{EdgeProbabilityModel, InputFormat};
 pub use par::Parallelism;

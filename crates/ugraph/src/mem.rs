@@ -1,0 +1,403 @@
+//! The crate's **only** `unsafe` module: read-only file mappings and
+//! typed zero-copy views over them.
+//!
+//! Everything `unsafe` in `ugraph` lives behind this module boundary so
+//! it can be audited in one place (`lib.rs` carries
+//! `#![deny(unsafe_code)]`; this module alone opts back in).  Three
+//! pieces:
+//!
+//! * [`Mapping`] — a `PROT_READ`/`MAP_PRIVATE` memory mapping of a whole
+//!   file, created through raw `mmap(2)`/`munmap(2)` declarations (the
+//!   repo vendors no libc crate; the symbols come from the libc that
+//!   `std` already links).  Only compiled in on 64-bit little-endian
+//!   Unix; everywhere else [`Mapping::map_file`] reports
+//!   "unsupported" and callers fall back to owned buffers.
+//! * [`Plain`] — an `unsafe` marker trait for plain-old-data element
+//!   types that a byte region may be reinterpreted as: every bit
+//!   pattern must be a valid value, and the type must be `#[repr(C)]`
+//!   (or a primitive) with no padding bytes and no pointers.
+//! * [`Section`] — a slice-like container that is either an owned
+//!   `Vec<T>` or a borrowed window into an [`Mapping`] kept alive by an
+//!   `Arc`.  `Deref<Target = [T]>` makes the two cases indistinguishable
+//!   to the rest of the crate.
+//!
+//! # Safety argument
+//!
+//! * A [`Section::Mapped`] is only ever constructed by
+//!   [`mapped_section`], which bounds-checks the byte range against the
+//!   mapping length, checks the *absolute* pointer alignment for `T`,
+//!   and returns `None` (caller falls back to an owned decode) rather
+//!   than building a misaligned or out-of-range view.
+//! * The mapping is `PROT_READ`: nothing in this process can write
+//!   through it, so `&[T]` aliasing rules hold for the lifetime of the
+//!   `Arc<Mapping>` each view carries.
+//! * The standard `mmap` caveat remains: truncating the *file* while it
+//!   is mapped raises `SIGBUS` on access.  Snapshot files are written
+//!   once and atomically replaced by the cache layers in this repo, and
+//!   the checksum is verified through the mapping exactly once at open,
+//!   so the window is the same one every mmap-based reader accepts.
+//! * All element types implementing [`Plain`] (`u32`, `u64`, `usize` on
+//!   64-bit targets, `f64`, and the `#[repr(C)]` [`Edge`]) have no
+//!   invalid bit patterns and no padding, so reinterpreting checksummed
+//!   file bytes can never produce an invalid value, only a *wrong* one —
+//!   which the structural validation in `io::snapshot` then rejects.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use crate::graph::Edge;
+
+/// Marker for plain-old-data element types that mapped bytes may be
+/// reinterpreted as.
+///
+/// # Safety
+///
+/// Implementors must guarantee: every bit pattern is a valid value, the
+/// layout is fixed (`#[repr(C)]` or primitive), and the type contains
+/// no padding bytes and no pointers or lifetimes.
+pub(crate) unsafe trait Plain: Copy + Send + Sync + 'static {}
+
+unsafe impl Plain for u32 {}
+unsafe impl Plain for u64 {}
+unsafe impl Plain for f64 {}
+// `usize` is plain data on every width; reinterpreting 8-byte file
+// sections as `usize` is additionally gated on 64-bit targets by
+// `Mapping::map_file` refusing to map elsewhere.
+unsafe impl Plain for usize {}
+// `Edge` is `#[repr(C)] { u: u32, v: u32, p: f64 }`: 16 bytes, no
+// padding (asserted below), and any bits form a valid value.
+unsafe impl Plain for Edge {}
+
+// The snapshot layout and the `Plain` impl above both rely on this.
+const _: () = assert!(std::mem::size_of::<Edge>() == 16);
+const _: () = assert!(std::mem::align_of::<Edge>() == 8);
+
+/// A read-only memory mapping of an entire file.
+pub(crate) struct Mapping {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is PROT_READ and never handed out mutably.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    // Declared by hand because the repo deliberately vendors no libc
+    // crate; these two symbols come from the libc `std` links anyway.
+    // Signatures match POSIX on 64-bit Linux and macOS (`off_t` = i64).
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mapping {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Returns `Unsupported` on platforms without the fast path (non-
+    /// Unix, big-endian, or 32-bit pointers — the snapshot reader then
+    /// decodes into owned buffers instead) and a plain I/O error when
+    /// the `mmap` call itself fails.  Zero-length files are reported as
+    /// unsupported: `mmap` rejects them and there is nothing to borrow.
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    pub(crate) fn map_file(file: &File) -> io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "cannot map an empty file",
+            ));
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::Unsupported, "file exceeds address space")
+        })?;
+        // SAFETY: len is nonzero, the fd is valid for the duration of
+        // the call, and we request a fresh private read-only mapping at
+        // a kernel-chosen address.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        let ptr = NonNull::new(ptr as *mut u8).ok_or_else(|| {
+            // A null mapping would be a kernel bug; treat it as failure
+            // rather than building a NonNull from it.
+            io::Error::other("mmap returned a null address")
+        })?;
+        Ok(Mapping { ptr, len })
+    }
+
+    /// Fallback stub: no mmap fast path on this platform.
+    #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+    pub(crate) fn map_file(_file: &File) -> io::Result<Mapping> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is not supported on this platform",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The mapped file contents.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+        // self; no mutable access exists anywhere.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        // SAFETY: ptr/len came from a successful mmap and are unmapped
+        // exactly once; all borrowing Sections hold an Arc keeping this
+        // drop from running while views are alive.
+        unsafe {
+            sys::munmap(self.ptr.as_ptr().cast(), self.len);
+        }
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mapping").field("len", &self.len).finish()
+    }
+}
+
+/// Slice-like storage that is either owned or a zero-copy window into a
+/// file mapping.  `Deref<Target = [T]>` hides the difference.
+pub(crate) enum Section<T: Plain> {
+    /// Heap-allocated elements (the default everywhere).
+    Owned(Vec<T>),
+    /// A typed window into a [`Mapping`], kept alive by the `Arc`.
+    Mapped {
+        /// First element; validated aligned and in-bounds at creation.
+        ptr: NonNull<T>,
+        /// Element count.
+        len: usize,
+        /// Keeps the mapping (and thus `ptr`) alive.
+        map: Arc<Mapping>,
+        /// `Section<T>` logically owns `[T]` data.
+        marker: PhantomData<T>,
+    },
+}
+
+// SAFETY: Plain requires Send + Sync element types, Mapped data is
+// immutable, and Arc<Mapping> is itself Send + Sync.
+unsafe impl<T: Plain> Send for Section<T> {}
+unsafe impl<T: Plain> Sync for Section<T> {}
+
+/// Builds a typed view of `elems` elements of `T` starting `byte_off`
+/// bytes into the mapping.
+///
+/// Returns `None` — never a skewed view — when the range overflows or
+/// exceeds the mapping, or when the absolute address is misaligned for
+/// `T`; callers treat `None` as "take the owned decode path".
+pub(crate) fn mapped_section<T: Plain>(
+    map: &Arc<Mapping>,
+    byte_off: usize,
+    elems: usize,
+) -> Option<Section<T>> {
+    let bytes = elems.checked_mul(std::mem::size_of::<T>())?;
+    let end = byte_off.checked_add(bytes)?;
+    if end > map.len() {
+        return None;
+    }
+    // SAFETY: byte_off ≤ end ≤ map.len(), so the offset stays inside
+    // (or one past) the allocation.
+    let ptr = unsafe { map.ptr.as_ptr().add(byte_off) };
+    if (ptr as usize) % std::mem::align_of::<T>() != 0 {
+        return None;
+    }
+    Some(Section::Mapped {
+        // SAFETY: derived from a NonNull base by an in-bounds add.
+        ptr: unsafe { NonNull::new_unchecked(ptr.cast::<T>()) },
+        len: elems,
+        map: Arc::clone(map),
+        marker: PhantomData,
+    })
+}
+
+impl<T: Plain> Deref for Section<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            Section::Owned(v) => v,
+            // SAFETY: construction via `mapped_section` proved the
+            // range in-bounds and aligned; `map` keeps it alive; `T:
+            // Plain` makes every bit pattern valid.
+            Section::Mapped { ptr, len, .. } => unsafe {
+                std::slice::from_raw_parts(ptr.as_ptr(), *len)
+            },
+        }
+    }
+}
+
+impl<T: Plain> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Section::Owned(v)
+    }
+}
+
+impl<T: Plain> Clone for Section<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Section::Owned(v) => Section::Owned(v.clone()),
+            Section::Mapped { ptr, len, map, .. } => Section::Mapped {
+                ptr: *ptr,
+                len: *len,
+                map: Arc::clone(map),
+                marker: PhantomData,
+            },
+        }
+    }
+}
+
+impl<T: Plain + fmt::Debug> fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Plain + PartialEq> PartialEq for Section<T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Plain> Section<T> {
+    /// `true` when this section borrows a file mapping.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, Section::Mapped { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("ugraph_mem_{tag}.bin"));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapping_reads_file_contents() {
+        let path = temp_file("basic", b"0123456789abcdef");
+        let map = Mapping::map_file(&File::open(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        let map = match map {
+            Ok(m) => m,
+            // Platform without the fast path: nothing to assert.
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => return,
+            Err(e) => panic!("mmap failed: {e}"),
+        };
+        assert_eq!(map.bytes(), b"0123456789abcdef");
+        assert_eq!(map.len(), 16);
+    }
+
+    #[test]
+    fn empty_files_are_unsupported_not_mapped() {
+        let path = temp_file("empty", b"");
+        let res = Mapping::map_file(&File::open(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn mapped_section_rejects_misalignment_and_overflow() {
+        let mut bytes = Vec::new();
+        for i in 0u64..8 {
+            bytes.extend_from_slice(&i.to_le_bytes());
+        }
+        let path = temp_file("views", &bytes);
+        let map = Mapping::map_file(&File::open(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        let map = match map {
+            Ok(m) => Arc::new(m),
+            Err(_) => return,
+        };
+        // Aligned, in-bounds: the view reads the encoded values.
+        let ok = mapped_section::<u64>(&map, 8, 7).expect("aligned view");
+        assert!(ok.is_mapped());
+        assert_eq!(&*ok, &[1, 2, 3, 4, 5, 6, 7]);
+        // A byte offset that misaligns u64 must be refused (the mmap
+        // base itself is page-aligned, so +4 is misaligned for sure).
+        assert!(mapped_section::<u64>(&map, 4, 1).is_none());
+        // Out of bounds and arithmetic overflow must be refused.
+        assert!(mapped_section::<u64>(&map, 8, 8).is_none());
+        assert!(mapped_section::<u64>(&map, usize::MAX, 1).is_none());
+        assert!(mapped_section::<u64>(&map, 0, usize::MAX / 4).is_none());
+    }
+
+    #[test]
+    fn sections_outlive_the_arc_binding() {
+        // The view must keep the mapping alive after the caller drops
+        // its own Arc.
+        let mut bytes = Vec::new();
+        for i in 0u32..16 {
+            bytes.extend_from_slice(&i.to_le_bytes());
+        }
+        let path = temp_file("keepalive", &bytes);
+        let map = Mapping::map_file(&File::open(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        let map = match map {
+            Ok(m) => Arc::new(m),
+            Err(_) => return,
+        };
+        let view = mapped_section::<u32>(&map, 0, 16).unwrap();
+        drop(map);
+        assert_eq!(view[15], 15);
+        let clone = view.clone();
+        drop(view);
+        assert_eq!(clone[0], 0);
+    }
+
+    #[test]
+    fn owned_and_mapped_sections_compare_by_contents() {
+        let owned: Section<u32> = vec![1, 2, 3].into();
+        assert!(!owned.is_mapped());
+        assert_eq!(&*owned, &[1, 2, 3]);
+        let other: Section<u32> = vec![1, 2, 3].into();
+        assert_eq!(owned, other);
+        assert_eq!(format!("{owned:?}"), "[1, 2, 3]");
+    }
+}

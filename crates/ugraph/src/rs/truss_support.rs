@@ -155,6 +155,12 @@ impl TrussSupport {
             ([eab, eac, ebc], completion)
         });
 
+        // Triangle indices are packed into `u32` cell ids; narrow through
+        // the checked constructor so a count past 2^32 fails typed.
+        if let Some(last) = nt.checked_sub(1) {
+            crate::error::checked_id("triangle", last)
+                .expect("triangle count exceeds the packed 32-bit id space");
+        }
         let mut cells_of = vec![Vec::new(); graph.num_edges()];
         let mut cell_elements = Vec::with_capacity(nt);
         let mut completion = Vec::with_capacity(nt);

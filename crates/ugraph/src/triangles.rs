@@ -3,9 +3,18 @@
 //! Triangles are the `r = 3` cliques of the (3,4)-nucleus.  The peeling
 //! algorithms need to address triangles by dense integer ids and to look a
 //! triangle up by its vertex set; [`TriangleIndex`] provides both.
+//!
+//! The index is deliberately **compact**: it stores nothing but the
+//! sorted triangle array (12 bytes per triangle — three `u32` vertex
+//! ids) and answers id lookups by binary search over it.  An earlier
+//! revision kept a `HashMap<Triangle, TriangleId>` alongside, which
+//! more than quadrupled the per-triangle footprint; at the million-edge
+//! scale the map alone dwarfed the graph.  Dense ids are `u32` and every
+//! narrowing from a `usize` count goes through the checked constructor
+//! ([`crate::error::checked_id`]), so a graph with more than `2^32`
+//! triangles surfaces a typed [`IdOverflow`] instead of wrapping.
 
-use std::collections::HashMap;
-
+use crate::error::{checked_id, IdOverflow};
 use crate::graph::{UncertainGraph, VertexId};
 use crate::par::{self, Parallelism};
 
@@ -117,40 +126,99 @@ pub fn enumerate_triangles_with(graph: &UncertainGraph, parallelism: Parallelism
 /// ```
 #[derive(Debug, Clone)]
 pub struct TriangleIndex {
+    /// Sorted lexicographically; a triangle's dense id is its position.
     triangles: Vec<Triangle>,
-    ids: HashMap<Triangle, TriangleId>,
 }
 
 impl TriangleIndex {
     /// Enumerates the triangles of `graph` and builds the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph holds more than `2^32` triangles; use
+    /// [`TriangleIndex::try_build_with`] for the typed error.
     pub fn build(graph: &UncertainGraph) -> Self {
         Self::build_with(graph, Parallelism::Sequential)
     }
 
     /// [`TriangleIndex::build`] with an explicit [`Parallelism`] setting.
     /// The resulting index is identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph holds more than `2^32` triangles; use
+    /// [`TriangleIndex::try_build_with`] for the typed error.
     pub fn build_with(graph: &UncertainGraph, parallelism: Parallelism) -> Self {
+        Self::try_build_with(graph, parallelism).expect("triangle count exceeds the u32 id space")
+    }
+
+    /// Fallible [`TriangleIndex::build_with`]: surfaces the id-space
+    /// overflow as a typed [`IdOverflow`] instead of panicking.
+    pub fn try_build_with(
+        graph: &UncertainGraph,
+        parallelism: Parallelism,
+    ) -> Result<Self, IdOverflow> {
         let mut triangles = enumerate_triangles_with(graph, parallelism);
         triangles.sort_unstable();
-        let ids = triangles
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (*t, i as TriangleId))
-            .collect();
-        TriangleIndex { triangles, ids }
+        Self::from_sorted(triangles)
+    }
+
+    /// Streaming sequential build that walks the edge table in chunks of
+    /// `chunk_edges` edges, bounding the enumeration scratch by the
+    /// densest chunk instead of the whole graph.
+    ///
+    /// The canonical smallest-edge enumeration emits triangles already
+    /// in lexicographic order (edges are sorted by `(u, v)` and each
+    /// edge's completions ascend in `w`), so chunks concatenate into the
+    /// exact array [`TriangleIndex::build`] produces — no global sort,
+    /// no id drift, and peak transient memory is one chunk's triangles
+    /// plus the growing index itself.
+    pub fn try_build_streaming(
+        graph: &UncertainGraph,
+        chunk_edges: usize,
+    ) -> Result<Self, IdOverflow> {
+        let chunk_edges = chunk_edges.max(1);
+        let edges = graph.edges();
+        let mut triangles = Vec::new();
+        let mut scratch = Vec::new();
+        let mut start = 0;
+        while start < edges.len() {
+            let end = (start + chunk_edges).min(edges.len());
+            for e in &edges[start..end] {
+                let (u, v) = (e.u, e.v);
+                for w in graph.common_neighbors(u, v) {
+                    if w > v {
+                        scratch.push(Triangle::new(u, v, w));
+                    }
+                }
+            }
+            triangles.extend_from_slice(&scratch);
+            scratch.clear();
+            start = end;
+        }
+        debug_assert!(triangles.windows(2).all(|w| w[0] < w[1]));
+        Self::from_sorted(triangles)
     }
 
     /// Builds an index over an explicit set of triangles (used for
     /// subgraph-restricted decompositions).
+    ///
+    /// # Panics
+    ///
+    /// Panics past `2^32` triangles (see [`TriangleIndex::build`]).
     pub fn from_triangles(mut triangles: Vec<Triangle>) -> Self {
         triangles.sort_unstable();
         triangles.dedup();
-        let ids = triangles
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (*t, i as TriangleId))
-            .collect();
-        TriangleIndex { triangles, ids }
+        Self::from_sorted(triangles).expect("triangle count exceeds the u32 id space")
+    }
+
+    /// Wraps an already-sorted, deduplicated triangle array, applying
+    /// the checked id narrowing.
+    fn from_sorted(triangles: Vec<Triangle>) -> Result<Self, IdOverflow> {
+        if let Some(last) = triangles.len().checked_sub(1) {
+            checked_id("triangle", last)?;
+        }
+        Ok(TriangleIndex { triangles })
     }
 
     /// Number of indexed triangles.
@@ -169,8 +237,14 @@ impl TriangleIndex {
     }
 
     /// Dense id of `t`, or `None` when `t` is not indexed.
+    ///
+    /// Binary search over the sorted triangle array: `O(log T)` with no
+    /// auxiliary structure to keep resident.
     pub fn id_of(&self, t: &Triangle) -> Option<TriangleId> {
-        self.ids.get(t).copied()
+        self.triangles
+            .binary_search(t)
+            .ok()
+            .map(|i| i as TriangleId)
     }
 
     /// Dense id of the triangle `(a, b, c)`, or `None` when absent.
@@ -228,12 +302,7 @@ impl TriangleIndex {
         }
         triangles.extend(add_iter);
 
-        let ids = triangles
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (*t, i as TriangleId))
-            .collect();
-        TriangleIndex { triangles, ids }
+        Self::from_sorted(triangles).expect("triangle count exceeds the u32 id space")
     }
 
     /// Iterator over `(id, triangle)` pairs in id order.
@@ -446,6 +515,48 @@ mod tests {
                 assert_eq!(repaired.id_of(&t), Some(id));
             }
         }
+    }
+
+    #[test]
+    fn streaming_build_matches_full_build_for_every_chunk_size() {
+        // A mixed graph: K6 fused with a path and a pendant, so chunks
+        // cut through dense and sparse regions alike.
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                b.add_edge(u, v, 0.9).unwrap();
+            }
+        }
+        for &(u, v) in &[(5, 6), (6, 7), (7, 8), (2, 8)] {
+            b.add_edge(u, v, 0.4).unwrap();
+        }
+        let g = b.build();
+        let full = TriangleIndex::build(&g);
+        for chunk in [0, 1, 2, 3, 7, 100] {
+            let streamed = TriangleIndex::try_build_streaming(&g, chunk).unwrap();
+            assert_eq!(streamed.triangles(), full.triangles(), "chunk = {chunk}");
+            for (id, t) in full.iter() {
+                assert_eq!(streamed.id_of(&t), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_order_is_already_lexicographic() {
+        // The invariant the streaming build rests on: the canonical
+        // smallest-edge enumeration emits triangles in sorted order.
+        let mut b = GraphBuilder::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9u32 {
+                if (u + v) % 3 != 0 {
+                    b.add_edge(u, v, 0.5).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        let ts = enumerate_triangles(&g);
+        assert!(!ts.is_empty());
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

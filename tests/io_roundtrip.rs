@@ -13,10 +13,24 @@
 use proptest::prelude::*;
 
 use prob_nucleus_repro::ugraph::io::{
-    read_edge_list, read_konect, read_snapshot_bytes, write_edge_list, write_snapshot,
-    EdgeProbabilityModel,
+    open_snapshot, read_edge_list, read_konect, read_snapshot_bytes, write_edge_list,
+    write_snapshot, EdgeProbabilityModel,
 };
 use prob_nucleus_repro::ugraph::{GraphBuilder, GraphError, SnapshotError, UncertainGraph};
+
+/// Writes `bytes` to a unique temp file and returns its path; callers
+/// remove it when done.
+fn temp_snapshot(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "nd_io_roundtrip_{tag}_{}_{}.ugsnap",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
 
 /// Strategy: a random probabilistic graph built from an arbitrary subset
 /// of vertex pairs with arbitrary valid probabilities.
@@ -123,6 +137,59 @@ proptest! {
         let at = ((bytes.len() - 1) as f64 * pos) as usize;
         bytes[at] ^= 1 << bit;
         prop_assert!(read_snapshot_bytes(&bytes).is_err(), "flip at {at} undetected");
+    }
+
+    /// The zero-copy reader produces the same graph as the owned decoder,
+    /// bit for bit, for any graph — and on platforms with mmap it
+    /// actually takes the mapped path.
+    #[test]
+    fn open_snapshot_matches_owned_reader(g in arb_graph(12)) {
+        let bytes = to_snapshot(&g);
+        let path = temp_snapshot("map_eq", &bytes);
+        let owned = read_snapshot_bytes(&bytes).unwrap();
+        let opened = open_snapshot(&path).unwrap();
+        prop_assert_eq!(opened.graph(), &owned);
+        prop_assert_eq!(opened.graph(), &g);
+        for (a, b) in g.edges().iter().zip(opened.graph().edges()) {
+            prop_assert_eq!(a.p.to_bits(), b.p.to_bits());
+        }
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        prop_assert!(opened.is_mapped(), "zero-copy path not taken on a mmap platform");
+        drop(opened);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A truncated snapshot file yields a typed error through
+    /// `open_snapshot` — never a graph, so corrupt input cannot reach the
+    /// zero-copy path.
+    #[test]
+    fn truncated_files_never_reach_the_zero_copy_path(g in arb_graph(8), cut in 0.0f64..1.0) {
+        let bytes = to_snapshot(&g);
+        let len = ((bytes.len() - 1) as f64 * cut) as usize;
+        let path = temp_snapshot("map_trunc", &bytes[..len]);
+        let err = open_snapshot(&path).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            GraphError::Snapshot(
+                SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+            ) | GraphError::Io(_)
+        ), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Any single-bit corruption of a snapshot file is rejected by
+    /// `open_snapshot` with a typed error — the checksum is verified
+    /// through the mapping before anything is borrowed.
+    #[test]
+    fn corrupted_files_never_reach_the_zero_copy_path(
+        g in arb_graph(8), pos in 0.0f64..1.0, bit in 0u8..8,
+    ) {
+        let mut bytes = to_snapshot(&g);
+        let at = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[at] ^= 1 << bit;
+        let path = temp_snapshot("map_flip", &bytes);
+        prop_assert!(open_snapshot(&path).is_err(), "flip at {at} undetected via mmap");
+        std::fs::remove_file(&path).ok();
     }
 }
 

@@ -37,6 +37,33 @@ fn arb_graph(max_v: u32, density: f64) -> impl Strategy<Value = UncertainGraph> 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// A decomposition computed on a zero-copy memory-mapped graph is
+    /// bit-identical to one computed on the owned reload of the same
+    /// snapshot — the scoring pipeline cannot tell where the arrays live.
+    #[test]
+    fn mapped_and_owned_graphs_decompose_identically(
+        g in arb_graph(9, 0.75), theta in 0.05f64..0.9,
+    ) {
+        use prob_nucleus_repro::ugraph::io::{open_snapshot, read_snapshot_file, write_snapshot_file};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "nd_property_mapped_decomp_{}_{}.ugsnap",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        write_snapshot_file(&g, &path).unwrap();
+        let owned = read_snapshot_file(&path).unwrap();
+        let mapped = open_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(mapped.graph(), &owned);
+        let cfg = LocalConfig::exact(theta);
+        let on_owned = LocalNucleusDecomposition::compute(&owned, &cfg).unwrap();
+        let on_mapped = LocalNucleusDecomposition::compute(mapped.graph(), &cfg).unwrap();
+        prop_assert_eq!(on_owned.scores(), on_mapped.scores());
+        prop_assert_eq!(on_owned.initial_scores(), on_mapped.initial_scores());
+    }
+
     /// The DP support pmf is a probability distribution and its tail is
     /// monotone non-increasing.
     #[test]

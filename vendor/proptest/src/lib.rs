@@ -131,7 +131,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a range of sizes.
+    /// Lengths accepted by [`fn@vec`]: a fixed `usize` or a range of sizes.
     pub trait IntoSizeRange {
         /// Picks a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
