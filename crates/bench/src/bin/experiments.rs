@@ -26,6 +26,9 @@
 //! experiments million [--vertices N] [--attach K] [--seed N] [--threads T]
 //!                     [--chunk-edges C] [--thetas GRID] [--out PATH]
 //!
+//! experiments matrix [--scenarios DIR] [--only NAME[,NAME...]] [--tag TAG]
+//!                    [--dry-run] [--out BENCH_matrix.json]
+//!
 //! experiments bench-compare OLD.json NEW.json [--tolerance F]
 //!                           [--deny-generation-skew]
 //!
@@ -45,16 +48,21 @@
 //! report.  `gen` writes a seeded benchmark graph as a text edge list
 //! (and optionally a snapshot), so CI can exercise the full
 //! generate → ingest → snapshot → benchmark loop.
+//!
+//! Every bench subcommand and every paper experiment is declared in the
+//! scenario registry (`nd_bench::registry`); the subcommand arms here
+//! only translate flags into a [`Spec`] and hand it to the registry's
+//! single dispatch path.  `experiments matrix` enumerates the whole
+//! registry — builtins plus `crates/bench/scenarios/*.toml` — runs it,
+//! and emits the `bench-matrix/v1` report CI gates.
 
 use nd_bench::json::Json;
+use nd_bench::registry::spec::{DatasetSpec, Params, Spec, Workload};
+use nd_bench::registry::{matrix, run, Registry};
 use nd_bench::runner::ExperimentContext;
-use nd_bench::{
-    ablation, compare, fig4, fig5, fig6, fig7, fig8, million, parbench, serve, table1, table2,
-    table3, thetasweep, updates,
-};
-use nd_datasets::{ExternalDataset, PaperDataset, Scale};
-use ugraph::io::EdgeProbabilityModel;
-use ugraph::InputFormat;
+use nd_bench::{cli, compare, million, parbench};
+use nd_datasets::Scale;
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,38 +71,43 @@ fn main() {
         return;
     }
     let id = args[0].clone();
-    if id == "parbench" {
-        run_parbench(&args);
-        return;
+    match id.as_str() {
+        "parbench" => return run_bench_arm(Workload::Parbench, &args),
+        "thetasweep" => return run_bench_arm(Workload::Thetasweep, &args),
+        "updates" => return run_bench_arm(Workload::Updates, &args),
+        "million" => return run_bench_arm(Workload::Million, &args),
+        "matrix" => return run_matrix_cmd(&args),
+        "gen" => return run_gen(&args),
+        "bench-compare" => return run_bench_compare(&args),
+        "serve" => return run_serve(&args),
+        "serve-client" => return run_serve_client(&args),
+        _ => {}
     }
-    if id == "thetasweep" {
-        run_thetasweep(&args);
-        return;
-    }
-    if id == "updates" {
-        run_updates(&args);
-        return;
-    }
-    if id == "gen" {
-        run_gen(&args);
-        return;
-    }
-    if id == "million" {
-        run_million(&args);
-        return;
-    }
-    if id == "bench-compare" {
-        run_bench_compare(&args);
-        return;
-    }
-    if id == "serve" {
-        run_serve(&args);
-        return;
-    }
-    if id == "serve-client" {
-        run_serve_client(&args);
-        return;
-    }
+
+    // Paper experiments: one dispatch through the registry's paper
+    // runner, on a context built from --scale/--seed/--input.
+    let experiments: Vec<Workload> = if id == "all" {
+        vec![
+            Workload::Table1,
+            Workload::Fig4,
+            Workload::Fig5,
+            Workload::Table2,
+            Workload::Fig6,
+            Workload::Table3,
+            Workload::Fig7,
+            Workload::Fig8,
+            Workload::Ablation,
+        ]
+    } else {
+        match id.parse::<Workload>() {
+            Ok(workload) if workload.is_paper() => vec![workload],
+            _ => {
+                eprintln!("unknown experiment '{id}'");
+                print_usage();
+                std::process::exit(1);
+            }
+        }
+    };
     let scale = parse_flag(&args, "--scale")
         .map(|s| match s.as_str() {
             "tiny" => Scale::Tiny,
@@ -125,32 +138,8 @@ fn main() {
 
     println!("# experiment: {id}  scale: {scale:?}  seed: {seed}\n");
     let start = std::time::Instant::now();
-    match id.as_str() {
-        "table1" => run_table1(&ctx),
-        "fig4" => run_fig4(&ctx),
-        "fig5" => run_fig5(&ctx),
-        "table2" => run_table2(&ctx),
-        "fig6" => run_fig6(&ctx),
-        "table3" => run_table3(&ctx),
-        "fig7" => run_fig7(&ctx),
-        "fig8" => run_fig8(&ctx),
-        "ablation" => run_ablation(&ctx),
-        "all" => {
-            run_table1(&ctx);
-            run_fig4(&ctx);
-            run_fig5(&ctx);
-            run_table2(&ctx);
-            run_fig6(&ctx);
-            run_table3(&ctx);
-            run_fig7(&ctx);
-            run_fig8(&ctx);
-            run_ablation(&ctx);
-        }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            print_usage();
-            std::process::exit(1);
-        }
+    for workload in experiments {
+        print!("{}", run::run_paper(&ctx, workload).text);
     }
     println!(
         "\n# total wall-clock: {:.1}s",
@@ -200,12 +189,21 @@ fn print_usage() {
          \x20   triangle phase, streaming index build, truss sweep; emits\n\
          \x20   bench-million/v1 JSON with peak_rss_bytes\n\
          \n\
+         experiments matrix [--scenarios DIR] [--only NAME[,NAME...]] [--tag TAG]\n\
+         \x20               [--dry-run] [--out BENCH_matrix.json]\n\
+         \x20   enumerate the scenario registry (builtins + scenarios/*.toml),\n\
+         \x20   run every selected scenario through its driver, judge declared\n\
+         \x20   counter expectations, and emit one bench-matrix/v1 report that\n\
+         \x20   bench-compare gates at tolerance 0; --dry-run lists without\n\
+         \x20   running\n\
+         \n\
          experiments bench-compare OLD.json NEW.json [--tolerance F]\n\
          \x20                      [--deny-generation-skew]\n\
-         \x20   diffs two bench-parallel/*, bench-serve/*, bench-updates/* or\n\
-         \x20   bench-million/* reports; exits 1 when a deterministic counter\n\
-         \x20   (dp_calls, counts, reload_speedup, server stats, repair work)\n\
-         \x20   regresses beyond the relative tolerance (default 0), or — with\n\
+         \x20   diffs two bench-parallel/*, bench-serve/*, bench-updates/*,\n\
+         \x20   bench-million/* or bench-matrix/* reports; exits 1 when a\n\
+         \x20   deterministic counter (dp_calls, counts, reload_speedup, server\n\
+         \x20   stats, repair work, matrix scenario counters) regresses beyond\n\
+         \x20   the relative tolerance (default 0), or — with\n\
          \x20   --deny-generation-skew — when the two schema generations differ.\n\
          \x20   Wall times are never gated.\n\
          \n\
@@ -284,203 +282,202 @@ fn fail(message: &str) -> ! {
     std::process::exit(1);
 }
 
-/// Parses a numeric flag strictly: an absent flag yields `None`, a
-/// present-but-unparseable value is a loud error — never a silent fall
-/// back to the default (which would benchmark the wrong graph and only
-/// surface later as a confusing counts regression in `bench-compare`).
+/// [`cli::parse_flag`] with the binary's uniform exit-on-error behaviour.
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    cli::parse_flag(args, flag).unwrap_or_else(|e| fail(&e))
+}
+
+/// [`cli::parse_num_flag`] with the binary's uniform exit-on-error behaviour.
 fn parse_num_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    parse_flag(args, flag).map(|spec| {
-        spec.parse::<T>()
-            .unwrap_or_else(|_| fail(&format!("invalid {flag} value '{spec}'")))
+    cli::parse_num_flag(args, flag).unwrap_or_else(|e| fail(&e))
+}
+
+/// The `--input/--format/--prob-model` trio as a loader-facing dataset.
+fn parse_input(args: &[String]) -> Option<nd_datasets::ExternalDataset> {
+    cli::IngestArgs::from_args(args)
+        .unwrap_or_else(|e| fail(&e))
+        .map(|ingest| ingest.to_dataset())
+}
+
+/// The dataset a bench subcommand's flags describe: `--input` wins;
+/// otherwise a seeded generated graph (`gen`'s G(n, m) for the 50k
+/// benches, BA for `million`).
+fn bench_dataset(workload: Workload, args: &[String]) -> DatasetSpec {
+    let seed = parse_num_flag(args, "--seed").unwrap_or(42u64);
+    if workload == Workload::Million {
+        // million never took --input; its graph is always the seeded BA.
+        let default = million::MillionBenchConfig::default();
+        let attach = parse_num_flag::<usize>(args, "--attach").unwrap_or(default.attach);
+        if attach == 0 {
+            fail("million: --attach must be at least 1");
+        }
+        return DatasetSpec::Ba {
+            vertices: parse_num_flag(args, "--vertices").unwrap_or(default.vertices),
+            attach,
+            seed,
+        };
+    }
+    if let Some(ingest) = cli::IngestArgs::from_args(args).unwrap_or_else(|e| fail(&e)) {
+        return DatasetSpec::File {
+            path: ingest.path,
+            format: ingest.format,
+            prob_model: ingest.prob_model,
+        };
+    }
+    match parse_num_flag::<usize>(args, "--edges") {
+        Some(edges) => DatasetSpec::Generated {
+            edges,
+            // --vertices overrides the average-degree-50 derivation.
+            vertices: parse_num_flag(args, "--vertices"),
+            seed,
+        },
+        None => {
+            let default = parbench::ParBenchConfig::default();
+            DatasetSpec::Generated {
+                edges: default.edges,
+                vertices: Some(parse_num_flag(args, "--vertices").unwrap_or(default.vertices)),
+                seed,
+            }
+        }
+    }
+}
+
+/// Translates one bench subcommand's flags into its registry spec —
+/// after this point the run is identical to a matrix-driven one.
+fn bench_spec(workload: Workload, args: &[String]) -> Spec {
+    let mut params = Params::default();
+    match workload {
+        Workload::Parbench => {
+            params.repeats = parse_num_flag(args, "--repeats");
+            params.threads = cli::parse_threads(args).unwrap_or_else(|e| fail(&e));
+        }
+        Workload::Thetasweep => {
+            params.rank = parse_rank(args, "thetasweep");
+            params.thetas = cli::parse_thetas(args).unwrap_or_else(|e| fail(&e));
+            params.repeats = parse_num_flag(args, "--repeats");
+        }
+        Workload::Updates => {
+            params.rank = parse_rank(args, "updates");
+            params.thetas = cli::parse_thetas(args).unwrap_or_else(|e| fail(&e));
+            params.batch = parse_num_flag(args, "--batch");
+        }
+        Workload::Serve => {
+            params.thetas = cli::parse_thetas(args).unwrap_or_else(|e| fail(&e));
+            params.cache = parse_num_flag(args, "--cache");
+            params.pool = parse_num_flag::<usize>(args, "--threads").map(|t| {
+                if t == 0 {
+                    fail("serve: --threads must be at least 1");
+                }
+                t
+            });
+        }
+        Workload::Million => {
+            params.thetas = cli::parse_thetas(args).unwrap_or_else(|e| fail(&e));
+            params.pool = parse_num_flag::<usize>(args, "--threads").map(|t| {
+                if t == 0 {
+                    fail("million: --threads must be at least 1");
+                }
+                t
+            });
+            params.chunk_edges = parse_num_flag::<usize>(args, "--chunk-edges").map(|c| {
+                if c == 0 {
+                    fail("million: --chunk-edges must be at least 1");
+                }
+                c
+            });
+        }
+        _ => unreachable!("bench_spec is only called for bench workloads"),
+    }
+    Spec {
+        name: workload.to_string(),
+        workload,
+        tags: Vec::new(),
+        tolerance: 0.0,
+        dataset: bench_dataset(workload, args),
+        params,
+        expect: Vec::new(),
+    }
+}
+
+fn parse_rank(args: &[String], subcommand: &str) -> Option<nucleus::Rank> {
+    parse_flag(args, "--rank").map(|spec| {
+        spec.parse::<nucleus::Rank>()
+            .unwrap_or_else(|e| fail(&format!("{subcommand}: {e}")))
     })
 }
 
-/// Parses the shared `--input` / `--format` / `--prob-model` flag group.
-fn parse_input(args: &[String]) -> Option<ExternalDataset> {
-    let path = parse_flag(args, "--input")?;
-    let format = match parse_flag(args, "--format") {
-        Some(spec) => spec
-            .parse::<InputFormat>()
-            .unwrap_or_else(|e| fail(&e.to_string())),
-        None => InputFormat::Snap,
+/// Runs one bench subcommand through the registry dispatch: header,
+/// driver, report table, JSON file — exactly the output the hand-wired
+/// arms produced.
+fn run_bench_arm(workload: Workload, args: &[String]) {
+    let spec = bench_spec(workload, args);
+    let out_default = match workload {
+        Workload::Parbench => "BENCH_parallel.json",
+        Workload::Thetasweep => "BENCH_thetasweep.json",
+        Workload::Updates => "BENCH_updates.json",
+        Workload::Serve => "BENCH_serve.json",
+        Workload::Million => "BENCH_million.json",
+        _ => unreachable!(),
     };
-    let model = match parse_flag(args, "--prob-model") {
-        Some(spec) => spec
-            .parse::<EdgeProbabilityModel>()
-            .unwrap_or_else(|e| fail(&e.to_string())),
-        None => EdgeProbabilityModel::Column,
-    };
-    Some(ExternalDataset::new(path, format, model))
+    let out_path = parse_flag(args, "--out").unwrap_or_else(|| out_default.to_string());
+    println!("{}", run::header(&spec).unwrap_or_else(|e| fail(&e)));
+    let executed = run::execute(&spec).unwrap_or_else(|e| fail(&e));
+    println!("{}", executed.text);
+    let json = executed
+        .raw_json
+        .as_deref()
+        .expect("bench drivers emit JSON");
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!("wrote {out_path}");
+    if workload == Workload::Serve && !executed.passed() {
+        std::process::exit(1);
+    }
 }
 
-/// Runs the parallel-substrate benchmark and writes the JSON report.
-fn run_parbench(args: &[String]) {
-    let mut config = parbench::ParBenchConfig::default();
-    if let Some(m) = parse_num_flag(args, "--edges") {
-        config.edges = m;
-        // Keep the default density (average degree 50) unless --vertices
-        // overrides it below.
-        config.vertices = (m / 25).max(4);
-    }
-    if let Some(n) = parse_num_flag(args, "--vertices") {
-        config.vertices = n;
-    }
-    if let Some(seed) = parse_num_flag(args, "--seed") {
-        config.seed = seed;
-    }
-    if let Some(r) = parse_num_flag(args, "--repeats") {
-        config.repeats = r;
-    }
-    if let Some(list) = parse_flag(args, "--threads") {
-        let mut threads = Vec::new();
-        for token in list.split(',') {
-            match token.trim().parse::<usize>() {
-                Ok(0) | Err(_) => {
-                    eprintln!("invalid --threads value '{}' (expected e.g. 1,2,4)", token);
-                    std::process::exit(1);
-                }
-                // 1 is the always-measured sequential baseline.
-                Ok(1) => {}
-                Ok(t) => threads.push(t),
-            }
-        }
-        // May legitimately be empty (`--threads 1` = baseline only).
-        config.threads = threads;
-    }
-    config.input = parse_input(args);
-    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+/// The default scenarios directory: `crates/bench/scenarios/` in this
+/// checkout (compiled in, like the golden-test paths).
+fn default_scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
 
-    match &config.input {
-        Some(input) => println!(
-            "# experiment: parbench  input: {} ({})  threads: {:?}  repeats: {}\n",
-            input.path.display(),
-            input.format,
-            config.threads,
-            config.repeats
-        ),
-        None => println!(
-            "# experiment: parbench  vertices: {}  edges: {}  threads: {:?}  repeats: {}  seed: {}\n",
-            config.vertices, config.edges, config.threads, config.repeats, config.seed
-        ),
+/// Enumerates and runs the scenario registry.
+fn run_matrix_cmd(args: &[String]) {
+    let dir = parse_flag(args, "--scenarios")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_scenarios_dir);
+    let registry = Registry::load(&dir).unwrap_or_else(|e| fail(&format!("matrix: {e}")));
+    let only: Vec<String> = parse_flag(args, "--only")
+        .map(|list| {
+            list.split(',')
+                .map(|name| name.trim().to_string())
+                .filter(|name| !name.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let tag = parse_flag(args, "--tag");
+    let selected = registry
+        .select(&only, tag.as_deref())
+        .unwrap_or_else(|e| fail(&format!("matrix: {e}")));
+
+    if args.iter().any(|a| a == "--dry-run") {
+        print!("{}", matrix::format_listing(&selected));
+        return;
     }
-    let report = parbench::run(&config).unwrap_or_else(|e| fail(&e.to_string()));
-    println!("{}", report.format());
+
+    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_matrix.json".to_string());
+    println!("# experiment: matrix  {} scenario(s)\n", selected.len());
+    let start = std::time::Instant::now();
+    let report = matrix::run_matrix(&selected, &mut |line| println!("{line}"));
+    println!();
+    print!("{}", report.format());
+    println!("# total wall-clock: {:.1}s", start.elapsed().as_secs_f64());
     std::fs::write(&out_path, report.to_json())
         .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
     println!("wrote {out_path}");
-}
-
-/// Runs the threshold-sweep amortization benchmark at the requested
-/// rank and writes the v5 JSON report.
-fn run_thetasweep(args: &[String]) {
-    let mut config = thetasweep::SweepBenchConfig::default();
-    // Same policy as the numeric flags: an absent --rank defaults to
-    // nucleus, a present-but-unknown value fails loudly with the typed
-    // parse error instead of silently benchmarking the wrong algorithm.
-    if let Some(spec) = parse_flag(args, "--rank") {
-        config.rank = spec
-            .parse::<nucleus::Rank>()
-            .unwrap_or_else(|e| fail(&format!("thetasweep: {e}")));
+    if !report.passed() {
+        std::process::exit(1);
     }
-    if let Some(m) = parse_num_flag(args, "--edges") {
-        config.edges = m;
-        // Keep the default density (average degree 50) unless --vertices
-        // overrides it below.
-        config.vertices = (m / 25).max(4);
-    }
-    if let Some(n) = parse_num_flag(args, "--vertices") {
-        config.vertices = n;
-    }
-    if let Some(seed) = parse_num_flag(args, "--seed") {
-        config.seed = seed;
-    }
-    if let Some(r) = parse_num_flag(args, "--repeats") {
-        config.repeats = r;
-    }
-    if let Some(thetas) = parse_thetas(args) {
-        config.thetas = thetas;
-    }
-    // Malformed grids (empty, NaN, out-of-range, unsorted, duplicates)
-    // fail here with the typed validation message, before any work.
-    if let Err(e) = nucleus::ThetaSweep::new(nucleus::SweepConfig::exact(config.thetas.clone())) {
-        fail(&format!("thetasweep: {e}"));
-    }
-    config.input = parse_input(args);
-    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_thetasweep.json".to_string());
-
-    match &config.input {
-        Some(input) => println!(
-            "# experiment: thetasweep  rank: {}  input: {} ({})  grid: {:?}  repeats: {}\n",
-            config.rank,
-            input.path.display(),
-            input.format,
-            config.thetas,
-            config.repeats
-        ),
-        None => println!(
-            "# experiment: thetasweep  rank: {}  vertices: {}  edges: {}  grid: {:?}  repeats: {}  seed: {}\n",
-            config.rank, config.vertices, config.edges, config.thetas, config.repeats, config.seed
-        ),
-    }
-    let report = thetasweep::run_bench(&config).unwrap_or_else(|e| fail(&e.to_string()));
-    println!("{}", report.format());
-    std::fs::write(&out_path, report.to_json())
-        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
-    println!("wrote {out_path}");
-}
-
-/// Runs the incremental-update benchmark at the requested rank and
-/// writes the `bench-updates/v1` JSON report.
-fn run_updates(args: &[String]) {
-    let mut config = updates::UpdateBenchConfig::default();
-    if let Some(spec) = parse_flag(args, "--rank") {
-        config.rank = spec
-            .parse::<nucleus::Rank>()
-            .unwrap_or_else(|e| fail(&format!("updates: {e}")));
-    }
-    if let Some(m) = parse_num_flag(args, "--edges") {
-        config.edges = m;
-        // Keep the default density (average degree 50) unless --vertices
-        // overrides it below.
-        config.vertices = (m / 25).max(4);
-    }
-    if let Some(n) = parse_num_flag(args, "--vertices") {
-        config.vertices = n;
-    }
-    if let Some(seed) = parse_num_flag(args, "--seed") {
-        config.seed = seed;
-    }
-    if let Some(b) = parse_num_flag(args, "--batch") {
-        config.batch = b;
-    }
-    if let Some(thetas) = parse_thetas(args) {
-        config.thetas = thetas;
-    }
-    if let Err(e) = nucleus::ThetaSweep::new(nucleus::SweepConfig::exact(config.thetas.clone())) {
-        fail(&format!("updates: {e}"));
-    }
-    config.input = parse_input(args);
-    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_updates.json".to_string());
-
-    match &config.input {
-        Some(input) => println!(
-            "# experiment: updates  rank: {}  input: {} ({})  grid: {:?}  batch: {}\n",
-            config.rank,
-            input.path.display(),
-            input.format,
-            config.thetas,
-            config.batch
-        ),
-        None => println!(
-            "# experiment: updates  rank: {}  vertices: {}  edges: {}  grid: {:?}  batch: {}  seed: {}\n",
-            config.rank, config.vertices, config.edges, config.thetas, config.batch, config.seed
-        ),
-    }
-    let report = updates::run(&config).unwrap_or_else(|e| fail(&e.to_string()));
-    println!("{}", report.format());
-    std::fs::write(&out_path, report.to_json())
-        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
-    println!("wrote {out_path}");
 }
 
 /// Generates a seeded benchmark graph and writes it as a text edge list
@@ -497,7 +494,8 @@ fn run_gen(args: &[String]) {
     let graph = match generator.as_str() {
         "gnm" => {
             let edges: usize = parse_num_flag(args, "--edges").unwrap_or(50_000);
-            let vertices: usize = parse_num_flag(args, "--vertices").unwrap_or((edges / 25).max(4));
+            let vertices: usize =
+                parse_num_flag(args, "--vertices").unwrap_or_else(|| cli::derive_vertices(edges));
             parbench::generate_graph(vertices, edges, seed)
         }
         "ba" => {
@@ -542,135 +540,21 @@ fn run_gen(args: &[String]) {
     }
 }
 
-/// Runs the million-edge memory-scaling baseline and writes the
-/// `bench-million/v1` JSON report.
-fn run_million(args: &[String]) {
-    let mut config = million::MillionBenchConfig::default();
-    if let Some(n) = parse_num_flag(args, "--vertices") {
-        config.vertices = n;
-    }
-    if let Some(k) = parse_num_flag::<usize>(args, "--attach") {
-        if k == 0 {
-            fail("million: --attach must be at least 1");
-        }
-        config.attach = k;
-    }
-    if let Some(seed) = parse_num_flag(args, "--seed") {
-        config.seed = seed;
-    }
-    if let Some(t) = parse_num_flag::<usize>(args, "--threads") {
-        if t == 0 {
-            fail("million: --threads must be at least 1");
-        }
-        config.threads = t;
-    }
-    if let Some(c) = parse_num_flag::<usize>(args, "--chunk-edges") {
-        if c == 0 {
-            fail("million: --chunk-edges must be at least 1");
-        }
-        config.streaming_chunk_edges = c;
-    }
-    if let Some(thetas) = parse_thetas(args) {
-        config.thetas = thetas;
-    }
-    if let Err(e) = nucleus::ThetaSweep::new(nucleus::SweepConfig::exact(config.thetas.clone())) {
-        fail(&format!("million: {e}"));
-    }
-    let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_million.json".to_string());
-    println!(
-        "# experiment: million  vertices: {}  attach: {}  (~{} edges)  threads: {}  grid: {:?}  seed: {}\n",
-        config.vertices,
-        config.attach,
-        config.expected_edges(),
-        config.threads,
-        config.thetas,
-        config.seed
-    );
-    let report = million::run(&config);
-    println!("{}", report.format());
-    std::fs::write(&out_path, report.to_json())
-        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
-    println!("wrote {out_path}");
-}
-
-/// Parses the shared `--thetas 0.1,0.3` grid flag.
-fn parse_thetas(args: &[String]) -> Option<Vec<f64>> {
-    parse_flag(args, "--thetas").map(|list| {
-        let mut thetas = Vec::new();
-        for token in list.split(',') {
-            match token.trim().parse::<f64>() {
-                Ok(t) => thetas.push(t),
-                Err(_) => fail(&format!(
-                    "invalid --thetas value '{token}' (expected e.g. 0.05,0.1,0.5)"
-                )),
-            }
-        }
-        thetas
-    })
-}
-
 /// Boots the resident query service — or, with `--oneshot`, runs the
-/// scripted self-test against a freshly booted server and writes the
-/// `bench-serve/v2` report (the CI `serve-smoke` surface).
+/// scripted self-test (through the registry dispatch, like the matrix)
+/// and writes the `bench-serve/v2` report (the CI `serve-smoke`
+/// surface).
 fn run_serve(args: &[String]) {
-    let mut config = serve::ServeBenchConfig::default();
-    if let Some(m) = parse_num_flag(args, "--edges") {
-        config.edges = m;
-        // Keep the default density (average degree 50) unless --vertices
-        // overrides it below.
-        config.vertices = (m / 25).max(4);
-    }
-    if let Some(n) = parse_num_flag(args, "--vertices") {
-        config.vertices = n;
-    }
-    if let Some(seed) = parse_num_flag(args, "--seed") {
-        config.seed = seed;
-    }
-    if let Some(c) = parse_num_flag(args, "--cache") {
-        config.cache_capacity = c;
-    }
-    if let Some(t) = parse_num_flag::<usize>(args, "--threads") {
-        if t == 0 {
-            fail("serve: --threads must be at least 1");
-        }
-        config.threads = Some(t);
-    }
-    if let Some(thetas) = parse_thetas(args) {
-        if thetas.len() < 2 {
-            fail("serve: --thetas needs a grid of at least 2 points");
-        }
-        config.thetas = thetas;
-    }
-    config.input = parse_input(args);
-
+    let spec = bench_spec(Workload::Serve, args);
     if args.iter().any(|a| a == "--oneshot") {
-        let out_path = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
-        match &config.input {
-            Some(input) => println!(
-                "# experiment: serve --oneshot  input: {} ({})  grid: {:?}\n",
-                input.path.display(),
-                input.format,
-                config.thetas
-            ),
-            None => println!(
-                "# experiment: serve --oneshot  vertices: {}  edges: {}  grid: {:?}  seed: {}\n",
-                config.vertices, config.edges, config.thetas, config.seed
-            ),
-        }
-        let report = serve::run(&config).unwrap_or_else(|e| fail(&e.to_string()));
-        println!("{}", report.format());
-        std::fs::write(&out_path, report.to_json())
-            .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
-        println!("wrote {out_path}");
-        if !report.passed() {
-            std::process::exit(1);
-        }
+        run_bench_arm(Workload::Serve, args);
         return;
     }
 
     // Resident mode: load once (through the snapshot cache, like the
     // generic experiments), bind, and serve until a client asks for
     // shutdown.
+    let config = run::serve_config(&spec).unwrap_or_else(|e| fail(&e));
     let graph = match &config.input {
         Some(input) => input
             .load_cached()
@@ -723,113 +607,4 @@ fn run_serve_client(args: &[String]) {
         Ok(result) => println!("{}", result.to_json_string()),
         Err(e) => fail(&e.to_string()),
     }
-}
-
-fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn report_shape(violations: &[String]) {
-    if violations.is_empty() {
-        println!("shape check: OK (matches the paper's qualitative claims)");
-    } else {
-        println!("shape check: {} deviation(s):", violations.len());
-        for v in violations {
-            println!("  - {v}");
-        }
-    }
-}
-
-/// The datasets a multi-dataset experiment iterates: collapsed to one
-/// when `--input` installed an external graph.
-fn datasets(ctx: &ExperimentContext, requested: &[PaperDataset]) -> Vec<PaperDataset> {
-    ctx.effective_datasets(requested)
-}
-
-fn run_table1(ctx: &ExperimentContext) {
-    println!(
-        "{}",
-        table1::run(ctx, &datasets(ctx, &PaperDataset::all())).format()
-    );
-}
-
-fn run_fig4(ctx: &ExperimentContext) {
-    let fig = fig4::run(ctx, &datasets(ctx, &PaperDataset::all()));
-    println!("{}", fig.format());
-    report_shape(&fig.check_shape());
-    println!();
-}
-
-fn run_fig5(ctx: &ExperimentContext) {
-    let fig = fig5::run(ctx, &datasets(ctx, &PaperDataset::all()), 2, 200);
-    println!("{}", fig.format());
-    report_shape(&fig.check_shape());
-    println!();
-}
-
-fn run_table2(ctx: &ExperimentContext) {
-    let t = table2::run(ctx, &datasets(ctx, &PaperDataset::all()));
-    println!("{}", t.format());
-    report_shape(&t.check_shape());
-    println!();
-}
-
-fn run_fig6(ctx: &ExperimentContext) {
-    let fig = fig6::run(ctx, fig6::SAMPLES);
-    println!("{}", fig.format());
-    report_shape(&fig.check_shape());
-    println!();
-}
-
-fn run_table3(ctx: &ExperimentContext) {
-    let t = table3::run(
-        ctx,
-        &datasets(
-            ctx,
-            &[
-                PaperDataset::Dblp,
-                PaperDataset::Pokec,
-                PaperDataset::Biomine,
-            ],
-        ),
-    );
-    println!("{}", t.format());
-    report_shape(&t.check_shape());
-    println!();
-}
-
-fn run_fig7(ctx: &ExperimentContext) {
-    let fig = fig7::run(ctx, PaperDataset::Flickr);
-    println!("{}", fig.format());
-    report_shape(&fig.check_shape());
-    println!();
-}
-
-fn run_fig8(ctx: &ExperimentContext) {
-    let fig = fig8::run(
-        ctx,
-        &datasets(
-            ctx,
-            &[
-                PaperDataset::Krogan,
-                PaperDataset::Flickr,
-                PaperDataset::Dblp,
-            ],
-        ),
-        3,
-        200,
-    );
-    println!("{}", fig.format());
-    report_shape(&fig.check_shape());
-    println!();
-}
-
-fn run_ablation(ctx: &ExperimentContext) {
-    let samples = ablation::run_sample_ablation(ctx, &[50, 150, 500, 1500, 5000]);
-    println!("{}", samples.format());
-    println!();
-    let cost = ablation::run_scoring_cost(ctx, &[16, 64, 256, 1024], 200);
-    println!("{}", ablation::format_scoring_cost(&cost));
 }

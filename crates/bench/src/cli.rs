@@ -1,0 +1,240 @@
+//! Shared command-line parsing for the `experiments` binary.
+//!
+//! Every subcommand used to re-implement the same flag plumbing inline:
+//! the `--input/--format/--prob-model` ingestion trio, the
+//! `--edges/--vertices` density rule, the `--thetas` and `--threads`
+//! list grammars.  This module is the single home for that logic so the
+//! subcommand arms stay thin and the parsing behaviour (and its error
+//! wording) cannot drift between them.  Everything returns `Result`
+//! rather than exiting, so it is unit-testable; the binary maps errors
+//! to its uniform `fail()`.
+
+use nd_datasets::ExternalDataset;
+use ugraph::io::EdgeProbabilityModel;
+use ugraph::InputFormat;
+
+/// Looks up the value following `flag`.  `Ok(None)` when the flag is
+/// absent; an error when the flag is present but dangling without a
+/// value (silently ignoring it would run the wrong workload).
+pub fn parse_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} requires a value")),
+        },
+    }
+}
+
+/// Parses a typed flag strictly: an absent flag yields `Ok(None)`, a
+/// present-but-unparseable value is a loud error — never a silent fall
+/// back to the default (which would benchmark the wrong graph and only
+/// surface later as a confusing counts regression in `bench-compare`).
+pub fn parse_num_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match parse_flag(args, flag)? {
+        None => Ok(None),
+        Some(spec) => spec
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("invalid {flag} value '{spec}'")),
+    }
+}
+
+/// Parses the shared `--thetas 0.05,0.1,0.5` grid flag.  Grid *shape*
+/// validation (sortedness, range) stays with the sweep engine; this
+/// only rejects tokens that are not numbers.
+pub fn parse_thetas(args: &[String]) -> Result<Option<Vec<f64>>, String> {
+    let Some(list) = parse_flag(args, "--thetas")? else {
+        return Ok(None);
+    };
+    let mut thetas = Vec::new();
+    for token in list.split(',') {
+        match token.trim().parse::<f64>() {
+            Ok(t) => thetas.push(t),
+            Err(_) => {
+                return Err(format!(
+                    "invalid --thetas value '{token}' (expected e.g. 0.05,0.1,0.5)"
+                ))
+            }
+        }
+    }
+    Ok(Some(thetas))
+}
+
+/// Parses the `--threads 1,2,4` matrix flag of `parbench`.  `1` is the
+/// always-measured sequential baseline, so it is dropped from the list;
+/// `0` and non-numbers are rejected.  `Ok(Some(vec![]))` is legitimate
+/// (`--threads 1` means baseline only).
+pub fn parse_threads(args: &[String]) -> Result<Option<Vec<usize>>, String> {
+    let Some(list) = parse_flag(args, "--threads")? else {
+        return Ok(None);
+    };
+    let mut threads = Vec::new();
+    for token in list.split(',') {
+        match token.trim().parse::<usize>() {
+            Ok(0) | Err(_) => {
+                return Err(format!(
+                    "invalid --threads value '{token}' (expected e.g. 1,2,4)"
+                ))
+            }
+            Ok(1) => {}
+            Ok(t) => threads.push(t),
+        }
+    }
+    Ok(Some(threads))
+}
+
+/// The derived vertex count of a generated G(n, m) benchmark graph when
+/// only `--edges` is given: average degree 50 (the density every
+/// committed baseline uses), floored at the smallest graph that can
+/// hold a 4-clique.
+pub fn derive_vertices(edges: usize) -> usize {
+    (edges / 25).max(4)
+}
+
+/// The parsed `--input PATH [--format F] [--prob-model M]` ingestion
+/// trio, shared verbatim by every subcommand that accepts a file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestArgs {
+    /// The input path (`--input`).
+    pub path: String,
+    /// The on-disk format (`--format`, default `snap`).
+    pub format: InputFormat,
+    /// The edge-probability model (`--prob-model`, default `column`).
+    pub prob_model: EdgeProbabilityModel,
+}
+
+impl IngestArgs {
+    /// Parses the trio from a raw argument list.  `Ok(None)` when no
+    /// `--input` is present; `--format`/`--prob-model` without
+    /// `--input` are rejected (they would otherwise be dead flags whose
+    /// typos go unnoticed).
+    pub fn from_args(args: &[String]) -> Result<Option<IngestArgs>, String> {
+        let path = parse_flag(args, "--input")?;
+        let format = parse_flag(args, "--format")?;
+        let prob_model = parse_flag(args, "--prob-model")?;
+        let Some(path) = path else {
+            if format.is_some() || prob_model.is_some() {
+                return Err("--format/--prob-model require --input".to_string());
+            }
+            return Ok(None);
+        };
+        let format = match format {
+            Some(spec) => spec.parse::<InputFormat>()?,
+            None => InputFormat::Snap,
+        };
+        let prob_model = match prob_model {
+            Some(spec) => spec.parse::<EdgeProbabilityModel>()?,
+            None => EdgeProbabilityModel::Column,
+        };
+        Ok(Some(IngestArgs {
+            path,
+            format,
+            prob_model,
+        }))
+    }
+
+    /// The loader-facing dataset (named after the file stem, loaded
+    /// through the snapshot cache).
+    pub fn to_dataset(&self) -> ExternalDataset {
+        ExternalDataset::new(self.path.clone(), self.format, self.prob_model.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flags_parse_to_none() {
+        let a = args(&["parbench", "--seed", "7"]);
+        assert_eq!(parse_flag(&a, "--edges").unwrap(), None);
+        assert_eq!(parse_num_flag::<u64>(&a, "--edges").unwrap(), None);
+        assert_eq!(parse_thetas(&a).unwrap(), None);
+        assert_eq!(parse_threads(&a).unwrap(), None);
+        assert_eq!(IngestArgs::from_args(&a).unwrap(), None);
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error_not_a_silent_default() {
+        let a = args(&["parbench", "--edges"]);
+        assert!(parse_flag(&a, "--edges").unwrap_err().contains("--edges"));
+    }
+
+    #[test]
+    fn num_flag_rejects_garbage_loudly() {
+        let a = args(&["parbench", "--edges", "many"]);
+        let err = parse_num_flag::<usize>(&a, "--edges").unwrap_err();
+        assert!(err.contains("invalid --edges value 'many'"), "{err}");
+    }
+
+    #[test]
+    fn thetas_parse_and_reject_bad_tokens() {
+        let a = args(&["thetasweep", "--thetas", "0.1,0.5,0.9"]);
+        assert_eq!(parse_thetas(&a).unwrap(), Some(vec![0.1, 0.5, 0.9]));
+        let bad = args(&["thetasweep", "--thetas", "0.1,x"]);
+        assert!(parse_thetas(&bad).unwrap_err().contains("'x'"));
+    }
+
+    #[test]
+    fn threads_drop_the_baseline_and_reject_zero() {
+        let a = args(&["parbench", "--threads", "1,2,4"]);
+        assert_eq!(parse_threads(&a).unwrap(), Some(vec![2, 4]));
+        let baseline_only = args(&["parbench", "--threads", "1"]);
+        assert_eq!(parse_threads(&baseline_only).unwrap(), Some(vec![]));
+        let zero = args(&["parbench", "--threads", "0"]);
+        assert!(parse_threads(&zero).is_err());
+    }
+
+    #[test]
+    fn derive_vertices_keeps_average_degree_50() {
+        assert_eq!(derive_vertices(50_000), 2_000);
+        assert_eq!(derive_vertices(10), 4);
+    }
+
+    #[test]
+    fn ingest_args_parse_the_full_trio() {
+        let a = args(&[
+            "parbench",
+            "--input",
+            "graph.txt",
+            "--format",
+            "konect",
+            "--prob-model",
+            "const:0.5",
+        ]);
+        let ingest = IngestArgs::from_args(&a).unwrap().unwrap();
+        assert_eq!(ingest.path, "graph.txt");
+        assert_eq!(ingest.format, InputFormat::Konect);
+        assert_eq!(ingest.prob_model, EdgeProbabilityModel::Constant(0.5));
+        let dataset = ingest.to_dataset();
+        assert_eq!(dataset.name, "graph");
+    }
+
+    #[test]
+    fn ingest_args_default_format_and_model() {
+        let a = args(&["parbench", "--input", "g.txt"]);
+        let ingest = IngestArgs::from_args(&a).unwrap().unwrap();
+        assert_eq!(ingest.format, InputFormat::Snap);
+        assert_eq!(ingest.prob_model, EdgeProbabilityModel::Column);
+    }
+
+    #[test]
+    fn ingest_args_reject_orphaned_modifiers_and_bad_values() {
+        let orphan = args(&["parbench", "--format", "snap"]);
+        assert!(IngestArgs::from_args(&orphan)
+            .unwrap_err()
+            .contains("require --input"));
+        let bad_format = args(&["parbench", "--input", "g", "--format", "xml"]);
+        assert!(IngestArgs::from_args(&bad_format).is_err());
+        let bad_model = args(&["parbench", "--input", "g", "--prob-model", "magic"]);
+        assert!(IngestArgs::from_args(&bad_model).is_err());
+    }
+}

@@ -57,8 +57,14 @@ use crate::json::Json;
 use crate::runner::format_table;
 
 /// Whether and how a tracked value participates in the gate.
+///
+/// Public because scenario specs ([`crate::registry`]) declare their
+/// expected-counter gates in exactly these modes; the spec format's
+/// `[gates]` section round-trips through [`Gate`]'s `FromStr`/`Display`
+/// pair (`exact`, `lower-is-better`, `higher-is-better`,
+/// `within-factor:N`, `report-only`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Gate {
+pub enum Gate {
     /// Deterministic; any change beyond tolerance fails.
     Exact,
     /// Deterministic; an increase beyond tolerance fails.
@@ -72,6 +78,43 @@ enum Gate {
     WithinFactor(u32),
     /// Reported for context only (wall clock and derived figures).
     ReportOnly,
+}
+
+impl std::fmt::Display for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Gate::Exact => write!(f, "exact"),
+            Gate::LowerIsBetter => write!(f, "lower-is-better"),
+            Gate::HigherIsBetter => write!(f, "higher-is-better"),
+            Gate::WithinFactor(factor) => write!(f, "within-factor:{factor}"),
+            Gate::ReportOnly => write!(f, "report-only"),
+        }
+    }
+}
+
+impl std::str::FromStr for Gate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Gate, String> {
+        match s {
+            "exact" => Ok(Gate::Exact),
+            "lower-is-better" => Ok(Gate::LowerIsBetter),
+            "higher-is-better" => Ok(Gate::HigherIsBetter),
+            "report-only" => Ok(Gate::ReportOnly),
+            other => match other.strip_prefix("within-factor:") {
+                Some(spec) => match spec.parse::<u32>() {
+                    Ok(factor) if factor >= 1 => Ok(Gate::WithinFactor(factor)),
+                    _ => Err(format!(
+                        "invalid within-factor gate '{other}' (expected within-factor:N, N >= 1)"
+                    )),
+                },
+                None => Err(format!(
+                    "unknown gate '{other}' (expected exact, lower-is-better, \
+                     higher-is-better, within-factor:N or report-only)"
+                )),
+            },
+        }
+    }
 }
 
 /// One tracked value of the comparison.
@@ -285,6 +328,7 @@ const FAMILIES: &[&str] = &[
     "bench-serve",
     "bench-updates",
     "bench-million",
+    "bench-matrix",
 ];
 
 fn schema_of(doc: &Json, which: &str) -> Result<(String, String), String> {
@@ -357,6 +401,19 @@ pub fn compare(old: &Json, new: &Json, tolerance: f64) -> Result<CompareReport, 
         ));
     }
 
+    // Matrix reports carry dynamic per-scenario counters instead of the
+    // fixed TRACKED table: every counter the baseline recorded is gated
+    // Exact against the new run.
+    if old_family == "bench-matrix" {
+        compare_matrix(old, new, tolerance, &mut rows, &mut notes);
+        return Ok(CompareReport {
+            old_schema,
+            new_schema,
+            rows,
+            notes,
+        });
+    }
+
     for (path, gate) in TRACKED {
         let name = path.join(".");
         let old_v = old.path(path).and_then(Json::as_f64);
@@ -400,8 +457,139 @@ pub fn compare(old: &Json, new: &Json, tolerance: f64) -> Result<CompareReport, 
     })
 }
 
-/// Applies the gate to one value pair.
-fn judge(
+/// The `scenarios` array of a `bench-matrix/*` report, keyed by name.
+fn matrix_scenarios(doc: &Json) -> Vec<(&str, &Json)> {
+    doc.get("scenarios")
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|item| item.get("name").and_then(Json::as_str).map(|n| (n, item)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The flat `counters` object of one matrix scenario entry.
+fn matrix_counters(item: &Json) -> Vec<(&str, f64)> {
+    match item.get("counters") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|x| (k.as_str(), x)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The `passed` flag of one matrix scenario entry, as a gateable number.
+fn matrix_passed(item: &Json) -> Option<f64> {
+    item.get("passed")
+        .and_then(Json::as_bool)
+        .map(|b| if b { 1.0 } else { 0.0 })
+}
+
+/// Diffs two `bench-matrix/*` reports.  Unlike the fixed-table families,
+/// the gated surface here is *dynamic*: every scenario and every counter
+/// the baseline recorded must still be present and Exact-equal (within
+/// tolerance) in the new run.  New scenarios/counters are noted, not
+/// gated — they become live on the next baseline regeneration.
+fn compare_matrix(
+    old: &Json,
+    new: &Json,
+    tolerance: f64,
+    rows: &mut Vec<DiffRow>,
+    notes: &mut Vec<String>,
+) {
+    for key in ["total", "passed", "failed"] {
+        let old_v = old.get(key).and_then(Json::as_f64);
+        let new_v = new.get(key).and_then(Json::as_f64);
+        if old_v.is_none() && new_v.is_none() {
+            continue;
+        }
+        let (regression, verdict) = judge(Gate::Exact, old_v, new_v, tolerance);
+        rows.push(DiffRow {
+            name: key.to_string(),
+            old: old_v,
+            new: new_v,
+            regression,
+            verdict,
+        });
+    }
+    let old_items = matrix_scenarios(old);
+    let new_items = matrix_scenarios(new);
+    for (name, old_item) in &old_items {
+        let Some((_, new_item)) = new_items.iter().find(|(n, _)| n == name) else {
+            rows.push(DiffRow {
+                name: format!("{name}.passed"),
+                old: matrix_passed(old_item),
+                new: None,
+                regression: Some(
+                    "scenario missing from the new report; regenerate the baseline if it \
+                     was removed deliberately"
+                        .to_string(),
+                ),
+                verdict: "REGRESSED".to_string(),
+            });
+            continue;
+        };
+        let old_p = matrix_passed(old_item);
+        let new_p = matrix_passed(new_item);
+        let (regression, verdict) = judge(Gate::Exact, old_p, new_p, tolerance);
+        rows.push(DiffRow {
+            name: format!("{name}.passed"),
+            old: old_p,
+            new: new_p,
+            regression,
+            verdict,
+        });
+        let new_counters = matrix_counters(new_item);
+        for (counter, old_v) in matrix_counters(old_item) {
+            let new_v = new_counters
+                .iter()
+                .find(|(k, _)| *k == counter)
+                .map(|(_, v)| *v);
+            let (mut regression, mut verdict) = judge(Gate::Exact, Some(old_v), new_v, tolerance);
+            if new_v.is_none() {
+                // A counter the baseline gates vanished: same failure
+                // mode as a same-schema TRACKED counter disappearing.
+                regression = Some(
+                    "gated counter missing from the new report; regenerate the baseline \
+                     if the scenario's counter set changed deliberately"
+                        .to_string(),
+                );
+                verdict = "REGRESSED".to_string();
+            }
+            rows.push(DiffRow {
+                name: format!("{name}.{counter}"),
+                old: Some(old_v),
+                new: new_v,
+                regression,
+                verdict,
+            });
+        }
+        for (counter, _) in new_counters {
+            if !matrix_counters(old_item).iter().any(|(k, _)| *k == counter) {
+                notes.push(format!(
+                    "{name}.{counter}: new counter, not gated until the baseline is \
+                     regenerated"
+                ));
+            }
+        }
+    }
+    for (name, _) in &new_items {
+        if !old_items.iter().any(|(n, _)| n == name) {
+            notes.push(format!(
+                "scenario {name}: new in this run, not gated until the baseline is \
+                 regenerated"
+            ));
+        }
+    }
+}
+
+/// Applies the gate to one value pair.  Crate-visible so the scenario
+/// registry can reuse the exact gate semantics for its declared
+/// expected-counter checks.
+pub(crate) fn judge(
     gate: Gate,
     old: Option<f64>,
     new: Option<f64>,
@@ -998,6 +1186,147 @@ mod tests {
             0.0,
         )
         .unwrap_err();
+        assert!(err.contains("schema family mismatch"), "{err}");
+    }
+
+    #[test]
+    fn gate_spellings_round_trip_and_reject_garbage() {
+        for gate in [
+            Gate::Exact,
+            Gate::LowerIsBetter,
+            Gate::HigherIsBetter,
+            Gate::WithinFactor(2),
+            Gate::ReportOnly,
+        ] {
+            assert_eq!(gate.to_string().parse::<Gate>().unwrap(), gate);
+        }
+        assert!("exactly".parse::<Gate>().is_err());
+        assert!("within-factor:0".parse::<Gate>().is_err());
+        assert!("within-factor:x".parse::<Gate>().is_err());
+    }
+
+    fn matrix(triangles: u64, passed: bool, extra_scenario: bool) -> Json {
+        let second = if extra_scenario {
+            r#", { "name": "z-extra", "workload": "parbench", "tags": [],
+                   "passed": true, "failures": [],
+                   "counters": { "counts.triangles": 7 } }"#
+        } else {
+            ""
+        };
+        let (p, failed) = if passed { ("true", 0) } else { ("false", 1) };
+        let total = if extra_scenario { 2 } else { 1 };
+        Json::parse(&format!(
+            r#"{{ "schema": "bench-matrix/v1",
+                  "total": {total}, "passed": {}, "failed": {failed},
+                  "scenarios": [
+                    {{ "name": "parbench-smoke", "workload": "parbench",
+                       "tags": ["bench"], "passed": {p}, "failures": [],
+                       "counters": {{ "counts.triangles": {triangles},
+                                      "peel.dp_calls": 400 }} }}{second}
+                  ] }}"#,
+            total - failed
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_reports_gate_every_scenario_counter_exactly() {
+        let ok = compare(
+            &matrix(20821, true, false),
+            &matrix(20821, true, false),
+            0.0,
+        )
+        .unwrap();
+        assert!(ok.regressions().is_empty(), "{}", ok.format());
+        // A drifted counter and a newly failing scenario each trip gates.
+        let drifted = compare(
+            &matrix(20821, true, false),
+            &matrix(20822, true, false),
+            0.0,
+        )
+        .unwrap();
+        let failing: Vec<_> = drifted
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["parbench-smoke.counts.triangles"]);
+        let failed = compare(
+            &matrix(20821, true, false),
+            &matrix(20821, false, false),
+            0.0,
+        )
+        .unwrap();
+        let failing: Vec<_> = failed
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["passed", "failed", "parbench-smoke.passed"]);
+    }
+
+    #[test]
+    fn matrix_dropped_scenario_regresses_and_new_scenario_notes() {
+        let dropped =
+            compare(&matrix(20821, true, true), &matrix(20821, true, false), 0.0).unwrap();
+        let failing: Vec<_> = dropped
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        // total changed AND the scenario itself is reported missing.
+        assert!(failing.contains(&"total".to_string()), "{failing:?}");
+        assert!(
+            failing.contains(&"z-extra.passed".to_string()),
+            "{failing:?}"
+        );
+        let added = compare(&matrix(20821, true, false), &matrix(20821, true, true), 0.0).unwrap();
+        assert!(added
+            .notes
+            .iter()
+            .any(|n| n.contains("scenario z-extra: new in this run")));
+        // The new scenario itself is not gated, but totals still are.
+        let failing: Vec<_> = added.regressions().iter().map(|r| r.name.clone()).collect();
+        assert_eq!(failing, vec!["total", "passed"]);
+    }
+
+    #[test]
+    fn matrix_vanished_counter_regresses() {
+        let mut new = matrix(20821, true, false);
+        if let Some(Json::Arr(items)) = {
+            // Navigate mutably: strip one counter from the only scenario.
+            if let Json::Obj(members) = &mut new {
+                members
+                    .iter_mut()
+                    .find(|(k, _)| k == "scenarios")
+                    .map(|(_, v)| v)
+            } else {
+                None
+            }
+        } {
+            if let Json::Obj(sc) = &mut items[0] {
+                for (k, v) in sc.iter_mut() {
+                    if k == "counters" {
+                        if let Json::Obj(counters) = v {
+                            counters.retain(|(name, _)| name != "peel.dp_calls");
+                        }
+                    }
+                }
+            }
+        }
+        let report = compare(&matrix(20821, true, false), &new, 0.0).unwrap();
+        let failing: Vec<_> = report
+            .regressions()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(failing, vec!["parbench-smoke.peel.dp_calls"]);
+        assert!(report.format().contains("regenerate the baseline"));
+    }
+
+    #[test]
+    fn matrix_vs_other_families_is_refused() {
+        let err = compare(&matrix(20821, true, false), &v3(100, 20821, None), 0.0).unwrap_err();
         assert!(err.contains("schema family mismatch"), "{err}");
     }
 

@@ -21,6 +21,8 @@
 //! | [`million`] | (extra) | million-edge memory-scaling baseline: snapshot mmap vs owned reload, streaming index, truss sweep, as `bench-million/v1` JSON |
 //! | [`serve`] | (extra) | `nd-server` smoke: scripted TCP session vs direct library calls, counters as `bench-serve/v2` JSON |
 //! | [`updates`] | (extra) | incremental edge-update maintenance: repair vs rebuild work counters as `bench-updates/v1` JSON |
+//! | [`registry`] | (extra) | declarative scenario registry: TOML-subset specs + builtins behind `experiments matrix`, emitted as `bench-matrix/v1` JSON |
+//! | [`cli`] | (extra) | shared flag parsing (`--input/--format/--prob-model`, θ-grids, thread lists) for the `experiments` binary |
 //!
 //! Run them through the `experiments` binary:
 //!
@@ -30,6 +32,7 @@
 //! ```
 
 pub mod ablation;
+pub mod cli;
 pub mod compare;
 pub mod fig4;
 pub mod fig5;
@@ -38,6 +41,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod million;
 pub mod parbench;
+pub mod registry;
 pub mod runner;
 pub mod serve;
 pub mod table1;

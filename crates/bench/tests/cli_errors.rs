@@ -65,3 +65,26 @@ fn serve_oneshot_reports_missing_input_uniformly() {
 fn serve_resident_reports_missing_input_uniformly() {
     assert_unified_input_error(&["serve", "--input", MISSING]);
 }
+
+#[test]
+fn matrix_reports_unknown_scenario_selection() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["matrix", "--only", "no-such-scenario", "--dry-run"])
+        .output()
+        .expect("experiments binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "unknown --only must exit 1, got {:?}\nstderr: {stderr}",
+        output.status.code()
+    );
+    assert!(
+        stderr.contains("matrix: unknown scenario 'no-such-scenario'"),
+        "must name the unknown scenario, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must fail cleanly, not panic: {stderr}"
+    );
+}

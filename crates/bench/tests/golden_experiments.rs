@@ -181,3 +181,22 @@ fn golden_fig8() {
     );
     check_golden("fig8_small_seed42", &fig.format());
 }
+
+#[test]
+fn golden_matrix_dry_run() {
+    // The scenario listing is the registry's public face: builtin
+    // scenarios plus the committed `scenarios/*.toml` files, in name
+    // order.  Pinning it makes adding/renaming a scenario a reviewed,
+    // visible diff.  Origins print as bare file names, so the snapshot
+    // is independent of where the checkout lives.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["matrix", "--dry-run"])
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        output.status.success(),
+        "matrix --dry-run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    check_golden("matrix_dry_run", &String::from_utf8_lossy(&output.stdout));
+}

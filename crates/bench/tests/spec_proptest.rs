@@ -1,0 +1,337 @@
+//! Property tests for the scenario spec format.
+//!
+//! Two contracts under test:
+//!
+//! * **The canonical form is a fixpoint.**  For any valid [`Spec`],
+//!   `parse(spec.to_toml())` reproduces the spec exactly and
+//!   re-serializes to the byte-identical text — so committed scenario
+//!   files never drift under rewrite tooling.
+//! * **Malformed text points at itself.**  Injecting a defect at a
+//!   known line of an otherwise-valid spec surfaces the matching typed
+//!   [`SpecError`] carrying exactly that 1-based line number.
+//!
+//! Random specs come from a seeded splitmix generator rather than
+//! nested strategies: one drawn `u64` deterministically expands into a
+//! workload, a compatible dataset, the workload's allowed params, and
+//! a sorted expectation set — keeping every generated spec valid by
+//! construction.
+
+use proptest::prelude::*;
+
+use nd_bench::compare::Gate;
+use nd_bench::registry::spec::{self, DatasetSpec, Expectation, Params, Spec, SpecError, Workload};
+use nd_datasets::Scale;
+use nucleus::Rank;
+use ugraph::io::EdgeProbabilityModel;
+use ugraph::InputFormat;
+
+/// Splitmix64: expands one seed into an arbitrary stream of draws.
+struct Bits(u64);
+
+impl Bits {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+}
+
+fn file_dataset(b: &mut Bits) -> DatasetSpec {
+    // Paths exercise the string escaper: spaces, quotes, backslashes.
+    const PATHS: &[&str] = &[
+        "data/tiny.txt",
+        "graphs/web.konect",
+        "odd name \"quoted\"\\slash.txt",
+        "snapshots/web.ugsnap",
+    ];
+    let path = PATHS[b.pick(PATHS.len())].to_string();
+    let format = [
+        InputFormat::Snap,
+        InputFormat::Konect,
+        InputFormat::Snapshot,
+    ][b.pick(3)];
+    let prob_model = match b.pick(4) {
+        0 => EdgeProbabilityModel::Column,
+        1 => EdgeProbabilityModel::Constant(0.9),
+        2 => EdgeProbabilityModel::UniformSeeded {
+            seed: b.next() % 1000,
+            low: 0.5,
+            high: 1.0,
+        },
+        _ => EdgeProbabilityModel::ExponentialWeight { scale: 2.5 },
+    };
+    DatasetSpec::File {
+        path,
+        format,
+        prob_model,
+    }
+}
+
+fn theta_grid(b: &mut Bits) -> Vec<f64> {
+    // A non-empty subset of an increasing grid is strictly increasing.
+    const GRID: &[f64] = &[0.05, 0.1, 0.2, 0.25, 0.3, 0.5, 0.75, 0.9, 1.0];
+    let mut out = Vec::new();
+    for &t in GRID {
+        if b.chance(40) {
+            out.push(t);
+        }
+    }
+    if out.len() < 2 {
+        out = vec![0.1, 0.5];
+    }
+    out
+}
+
+/// Deterministically expands `seed` into a valid spec: the dataset kind
+/// matches the workload, params stay within the workload's allowed
+/// keys, and expectations are unique and sorted by path.
+fn build_spec(seed: u64) -> Spec {
+    let mut b = Bits(seed);
+    let workload = Workload::ALL[b.pick(Workload::ALL.len())];
+
+    const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+    let len = 1 + b.pick(12);
+    let name: String = (0..len)
+        .map(|_| NAME_CHARS[b.pick(NAME_CHARS.len())] as char)
+        .collect();
+
+    const TAGS: &[&str] = &["bench", "paper", "smoke", "sweep", "nightly"];
+    let mut tags = Vec::new();
+    for t in TAGS {
+        if b.chance(30) {
+            tags.push(t.to_string());
+        }
+    }
+
+    let tolerance = if b.chance(25) {
+        [0.05, 0.125, 0.5, 1.0][b.pick(4)]
+    } else {
+        0.0
+    };
+
+    let dataset = match workload {
+        Workload::Million => DatasetSpec::Ba {
+            vertices: 100 + b.pick(10_000),
+            attach: 1 + b.pick(8),
+            seed: b.next() % 1_000_000,
+        },
+        Workload::Parbench | Workload::Thetasweep | Workload::Updates | Workload::Serve => {
+            if b.chance(50) {
+                DatasetSpec::Generated {
+                    edges: 100 + b.pick(100_000),
+                    vertices: if b.chance(50) {
+                        Some(10 + b.pick(5000))
+                    } else {
+                        None
+                    },
+                    seed: b.next() % 1_000_000,
+                }
+            } else {
+                file_dataset(&mut b)
+            }
+        }
+        _ => {
+            if b.chance(50) {
+                DatasetSpec::Paper {
+                    scale: [Scale::Tiny, Scale::Small, Scale::Medium][b.pick(3)],
+                    seed: b.next() % 1_000_000,
+                }
+            } else {
+                file_dataset(&mut b)
+            }
+        }
+    };
+
+    let rank = |b: &mut Bits| [Rank::Core, Rank::Truss, Rank::Nucleus][b.pick(3)];
+    let mut params = Params::default();
+    match workload {
+        Workload::Parbench => {
+            if b.chance(60) {
+                params.repeats = Some(1 + b.pick(5));
+            }
+            if b.chance(60) {
+                let n = 1 + b.pick(3);
+                params.threads = Some((0..n).map(|_| 1 + b.pick(8)).collect());
+            }
+        }
+        Workload::Thetasweep => {
+            if b.chance(60) {
+                params.rank = Some(rank(&mut b));
+            }
+            if b.chance(60) {
+                params.thetas = Some(theta_grid(&mut b));
+            }
+            if b.chance(60) {
+                params.repeats = Some(1 + b.pick(5));
+            }
+        }
+        Workload::Updates => {
+            if b.chance(60) {
+                params.rank = Some(rank(&mut b));
+            }
+            if b.chance(60) {
+                params.thetas = Some(theta_grid(&mut b));
+            }
+            if b.chance(60) {
+                params.batch = Some(1 + b.pick(64));
+            }
+        }
+        Workload::Serve => {
+            if b.chance(60) {
+                params.thetas = Some(theta_grid(&mut b));
+            }
+            if b.chance(60) {
+                params.cache = Some(b.pick(128));
+            }
+            if b.chance(60) {
+                params.pool = Some(1 + b.pick(8));
+            }
+        }
+        Workload::Million => {
+            if b.chance(60) {
+                params.thetas = Some(theta_grid(&mut b));
+            }
+            if b.chance(60) {
+                params.pool = Some(1 + b.pick(8));
+            }
+            if b.chance(60) {
+                params.chunk_edges = Some(1 + b.pick(100_000));
+            }
+        }
+        _ => {}
+    }
+
+    // Already alphabetical, so iterating keeps `expect` sorted by path.
+    const COUNTERS: &[&str] = &[
+        "counts.triangles",
+        "edges",
+        "rows",
+        "stats.requests",
+        "sweep.support_builds",
+        "vertices",
+    ];
+    let mut expect = Vec::new();
+    for path in COUNTERS {
+        if b.chance(30) {
+            let value = [0.0, 1.0, 21.0, 0.5, 400.0, 20780.0][b.pick(6)];
+            let gate = match b.pick(5) {
+                0 => Gate::Exact,
+                1 => Gate::LowerIsBetter,
+                2 => Gate::HigherIsBetter,
+                3 => Gate::WithinFactor(2),
+                _ => Gate::ReportOnly,
+            };
+            expect.push(Expectation {
+                path: path.to_string(),
+                value,
+                gate,
+            });
+        }
+    }
+
+    Spec {
+        name,
+        workload,
+        tags,
+        tolerance,
+        dataset,
+        params,
+        expect,
+    }
+}
+
+proptest! {
+    /// parse ∘ to_toml is the identity on specs, and to_toml ∘ parse is
+    /// the identity on canonical text.
+    #[test]
+    fn canonical_form_round_trips(seed in 0u64..u64::MAX) {
+        let spec = build_spec(seed);
+        let toml = spec.to_toml();
+        let parsed = match spec::parse(&toml) {
+            Ok(parsed) => parsed,
+            Err(e) => panic!("canonical form failed to parse: {e}\n{toml}"),
+        };
+        prop_assert_eq!(&parsed.spec, &spec);
+        prop_assert_eq!(parsed.spec.to_toml(), toml);
+    }
+
+    /// A line that is neither a section header nor `key = value` is a
+    /// syntax error on exactly the line it sits on.
+    #[test]
+    fn garbage_line_is_a_syntax_error_on_its_line(seed in 0u64..u64::MAX) {
+        let toml = build_spec(seed).to_toml();
+        let line = toml.lines().count() + 1;
+        match spec::parse(&format!("{toml}??? no equals sign\n")) {
+            Err(SpecError::Syntax { line: got, .. }) => prop_assert_eq!(got, line),
+            other => panic!("expected a syntax error on line {line}, got {other:?}"),
+        }
+    }
+
+    /// An unrecognized `[section]` header is rejected at its own line
+    /// with the header's name.
+    #[test]
+    fn unknown_section_points_at_its_line(seed in 0u64..u64::MAX) {
+        let toml = build_spec(seed).to_toml();
+        let line = toml.lines().count() + 1;
+        prop_assert_eq!(
+            spec::parse(&format!("{toml}[bogus]\n")).unwrap_err(),
+            SpecError::UnknownSection { line, name: "bogus".to_string() }
+        );
+    }
+
+    /// The canonical form always carries `workload` on line 2;
+    /// corrupting its value is reported there.
+    #[test]
+    fn unknown_workload_points_at_its_line(seed in 0u64..u64::MAX) {
+        let toml = build_spec(seed).to_toml();
+        let mut lines: Vec<&str> = toml.lines().collect();
+        prop_assert!(lines[1].starts_with("workload = "));
+        lines[1] = "workload = \"frobnicate\"";
+        prop_assert_eq!(
+            spec::parse(&(lines.join("\n") + "\n")).unwrap_err(),
+            SpecError::UnknownWorkload { line: 2, value: "frobnicate".to_string() }
+        );
+    }
+
+    /// Repeating the `name` key is flagged at the second occurrence,
+    /// attributed to the top-level section.
+    #[test]
+    fn duplicate_key_points_at_the_second_occurrence(seed in 0u64..u64::MAX) {
+        let toml = build_spec(seed).to_toml();
+        let mut lines: Vec<&str> = toml.lines().collect();
+        prop_assert!(lines[0].starts_with("name = "));
+        lines.insert(1, lines[0]);
+        prop_assert_eq!(
+            spec::parse(&(lines.join("\n") + "\n")).unwrap_err(),
+            SpecError::DuplicateKey {
+                line: 2,
+                key: "name".to_string(),
+                section: "top".to_string(),
+            }
+        );
+    }
+
+    /// An out-of-range tolerance carries its line and offending value.
+    #[test]
+    fn tolerance_out_of_range_points_at_its_line(seed in 0u64..u64::MAX) {
+        let mut spec = build_spec(seed);
+        spec.tolerance = 0.0; // canonical form omits it; no duplicate key
+        let toml = spec.to_toml();
+        let mut lines: Vec<&str> = toml.lines().collect();
+        lines.insert(2, "tolerance = 7");
+        prop_assert_eq!(
+            spec::parse(&(lines.join("\n") + "\n")).unwrap_err(),
+            SpecError::ToleranceOutOfRange { line: 3, value: 7.0 }
+        );
+    }
+}
